@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the failure-detector building blocks: the
+//! configurator search, the link-quality estimator and the freshness
+//! monitor's heartbeat path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sle_fd::{FdConfigurator, LinkQuality, LinkQualityEstimator, PeerMonitor, QosSpec};
+use sle_sim::time::{SimDuration, SimInstant};
+
+fn bench_configurator(c: &mut Criterion) {
+    let configurator = FdConfigurator::default();
+    let qos = QosSpec::paper_default();
+    let quality = LinkQuality::from_parts(
+        0.1,
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(100),
+    );
+    c.bench_function("fd_configurator_compute", |b| {
+        b.iter(|| configurator.compute(black_box(&qos), black_box(&quality)))
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("link_quality_estimator_record_and_estimate", |b| {
+        let mut estimator = LinkQualityEstimator::new(256);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let sent = SimInstant::ZERO + SimDuration::from_millis(seq * 100);
+            estimator.record(seq, sent, sent + SimDuration::from_millis(5));
+            seq += 1;
+            black_box(estimator.estimate())
+        })
+    });
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    c.bench_function("peer_monitor_heartbeat", |b| {
+        let mut monitor = PeerMonitor::new(QosSpec::paper_default(), SimInstant::ZERO);
+        let interval = SimDuration::from_millis(250);
+        let mut seq = 0u64;
+        let mut now = SimInstant::ZERO;
+        b.iter(|| {
+            now = now + interval;
+            seq += 1;
+            black_box(monitor.on_heartbeat(seq, now, interval, now));
+            black_box(monitor.check(now));
+        })
+    });
+}
+
+criterion_group!(benches, bench_configurator, bench_estimator, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Macro-benchmark of the simulation substrate: how much wall-clock time it
+//! takes to push a full 12-workstation service deployment through one
+//! virtual minute (this is the quantity that determines how long the figure
+//! reproductions take).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
+use sle_election::ElectorKind;
+use sle_net::link::LinkSpec;
+use sle_net::network::NetworkModel;
+use sle_sim::prelude::*;
+
+fn run_virtual_minute(algorithm: ElectorKind, link: LinkSpec) -> u64 {
+    let n = 12usize;
+    let group = sle_core::GroupId(1);
+    let medium = NetworkModel::new(link).build(7);
+    let mut world: World<ServiceNode, _> = World::new(
+        n,
+        Box::new(move |node, _| {
+            ServiceNode::new(
+                ServiceConfig::full_mesh(node, n, algorithm)
+                    .with_auto_join(group, JoinConfig::candidate()),
+            )
+        }),
+        medium,
+        11,
+    );
+    let mut observer = CountingObserver::new();
+    world.run_for(SimDuration::from_secs(60), &mut observer);
+    observer.delivered
+}
+
+fn bench_virtual_minute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_virtual_minute_12_nodes");
+    group.sample_size(10);
+    group.bench_function("S2_lan", |b| {
+        b.iter(|| run_virtual_minute(ElectorKind::OmegaLc, LinkSpec::lan()))
+    });
+    group.bench_function("S3_lan", |b| {
+        b.iter(|| run_virtual_minute(ElectorKind::OmegaL, LinkSpec::lan()))
+    });
+    group.bench_function("S2_lossy_100ms_0.1", |b| {
+        b.iter(|| run_virtual_minute(ElectorKind::OmegaLc, LinkSpec::from_paper_tuple(100.0, 0.1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_virtual_minute);
+criterion_main!(benches);

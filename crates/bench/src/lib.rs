@@ -1,0 +1,20 @@
+//! # sle-bench — benchmarks and figure regeneration
+//!
+//! This crate hosts:
+//!
+//! * the `reproduce` binary (`cargo run -p sle-bench --release --bin
+//!   reproduce`), which re-runs every experimental cell of the paper's
+//!   figures and prints paper-vs-measured tables, and
+//! * the Criterion micro-benchmarks (`cargo bench`) for the failure
+//!   detector, the election algorithms, the simulator and small versions of
+//!   the figure scenarios.
+//!
+//! See `EXPERIMENTS.md` at the workspace root for a recorded run.
+
+#![warn(missing_docs)]
+
+/// A tiny helper shared by the benchmarks: a short experiment used as a
+/// macro-benchmark workload.
+pub fn smoke_scenario_seconds() -> u64 {
+    60
+}

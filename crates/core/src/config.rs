@@ -1,0 +1,185 @@
+//! Service and group configuration.
+
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_sim::actor::NodeId;
+use sle_sim::time::SimDuration;
+
+use crate::process::GroupId;
+
+/// How an application wants to learn about leader changes (paper Section 4:
+/// "by an interrupt from the service, whenever the leader changes, or by
+/// querying the service, whenever p wants to do so").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NotificationMode {
+    /// The service raises a [`ServiceEvent::LeaderChanged`](crate::events::ServiceEvent)
+    /// every time the group's leader changes.
+    #[default]
+    Interrupt,
+    /// The application polls the service with
+    /// [`ServiceNode::leader_of`](crate::node::ServiceNode::leader_of).
+    Query,
+}
+
+/// Per-join parameters: the four things a process specifies when joining a
+/// group (paper Section 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinConfig {
+    /// Whether the joining process is a candidate for the group leadership.
+    pub candidate: bool,
+    /// How the process wants to learn about leader changes.
+    pub notification: NotificationMode,
+    /// The QoS of the failure detection underlying this group's election.
+    pub qos: QosSpec,
+}
+
+impl JoinConfig {
+    /// A candidate joining with the paper's default QoS and interrupt-style
+    /// notifications.
+    pub fn candidate() -> Self {
+        JoinConfig {
+            candidate: true,
+            notification: NotificationMode::Interrupt,
+            qos: QosSpec::paper_default(),
+        }
+    }
+
+    /// A non-candidate (passive listener) joining with the paper's default
+    /// QoS.
+    pub fn listener() -> Self {
+        JoinConfig {
+            candidate: false,
+            notification: NotificationMode::Interrupt,
+            qos: QosSpec::paper_default(),
+        }
+    }
+
+    /// Replaces the QoS specification.
+    pub fn with_qos(mut self, qos: QosSpec) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Replaces the notification mode.
+    pub fn with_notification(mut self, notification: NotificationMode) -> Self {
+        self.notification = notification;
+        self
+    }
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig::candidate()
+    }
+}
+
+/// A group membership to establish automatically when the service instance
+/// starts (and re-establish after every recovery) — this is how the
+/// experiments model application processes that immediately re-register and
+/// re-join after their workstation restarts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoJoin {
+    /// The group to join.
+    pub group: GroupId,
+    /// The join parameters.
+    pub config: JoinConfig,
+}
+
+/// Configuration of one service instance (one per workstation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// This workstation's identity.
+    pub node: NodeId,
+    /// All workstations participating in the service (the static peer list a
+    /// deployment is configured with; groups are dynamic subsets of the
+    /// processes running on these workstations).
+    pub peers: Vec<NodeId>,
+    /// The leader-election algorithm to run (the "version" of the service:
+    /// S1, S2 or S3).
+    pub algorithm: ElectorKind,
+    /// How often HELLO membership announcements are sent.
+    pub hello_interval: SimDuration,
+    /// How long a member may stay silent (no HELLO) before it is dropped
+    /// from the membership.
+    pub membership_timeout: SimDuration,
+    /// Group memberships established automatically at start-up.
+    pub auto_joins: Vec<AutoJoin>,
+}
+
+impl ServiceConfig {
+    /// Creates a configuration for `node` in a system of `peers`
+    /// workstations, running `algorithm`.
+    pub fn new(node: NodeId, peers: Vec<NodeId>, algorithm: ElectorKind) -> Self {
+        ServiceConfig {
+            node,
+            peers,
+            algorithm,
+            hello_interval: SimDuration::from_millis(1000),
+            membership_timeout: SimDuration::from_secs(5),
+            auto_joins: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for a full mesh of `n` workstations numbered
+    /// `0..n`, as used by all the paper's experiments.
+    pub fn full_mesh(node: NodeId, n: usize, algorithm: ElectorKind) -> Self {
+        let peers = (0..n as u32).map(NodeId).collect();
+        Self::new(node, peers, algorithm)
+    }
+
+    /// Adds an automatic group join performed at every (re)start.
+    pub fn with_auto_join(mut self, group: GroupId, config: JoinConfig) -> Self {
+        self.auto_joins.push(AutoJoin { group, config });
+        self
+    }
+
+    /// Overrides the HELLO interval.
+    pub fn with_hello_interval(mut self, interval: SimDuration) -> Self {
+        self.hello_interval = interval;
+        self
+    }
+
+    /// The peers other than this node.
+    pub fn remote_peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.node;
+        self.peers.iter().copied().filter(move |&p| p != me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_config_builders() {
+        let c = JoinConfig::candidate();
+        assert!(c.candidate);
+        assert_eq!(c.notification, NotificationMode::Interrupt);
+        let l = JoinConfig::listener().with_notification(NotificationMode::Query);
+        assert!(!l.candidate);
+        assert_eq!(l.notification, NotificationMode::Query);
+        let q = QosSpec::paper_default_with_detection(SimDuration::from_millis(100));
+        assert_eq!(JoinConfig::candidate().with_qos(q).qos, q);
+        assert_eq!(JoinConfig::default(), JoinConfig::candidate());
+        assert_eq!(NotificationMode::default(), NotificationMode::Interrupt);
+    }
+
+    #[test]
+    fn full_mesh_lists_all_peers() {
+        let config = ServiceConfig::full_mesh(NodeId(2), 4, ElectorKind::OmegaL);
+        assert_eq!(config.peers.len(), 4);
+        let remotes: Vec<NodeId> = config.remote_peers().collect();
+        assert_eq!(remotes, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(config.algorithm, ElectorKind::OmegaL);
+    }
+
+    #[test]
+    fn auto_join_and_hello_interval_builders() {
+        let config = ServiceConfig::full_mesh(NodeId(0), 3, ElectorKind::OmegaLc)
+            .with_auto_join(GroupId(1), JoinConfig::candidate())
+            .with_hello_interval(SimDuration::from_millis(500));
+        assert_eq!(config.auto_joins.len(), 1);
+        assert_eq!(config.auto_joins[0].group, GroupId(1));
+        assert_eq!(config.hello_interval, SimDuration::from_millis(500));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types returned by the service API.
+
+use crate::process::{GroupId, ProcessId};
+
+/// Errors returned by the service's command interface (register / join /
+/// leave).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The process is not registered with this service instance.
+    UnknownProcess(ProcessId),
+    /// The process is registered on a different workstation.
+    ForeignProcess(ProcessId),
+    /// The process has not joined the group it tried to act on.
+    NotJoined(ProcessId, GroupId),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownProcess(p) => {
+                write!(f, "process {p} is not registered with this service instance")
+            }
+            ServiceError::ForeignProcess(p) => {
+                write!(f, "process {p} is registered on a different workstation")
+            }
+            ServiceError::NotJoined(p, g) => {
+                write!(f, "process {p} has not joined group {g}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::actor::NodeId;
+
+    #[test]
+    fn display_messages() {
+        let p = ProcessId::new(NodeId(1), 2);
+        assert_eq!(
+            ServiceError::UnknownProcess(p).to_string(),
+            "process n1.p2 is not registered with this service instance"
+        );
+        assert_eq!(
+            ServiceError::ForeignProcess(p).to_string(),
+            "process n1.p2 is registered on a different workstation"
+        );
+        assert_eq!(
+            ServiceError::NotJoined(p, GroupId(3)).to_string(),
+            "process n1.p2 has not joined group g3"
+        );
+    }
+}

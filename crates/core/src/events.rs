@@ -1,0 +1,44 @@
+//! Application-facing events raised by the service.
+
+use crate::process::{GroupId, ProcessId};
+
+/// An event raised by a service instance towards the applications registered
+/// with it (the paper's "interrupt" notification style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// The leader of `group`, as seen by this service instance, changed.
+    ///
+    /// `leader` is `None` when the group currently has no leader from this
+    /// node's point of view (e.g. right after the previous leader was
+    /// suspected and before a new one was agreed upon).
+    LeaderChanged {
+        /// The group whose leader changed.
+        group: GroupId,
+        /// The new leader, if any.
+        leader: Option<ProcessId>,
+    },
+}
+
+impl ServiceEvent {
+    /// The group this event concerns.
+    pub fn group(&self) -> GroupId {
+        match self {
+            ServiceEvent::LeaderChanged { group, .. } => *group,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::actor::NodeId;
+
+    #[test]
+    fn accessors() {
+        let event = ServiceEvent::LeaderChanged {
+            group: GroupId(4),
+            leader: Some(ProcessId::new(NodeId(1), 0)),
+        };
+        assert_eq!(event.group(), GroupId(4));
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-group state kept by a service instance (the Group Maintenance module
+//! of the paper's architecture, Figure 2).
+
+use std::collections::BTreeMap;
+
+use sle_election::{AnyElector, LeaderElector};
+use sle_fd::{FailureDetector, QosSpec};
+use sle_sim::actor::NodeId;
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::config::{JoinConfig, NotificationMode};
+use crate::process::{GroupId, ProcessId};
+
+/// What a service instance knows about the group membership contributed by
+/// one remote workstation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteMember {
+    /// The remote workstation's incarnation when this information was learnt.
+    pub incarnation: u64,
+    /// When we last heard a HELLO or ALIVE from it for this group.
+    pub last_heard: SimInstant,
+    /// The remote processes in the group and whether each is a candidate.
+    pub processes: Vec<(ProcessId, bool)>,
+}
+
+impl RemoteMember {
+    /// True if any of the remote processes is a candidate.
+    pub fn has_candidate(&self) -> bool {
+        self.processes.iter().any(|(_, candidate)| *candidate)
+    }
+
+    /// The remote node's representative candidate (its first candidate
+    /// process), used to translate an elected node into an elected process.
+    pub fn representative(&self) -> Option<ProcessId> {
+        self.processes
+            .iter()
+            .filter(|(_, candidate)| *candidate)
+            .map(|(process, _)| *process)
+            .min()
+    }
+}
+
+/// The full state a service instance keeps for one group it participates in.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    /// The group's identifier.
+    pub group: GroupId,
+    /// The failure-detection QoS used for this group.
+    pub qos: QosSpec,
+    /// The notification mode requested by the most recent local join.
+    pub notification: NotificationMode,
+    /// Local processes that joined the group, with their candidate flags.
+    pub local_processes: BTreeMap<u32, bool>,
+    /// The election algorithm instance for this group.
+    pub elector: AnyElector,
+    /// The per-group failure detector monitoring the other members.
+    pub fd: FailureDetector,
+    /// Remote membership learnt from HELLO/ALIVE messages.
+    pub members: BTreeMap<NodeId, RemoteMember>,
+    /// Per-destination ALIVE sequence numbers.
+    pub seqs: BTreeMap<NodeId, u64>,
+    /// The ALIVE interval each peer asked us to use towards it.
+    pub requested_by_peers: BTreeMap<NodeId, SimDuration>,
+    /// The representative candidate process advertised by each member node.
+    pub representatives: BTreeMap<NodeId, ProcessId>,
+    /// The leader last announced to local applications (to detect changes).
+    pub announced_leader: Option<ProcessId>,
+    /// When this node joined the group (start of the self-election grace
+    /// period: a freshly joined candidate does not claim the leadership for
+    /// itself until it had a chance to learn about the incumbent).
+    pub joined_at: SimInstant,
+}
+
+impl GroupState {
+    /// Creates the state for a group the local node just joined.
+    pub fn new(
+        group: GroupId,
+        me: NodeId,
+        algorithm: sle_election::ElectorKind,
+        config: &JoinConfig,
+        now: SimInstant,
+    ) -> Self {
+        GroupState {
+            group,
+            qos: config.qos,
+            notification: config.notification,
+            local_processes: BTreeMap::new(),
+            elector: AnyElector::new(algorithm, me, config.candidate, now),
+            fd: FailureDetector::new(config.qos),
+            members: BTreeMap::new(),
+            seqs: BTreeMap::new(),
+            requested_by_peers: BTreeMap::new(),
+            representatives: BTreeMap::new(),
+            announced_leader: None,
+            joined_at: now,
+        }
+    }
+
+    /// How long after joining this node refrains from announcing *itself* as
+    /// the leader (twice the crash-detection bound: enough to hear from an
+    /// incumbent leader if there is one).
+    pub fn self_election_grace(&self) -> SimDuration {
+        self.qos.detection_time() * 2
+    }
+
+    /// True if any local process joined this group as a candidate.
+    pub fn locally_candidate(&self) -> bool {
+        self.local_processes.values().any(|&candidate| candidate)
+    }
+
+    /// The local representative candidate process, if any.
+    pub fn local_representative(&self, me: NodeId) -> Option<ProcessId> {
+        self.local_processes
+            .iter()
+            .filter(|(_, &candidate)| candidate)
+            .map(|(&local, _)| ProcessId::new(me, local))
+            .min()
+    }
+
+    /// The next ALIVE sequence number for `dest`.
+    pub fn next_seq(&mut self, dest: NodeId) -> u64 {
+        let entry = self.seqs.entry(dest).or_insert(0);
+        let seq = *entry;
+        *entry += 1;
+        seq
+    }
+
+    /// The interval at which this node should currently send ALIVEs for the
+    /// group: the most demanding (smallest) of what the peers asked for,
+    /// never exceeding the default derived from the group's QoS.
+    pub fn send_interval(&self) -> SimDuration {
+        let default = self.qos.detection_time().mul_f64(0.25).max(SimDuration::from_millis(5));
+        self.requested_by_peers
+            .values()
+            .copied()
+            .fold(default, SimDuration::min)
+    }
+
+    /// Maps an elected node to the elected process announced to applications.
+    pub fn leader_process(&self, me: NodeId, leader_node: Option<NodeId>) -> Option<ProcessId> {
+        let node = leader_node?;
+        if node == me {
+            self.local_representative(me)
+        } else if let Some(repr) = self.representatives.get(&node) {
+            Some(*repr)
+        } else if let Some(member) = self.members.get(&node) {
+            member.representative()
+        } else {
+            // We elected a node we have no process information about yet;
+            // announce its service instance's first process slot.
+            Some(ProcessId::new(node, 0))
+        }
+    }
+
+    /// Whether this node should currently be emitting ALIVE messages for the
+    /// group.
+    pub fn should_send_alives(&self) -> bool {
+        self.locally_candidate() && self.elector.is_competing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_election::ElectorKind;
+
+    fn state() -> GroupState {
+        GroupState::new(
+            GroupId(1),
+            NodeId(0),
+            ElectorKind::OmegaLc,
+            &JoinConfig::candidate(),
+            SimInstant::ZERO,
+        )
+    }
+
+    #[test]
+    fn local_candidacy_and_representative() {
+        let mut group = state();
+        assert!(!group.locally_candidate());
+        assert_eq!(group.local_representative(NodeId(0)), None);
+        group.local_processes.insert(3, false);
+        group.local_processes.insert(1, true);
+        group.local_processes.insert(2, true);
+        assert!(group.locally_candidate());
+        assert_eq!(
+            group.local_representative(NodeId(0)),
+            Some(ProcessId::new(NodeId(0), 1))
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_destination() {
+        let mut group = state();
+        assert_eq!(group.next_seq(NodeId(1)), 0);
+        assert_eq!(group.next_seq(NodeId(1)), 1);
+        assert_eq!(group.next_seq(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn send_interval_takes_the_most_demanding_request() {
+        let mut group = state();
+        // Default: a quarter of the 1 s detection bound.
+        assert_eq!(group.send_interval(), SimDuration::from_millis(250));
+        group
+            .requested_by_peers
+            .insert(NodeId(1), SimDuration::from_millis(100));
+        group
+            .requested_by_peers
+            .insert(NodeId(2), SimDuration::from_millis(400));
+        assert_eq!(group.send_interval(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn leader_process_resolution() {
+        let mut group = state();
+        group.local_processes.insert(0, true);
+        assert_eq!(
+            group.leader_process(NodeId(0), Some(NodeId(0))),
+            Some(ProcessId::new(NodeId(0), 0))
+        );
+        assert_eq!(group.leader_process(NodeId(0), None), None);
+        // Unknown remote node: fall back to its slot 0.
+        assert_eq!(
+            group.leader_process(NodeId(0), Some(NodeId(7))),
+            Some(ProcessId::new(NodeId(7), 0))
+        );
+        // Known via membership.
+        group.members.insert(
+            NodeId(2),
+            RemoteMember {
+                incarnation: 0,
+                last_heard: SimInstant::ZERO,
+                processes: vec![(ProcessId::new(NodeId(2), 4), true)],
+            },
+        );
+        assert_eq!(
+            group.leader_process(NodeId(0), Some(NodeId(2))),
+            Some(ProcessId::new(NodeId(2), 4))
+        );
+        // An explicit representative advertised in ALIVEs takes precedence.
+        group
+            .representatives
+            .insert(NodeId(2), ProcessId::new(NodeId(2), 9));
+        assert_eq!(
+            group.leader_process(NodeId(0), Some(NodeId(2))),
+            Some(ProcessId::new(NodeId(2), 9))
+        );
+    }
+
+    #[test]
+    fn remote_member_helpers() {
+        let member = RemoteMember {
+            incarnation: 1,
+            last_heard: SimInstant::ZERO,
+            processes: vec![
+                (ProcessId::new(NodeId(3), 2), false),
+                (ProcessId::new(NodeId(3), 1), true),
+            ],
+        };
+        assert!(member.has_candidate());
+        assert_eq!(member.representative(), Some(ProcessId::new(NodeId(3), 1)));
+        let passive = RemoteMember {
+            incarnation: 1,
+            last_heard: SimInstant::ZERO,
+            processes: vec![(ProcessId::new(NodeId(3), 2), false)],
+        };
+        assert!(!passive.has_candidate());
+        assert_eq!(passive.representative(), None);
+    }
+
+    #[test]
+    fn should_send_alives_requires_local_candidate() {
+        let mut group = state();
+        assert!(!group.should_send_alives());
+        group.local_processes.insert(0, true);
+        assert!(group.should_send_alives());
+    }
+}

@@ -1,0 +1,196 @@
+//! The wire protocol spoken between service instances.
+//!
+//! Three message families exist, mirroring the paper's architecture
+//! (Figure 2): HELLO messages maintain group membership, ALIVE messages are
+//! simultaneously failure-detector heartbeats and election-algorithm
+//! payloads, and ACCUSE messages implement the accusation mechanism of the
+//! Ωl/Ωlc algorithms. Every message reports its encoded size so the
+//! simulator can account network bandwidth exactly (Figure 6).
+
+use sle_election::AlivePayload;
+use sle_sim::actor::WireSize;
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::process::{GroupId, ProcessId};
+
+/// Heartbeat/bookkeeping fields shared by ALIVE messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AliveHeader {
+    /// The sender's incarnation (bumped every time its workstation recovers).
+    pub incarnation: u64,
+    /// Per-(group, destination) heartbeat sequence number.
+    pub seq: u64,
+    /// When the message was sent (sender's clock).
+    pub sent_at: SimInstant,
+    /// The interval at which the sender is currently emitting ALIVEs for
+    /// this group — the monitor uses it to compute the freshness horizon.
+    pub sending_interval: SimDuration,
+    /// The interval the sender would like the *receiver* to use when sending
+    /// ALIVEs back (the output of the sender's FD configurator for the
+    /// receiver→sender link).
+    pub requested_interval: SimDuration,
+}
+
+/// Membership announcement for one group, carried inside HELLO messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAnnouncement {
+    /// The announced group.
+    pub group: GroupId,
+    /// The local processes that belong to the group and whether each is a
+    /// candidate for its leadership.
+    pub processes: Vec<(ProcessId, bool)>,
+}
+
+/// A message exchanged between two service instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceMessage {
+    /// Periodic membership gossip: which local processes belong to which
+    /// groups on the sending workstation.
+    Hello {
+        /// The sender's incarnation.
+        incarnation: u64,
+        /// When the message was sent.
+        sent_at: SimInstant,
+        /// One announcement per group the sender participates in.
+        announcements: Vec<GroupAnnouncement>,
+    },
+    /// Failure-detector heartbeat plus election payload for one group.
+    Alive {
+        /// The group this ALIVE belongs to.
+        group: GroupId,
+        /// Heartbeat header.
+        header: AliveHeader,
+        /// Election-algorithm payload (accusation time, epoch, forwarding).
+        payload: AlivePayload,
+        /// The process that would become leader if this node wins the
+        /// election (its representative candidate).
+        representative: ProcessId,
+    },
+    /// Accusation: "I believe you crashed" (paper Sections 6.3/6.4).
+    Accuse {
+        /// The group in which the suspicion arose.
+        group: GroupId,
+        /// The accused node's epoch as last seen by the accuser.
+        epoch: u64,
+    },
+    /// Explicit withdrawal of a process from a group.
+    Leave {
+        /// The group being left.
+        group: GroupId,
+        /// The leaving process.
+        process: ProcessId,
+    },
+}
+
+impl ServiceMessage {
+    /// The group this message concerns, if any (HELLOs concern several).
+    pub fn group(&self) -> Option<GroupId> {
+        match self {
+            ServiceMessage::Hello { .. } => None,
+            ServiceMessage::Alive { group, .. }
+            | ServiceMessage::Accuse { group, .. }
+            | ServiceMessage::Leave { group, .. } => Some(*group),
+        }
+    }
+
+    /// True for ALIVE messages.
+    pub fn is_alive(&self) -> bool {
+        matches!(self, ServiceMessage::Alive { .. })
+    }
+}
+
+impl WireSize for ServiceMessage {
+    fn wire_size(&self) -> usize {
+        // Sizes follow a straightforward binary encoding: fixed-width
+        // integers and timestamps, one byte per message/option tag.
+        match self {
+            ServiceMessage::Hello {
+                announcements, ..
+            } => {
+                // tag + incarnation + sent_at + count
+                1 + 8 + 8 + 2
+                    + announcements
+                        .iter()
+                        .map(|a| 4 + 2 + a.processes.len() * (8 + 1))
+                        .sum::<usize>()
+            }
+            ServiceMessage::Alive { payload, .. } => {
+                // tag + group + header (incarnation, seq, sent_at, sending,
+                // requested) + representative + payload
+                1 + 4 + (8 + 8 + 8 + 8 + 8) + 8 + payload.wire_size()
+            }
+            ServiceMessage::Accuse { .. } => 1 + 4 + 8,
+            ServiceMessage::Leave { .. } => 1 + 4 + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::actor::NodeId;
+
+    fn sample_alive() -> ServiceMessage {
+        ServiceMessage::Alive {
+            group: GroupId(1),
+            header: AliveHeader {
+                incarnation: 0,
+                seq: 42,
+                sent_at: SimInstant::ZERO,
+                sending_interval: SimDuration::from_millis(250),
+                requested_interval: SimDuration::from_millis(250),
+            },
+            payload: AlivePayload {
+                accusation_time: SimInstant::ZERO,
+                epoch: 0,
+                local_leader: None,
+            },
+            representative: ProcessId::new(NodeId(0), 0),
+        }
+    }
+
+    #[test]
+    fn alive_wire_size_is_stable() {
+        let msg = sample_alive();
+        assert_eq!(msg.wire_size(), 1 + 4 + 40 + 8 + 17);
+        assert!(msg.is_alive());
+        assert_eq!(msg.group(), Some(GroupId(1)));
+    }
+
+    #[test]
+    fn hello_wire_size_scales_with_announcements() {
+        let empty = ServiceMessage::Hello {
+            incarnation: 0,
+            sent_at: SimInstant::ZERO,
+            announcements: Vec::new(),
+        };
+        let with_group = ServiceMessage::Hello {
+            incarnation: 0,
+            sent_at: SimInstant::ZERO,
+            announcements: vec![GroupAnnouncement {
+                group: GroupId(1),
+                processes: vec![(ProcessId::new(NodeId(0), 0), true)],
+            }],
+        };
+        assert_eq!(empty.wire_size(), 19);
+        assert_eq!(with_group.wire_size(), 19 + 4 + 2 + 9);
+        assert_eq!(empty.group(), None);
+        assert!(!empty.is_alive());
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let accuse = ServiceMessage::Accuse {
+            group: GroupId(3),
+            epoch: 9,
+        };
+        let leave = ServiceMessage::Leave {
+            group: GroupId(3),
+            process: ProcessId::new(NodeId(1), 0),
+        };
+        assert_eq!(accuse.wire_size(), 13);
+        assert_eq!(leave.wire_size(), 13);
+        assert_eq!(accuse.group(), Some(GroupId(3)));
+        assert_eq!(leave.group(), Some(GroupId(3)));
+    }
+}

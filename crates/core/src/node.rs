@@ -1,0 +1,744 @@
+//! The per-workstation service instance.
+//!
+//! A [`ServiceNode`] is the sans-io heart of the leader-election service: it
+//! combines the Group Maintenance module (HELLO gossip, membership), the
+//! Failure Detector module (per-group [`FailureDetector`]s fed by ALIVE
+//! messages) and the Leader Election Algorithm module (one
+//! [`AnyElector`] per group), exactly mirroring the architecture of the
+//! paper's Figure 2. It implements [`sle_sim::Actor`], so the same code runs
+//! under the discrete-event simulator (for the evaluation) and under the
+//! real-time runtime in [`crate::runtime`] (for applications).
+
+use sle_election::{ElectorKind, ElectorOutput, LeaderElector};
+use sle_fd::Transition;
+use sle_sim::actor::{Actor, Context, NodeId, TimerTag};
+use sle_sim::time::SimDuration;
+
+use std::collections::BTreeMap;
+
+use crate::config::{JoinConfig, ServiceConfig};
+use crate::error::ServiceError;
+use crate::events::ServiceEvent;
+use crate::group::{GroupState, RemoteMember};
+use crate::messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
+use crate::process::{GroupId, ProcessId};
+
+/// Timer used for periodic HELLO gossip and membership expiry.
+const HELLO_TIMER: TimerTag = TimerTag(0);
+/// Timer-tag namespace for per-group ALIVE emission.
+const ALIVE_KIND: u64 = 1;
+/// Timer-tag namespace for per-group failure-detector deadlines.
+const FD_KIND: u64 = 2;
+/// Timer-tag namespace for the end of the self-election grace period.
+const GRACE_KIND: u64 = 3;
+
+fn alive_tag(group: GroupId) -> TimerTag {
+    TimerTag(ALIVE_KIND << 32 | group.0 as u64)
+}
+
+fn fd_tag(group: GroupId) -> TimerTag {
+    TimerTag(FD_KIND << 32 | group.0 as u64)
+}
+
+fn grace_tag(group: GroupId) -> TimerTag {
+    TimerTag(GRACE_KIND << 32 | group.0 as u64)
+}
+
+/// The context type used by the service.
+pub type ServiceContext = Context<ServiceMessage, ServiceEvent>;
+
+/// One leader-election service instance (one per workstation).
+#[derive(Debug)]
+pub struct ServiceNode {
+    config: ServiceConfig,
+    incarnation: u64,
+    next_local_process: u32,
+    registered: BTreeMap<u32, ProcessId>,
+    groups: BTreeMap<GroupId, GroupState>,
+    peer_incarnations: BTreeMap<NodeId, u64>,
+}
+
+impl ServiceNode {
+    /// Creates a service instance from its configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        ServiceNode {
+            config,
+            incarnation: 0,
+            next_local_process: 0,
+            registered: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            peer_incarnations: BTreeMap::new(),
+        }
+    }
+
+    /// This workstation's identity.
+    pub fn node_id(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// The leader-election algorithm this instance runs.
+    pub fn algorithm(&self) -> ElectorKind {
+        self.config.algorithm
+    }
+
+    /// The groups this instance currently participates in.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// The current leader of `group` as seen by this instance (the "query"
+    /// notification style of the paper).
+    pub fn leader_of(&self, group: GroupId) -> Option<ProcessId> {
+        let state = self.groups.get(&group)?;
+        state.leader_process(self.config.node, state.elector.leader())
+    }
+
+    /// Whether this node is currently competing (sending ALIVEs) in `group`.
+    pub fn is_competing(&self, group: GroupId) -> bool {
+        self.groups
+            .get(&group)
+            .map(|g| g.should_send_alives())
+            .unwrap_or(false)
+    }
+
+    /// Registers a new application process with this service instance and
+    /// returns its identifier.
+    pub fn register_process(&mut self) -> ProcessId {
+        let local = self.next_local_process;
+        self.next_local_process += 1;
+        let process = ProcessId::new(self.config.node, local);
+        self.registered.insert(local, process);
+        process
+    }
+
+    /// Joins `process` to `group` with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::ForeignProcess`] if the process belongs to a
+    /// different workstation, or [`ServiceError::UnknownProcess`] if it was
+    /// never registered here.
+    pub fn join_group(
+        &mut self,
+        process: ProcessId,
+        group: GroupId,
+        join: JoinConfig,
+        ctx: &mut ServiceContext,
+    ) -> Result<(), ServiceError> {
+        if process.node != self.config.node {
+            return Err(ServiceError::ForeignProcess(process));
+        }
+        if !self.registered.contains_key(&process.local) {
+            return Err(ServiceError::UnknownProcess(process));
+        }
+        let me = self.config.node;
+        let algorithm = self.config.algorithm;
+        let now = ctx.now();
+        let state = self
+            .groups
+            .entry(group)
+            .or_insert_with(|| GroupState::new(group, me, algorithm, &join, now));
+        state.local_processes.insert(process.local, join.candidate);
+        state.notification = join.notification;
+        // Upgrading to candidate after having joined as a listener requires a
+        // fresh elector (the accusation time starts now — a newcomer rank).
+        if join.candidate && !state.elector.is_candidate() {
+            state.elector = sle_election::AnyElector::new(algorithm, me, true, now);
+        }
+        ctx.set_timer_after(alive_tag(group), SimDuration::from_millis(5));
+        let grace_ends = state.joined_at + state.self_election_grace();
+        ctx.set_timer_at(grace_tag(group), grace_ends);
+        self.arm_fd_timer(group, ctx);
+        self.send_hellos(ctx);
+        self.check_leader(group, ctx);
+        Ok(())
+    }
+
+    /// Removes `process` from `group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NotJoined`] if the process is not currently a
+    /// member of the group on this workstation.
+    pub fn leave_group(
+        &mut self,
+        process: ProcessId,
+        group: GroupId,
+        ctx: &mut ServiceContext,
+    ) -> Result<(), ServiceError> {
+        let me = self.config.node;
+        let algorithm = self.config.algorithm;
+        let state = self
+            .groups
+            .get_mut(&group)
+            .ok_or(ServiceError::NotJoined(process, group))?;
+        if state.local_processes.remove(&process.local).is_none() {
+            return Err(ServiceError::NotJoined(process, group));
+        }
+        // Tell the other members explicitly so they do not need to wait for
+        // the membership timeout.
+        for peer in state.members.keys().copied().collect::<Vec<_>>() {
+            ctx.send(peer, ServiceMessage::Leave { group, process });
+        }
+        if state.local_processes.is_empty() {
+            self.groups.remove(&group);
+            ctx.cancel_timer(alive_tag(group));
+            ctx.cancel_timer(fd_tag(group));
+        } else if !state.locally_candidate() && state.elector.is_candidate() {
+            // The last local candidate left: stop competing.
+            state.elector = sle_election::AnyElector::new(algorithm, me, false, ctx.now());
+            self.check_leader(group, ctx);
+        }
+        self.send_hellos(ctx);
+        Ok(())
+    }
+
+    fn send_hellos(&mut self, ctx: &mut ServiceContext) {
+        let announcements: Vec<GroupAnnouncement> = self
+            .groups
+            .values()
+            .map(|state| GroupAnnouncement {
+                group: state.group,
+                processes: state
+                    .local_processes
+                    .iter()
+                    .map(|(&local, &candidate)| {
+                        (ProcessId::new(self.config.node, local), candidate)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let msg = ServiceMessage::Hello {
+            incarnation: self.incarnation,
+            sent_at: ctx.now(),
+            announcements,
+        };
+        for peer in self.config.remote_peers().collect::<Vec<_>>() {
+            ctx.send(peer, msg.clone());
+        }
+    }
+
+    fn send_alives(&mut self, group: GroupId, ctx: &mut ServiceContext) {
+        let me = self.config.node;
+        let incarnation = self.incarnation;
+        let now = ctx.now();
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let interval = state.send_interval();
+        // Always keep the timer armed so a node that re-enters the
+        // competition resumes sending within one interval.
+        ctx.set_timer_after(alive_tag(group), interval);
+        if !state.should_send_alives() {
+            return;
+        }
+        let payload = state.elector.alive_payload();
+        let representative = state
+            .local_representative(me)
+            .unwrap_or_else(|| ProcessId::new(me, 0));
+        let destinations: Vec<NodeId> = state.members.keys().copied().collect();
+        for dest in destinations {
+            let seq = state.next_seq(dest);
+            let requested = state
+                .fd
+                .requested_interval(dest)
+                .unwrap_or_else(|| state.qos.detection_time().mul_f64(0.25));
+            let header = AliveHeader {
+                incarnation,
+                seq,
+                sent_at: now,
+                sending_interval: interval,
+                requested_interval: requested,
+            };
+            ctx.send(
+                dest,
+                ServiceMessage::Alive {
+                    group,
+                    header,
+                    payload,
+                    representative,
+                },
+            );
+        }
+    }
+
+    fn arm_fd_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
+        if let Some(state) = self.groups.get(&group) {
+            if let Some(deadline) = state.fd.next_deadline() {
+                ctx.set_timer_at(fd_tag(group), deadline);
+            }
+        }
+    }
+
+    fn check_leader(&mut self, group: GroupId, ctx: &mut ServiceContext) {
+        let me = self.config.node;
+        let now = ctx.now();
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let mut leader = state.leader_process(me, state.elector.leader());
+        // A freshly (re)joined candidate does not claim the leadership for
+        // itself until the grace period elapses: it first listens for an
+        // incumbent leader, which keeps rejoining workstations from briefly
+        // disrupting the group's agreement.
+        if let Some(claimed) = leader {
+            if claimed.node == me && now < state.joined_at + state.self_election_grace() {
+                leader = None;
+            }
+        }
+        if leader != state.announced_leader {
+            state.announced_leader = leader;
+            ctx.emit(ServiceEvent::LeaderChanged { group, leader });
+        }
+    }
+
+    /// Handles a possibly new incarnation of `peer`: if the peer restarted,
+    /// all state learnt from its previous life is discarded.
+    fn note_peer_incarnation(&mut self, peer: NodeId, incarnation: u64, ctx: &mut ServiceContext) {
+        let known = self.peer_incarnations.get(&peer).copied();
+        match known {
+            Some(k) if incarnation <= k => return,
+            _ => {}
+        }
+        self.peer_incarnations.insert(peer, incarnation);
+        if known.is_none() {
+            // First contact with this peer: nothing to reset.
+            return;
+        }
+        let now = ctx.now();
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            let Some(state) = self.groups.get_mut(&group) else {
+                continue;
+            };
+            if state.members.remove(&peer).is_some() {
+                state.elector.remove_peer(peer, now);
+                state.fd.reset_peer(peer, now);
+                state.representatives.remove(&peer);
+                state.requested_by_peers.remove(&peer);
+                self.check_leader(group, ctx);
+            }
+        }
+    }
+
+    fn handle_hello(
+        &mut self,
+        from: NodeId,
+        incarnation: u64,
+        announcements: Vec<GroupAnnouncement>,
+        ctx: &mut ServiceContext,
+    ) {
+        self.note_peer_incarnation(from, incarnation, ctx);
+        let now = ctx.now();
+        for announcement in announcements {
+            let group = announcement.group;
+            let Some(state) = self.groups.get_mut(&group) else {
+                continue;
+            };
+            let has_candidate = announcement.processes.iter().any(|(_, c)| *c);
+            let member = state.members.entry(from).or_insert(RemoteMember {
+                incarnation,
+                last_heard: now,
+                processes: Vec::new(),
+            });
+            member.incarnation = incarnation;
+            member.last_heard = now;
+            member.processes = announcement.processes;
+            if let Some(repr) = member.representative() {
+                state.representatives.insert(from, repr);
+            } else {
+                state.representatives.remove(&from);
+            }
+            if has_candidate {
+                state.fd.ensure_peer(from, now);
+            }
+            self.arm_fd_timer(group, ctx);
+            self.check_leader(group, ctx);
+        }
+    }
+
+    fn handle_alive(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        header: AliveHeader,
+        payload: sle_election::AlivePayload,
+        representative: ProcessId,
+        ctx: &mut ServiceContext,
+    ) {
+        self.note_peer_incarnation(from, header.incarnation, ctx);
+        let now = ctx.now();
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let member = state.members.entry(from).or_insert(RemoteMember {
+            incarnation: header.incarnation,
+            last_heard: now,
+            processes: vec![(representative, true)],
+        });
+        member.last_heard = now;
+        state.representatives.insert(from, representative);
+        state
+            .requested_by_peers
+            .insert(from, header.requested_interval);
+        let transition = state.fd.on_heartbeat(
+            from,
+            header.seq,
+            header.sent_at,
+            header.sending_interval,
+            now,
+        );
+        if let Some(t) = transition {
+            if t.transition == Transition::BecameTrusted {
+                state.elector.on_trust(from, now);
+            }
+        }
+        state.elector.on_alive(from, payload, now);
+        self.arm_fd_timer(group, ctx);
+        self.check_leader(group, ctx);
+    }
+
+    fn handle_accusation(&mut self, group: GroupId, epoch: u64, ctx: &mut ServiceContext) {
+        let now = ctx.now();
+        if let Some(state) = self.groups.get_mut(&group) {
+            state.elector.on_accusation(epoch, now);
+        }
+        self.check_leader(group, ctx);
+    }
+
+    fn handle_leave(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        process: ProcessId,
+        ctx: &mut ServiceContext,
+    ) {
+        let now = ctx.now();
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let mut gone = false;
+        if let Some(member) = state.members.get_mut(&from) {
+            member.processes.retain(|(p, _)| *p != process);
+            if member.processes.is_empty() {
+                gone = true;
+            }
+        }
+        if gone {
+            state.members.remove(&from);
+            state.elector.remove_peer(from, now);
+            state.fd.remove_peer(from);
+            state.representatives.remove(&from);
+        }
+        self.check_leader(group, ctx);
+    }
+
+    fn handle_hello_timer(&mut self, ctx: &mut ServiceContext) {
+        let now = ctx.now();
+        let timeout = self.config.membership_timeout;
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            let mut expired = Vec::new();
+            if let Some(state) = self.groups.get_mut(&group) {
+                for (&peer, member) in &state.members {
+                    let silent_for = now.saturating_since(member.last_heard);
+                    if silent_for > timeout && !state.fd.is_trusted(peer) {
+                        expired.push(peer);
+                    }
+                }
+                for peer in &expired {
+                    state.members.remove(peer);
+                    state.elector.remove_peer(*peer, now);
+                    state.fd.remove_peer(*peer);
+                    state.representatives.remove(peer);
+                }
+            }
+            if !expired.is_empty() {
+                self.check_leader(group, ctx);
+            }
+        }
+        self.send_hellos(ctx);
+        ctx.set_timer_after(HELLO_TIMER, self.config.hello_interval);
+    }
+
+    fn handle_fd_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
+        let now = ctx.now();
+        let mut accusations: Vec<(NodeId, u64)> = Vec::new();
+        if let Some(state) = self.groups.get_mut(&group) {
+            for transition in state.fd.poll(now) {
+                if transition.transition == Transition::BecameSuspected {
+                    for output in state.elector.on_suspect(transition.peer, now) {
+                        match output {
+                            ElectorOutput::SendAccusation { to, epoch } => {
+                                accusations.push((to, epoch));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (to, epoch) in accusations {
+            ctx.send(to, ServiceMessage::Accuse { group, epoch });
+        }
+        self.arm_fd_timer(group, ctx);
+        self.check_leader(group, ctx);
+    }
+}
+
+impl Actor for ServiceNode {
+    type Msg = ServiceMessage;
+    type Event = ServiceEvent;
+
+    fn on_start(&mut self, ctx: &mut ServiceContext) {
+        self.incarnation = ctx.incarnation();
+        let auto_joins = self.config.auto_joins.clone();
+        for auto in auto_joins {
+            let process = self.register_process();
+            // Joining our own freshly registered process cannot fail.
+            let _ = self.join_group(process, auto.group, auto.config, ctx);
+        }
+        self.send_hellos(ctx);
+        ctx.set_timer_after(HELLO_TIMER, self.config.hello_interval);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ServiceMessage, ctx: &mut ServiceContext) {
+        match msg {
+            ServiceMessage::Hello {
+                incarnation,
+                announcements,
+                ..
+            } => self.handle_hello(from, incarnation, announcements, ctx),
+            ServiceMessage::Alive {
+                group,
+                header,
+                payload,
+                representative,
+            } => self.handle_alive(from, group, header, payload, representative, ctx),
+            ServiceMessage::Accuse { group, epoch } => self.handle_accusation(group, epoch, ctx),
+            ServiceMessage::Leave { group, process } => {
+                self.handle_leave(from, group, process, ctx)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut ServiceContext) {
+        if tag == HELLO_TIMER {
+            self.handle_hello_timer(ctx);
+            return;
+        }
+        let group = GroupId((tag.0 & 0xFFFF_FFFF) as u32);
+        match tag.0 >> 32 {
+            ALIVE_KIND => self.send_alives(group, ctx),
+            FD_KIND => self.handle_fd_timer(group, ctx),
+            GRACE_KIND => self.check_leader(group, ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::prelude::*;
+
+    const GROUP: GroupId = GroupId(1);
+
+    fn build_world(
+        n: usize,
+        algorithm: ElectorKind,
+        seed: u64,
+    ) -> World<ServiceNode, PerfectMedium> {
+        World::new(
+            n,
+            Box::new(move |node, _inc| {
+                let config = ServiceConfig::full_mesh(node, n, algorithm)
+                    .with_auto_join(GROUP, JoinConfig::candidate());
+                ServiceNode::new(config)
+            }),
+            PerfectMedium,
+            seed,
+        )
+    }
+
+    fn agreed_leader(
+        world: &World<ServiceNode, PerfectMedium>,
+        group: GroupId,
+    ) -> Option<ProcessId> {
+        let mut leader = None;
+        for i in 0..world.num_nodes() {
+            let node = NodeId(i as u32);
+            if !world.is_up(node) {
+                continue;
+            }
+            let view = world.actor(node)?.leader_of(group)?;
+            match leader {
+                None => leader = Some(view),
+                Some(l) if l == view => {}
+                _ => return None,
+            }
+        }
+        leader
+    }
+
+    #[test]
+    fn a_group_of_services_agrees_on_a_leader() {
+        for algorithm in ElectorKind::all() {
+            let mut world = build_world(4, algorithm, 7);
+            let mut obs = NullObserver;
+            world.run_for(SimDuration::from_secs(5), &mut obs);
+            let leader = agreed_leader(&world, GROUP);
+            assert!(leader.is_some(), "{algorithm}: no agreement after 5 s");
+        }
+    }
+
+    #[test]
+    fn leader_crash_triggers_reelection_within_seconds() {
+        for algorithm in ElectorKind::all() {
+            let mut world = build_world(4, algorithm, 11);
+            let mut obs = NullObserver;
+            world.run_for(SimDuration::from_secs(5), &mut obs);
+            let leader = agreed_leader(&world, GROUP).expect("initial leader");
+
+            world.schedule_crash(leader.node, world.now() + SimDuration::from_millis(10));
+            world.run_for(SimDuration::from_secs(5), &mut obs);
+            let new_leader = agreed_leader(&world, GROUP)
+                .unwrap_or_else(|| panic!("{algorithm}: no new leader after crash"));
+            assert_ne!(new_leader.node, leader.node, "{algorithm}: crashed node still leads");
+        }
+    }
+
+    #[test]
+    fn stable_algorithms_keep_leader_when_smaller_id_rejoins() {
+        // Crash node 0 (smallest id). Under S2/S3 its recovery must not
+        // demote the incumbent; under S1 it must (that is the instability
+        // the paper measures).
+        for (algorithm, expect_demotion) in [
+            (ElectorKind::OmegaId, true),
+            (ElectorKind::OmegaLc, false),
+            (ElectorKind::OmegaL, false),
+        ] {
+            let mut world = build_world(4, algorithm, 13);
+            let mut obs = NullObserver;
+            world.schedule_crash(NodeId(0), SimInstant::from_secs_f64(3.0));
+            world.schedule_recovery(NodeId(0), SimInstant::from_secs_f64(20.0));
+            world.run_for(SimDuration::from_secs(15), &mut obs);
+            let leader_before = agreed_leader(&world, GROUP).expect("leader before rejoin");
+            assert_ne!(leader_before.node, NodeId(0));
+
+            world.run_for(SimDuration::from_secs(15), &mut obs);
+            let leader_after = agreed_leader(&world, GROUP).expect("leader after rejoin");
+            if expect_demotion {
+                assert_eq!(leader_after.node, NodeId(0), "{algorithm}: S1 must demote");
+            } else {
+                assert_eq!(
+                    leader_after, leader_before,
+                    "{algorithm}: stable algorithm must not demote a healthy leader"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn omega_l_converges_to_a_single_sender() {
+        let mut world = build_world(6, ElectorKind::OmegaL, 19);
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(10), &mut obs);
+        let competing: Vec<NodeId> = (0..6)
+            .map(|i| NodeId(i as u32))
+            .filter(|&n| world.actor(n).map(|a| a.is_competing(GROUP)).unwrap_or(false))
+            .collect();
+        assert_eq!(competing.len(), 1, "exactly one process should still send ALIVEs");
+        let leader = agreed_leader(&world, GROUP).unwrap();
+        assert_eq!(leader.node, competing[0]);
+    }
+
+    #[test]
+    fn omega_lc_keeps_every_candidate_sending() {
+        let mut world = build_world(4, ElectorKind::OmegaLc, 23);
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(5), &mut obs);
+        for i in 0..4 {
+            assert!(world.actor(NodeId(i)).unwrap().is_competing(GROUP));
+        }
+    }
+
+    #[test]
+    fn join_and_leave_api_validation() {
+        let config = ServiceConfig::full_mesh(NodeId(0), 2, ElectorKind::OmegaLc);
+        let mut node = ServiceNode::new(config);
+        let mut ctx = ServiceContext::new(SimInstant::ZERO, NodeId(0), 0);
+        let foreign = ProcessId::new(NodeId(1), 0);
+        assert_eq!(
+            node.join_group(foreign, GROUP, JoinConfig::candidate(), &mut ctx),
+            Err(ServiceError::ForeignProcess(foreign))
+        );
+        let unregistered = ProcessId::new(NodeId(0), 9);
+        assert_eq!(
+            node.join_group(unregistered, GROUP, JoinConfig::candidate(), &mut ctx),
+            Err(ServiceError::UnknownProcess(unregistered))
+        );
+        let process = node.register_process();
+        assert_eq!(
+            node.leave_group(process, GROUP, &mut ctx),
+            Err(ServiceError::NotJoined(process, GROUP))
+        );
+        assert!(node
+            .join_group(process, GROUP, JoinConfig::candidate(), &mut ctx)
+            .is_ok());
+        assert_eq!(node.leader_of(GROUP), Some(process));
+        assert_eq!(node.group_ids().collect::<Vec<_>>(), vec![GROUP]);
+        assert!(node.leave_group(process, GROUP, &mut ctx).is_ok());
+        assert_eq!(node.leader_of(GROUP), None);
+        assert_eq!(node.algorithm(), ElectorKind::OmegaLc);
+        assert_eq!(node.node_id(), NodeId(0));
+    }
+
+    #[test]
+    fn listener_follows_without_becoming_leader() {
+        let n = 3;
+        let mut world: World<ServiceNode, PerfectMedium> = World::new(
+            n,
+            Box::new(move |node, _inc| {
+                let join = if node == NodeId(2) {
+                    JoinConfig::listener()
+                } else {
+                    JoinConfig::candidate()
+                };
+                let config = ServiceConfig::full_mesh(node, n, ElectorKind::OmegaL)
+                    .with_auto_join(GROUP, join);
+                ServiceNode::new(config)
+            }),
+            PerfectMedium,
+            31,
+        );
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(5), &mut obs);
+        let leader = agreed_leader(&world, GROUP).expect("leader");
+        assert_ne!(leader.node, NodeId(2), "a listener must never be elected");
+        assert!(!world.actor(NodeId(2)).unwrap().is_competing(GROUP));
+    }
+
+    #[test]
+    fn nodes_in_different_groups_do_not_interfere() {
+        // Nodes 0,1 join group 1; nodes 2,3 join group 2.
+        let n = 4;
+        let mut world: World<ServiceNode, PerfectMedium> = World::new(
+            n,
+            Box::new(move |node, _inc| {
+                let group = if node.0 < 2 { GroupId(1) } else { GroupId(2) };
+                let config = ServiceConfig::full_mesh(node, n, ElectorKind::OmegaLc)
+                    .with_auto_join(group, JoinConfig::candidate());
+                ServiceNode::new(config)
+            }),
+            PerfectMedium,
+            37,
+        );
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(5), &mut obs);
+        let leader1 = world.actor(NodeId(0)).unwrap().leader_of(GroupId(1)).unwrap();
+        let leader2 = world.actor(NodeId(2)).unwrap().leader_of(GroupId(2)).unwrap();
+        assert!(leader1.node.0 < 2);
+        assert!(leader2.node.0 >= 2);
+        assert_eq!(world.actor(NodeId(0)).unwrap().leader_of(GroupId(2)), None);
+    }
+}

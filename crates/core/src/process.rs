@@ -1,0 +1,75 @@
+//! Identifiers used by the leader-election service.
+//!
+//! A *workstation* (simulator node / runtime thread) runs one service
+//! instance; *application processes* register with their local service
+//! instance and join *groups*. The paper requires every process to register
+//! with a unique identifier; here a [`ProcessId`] is the pair of the hosting
+//! node and a node-local number, which makes identifiers unique by
+//! construction.
+
+use std::fmt;
+
+use sle_sim::actor::NodeId;
+
+/// Identifier of an application process registered with the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId {
+    /// The workstation hosting the process.
+    pub node: NodeId,
+    /// The node-local process number assigned at registration.
+    pub local: u32,
+}
+
+impl ProcessId {
+    /// Creates a process identifier.
+    pub fn new(node: NodeId, local: u32) -> Self {
+        ProcessId { node, local }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.p{}", self.node, self.local)
+    }
+}
+
+/// Identifier of a group of processes.
+///
+/// Groups are created implicitly: joining a group that no one has joined yet
+/// brings it into existence, exactly as in the paper's dynamic-group model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let p = ProcessId::new(NodeId(3), 2);
+        assert_eq!(p.to_string(), "n3.p2");
+        assert_eq!(GroupId(7).to_string(), "g7");
+        assert_eq!(GroupId::from(7u32), GroupId(7));
+    }
+
+    #[test]
+    fn ordering_is_by_node_then_local() {
+        let a = ProcessId::new(NodeId(1), 9);
+        let b = ProcessId::new(NodeId(2), 0);
+        let c = ProcessId::new(NodeId(1), 1);
+        assert!(a < b);
+        assert!(c < a);
+    }
+}

@@ -1,0 +1,426 @@
+//! A real-time, in-process runtime for the service.
+//!
+//! The paper deploys one service daemon per workstation; applications link a
+//! shared library that talks to the local daemon. For the library form of
+//! this reproduction, [`Cluster`] plays the role of a deployment: it spawns
+//! one thread per service instance, connects them through an in-memory mesh
+//! (optionally lossy, to demonstrate adverse conditions live), and exposes
+//! the service API — join/leave groups, query the leader, subscribe to
+//! leader-change events — through [`ClusterHandle`].
+//!
+//! The protocol code is exactly the same [`ServiceNode`] state machine the
+//! simulator runs; this module merely drives it with the wall clock.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sle_election::ElectorKind;
+use sle_net::link::LinkSpec;
+use sle_net::transport::{InMemoryMesh, TransportError};
+use sle_sim::actor::{Actor, Effect, NodeId, TimerTag};
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::config::{JoinConfig, ServiceConfig};
+use crate::events::ServiceEvent;
+use crate::messages::ServiceMessage;
+use crate::node::{ServiceContext, ServiceNode};
+use crate::process::{GroupId, ProcessId};
+
+/// A leader-change notification produced by some node of a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterEvent {
+    /// The node on which the event was raised.
+    pub node: NodeId,
+    /// The event itself.
+    pub event: ServiceEvent,
+}
+
+enum Command {
+    Join {
+        group: GroupId,
+        config: JoinConfig,
+        reply: Sender<ProcessId>,
+    },
+    Leave {
+        group: GroupId,
+        process: ProcessId,
+        reply: Sender<bool>,
+    },
+    QueryLeader {
+        group: GroupId,
+        reply: Sender<Option<ProcessId>>,
+    },
+    Shutdown,
+}
+
+struct NodeRuntime {
+    node: ServiceNode,
+    id: NodeId,
+    start: Instant,
+    timers: std::collections::BTreeMap<TimerTag, SimInstant>,
+    events: Sender<ClusterEvent>,
+}
+
+impl NodeRuntime {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn apply_effects(
+        &mut self,
+        effects: Vec<Effect<ServiceMessage, ServiceEvent>>,
+        endpoint: &sle_net::transport::Endpoint<ServiceMessage>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => match endpoint.send(to, msg) {
+                    Ok(()) | Err(TransportError::UnknownDestination(_)) => {}
+                    Err(TransportError::Closed) => {}
+                },
+                Effect::SetTimer { tag, at } => {
+                    self.timers.insert(tag, at);
+                }
+                Effect::CancelTimer { tag } => {
+                    self.timers.remove(&tag);
+                }
+                Effect::Emit(event) => {
+                    let _ = self.events.send(ClusterEvent {
+                        node: self.id,
+                        event,
+                    });
+                }
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<SimInstant> {
+        self.timers.values().copied().min()
+    }
+
+    fn fire_due_timers(
+        &mut self,
+        endpoint: &sle_net::transport::Endpoint<ServiceMessage>,
+    ) {
+        loop {
+            let now = self.now();
+            let due: Vec<TimerTag> = self
+                .timers
+                .iter()
+                .filter(|(_, &at)| at <= now)
+                .map(|(&tag, _)| tag)
+                .collect();
+            if due.is_empty() {
+                return;
+            }
+            for tag in due {
+                self.timers.remove(&tag);
+                let mut ctx = ServiceContext::new(self.now(), self.id, 0);
+                self.node.on_timer(tag, &mut ctx);
+                let effects = ctx.into_effects();
+                self.apply_effects(effects, endpoint);
+            }
+        }
+    }
+}
+
+/// A handle to one running service instance of a [`Cluster`].
+#[derive(Clone)]
+pub struct ClusterHandle {
+    node: NodeId,
+    commands: Sender<Command>,
+}
+
+impl ClusterHandle {
+    /// The node this handle talks to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registers a new process on this node and joins it to `group`.
+    ///
+    /// Returns `None` if the node has shut down.
+    pub fn join(&self, group: GroupId, config: JoinConfig) -> Option<ProcessId> {
+        let (tx, rx) = unbounded();
+        self.commands
+            .send(Command::Join {
+                group,
+                config,
+                reply: tx,
+            })
+            .ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Removes `process` from `group`. Returns whether the leave succeeded.
+    pub fn leave(&self, group: GroupId, process: ProcessId) -> bool {
+        let (tx, rx) = unbounded();
+        if self
+            .commands
+            .send(Command::Leave {
+                group,
+                process,
+                reply: tx,
+            })
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or(false)
+    }
+
+    /// Queries this node's current view of the leader of `group`.
+    pub fn leader_of(&self, group: GroupId) -> Option<ProcessId> {
+        let (tx, rx) = unbounded();
+        self.commands
+            .send(Command::QueryLeader { group, reply: tx })
+            .ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+    }
+}
+
+/// An in-process deployment of the leader-election service: one thread per
+/// workstation, connected by an in-memory mesh.
+pub struct Cluster {
+    handles: Vec<ClusterHandle>,
+    threads: Vec<JoinHandle<()>>,
+    events: Receiver<ClusterEvent>,
+    command_senders: Vec<Sender<Command>>,
+    crashed: Arc<Mutex<Vec<bool>>>,
+}
+
+impl Cluster {
+    /// Starts `n` service instances running `algorithm` over perfect links.
+    pub fn start(n: usize, algorithm: ElectorKind) -> Self {
+        Self::start_with_links(n, algorithm, LinkSpec::perfect())
+    }
+
+    /// Starts `n` service instances whose links follow `links` (losses are
+    /// applied inside the in-memory mesh).
+    pub fn start_with_links(n: usize, algorithm: ElectorKind, links: LinkSpec) -> Self {
+        let mut mesh: InMemoryMesh<ServiceMessage> = InMemoryMesh::with_links(n, links, 42);
+        let (event_tx, event_rx) = unbounded();
+        let crashed = Arc::new(Mutex::new(vec![false; n]));
+        let mut handles = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        let mut command_senders = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            let endpoint = mesh.endpoint(id).expect("endpoint already taken");
+            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+            let config = ServiceConfig::full_mesh(id, n, algorithm)
+                .with_hello_interval(SimDuration::from_millis(200));
+            let events = event_tx.clone();
+            let crashed_flags = Arc::clone(&crashed);
+            let thread = std::thread::spawn(move || {
+                let mut runtime = NodeRuntime {
+                    node: ServiceNode::new(config),
+                    id,
+                    start: Instant::now(),
+                    timers: std::collections::BTreeMap::new(),
+                    events,
+                };
+                let mut ctx = ServiceContext::new(runtime.now(), id, 0);
+                runtime.node.on_start(&mut ctx);
+                let effects = ctx.into_effects();
+                runtime.apply_effects(effects, &endpoint);
+
+                loop {
+                    // Process any pending command.
+                    while let Ok(command) = cmd_rx.try_recv() {
+                        match command {
+                            Command::Join { group, config, reply } => {
+                                let process = runtime.node.register_process();
+                                let mut ctx = ServiceContext::new(runtime.now(), id, 0);
+                                let _ = runtime.node.join_group(process, group, config, &mut ctx);
+                                let effects = ctx.into_effects();
+                                runtime.apply_effects(effects, &endpoint);
+                                let _ = reply.send(process);
+                            }
+                            Command::Leave { group, process, reply } => {
+                                let mut ctx = ServiceContext::new(runtime.now(), id, 0);
+                                let ok =
+                                    runtime.node.leave_group(process, group, &mut ctx).is_ok();
+                                let effects = ctx.into_effects();
+                                runtime.apply_effects(effects, &endpoint);
+                                let _ = reply.send(ok);
+                            }
+                            Command::QueryLeader { group, reply } => {
+                                let _ = reply.send(runtime.node.leader_of(group));
+                            }
+                            Command::Shutdown => return,
+                        }
+                    }
+
+                    if crashed_flags.lock()[id.index()] {
+                        // A "crashed" node drops traffic and does nothing.
+                        while endpoint.try_recv().is_some() {}
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+
+                    runtime.fire_due_timers(&endpoint);
+
+                    // Wait for the next message, but never past the next
+                    // timer deadline (and poll commands at least every 10ms).
+                    let wait = runtime
+                        .next_deadline()
+                        .map(|deadline| {
+                            let now = runtime.now();
+                            Duration::from_nanos(
+                                deadline.saturating_since(now).as_nanos().min(10_000_000),
+                            )
+                        })
+                        .unwrap_or(Duration::from_millis(10));
+                    if let Some(incoming) = endpoint.recv_timeout(wait) {
+                        let mut ctx = ServiceContext::new(runtime.now(), id, 0);
+                        runtime.node.on_message(incoming.from, incoming.msg, &mut ctx);
+                        let effects = ctx.into_effects();
+                        runtime.apply_effects(effects, &endpoint);
+                    }
+                }
+            });
+            handles.push(ClusterHandle {
+                node: id,
+                commands: cmd_tx.clone(),
+            });
+            command_senders.push(cmd_tx);
+            threads.push(thread);
+        }
+
+        Cluster {
+            handles,
+            threads,
+            events: event_rx,
+            command_senders,
+            crashed,
+        }
+    }
+
+    /// Number of service instances.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The handle for `node`.
+    pub fn handle(&self, node: NodeId) -> Option<ClusterHandle> {
+        self.handles.get(node.index()).cloned()
+    }
+
+    /// Receives the next leader-change event, waiting up to `timeout`.
+    pub fn next_event(&self, timeout: Duration) -> Option<ClusterEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Simulates a crash of `node`: it stops handling messages and timers.
+    pub fn crash(&self, node: NodeId) {
+        if let Some(flag) = self.crashed.lock().get_mut(node.index()) {
+            *flag = true;
+        }
+    }
+
+    /// Recovers a previously crashed node.
+    ///
+    /// Note: unlike the simulator, the in-process runtime keeps the node's
+    /// state; for full crash-recovery semantics use the simulator.
+    pub fn recover(&self, node: NodeId) {
+        if let Some(flag) = self.crashed.lock().get_mut(node.index()) {
+            *flag = false;
+        }
+    }
+
+    /// Shuts the cluster down, joining all threads.
+    pub fn shutdown(mut self) {
+        for sender in &self.command_senders {
+            let _ = sender.send(Command::Shutdown);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_elects_a_leader_in_real_time() {
+        let cluster = Cluster::start(3, ElectorKind::OmegaLc);
+        assert_eq!(cluster.len(), 3);
+        assert!(!cluster.is_empty());
+        let group = GroupId(1);
+        let mut processes = Vec::new();
+        for i in 0..3u32 {
+            let handle = cluster.handle(NodeId(i)).unwrap();
+            processes.push(handle.join(group, JoinConfig::candidate()).unwrap());
+        }
+        // Wait until every node reports the same leader (or give up).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut agreed = None;
+        while Instant::now() < deadline {
+            let views: Vec<Option<ProcessId>> = (0..3u32)
+                .map(|i| cluster.handle(NodeId(i)).unwrap().leader_of(group))
+                .collect();
+            if views.iter().all(|v| v.is_some() && *v == views[0]) {
+                agreed = views[0];
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(agreed.is_some(), "no agreement within 10 s of wall-clock time");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn leader_crash_is_recovered_in_real_time() {
+        let cluster = Cluster::start(3, ElectorKind::OmegaL);
+        let group = GroupId(7);
+        for i in 0..3u32 {
+            cluster
+                .handle(NodeId(i))
+                .unwrap()
+                .join(group, JoinConfig::candidate())
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut leader = None;
+        while Instant::now() < deadline && leader.is_none() {
+            let views: Vec<Option<ProcessId>> = (0..3u32)
+                .map(|i| cluster.handle(NodeId(i)).unwrap().leader_of(group))
+                .collect();
+            if views.iter().all(|v| v.is_some() && *v == views[0]) {
+                leader = views[0];
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let leader = leader.expect("initial leader");
+        cluster.crash(leader.node);
+
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let mut new_leader = None;
+        while Instant::now() < deadline && new_leader.is_none() {
+            let views: Vec<Option<ProcessId>> = (0..3u32)
+                .filter(|&i| NodeId(i) != leader.node)
+                .map(|i| cluster.handle(NodeId(i)).unwrap().leader_of(group))
+                .collect();
+            if views.iter().all(|v| v.is_some() && *v == views[0])
+                && views[0].map(|p| p.node) != Some(leader.node)
+            {
+                new_leader = views[0];
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(new_leader.is_some(), "no re-election within 15 s");
+        cluster.shutdown();
+    }
+}

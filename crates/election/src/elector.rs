@@ -1,0 +1,234 @@
+//! The interface every leader-election algorithm implements, plus the peer
+//! bookkeeping they all share.
+//!
+//! An elector instance lives at one service node, for one group. It is
+//! driven entirely by the service layer: ALIVE payloads and accusations it
+//! receives, trust/suspect notifications from the failure detector, and
+//! membership updates from the Group Maintenance module. In return it
+//! answers two questions — *who is the leader?* and *should this node be
+//! sending ALIVE messages right now?* — and occasionally asks for an
+//! accusation message to be sent.
+
+use std::collections::BTreeMap;
+
+use sle_sim::actor::NodeId;
+use sle_sim::time::SimInstant;
+
+use crate::types::{AlivePayload, ElectorKind, ElectorOutput, Rank};
+
+/// Leader-election algorithm driven by the service layer.
+///
+/// Implementations: [`OmegaId`](crate::omega_id::OmegaId) (S1),
+/// [`OmegaLc`](crate::omega_lc::OmegaLc) (S2) and
+/// [`OmegaL`](crate::omega_l::OmegaL) (S3).
+pub trait LeaderElector {
+    /// Which algorithm this is.
+    fn kind(&self) -> ElectorKind;
+
+    /// This node's identifier.
+    fn id(&self) -> NodeId;
+
+    /// Whether this node is a candidate for the group's leadership.
+    fn is_candidate(&self) -> bool;
+
+    /// Whether this node should currently be sending ALIVE messages for the
+    /// group. For Ωid and Ωlc this is simply "is a candidate"; for Ωl a
+    /// candidate stops competing while it sees a better-ranked candidate.
+    fn is_competing(&self) -> bool;
+
+    /// This node's current accusation time.
+    fn accusation_time(&self) -> SimInstant;
+
+    /// This node's current accusation epoch.
+    fn epoch(&self) -> u64;
+
+    /// The current leader, if any.
+    fn leader(&self) -> Option<NodeId>;
+
+    /// The election payload to piggyback on the next outgoing ALIVE message.
+    fn alive_payload(&self) -> AlivePayload;
+
+    /// Handles an ALIVE payload received from `from` (which also implies the
+    /// failure detector currently trusts `from`).
+    fn on_alive(&mut self, from: NodeId, payload: AlivePayload, now: SimInstant);
+
+    /// Handles an accusation against this node referencing `epoch`.
+    fn on_accusation(&mut self, epoch: u64, now: SimInstant);
+
+    /// The failure detector started trusting `peer` again.
+    fn on_trust(&mut self, peer: NodeId, now: SimInstant);
+
+    /// The failure detector suspects `peer`; returns any accusations to send.
+    fn on_suspect(&mut self, peer: NodeId, now: SimInstant) -> Vec<ElectorOutput>;
+
+    /// `peer` left the group (or was removed from the membership).
+    fn remove_peer(&mut self, peer: NodeId, now: SimInstant);
+}
+
+/// What an elector knows about one remote candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerState {
+    /// Latest election payload received from the peer.
+    pub payload: AlivePayload,
+    /// When that payload was received.
+    pub last_alive: SimInstant,
+    /// Whether the failure detector currently trusts the peer.
+    pub trusted: bool,
+}
+
+impl PeerState {
+    /// The peer's rank according to its latest payload.
+    pub fn rank(&self, id: NodeId) -> Rank {
+        self.payload.rank_of(id)
+    }
+}
+
+/// Shared bookkeeping of remote candidates: their latest payloads and
+/// whether the failure detector currently trusts them.
+#[derive(Debug, Clone, Default)]
+pub struct PeerTable {
+    peers: BTreeMap<NodeId, PeerState>,
+}
+
+impl PeerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an ALIVE payload from `peer` (implies the peer is trusted).
+    pub fn record_alive(&mut self, peer: NodeId, payload: AlivePayload, now: SimInstant) {
+        let entry = self.peers.entry(peer).or_insert(PeerState {
+            payload,
+            last_alive: now,
+            trusted: true,
+        });
+        entry.payload = payload;
+        entry.last_alive = now;
+        entry.trusted = true;
+    }
+
+    /// Marks `peer` as trusted (without new payload information).
+    pub fn mark_trusted(&mut self, peer: NodeId) {
+        if let Some(state) = self.peers.get_mut(&peer) {
+            state.trusted = true;
+        }
+    }
+
+    /// Marks `peer` as suspected. Returns the epoch last advertised by the
+    /// peer if it was previously trusted (the epoch an accusation should
+    /// reference), or `None` if the peer was unknown or already suspected.
+    pub fn mark_suspected(&mut self, peer: NodeId) -> Option<u64> {
+        match self.peers.get_mut(&peer) {
+            Some(state) if state.trusted => {
+                state.trusted = false;
+                Some(state.payload.epoch)
+            }
+            _ => None,
+        }
+    }
+
+    /// Forgets everything about `peer`.
+    pub fn remove(&mut self, peer: NodeId) {
+        self.peers.remove(&peer);
+    }
+
+    /// The state recorded for `peer`, if any.
+    pub fn get(&self, peer: NodeId) -> Option<&PeerState> {
+        self.peers.get(&peer)
+    }
+
+    /// Iterates over the peers currently trusted, with their states.
+    pub fn trusted(&self) -> impl Iterator<Item = (NodeId, &PeerState)> + '_ {
+        self.peers
+            .iter()
+            .filter(|(_, s)| s.trusted)
+            .map(|(&id, s)| (id, s))
+    }
+
+    /// The best (minimum) rank among trusted peers, if any.
+    pub fn best_trusted_rank(&self) -> Option<Rank> {
+        self.trusted().map(|(id, s)| s.rank(id)).min()
+    }
+
+    /// Number of peers known (trusted or not).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Returns true if no peers are known.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::time::SimDuration;
+
+    fn payload(acc_secs: u64, epoch: u64) -> AlivePayload {
+        AlivePayload {
+            accusation_time: SimInstant::ZERO + SimDuration::from_secs(acc_secs),
+            epoch,
+            local_leader: None,
+        }
+    }
+
+    #[test]
+    fn record_alive_marks_trusted_and_updates_payload() {
+        let mut table = PeerTable::new();
+        assert!(table.is_empty());
+        table.record_alive(NodeId(1), payload(0, 1), SimInstant::ZERO);
+        assert_eq!(table.len(), 1);
+        let state = table.get(NodeId(1)).unwrap();
+        assert!(state.trusted);
+        assert_eq!(state.payload.epoch, 1);
+
+        table.record_alive(NodeId(1), payload(5, 2), SimInstant::ZERO + SimDuration::from_secs(1));
+        let state = table.get(NodeId(1)).unwrap();
+        assert_eq!(state.payload.epoch, 2);
+        assert_eq!(state.last_alive, SimInstant::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn mark_suspected_returns_epoch_once() {
+        let mut table = PeerTable::new();
+        table.record_alive(NodeId(1), payload(0, 7), SimInstant::ZERO);
+        assert_eq!(table.mark_suspected(NodeId(1)), Some(7));
+        // Already suspected: no second accusation epoch.
+        assert_eq!(table.mark_suspected(NodeId(1)), None);
+        // Unknown peer: nothing to accuse.
+        assert_eq!(table.mark_suspected(NodeId(9)), None);
+        // Trusting again re-arms the accusation.
+        table.mark_trusted(NodeId(1));
+        assert_eq!(table.mark_suspected(NodeId(1)), Some(7));
+    }
+
+    #[test]
+    fn best_trusted_rank_ignores_suspected_peers() {
+        let mut table = PeerTable::new();
+        table.record_alive(NodeId(3), payload(0, 0), SimInstant::ZERO);
+        table.record_alive(NodeId(5), payload(10, 0), SimInstant::ZERO);
+        assert_eq!(
+            table.best_trusted_rank(),
+            Some(Rank::new(SimInstant::ZERO, NodeId(3)))
+        );
+        table.mark_suspected(NodeId(3));
+        assert_eq!(
+            table.best_trusted_rank(),
+            Some(Rank::new(SimInstant::ZERO + SimDuration::from_secs(10), NodeId(5)))
+        );
+        table.mark_suspected(NodeId(5));
+        assert_eq!(table.best_trusted_rank(), None);
+    }
+
+    #[test]
+    fn remove_forgets_peer() {
+        let mut table = PeerTable::new();
+        table.record_alive(NodeId(1), payload(0, 0), SimInstant::ZERO);
+        table.remove(NodeId(1));
+        assert!(table.get(NodeId(1)).is_none());
+        assert_eq!(table.trusted().count(), 0);
+    }
+}

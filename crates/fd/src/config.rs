@@ -1,0 +1,366 @@
+//! The failure-detector configurator.
+//!
+//! Given the QoS requirement `(T_D^U, T_MR^L, P_A^L)` of an application and
+//! the current quality `(p_L, E[D], S[D])` of the monitored link, the
+//! configurator computes the two operational parameters of the NFD-S
+//! detector of Chen et al.:
+//!
+//! * η — the interval at which the monitored process must send ALIVE
+//!   messages, and
+//! * δ — the timeout shift: a heartbeat sent at time σ keeps the sender
+//!   trusted until σ + η + δ.
+//!
+//! The computation follows the structure of Chen et al.'s configuration
+//! procedure. The detection-time bound fixes `η + δ = T_D^U` (a crash right
+//! after a heartbeat is detected at the next freshness point, η + δ later).
+//! For a candidate split, the probability that a freshness point finds *no*
+//! eligible heartbeat delivered — the probability that a false suspicion
+//! begins there — is
+//!
+//! ```text
+//! P_fs(η, δ) = Π_{k ≥ 0, δ−kη ≥ 0} [ p_L + (1 − p_L)·Pr(D > δ − kη) ]
+//! ```
+//!
+//! with the delay tail `Pr(D > x)` bounded by the one-sided Chebyshev
+//! (Cantelli) inequality `V[D] / (V[D] + (x − E[D])²)` for `x > E[D]` — the
+//! same distribution-free bound Chen et al. use when only the mean and
+//! variance of the delay are known. Mistakes recur roughly every
+//! `η / P_fs(η, δ)`, so the configurator picks the **largest** η (fewest
+//! messages) for which `η / P_fs ≥ T_MR^L` and the expected mistake duration
+//! stays below `T_M^U = (1 − P_A^L)·T_MR^L`, subject to a configurable cap
+//! `η ≤ cap_fraction · T_D^U` that keeps the average detection latency well
+//! below the bound (as observed in the paper, where T_r tracks just below
+//! `T_D^U`).
+
+use sle_sim::time::SimDuration;
+
+use crate::qos::QosSpec;
+use crate::quality::LinkQuality;
+
+/// The operational failure-detector parameters produced by the configurator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdParams {
+    /// The heartbeat (ALIVE) sending interval η the monitored process should
+    /// use towards the monitoring process.
+    pub interval: SimDuration,
+    /// The timeout shift δ: a heartbeat stamped σ extends trust until
+    /// σ + η + δ at the monitor.
+    pub shift: SimDuration,
+}
+
+impl FdParams {
+    /// The worst-case crash-detection time implied by these parameters.
+    pub fn worst_case_detection(&self) -> SimDuration {
+        self.interval + self.shift
+    }
+}
+
+/// Tunable knobs of the configurator (not part of the application-facing
+/// QoS; defaults reproduce the paper's observed behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfiguratorOptions {
+    /// Smallest heartbeat interval the configurator will ever choose.
+    pub min_interval: SimDuration,
+    /// Upper bound on η as a fraction of `T_D^U`. Keeping η at a quarter of
+    /// the detection bound keeps the *average* detection latency (≈ δ + η/2)
+    /// close to, but below, `T_D^U`, matching Figure 8 of the paper.
+    pub max_interval_fraction: f64,
+    /// Number of candidate intervals examined between the cap and the floor.
+    pub search_steps: usize,
+}
+
+impl Default for ConfiguratorOptions {
+    fn default() -> Self {
+        ConfiguratorOptions {
+            min_interval: SimDuration::from_millis(5),
+            max_interval_fraction: 0.25,
+            search_steps: 128,
+        }
+    }
+}
+
+/// Computes NFD-S parameters from a QoS requirement and a link-quality
+/// estimate.
+///
+/// ```
+/// use sle_fd::config::FdConfigurator;
+/// use sle_fd::qos::QosSpec;
+/// use sle_fd::quality::LinkQuality;
+/// use sle_sim::time::SimDuration;
+///
+/// let configurator = FdConfigurator::default();
+/// let params = configurator.compute(&QosSpec::paper_default(), &LinkQuality::perfect());
+/// // On a clean LAN the interval is capped at a quarter of T_D^U.
+/// assert_eq!(params.interval, SimDuration::from_millis(250));
+/// assert_eq!(params.worst_case_detection(), SimDuration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FdConfigurator {
+    options: ConfiguratorOptions,
+}
+
+impl FdConfigurator {
+    /// Creates a configurator with custom options.
+    pub fn new(options: ConfiguratorOptions) -> Self {
+        FdConfigurator { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> ConfiguratorOptions {
+        self.options
+    }
+
+    /// Computes `(η, δ)` for the given QoS and link quality.
+    ///
+    /// The result always satisfies `η + δ = T_D^U` and `η ≥ min_interval`
+    /// (clamped); if even the smallest interval cannot satisfy the
+    /// mistake-recurrence bound (e.g. on an extremely lossy link), the
+    /// smallest interval is returned — the detector then does the best it
+    /// can, exactly like the real system under network conditions that make
+    /// the requested QoS unattainable.
+    pub fn compute(&self, qos: &QosSpec, quality: &LinkQuality) -> FdParams {
+        let t_d = qos.detection_time();
+        let cap = t_d
+            .mul_f64(self.options.max_interval_fraction.clamp(0.01, 0.95))
+            .max(self.options.min_interval);
+        let floor = self.options.min_interval.min(cap);
+        let steps = self.options.search_steps.max(2);
+
+        let mut chosen = floor;
+        for i in 0..steps {
+            // Walk from the cap down towards the floor, keeping the largest
+            // feasible interval.
+            let frac = 1.0 - i as f64 / (steps - 1) as f64;
+            let eta = floor + (cap - floor).mul_f64(frac);
+            let eta = eta.max(floor);
+            if self.satisfies(qos, quality, eta) {
+                chosen = eta;
+                break;
+            }
+            chosen = floor;
+        }
+
+        let shift = t_d.saturating_sub(chosen);
+        FdParams {
+            interval: chosen,
+            shift,
+        }
+    }
+
+    /// Returns whether interval `eta` (with the implied shift) meets the QoS
+    /// for the given link quality.
+    fn satisfies(&self, qos: &QosSpec, quality: &LinkQuality, eta: SimDuration) -> bool {
+        if eta > qos.detection_time() {
+            return false;
+        }
+        let delta = qos.detection_time().saturating_sub(eta);
+        let p_fs = false_suspicion_probability(quality, eta, delta);
+
+        // Mistake recurrence: one freshness point every η, each starting a
+        // mistake with probability P_fs.
+        let recurrence_ok = if p_fs <= 0.0 {
+            true
+        } else {
+            eta.as_secs_f64() / p_fs >= qos.mistake_recurrence().as_secs_f64()
+        };
+
+        // Mistake duration: once suspected, trust resumes when the next
+        // heartbeat that survives the link arrives: on average after about
+        // one inter-heartbeat interval per expected retransmission plus the
+        // mean delay.
+        let p_l = quality.loss_probability.min(0.999);
+        let expected_duration = eta.as_secs_f64() / (1.0 - p_l) + quality.delay_mean.as_secs_f64();
+        let duration_ok = expected_duration <= qos.mistake_duration_bound().as_secs_f64().max(1e-9);
+
+        recurrence_ok && duration_ok
+    }
+}
+
+/// Probability that a message sent with `margin` time to spare misses its
+/// freshness point (it is lost, or delayed beyond the margin).
+fn late_or_lost_probability(quality: &LinkQuality, margin: SimDuration) -> f64 {
+    let p_l = quality.loss_probability.clamp(0.0, 1.0);
+    p_l + (1.0 - p_l) * delay_tail_probability(quality, margin)
+}
+
+/// Distribution-free bound on `Pr(D > x)` from the estimated mean and
+/// standard deviation of the delay (Cantelli's inequality).
+fn delay_tail_probability(quality: &LinkQuality, x: SimDuration) -> f64 {
+    let mean = quality.delay_mean.as_secs_f64();
+    let x = x.as_secs_f64();
+    if x <= mean {
+        return 1.0;
+    }
+    let var = quality.delay_std_dev.as_secs_f64().powi(2);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let excess = x - mean;
+    (var / (var + excess * excess)).clamp(0.0, 1.0)
+}
+
+/// Probability that a freshness point finds no eligible heartbeat delivered,
+/// i.e. that a false suspicion starts there.
+///
+/// Eligible heartbeats are those sent `δ, δ−η, δ−2η, …` before the freshness
+/// point; their arrivals are treated as independent (the same independence
+/// assumption Chen et al. make for their bounds).
+pub fn false_suspicion_probability(
+    quality: &LinkQuality,
+    interval: SimDuration,
+    shift: SimDuration,
+) -> f64 {
+    if interval.is_zero() {
+        return 0.0;
+    }
+    let mut probability = 1.0_f64;
+    let mut margin = shift;
+    loop {
+        probability *= late_or_lost_probability(quality, margin);
+        if probability < 1e-60 {
+            return 0.0;
+        }
+        if margin < interval {
+            break;
+        }
+        margin -= interval;
+    }
+    probability
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quality(loss: f64, mean_ms: f64, std_ms: f64) -> LinkQuality {
+        LinkQuality::from_parts(
+            loss,
+            SimDuration::from_millis_f64(mean_ms),
+            SimDuration::from_millis_f64(std_ms),
+        )
+    }
+
+    #[test]
+    fn perfect_link_hits_the_interval_cap() {
+        let params = FdConfigurator::default().compute(&QosSpec::paper_default(), &LinkQuality::perfect());
+        assert_eq!(params.interval, SimDuration::from_millis(250));
+        assert_eq!(params.shift, SimDuration::from_millis(750));
+    }
+
+    #[test]
+    fn lossier_links_get_shorter_intervals() {
+        let configurator = FdConfigurator::default();
+        let qos = QosSpec::paper_default();
+        let clean = configurator.compute(&qos, &quality(0.0, 0.025, 0.01));
+        let lossy = configurator.compute(&qos, &quality(0.1, 100.0, 100.0));
+        assert!(
+            lossy.interval < clean.interval,
+            "lossy {} !< clean {}",
+            lossy.interval,
+            clean.interval
+        );
+        // Both must respect the detection bound.
+        assert_eq!(clean.worst_case_detection(), SimDuration::from_secs(1));
+        assert_eq!(lossy.worst_case_detection(), SimDuration::from_secs(1));
+        // In the paper's worst lossy network the interval lands in the
+        // 30-150 ms range, producing the traffic levels of Figure 6.
+        let ms = lossy.interval.as_millis_f64();
+        assert!((20.0..200.0).contains(&ms), "interval = {ms} ms");
+    }
+
+    #[test]
+    fn interval_scales_with_detection_bound() {
+        let configurator = FdConfigurator::default();
+        let quality = quality(0.0, 0.025, 0.01);
+        for &td_ms in &[100u64, 250, 500, 750, 1000] {
+            let qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(td_ms));
+            let params = configurator.compute(&qos, &quality);
+            assert_eq!(
+                params.worst_case_detection(),
+                SimDuration::from_millis(td_ms),
+                "η + δ must equal T_D^U"
+            );
+            assert!(params.interval <= SimDuration::from_millis_f64(td_ms as f64 * 0.25 + 0.001));
+        }
+    }
+
+    #[test]
+    fn hopeless_link_falls_back_to_minimum_interval() {
+        let configurator = FdConfigurator::default();
+        let params = configurator.compute(&QosSpec::paper_default(), &quality(0.95, 500.0, 500.0));
+        assert_eq!(params.interval, configurator.options().min_interval);
+    }
+
+    #[test]
+    fn recurrence_estimate_meets_bound_for_chosen_interval() {
+        let configurator = FdConfigurator::default();
+        let qos = QosSpec::paper_default();
+        let q = quality(0.1, 100.0, 100.0);
+        let params = configurator.compute(&qos, &q);
+        let p_fs = false_suspicion_probability(&q, params.interval, params.shift);
+        if p_fs > 0.0 {
+            let recurrence = params.interval.as_secs_f64() / p_fs;
+            assert!(
+                recurrence >= qos.mistake_recurrence().as_secs_f64(),
+                "recurrence {recurrence}s below bound"
+            );
+        }
+    }
+
+    #[test]
+    fn false_suspicion_probability_monotone_in_shift() {
+        let q = quality(0.1, 50.0, 50.0);
+        let eta = SimDuration::from_millis(100);
+        let p_short = false_suspicion_probability(&q, eta, SimDuration::from_millis(200));
+        let p_long = false_suspicion_probability(&q, eta, SimDuration::from_millis(900));
+        assert!(p_long < p_short);
+    }
+
+    #[test]
+    fn cantelli_tail_behaviour() {
+        let q = quality(0.0, 100.0, 100.0);
+        // Below or at the mean the bound is vacuous (1.0).
+        assert_eq!(delay_tail_probability(&q, SimDuration::from_millis(50)), 1.0);
+        assert_eq!(delay_tail_probability(&q, SimDuration::from_millis(100)), 1.0);
+        // One standard deviation above the mean: bound = 1/2.
+        let one_sigma = delay_tail_probability(&q, SimDuration::from_millis(200));
+        assert!((one_sigma - 0.5).abs() < 1e-9);
+        // Far above the mean the bound becomes small.
+        assert!(delay_tail_probability(&q, SimDuration::from_millis(1100)) < 0.01);
+        // Zero variance: deterministic delay.
+        let det = quality(0.0, 100.0, 0.0);
+        assert_eq!(delay_tail_probability(&det, SimDuration::from_millis(101)), 0.0);
+        assert_eq!(delay_tail_probability(&det, SimDuration::from_millis(99)), 1.0);
+    }
+
+    #[test]
+    fn late_or_lost_combines_loss_and_tail() {
+        let q = quality(0.2, 10.0, 0.0);
+        // Far beyond the mean with zero variance: only losses matter.
+        assert!((late_or_lost_probability(&q, SimDuration::from_millis(100)) - 0.2).abs() < 1e-9);
+        // Below the mean: certainly late.
+        assert_eq!(late_or_lost_probability(&q, SimDuration::from_millis(5)), 1.0);
+    }
+
+    #[test]
+    fn zero_interval_probability_is_zero() {
+        let q = quality(0.5, 10.0, 10.0);
+        assert_eq!(
+            false_suspicion_probability(&q, SimDuration::ZERO, SimDuration::from_millis(100)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn options_are_respected() {
+        let options = ConfiguratorOptions {
+            min_interval: SimDuration::from_millis(50),
+            max_interval_fraction: 0.5,
+            search_steps: 16,
+        };
+        let configurator = FdConfigurator::new(options);
+        assert_eq!(configurator.options(), options);
+        let params = configurator.compute(&QosSpec::paper_default(), &LinkQuality::perfect());
+        assert_eq!(params.interval, SimDuration::from_millis(500));
+    }
+}

@@ -1,0 +1,311 @@
+//! The aggregated failure detector of one service instance.
+//!
+//! The paper's architecture (Figure 2) gives every service instance a single
+//! Failure Detector module shared by all groups and applications on that
+//! workstation: it monitors the other service instances and reports
+//! trust/suspect transitions to the Group Maintenance and Leader Election
+//! modules. [`FailureDetector`] is that module: a collection of per-peer
+//! [`PeerMonitor`]s plus the bookkeeping needed to drive them from a single
+//! timer.
+
+use std::collections::BTreeMap;
+
+use sle_sim::actor::NodeId;
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::config::FdConfigurator;
+use crate::monitor::{PeerMonitor, Transition, TrustState};
+use crate::qos::QosSpec;
+use crate::quality::LinkQuality;
+
+/// A trust/suspect notification about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerTransition {
+    /// The peer whose status changed.
+    pub peer: NodeId,
+    /// The direction of the change.
+    pub transition: Transition,
+}
+
+/// The failure-detector module of one service instance.
+///
+/// ```
+/// use sle_fd::detector::FailureDetector;
+/// use sle_fd::qos::QosSpec;
+/// use sle_sim::actor::NodeId;
+/// use sle_sim::time::{SimDuration, SimInstant};
+///
+/// let mut fd = FailureDetector::new(QosSpec::paper_default());
+/// let now = SimInstant::ZERO;
+/// fd.ensure_peer(NodeId(1), now);
+/// assert!(fd.is_trusted(NodeId(1)));
+///
+/// // Two seconds of silence: polling reports the suspicion.
+/// let later = now + SimDuration::from_secs(2);
+/// let transitions = fd.poll(later);
+/// assert_eq!(transitions.len(), 1);
+/// assert!(!fd.is_trusted(NodeId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    qos: QosSpec,
+    configurator: FdConfigurator,
+    monitors: BTreeMap<NodeId, PeerMonitor>,
+}
+
+impl FailureDetector {
+    /// Creates a failure detector using `qos` for every monitored peer.
+    pub fn new(qos: QosSpec) -> Self {
+        Self::with_configurator(qos, FdConfigurator::default())
+    }
+
+    /// Creates a failure detector with a custom configurator.
+    pub fn with_configurator(qos: QosSpec, configurator: FdConfigurator) -> Self {
+        FailureDetector {
+            qos,
+            configurator,
+            monitors: BTreeMap::new(),
+        }
+    }
+
+    /// The QoS used for newly monitored peers.
+    pub fn qos(&self) -> QosSpec {
+        self.qos
+    }
+
+    /// Starts monitoring `peer` if it is not already monitored.
+    pub fn ensure_peer(&mut self, peer: NodeId, now: SimInstant) {
+        self.monitors
+            .entry(peer)
+            .or_insert_with(|| PeerMonitor::with_configurator(self.qos, self.configurator, now));
+    }
+
+    /// Stops monitoring `peer` (e.g. because it left every shared group).
+    pub fn remove_peer(&mut self, peer: NodeId) {
+        self.monitors.remove(&peer);
+    }
+
+    /// Discards any state about `peer` and starts monitoring it afresh
+    /// (used when a peer restarts with a new incarnation).
+    pub fn reset_peer(&mut self, peer: NodeId, now: SimInstant) {
+        self.monitors.insert(
+            peer,
+            PeerMonitor::with_configurator(self.qos, self.configurator, now),
+        );
+    }
+
+    /// Number of peers currently monitored.
+    pub fn peer_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Iterates over the monitored peers.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.monitors.keys().copied()
+    }
+
+    /// Returns whether `peer` is currently trusted. Unmonitored peers are
+    /// not trusted.
+    pub fn is_trusted(&self, peer: NodeId) -> bool {
+        self.monitors
+            .get(&peer)
+            .map(|m| m.is_trusted())
+            .unwrap_or(false)
+    }
+
+    /// Iterates over the peers currently trusted.
+    pub fn trusted_peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.monitors
+            .iter()
+            .filter(|(_, m)| m.is_trusted())
+            .map(|(&peer, _)| peer)
+    }
+
+    /// The trust state of `peer`, if monitored.
+    pub fn state(&self, peer: NodeId) -> Option<TrustState> {
+        self.monitors.get(&peer).map(|m| m.state())
+    }
+
+    /// The heartbeat interval this detector would like `peer` to use when
+    /// sending to us (piggybacked on outgoing messages).
+    pub fn requested_interval(&self, peer: NodeId) -> Option<SimDuration> {
+        self.monitors.get(&peer).map(|m| m.requested_interval())
+    }
+
+    /// The link-quality estimate for `peer`, if monitored.
+    pub fn quality(&self, peer: NodeId) -> Option<LinkQuality> {
+        self.monitors.get(&peer).map(|m| m.quality())
+    }
+
+    /// Processes a heartbeat from `peer`.
+    ///
+    /// The peer is implicitly added to the monitored set if unknown.
+    /// Returns the transition (back to trusted) if the heartbeat revived a
+    /// suspected peer.
+    pub fn on_heartbeat(
+        &mut self,
+        peer: NodeId,
+        seq: u64,
+        sent_at: SimInstant,
+        sender_interval: SimDuration,
+        now: SimInstant,
+    ) -> Option<PeerTransition> {
+        self.ensure_peer(peer, now);
+        let monitor = self
+            .monitors
+            .get_mut(&peer)
+            .expect("peer was just inserted");
+        monitor
+            .on_heartbeat(seq, sent_at, sender_interval, now)
+            .map(|transition| PeerTransition { peer, transition })
+    }
+
+    /// Re-evaluates every monitor at `now` and returns all transitions (in
+    /// practice, new suspicions whose freshness horizon has expired).
+    pub fn poll(&mut self, now: SimInstant) -> Vec<PeerTransition> {
+        let mut transitions = Vec::new();
+        for (&peer, monitor) in self.monitors.iter_mut() {
+            if let Some(transition) = monitor.check(now) {
+                transitions.push(PeerTransition { peer, transition });
+            }
+        }
+        transitions
+    }
+
+    /// The earliest deadline among all monitors — the time at which the next
+    /// suspicion could occur and therefore the time at which the owner should
+    /// call [`FailureDetector::poll`] again.
+    pub fn next_deadline(&self) -> Option<SimInstant> {
+        self.monitors
+            .values()
+            .map(|m| m.deadline())
+            .filter(|&d| d != SimInstant::FAR_FUTURE)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd() -> FailureDetector {
+        FailureDetector::new(QosSpec::paper_default())
+    }
+
+    #[test]
+    fn unknown_peers_are_not_trusted() {
+        let detector = fd();
+        assert!(!detector.is_trusted(NodeId(3)));
+        assert_eq!(detector.state(NodeId(3)), None);
+        assert_eq!(detector.peer_count(), 0);
+        assert_eq!(detector.next_deadline(), None);
+    }
+
+    #[test]
+    fn heartbeat_implicitly_registers_peer() {
+        let mut detector = fd();
+        let now = SimInstant::ZERO + SimDuration::from_millis(10);
+        detector.on_heartbeat(NodeId(2), 0, now, SimDuration::from_millis(250), now);
+        assert_eq!(detector.peer_count(), 1);
+        assert!(detector.is_trusted(NodeId(2)));
+        assert!(detector.requested_interval(NodeId(2)).is_some());
+        assert!(detector.quality(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn poll_reports_suspicions_and_next_deadline_shrinks() {
+        let mut detector = fd();
+        let now = SimInstant::ZERO;
+        detector.ensure_peer(NodeId(1), now);
+        detector.ensure_peer(NodeId(2), now + SimDuration::from_millis(500));
+        let d1 = detector.next_deadline().unwrap();
+        assert_eq!(d1, now + SimDuration::from_secs(1));
+
+        // After the first deadline only peer 1 is suspected.
+        let transitions = detector.poll(d1);
+        assert_eq!(
+            transitions,
+            vec![PeerTransition {
+                peer: NodeId(1),
+                transition: Transition::BecameSuspected
+            }]
+        );
+        assert!(!detector.is_trusted(NodeId(1)));
+        assert!(detector.is_trusted(NodeId(2)));
+        assert_eq!(detector.trusted_peers().collect::<Vec<_>>(), vec![NodeId(2)]);
+
+        // The next deadline now belongs to peer 2.
+        assert_eq!(
+            detector.next_deadline().unwrap(),
+            now + SimDuration::from_millis(1500)
+        );
+    }
+
+    #[test]
+    fn heartbeat_revives_suspected_peer() {
+        let mut detector = fd();
+        detector.ensure_peer(NodeId(1), SimInstant::ZERO);
+        let deadline = detector.next_deadline().unwrap();
+        detector.poll(deadline);
+        assert!(!detector.is_trusted(NodeId(1)));
+
+        let sent = deadline + SimDuration::from_millis(5);
+        let transition = detector.on_heartbeat(
+            NodeId(1),
+            7,
+            sent,
+            SimDuration::from_millis(250),
+            sent + SimDuration::from_millis(1),
+        );
+        assert_eq!(
+            transition,
+            Some(PeerTransition {
+                peer: NodeId(1),
+                transition: Transition::BecameTrusted
+            })
+        );
+        assert!(detector.is_trusted(NodeId(1)));
+    }
+
+    #[test]
+    fn remove_and_reset_peer() {
+        let mut detector = fd();
+        detector.ensure_peer(NodeId(1), SimInstant::ZERO);
+        detector.poll(SimInstant::ZERO + SimDuration::from_secs(2));
+        assert!(!detector.is_trusted(NodeId(1)));
+
+        // Reset gives the peer a fresh grace period.
+        detector.reset_peer(NodeId(1), SimInstant::ZERO + SimDuration::from_secs(2));
+        assert!(detector.is_trusted(NodeId(1)));
+
+        detector.remove_peer(NodeId(1));
+        assert_eq!(detector.peer_count(), 0);
+        assert!(!detector.is_trusted(NodeId(1)));
+    }
+
+    #[test]
+    fn peers_iterator_is_sorted() {
+        let mut detector = fd();
+        for id in [5u32, 1, 3] {
+            detector.ensure_peer(NodeId(id), SimInstant::ZERO);
+        }
+        let peers: Vec<NodeId> = detector.peers().collect();
+        assert_eq!(peers, vec![NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(detector.qos(), QosSpec::paper_default());
+    }
+
+    #[test]
+    fn steady_heartbeats_never_trigger_suspicion() {
+        let mut detector = fd();
+        let interval = SimDuration::from_millis(250);
+        let mut now = SimInstant::ZERO;
+        detector.ensure_peer(NodeId(1), now);
+        let mut suspicions = 0;
+        for seq in 0..200u64 {
+            now = now + interval;
+            detector.on_heartbeat(NodeId(1), seq, now, interval, now);
+            suspicions += detector.poll(now).len();
+        }
+        assert_eq!(suspicions, 0);
+    }
+}

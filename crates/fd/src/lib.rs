@@ -1,0 +1,61 @@
+//! # sle-fd — the Chen-Toueg-Aguilera failure detector with QoS
+//!
+//! Failure detection is at the core of the leader-election service of
+//! Schiper & Toueg (DSN 2008): it decides when the current leader must be
+//! replaced and which candidates are operational. This crate implements the
+//! stochastic failure detector of Chen et al. ("On the Quality of Service of
+//! Failure Detectors", IEEE ToC 2002) exactly as it is used by the service
+//! (paper Section 3, Figure 1):
+//!
+//! * [`qos`] — the application-facing QoS triple `(T_D^U, T_MR^L, P_A^L)`,
+//! * [`quality`] — the Link Quality Estimator (`p_L`, `E[D]`, `S[D]`),
+//! * [`config`] — the Failure Detector Configurator computing the heartbeat
+//!   interval η and timeout shift δ from the QoS and link estimates,
+//! * [`monitor`] — the per-peer NFD-S freshness monitor,
+//! * [`detector`] — the per-workstation aggregation used by the service.
+//!
+//! ## Example
+//!
+//! ```
+//! use sle_fd::prelude::*;
+//! use sle_sim::time::{SimDuration, SimInstant};
+//! use sle_sim::actor::NodeId;
+//!
+//! let mut fd = FailureDetector::new(QosSpec::paper_default());
+//! let mut now = SimInstant::ZERO;
+//! fd.ensure_peer(NodeId(1), now);
+//!
+//! // Regular heartbeats keep the peer trusted...
+//! for seq in 0..20u64 {
+//!     now = now + SimDuration::from_millis(250);
+//!     fd.on_heartbeat(NodeId(1), seq, now, SimDuration::from_millis(250), now);
+//!     assert!(fd.poll(now).is_empty());
+//! }
+//! // ...silence gets it suspected within the detection bound.
+//! let transitions = fd.poll(now + SimDuration::from_secs(2));
+//! assert_eq!(transitions.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod detector;
+pub mod monitor;
+pub mod qos;
+pub mod quality;
+
+/// Convenient re-exports of the items most users need.
+pub mod prelude {
+    pub use crate::config::{ConfiguratorOptions, FdConfigurator, FdParams};
+    pub use crate::detector::{FailureDetector, PeerTransition};
+    pub use crate::monitor::{PeerMonitor, Transition, TrustState};
+    pub use crate::qos::{QosError, QosSpec};
+    pub use crate::quality::{LinkQuality, LinkQualityEstimator};
+}
+
+pub use config::{ConfiguratorOptions, FdConfigurator, FdParams};
+pub use detector::{FailureDetector, PeerTransition};
+pub use monitor::{PeerMonitor, Transition, TrustState};
+pub use qos::{QosError, QosSpec};
+pub use quality::{LinkQuality, LinkQualityEstimator};

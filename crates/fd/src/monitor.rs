@@ -1,0 +1,350 @@
+//! The per-peer NFD-S freshness monitor.
+//!
+//! A [`PeerMonitor`] implements the monitoring side of Chen et al.'s NFD-S
+//! algorithm for a single remote process: every received ALIVE message,
+//! stamped with its send time and the sender's current heartbeat interval,
+//! extends a *freshness horizon*; the peer is trusted exactly while the
+//! current time is before that horizon. The monitor also owns the link
+//! quality estimator and periodically re-runs the configurator so the
+//! detector adapts to changing network conditions, as described in
+//! Sections 3 and 6.2 of the paper.
+
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::config::{FdConfigurator, FdParams};
+use crate::qos::QosSpec;
+use crate::quality::{LinkQuality, LinkQualityEstimator};
+
+/// The monitor's current opinion about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustState {
+    /// The peer is believed to be operational.
+    Trusted,
+    /// The peer is suspected to have crashed.
+    Suspected,
+}
+
+/// A change of opinion produced by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The peer was suspected and is now trusted again.
+    BecameTrusted,
+    /// The peer was trusted and is now suspected.
+    BecameSuspected,
+}
+
+/// How many delay samples the embedded link-quality estimator keeps.
+const ESTIMATOR_WINDOW: usize = 256;
+
+/// How often the FD parameters are recomputed from fresh link estimates.
+const RECONFIGURE_EVERY: SimDuration = SimDuration::from_secs(5);
+
+/// Minimum number of heartbeats before measured link quality replaces the
+/// conservative prior.
+const MIN_SAMPLES_FOR_ESTIMATE: u64 = 8;
+
+/// NFD-S monitoring state for one remote process.
+///
+/// ```
+/// use sle_fd::monitor::{PeerMonitor, Transition, TrustState};
+/// use sle_fd::qos::QosSpec;
+/// use sle_sim::time::{SimDuration, SimInstant};
+///
+/// let start = SimInstant::ZERO;
+/// let mut monitor = PeerMonitor::new(QosSpec::paper_default(), start);
+/// assert_eq!(monitor.state(), TrustState::Trusted);
+///
+/// // No heartbeat within the grace period: the peer becomes suspected...
+/// let later = start + SimDuration::from_secs(2);
+/// assert_eq!(monitor.check(later), Some(Transition::BecameSuspected));
+///
+/// // ...until a heartbeat arrives and trust is restored.
+/// let hb_sent = later + SimDuration::from_millis(10);
+/// let received = hb_sent + SimDuration::from_millis(1);
+/// let t = monitor.on_heartbeat(1, hb_sent, SimDuration::from_millis(250), received);
+/// assert_eq!(t, Some(Transition::BecameTrusted));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeerMonitor {
+    qos: QosSpec,
+    configurator: FdConfigurator,
+    estimator: LinkQualityEstimator,
+    params: FdParams,
+    state: TrustState,
+    fresh_until: SimInstant,
+    last_reconfigure: SimInstant,
+    heartbeats: u64,
+}
+
+impl PeerMonitor {
+    /// Creates a monitor for a peer first observed (e.g. via group
+    /// membership) at `now`.
+    ///
+    /// The peer starts trusted with a grace period of one detection bound, so
+    /// that a newly joined member is not instantly suspected before it had a
+    /// chance to send its first ALIVE.
+    pub fn new(qos: QosSpec, now: SimInstant) -> Self {
+        Self::with_configurator(qos, FdConfigurator::default(), now)
+    }
+
+    /// Creates a monitor with a custom configurator.
+    pub fn with_configurator(qos: QosSpec, configurator: FdConfigurator, now: SimInstant) -> Self {
+        let params = configurator.compute(&qos, &LinkQuality::conservative_prior());
+        PeerMonitor {
+            qos,
+            configurator,
+            estimator: LinkQualityEstimator::new(ESTIMATOR_WINDOW),
+            params,
+            state: TrustState::Trusted,
+            fresh_until: now + qos.detection_time(),
+            last_reconfigure: now,
+            heartbeats: 0,
+        }
+    }
+
+    /// The QoS this monitor was created with.
+    pub fn qos(&self) -> QosSpec {
+        self.qos
+    }
+
+    /// The current operational parameters (η, δ).
+    pub fn params(&self) -> FdParams {
+        self.params
+    }
+
+    /// The heartbeat interval this monitor would like the peer to use — this
+    /// is the value the service piggybacks on its outgoing messages to the
+    /// peer ("the Scheduler schedules the sending of alive messages by q at a
+    /// frequency of η").
+    pub fn requested_interval(&self) -> SimDuration {
+        self.params.interval
+    }
+
+    /// The current link-quality estimate for the peer → monitor direction.
+    pub fn quality(&self) -> LinkQuality {
+        self.estimator.estimate()
+    }
+
+    /// The monitor's current opinion.
+    pub fn state(&self) -> TrustState {
+        self.state
+    }
+
+    /// Returns true if the peer is currently trusted.
+    pub fn is_trusted(&self) -> bool {
+        self.state == TrustState::Trusted
+    }
+
+    /// The instant at which the current freshness horizon expires. While the
+    /// peer is suspected there is no pending deadline and
+    /// [`SimInstant::FAR_FUTURE`] is returned.
+    pub fn deadline(&self) -> SimInstant {
+        match self.state {
+            TrustState::Trusted => self.fresh_until,
+            TrustState::Suspected => SimInstant::FAR_FUTURE,
+        }
+    }
+
+    /// Total heartbeats received from the peer.
+    pub fn heartbeats_received(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Processes a heartbeat with sequence number `seq`, stamped `sent_at` by
+    /// the sender, which declares it is currently sending every
+    /// `sender_interval`; the heartbeat was received at `now`.
+    ///
+    /// Returns `Some(Transition::BecameTrusted)` if this heartbeat restored
+    /// trust in a suspected peer.
+    pub fn on_heartbeat(
+        &mut self,
+        seq: u64,
+        sent_at: SimInstant,
+        sender_interval: SimDuration,
+        now: SimInstant,
+    ) -> Option<Transition> {
+        self.heartbeats += 1;
+        self.estimator.record(seq, sent_at, now);
+        self.maybe_reconfigure(now);
+
+        // The freshness contribution of this heartbeat: it proves the sender
+        // was alive at `sent_at` and promises another heartbeat one interval
+        // later, which we allow δ to arrive. The sender-declared interval is
+        // clamped to the detection bound so a mis-configured sender cannot
+        // stretch detection arbitrarily.
+        let interval = sender_interval.min(self.qos.detection_time());
+        let horizon = sent_at + interval + self.params.shift;
+        if horizon > self.fresh_until {
+            self.fresh_until = horizon;
+        }
+
+        if self.state == TrustState::Suspected && now < self.fresh_until {
+            self.state = TrustState::Trusted;
+            Some(Transition::BecameTrusted)
+        } else {
+            None
+        }
+    }
+
+    /// Re-evaluates the trust state at `now` (typically called when a timer
+    /// set for [`PeerMonitor::deadline`] fires).
+    ///
+    /// Returns `Some(Transition::BecameSuspected)` if the freshness horizon
+    /// has passed and the peer is newly suspected.
+    pub fn check(&mut self, now: SimInstant) -> Option<Transition> {
+        if self.state == TrustState::Trusted && now >= self.fresh_until {
+            self.state = TrustState::Suspected;
+            Some(Transition::BecameSuspected)
+        } else {
+            None
+        }
+    }
+
+    fn maybe_reconfigure(&mut self, now: SimInstant) {
+        if now.saturating_since(self.last_reconfigure) < RECONFIGURE_EVERY {
+            return;
+        }
+        self.last_reconfigure = now;
+        let quality = if self.estimator.heartbeats_recorded() >= MIN_SAMPLES_FOR_ESTIMATE {
+            self.estimator.estimate()
+        } else {
+            LinkQuality::conservative_prior()
+        };
+        self.params = self.configurator.compute(&self.qos, &quality);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_monitor() -> PeerMonitor {
+        PeerMonitor::new(QosSpec::paper_default(), SimInstant::ZERO)
+    }
+
+    #[test]
+    fn new_peer_is_trusted_with_grace_period() {
+        let monitor = paper_monitor();
+        assert!(monitor.is_trusted());
+        assert_eq!(monitor.deadline(), SimInstant::ZERO + SimDuration::from_secs(1));
+        assert_eq!(monitor.heartbeats_received(), 0);
+    }
+
+    #[test]
+    fn silence_leads_to_suspicion_at_the_deadline() {
+        let mut monitor = paper_monitor();
+        let just_before = monitor.deadline() - SimDuration::from_nanos(1);
+        assert_eq!(monitor.check(just_before), None);
+        assert!(monitor.is_trusted());
+        let at_deadline = monitor.deadline();
+        assert_eq!(monitor.check(at_deadline), Some(Transition::BecameSuspected));
+        assert_eq!(monitor.state(), TrustState::Suspected);
+        // Further checks do not produce duplicate transitions.
+        assert_eq!(monitor.check(at_deadline + SimDuration::from_secs(1)), None);
+        assert_eq!(monitor.deadline(), SimInstant::FAR_FUTURE);
+    }
+
+    #[test]
+    fn heartbeats_maintain_trust_indefinitely() {
+        let mut monitor = paper_monitor();
+        let interval = SimDuration::from_millis(250);
+        let mut now = SimInstant::ZERO;
+        for seq in 0..100u64 {
+            now = now + interval;
+            let sent = now - SimDuration::from_micros(25);
+            assert_eq!(monitor.on_heartbeat(seq, sent, interval, now), None);
+            assert_eq!(monitor.check(now), None);
+            assert!(monitor.is_trusted());
+        }
+        assert_eq!(monitor.heartbeats_received(), 100);
+    }
+
+    #[test]
+    fn crash_is_detected_within_the_bound() {
+        let mut monitor = paper_monitor();
+        let interval = SimDuration::from_millis(250);
+        let mut now = SimInstant::ZERO;
+        let mut last_sent = SimInstant::ZERO;
+        for seq in 0..20u64 {
+            now = now + interval;
+            last_sent = now;
+            monitor.on_heartbeat(seq, last_sent, interval, now);
+        }
+        // The peer crashes right after its last heartbeat. The monitor must
+        // suspect it no later than T_D^U after the crash.
+        let bound = last_sent + QosSpec::paper_default().detection_time();
+        assert!(monitor.deadline() <= bound);
+        assert_eq!(monitor.check(monitor.deadline()), Some(Transition::BecameSuspected));
+    }
+
+    #[test]
+    fn trust_is_restored_by_a_late_heartbeat() {
+        let mut monitor = paper_monitor();
+        let t_suspect = monitor.deadline();
+        assert_eq!(monitor.check(t_suspect), Some(Transition::BecameSuspected));
+        let sent = t_suspect + SimDuration::from_millis(100);
+        let received = sent + SimDuration::from_millis(1);
+        assert_eq!(
+            monitor.on_heartbeat(0, sent, SimDuration::from_millis(250), received),
+            Some(Transition::BecameTrusted)
+        );
+        assert!(monitor.is_trusted());
+    }
+
+    #[test]
+    fn stale_heartbeat_does_not_restore_trust() {
+        let mut monitor = paper_monitor();
+        let t_suspect = monitor.deadline();
+        monitor.check(t_suspect);
+        // A heartbeat sent long ago (delivered very late) must not flip the
+        // monitor back to trusted if its freshness horizon is already past.
+        let sent = SimInstant::ZERO + SimDuration::from_millis(10);
+        let received = t_suspect + SimDuration::from_secs(5);
+        assert_eq!(
+            monitor.on_heartbeat(0, sent, SimDuration::from_millis(250), received),
+            None
+        );
+        assert!(!monitor.is_trusted());
+    }
+
+    #[test]
+    fn sender_interval_is_clamped_to_detection_bound() {
+        let mut monitor = paper_monitor();
+        let sent = SimInstant::ZERO + SimDuration::from_millis(100);
+        monitor.on_heartbeat(0, sent, SimDuration::from_secs(60), sent);
+        // Even though the sender claims a 60 s interval, the freshness horizon
+        // may extend at most interval(clamped to 1s) + δ past the send time.
+        assert!(monitor.deadline() <= sent + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn reconfiguration_adapts_to_measured_quality() {
+        let mut monitor = paper_monitor();
+        let initial = monitor.requested_interval();
+        // Feed a long run of heartbeats over a clean, fast link; after the
+        // reconfiguration interval the requested interval should relax to the
+        // cap for a clean link (250 ms for the default QoS).
+        let interval = SimDuration::from_millis(50);
+        let mut now = SimInstant::ZERO;
+        for seq in 0..400u64 {
+            now = now + interval;
+            let sent = now - SimDuration::from_micros(25);
+            monitor.on_heartbeat(seq, sent, interval, now);
+        }
+        let relaxed = monitor.requested_interval();
+        assert!(relaxed >= initial, "interval should not shrink on a clean link");
+        assert_eq!(relaxed, SimDuration::from_millis(250));
+        assert!(monitor.quality().loss_probability < 0.01);
+    }
+
+    #[test]
+    fn params_accessors_are_consistent() {
+        let monitor = paper_monitor();
+        assert_eq!(monitor.params().interval, monitor.requested_interval());
+        assert_eq!(monitor.qos(), QosSpec::paper_default());
+        assert_eq!(
+            monitor.params().worst_case_detection(),
+            QosSpec::paper_default().detection_time()
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Quality-of-service specifications for failure detection.
+//!
+//! Following Chen, Toueg and Aguilera ("On the Quality of Service of Failure
+//! Detectors", IEEE ToC 2002) and Section 3 of the DSN 2008 paper, an
+//! application expresses the QoS it needs from the monitoring of a process q
+//! with three parameters:
+//!
+//! * `T_D^U` — an upper bound on the time to detect q's crash,
+//! * `T_MR^L` — a lower bound on the expected time between two consecutive
+//!   mistakes (false suspicions) about q,
+//! * `P_A^L` — a lower bound on the probability that, at a random time, the
+//!   detector's opinion about q is correct.
+
+use sle_sim::time::SimDuration;
+
+/// Errors produced when validating a [`QosSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QosError {
+    /// The detection-time bound is zero.
+    ZeroDetectionTime,
+    /// The mistake-recurrence bound is zero.
+    ZeroMistakeRecurrence,
+    /// The availability bound is outside `(0, 1]`.
+    InvalidAvailability,
+}
+
+impl std::fmt::Display for QosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QosError::ZeroDetectionTime => write!(f, "detection time bound must be positive"),
+            QosError::ZeroMistakeRecurrence => {
+                write!(f, "mistake recurrence bound must be positive")
+            }
+            QosError::InvalidAvailability => {
+                write!(f, "availability bound must lie in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QosError {}
+
+/// The QoS requirement `(T_D^U, T_MR^L, P_A^L)` of a failure-detector
+/// monitoring relationship.
+///
+/// ```
+/// use sle_fd::qos::QosSpec;
+/// use sle_sim::time::SimDuration;
+///
+/// // The paper's default: detect within 1 s, at most one mistake every
+/// // 100 days, correct 99.999988% of the time.
+/// let qos = QosSpec::paper_default();
+/// assert_eq!(qos.detection_time(), SimDuration::from_secs(1));
+///
+/// let fast = QosSpec::new(
+///     SimDuration::from_millis(100),
+///     SimDuration::from_secs(86_400),
+///     0.9999,
+/// ).unwrap();
+/// assert!(fast.detection_time() < qos.detection_time());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosSpec {
+    detection_time: SimDuration,
+    mistake_recurrence: SimDuration,
+    availability: f64,
+}
+
+impl QosSpec {
+    /// Creates a QoS spec after validating its parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QosError`] if the detection time or mistake recurrence is
+    /// zero, or the availability is outside `(0, 1]`.
+    pub fn new(
+        detection_time: SimDuration,
+        mistake_recurrence: SimDuration,
+        availability: f64,
+    ) -> Result<Self, QosError> {
+        if detection_time.is_zero() {
+            return Err(QosError::ZeroDetectionTime);
+        }
+        if mistake_recurrence.is_zero() {
+            return Err(QosError::ZeroMistakeRecurrence);
+        }
+        if !(availability > 0.0 && availability <= 1.0) {
+            return Err(QosError::InvalidAvailability);
+        }
+        Ok(QosSpec {
+            detection_time,
+            mistake_recurrence,
+            availability,
+        })
+    }
+
+    /// The QoS used for (almost) every experiment in the paper (Section 6.1):
+    /// `T_D^U` = 1 s, `T_MR^L` = 100 days, `P_A^L` = 0.99999988.
+    pub fn paper_default() -> Self {
+        QosSpec {
+            detection_time: SimDuration::from_secs(1),
+            mistake_recurrence: SimDuration::from_secs(100 * 24 * 3600),
+            availability: 0.999_999_88,
+        }
+    }
+
+    /// The paper's default with a different crash-detection bound `T_D^U`,
+    /// as varied in Figure 8.
+    pub fn paper_default_with_detection(detection_time: SimDuration) -> Self {
+        let mut spec = Self::paper_default();
+        spec.detection_time = detection_time.max(SimDuration::from_millis(1));
+        spec
+    }
+
+    /// Upper bound on crash-detection time, `T_D^U`.
+    pub fn detection_time(&self) -> SimDuration {
+        self.detection_time
+    }
+
+    /// Lower bound on the mean time between consecutive mistakes, `T_MR^L`.
+    pub fn mistake_recurrence(&self) -> SimDuration {
+        self.mistake_recurrence
+    }
+
+    /// Lower bound on the query accuracy probability, `P_A^L`.
+    pub fn availability(&self) -> f64 {
+        self.availability
+    }
+
+    /// The implied upper bound on the expected duration of a mistake,
+    /// `T_M^U = (1 − P_A^L) · T_MR^L`.
+    ///
+    /// With the paper's defaults this is roughly one second: mistakes must be
+    /// both very rare and short-lived.
+    pub fn mistake_duration_bound(&self) -> SimDuration {
+        self.mistake_recurrence.mul_f64(1.0 - self.availability)
+    }
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let qos = QosSpec::paper_default();
+        assert_eq!(qos.detection_time(), SimDuration::from_secs(1));
+        assert_eq!(qos.mistake_recurrence(), SimDuration::from_secs(8_640_000));
+        assert!((qos.availability() - 0.999_999_88).abs() < 1e-12);
+        // T_M^U = 0.12e-6 * 8.64e6 s ~ 1.04 s
+        let tm = qos.mistake_duration_bound().as_secs_f64();
+        assert!((tm - 1.0368).abs() < 0.01, "T_M^U = {tm}");
+        assert_eq!(QosSpec::default(), qos);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert_eq!(
+            QosSpec::new(SimDuration::ZERO, SimDuration::from_secs(1), 0.9),
+            Err(QosError::ZeroDetectionTime)
+        );
+        assert_eq!(
+            QosSpec::new(SimDuration::from_secs(1), SimDuration::ZERO, 0.9),
+            Err(QosError::ZeroMistakeRecurrence)
+        );
+        assert_eq!(
+            QosSpec::new(SimDuration::from_secs(1), SimDuration::from_secs(1), 0.0),
+            Err(QosError::InvalidAvailability)
+        );
+        assert_eq!(
+            QosSpec::new(SimDuration::from_secs(1), SimDuration::from_secs(1), 1.5),
+            Err(QosError::InvalidAvailability)
+        );
+        assert!(QosSpec::new(SimDuration::from_secs(1), SimDuration::from_secs(1), 1.0).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        assert_eq!(
+            QosError::ZeroDetectionTime.to_string(),
+            "detection time bound must be positive"
+        );
+        assert_eq!(
+            QosError::InvalidAvailability.to_string(),
+            "availability bound must lie in (0, 1]"
+        );
+    }
+
+    #[test]
+    fn detection_override_clamps_to_a_millisecond() {
+        let qos = QosSpec::paper_default_with_detection(SimDuration::ZERO);
+        assert_eq!(qos.detection_time(), SimDuration::from_millis(1));
+        let qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(250));
+        assert_eq!(qos.detection_time(), SimDuration::from_millis(250));
+        assert_eq!(qos.mistake_recurrence(), QosSpec::paper_default().mistake_recurrence());
+    }
+}

@@ -1,0 +1,295 @@
+//! Link-quality estimation.
+//!
+//! The Link Quality Estimator module of the paper (Figure 1) continuously
+//! estimates three quantities for the directed link q → p, using the ALIVE
+//! messages p receives from q:
+//!
+//! * the probability of message loss `p_L`,
+//! * the expected message delay `E[D]`, and
+//! * the standard deviation of the message delay `S[D]`.
+//!
+//! The estimates feed the failure-detector configurator, which recomputes
+//! the heartbeat interval η and timeout shift δ as the network changes.
+
+use sle_sim::time::{SimDuration, SimInstant};
+
+/// A point-in-time estimate of the quality of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Estimated probability that a message is lost.
+    pub loss_probability: f64,
+    /// Estimated mean one-way message delay.
+    pub delay_mean: SimDuration,
+    /// Estimated standard deviation of the one-way message delay.
+    pub delay_std_dev: SimDuration,
+    /// Number of delay samples backing the estimate.
+    pub samples: usize,
+}
+
+impl LinkQuality {
+    /// A conservative prior used before any heartbeat has been observed:
+    /// a metropolitan-area-like link (10 ms mean delay, 10 ms deviation, 1%
+    /// losses). Starting conservative makes the detector cautious until real
+    /// measurements arrive.
+    pub fn conservative_prior() -> Self {
+        LinkQuality {
+            loss_probability: 0.01,
+            delay_mean: SimDuration::from_millis(10),
+            delay_std_dev: SimDuration::from_millis(10),
+            samples: 0,
+        }
+    }
+
+    /// The quality of an ideal link (no loss, no delay); useful in tests.
+    pub fn perfect() -> Self {
+        LinkQuality {
+            loss_probability: 0.0,
+            delay_mean: SimDuration::ZERO,
+            delay_std_dev: SimDuration::ZERO,
+            samples: 0,
+        }
+    }
+
+    /// Builds a quality description directly from parameters; primarily used
+    /// by tests and by the configurator's own unit tests.
+    pub fn from_parts(loss_probability: f64, delay_mean: SimDuration, delay_std_dev: SimDuration) -> Self {
+        LinkQuality {
+            loss_probability: loss_probability.clamp(0.0, 1.0),
+            delay_mean,
+            delay_std_dev,
+            samples: usize::MAX,
+        }
+    }
+}
+
+impl Default for LinkQuality {
+    fn default() -> Self {
+        LinkQuality::conservative_prior()
+    }
+}
+
+/// Estimates the quality of one directed link from the heartbeats received
+/// over it.
+///
+/// Losses are inferred from gaps in the heartbeat sequence numbers over a
+/// sliding window; delays are measured as `receive time − send timestamp`
+/// (the simulator and the in-process runtime share a single clock, mirroring
+/// the synchronized-clock variant NFD-S of Chen et al.).
+///
+/// ```
+/// use sle_fd::quality::LinkQualityEstimator;
+/// use sle_sim::time::{SimDuration, SimInstant};
+///
+/// let mut est = LinkQualityEstimator::new(128);
+/// let mut now = SimInstant::ZERO;
+/// for seq in 0..100u64 {
+///     now = now + SimDuration::from_millis(100);
+///     // every heartbeat arrives 5 ms after it was sent
+///     est.record(seq, now - SimDuration::from_millis(5), now);
+/// }
+/// let q = est.estimate();
+/// assert!(q.loss_probability < 0.02);
+/// assert!((q.delay_mean.as_millis_f64() - 5.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkQualityEstimator {
+    capacity: usize,
+    delays: Vec<f64>,
+    next_slot: usize,
+    received: u64,
+    highest_seq: u64,
+    /// Sequence numbers received within the sliding loss window, in arrival
+    /// order (heartbeat streams are almost always in order, so the front of
+    /// the queue holds the oldest sequence numbers).
+    recent_seqs: std::collections::VecDeque<u64>,
+}
+
+impl LinkQualityEstimator {
+    /// Creates an estimator keeping up to `capacity` delay samples.
+    ///
+    /// The loss window covers the last `4 * capacity` sequence numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "estimator capacity must be positive");
+        LinkQualityEstimator {
+            capacity,
+            delays: Vec::with_capacity(capacity),
+            next_slot: 0,
+            received: 0,
+            highest_seq: 0,
+            recent_seqs: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn loss_window_span(&self) -> u64 {
+        (self.capacity as u64) * 4
+    }
+
+    /// Records the arrival of heartbeat number `seq`, stamped `sent_at` by
+    /// the sender and received at `received_at`.
+    ///
+    /// Out-of-order arrivals are accepted; a `received_at` earlier than
+    /// `sent_at` (possible with unsynchronised clocks) is treated as a zero
+    /// delay.
+    pub fn record(&mut self, seq: u64, sent_at: SimInstant, received_at: SimInstant) {
+        let delay = received_at.saturating_since(sent_at).as_secs_f64();
+        if self.delays.len() < self.capacity {
+            self.delays.push(delay);
+        } else {
+            self.delays[self.next_slot] = delay;
+        }
+        self.next_slot = (self.next_slot + 1) % self.capacity;
+
+        self.received += 1;
+        if seq > self.highest_seq || self.received == 1 {
+            self.highest_seq = seq;
+        }
+        self.recent_seqs.push_back(seq);
+        let cutoff = self.highest_seq.saturating_sub(self.loss_window_span());
+        while let Some(&front) = self.recent_seqs.front() {
+            if front < cutoff {
+                self.recent_seqs.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of heartbeats recorded so far.
+    pub fn heartbeats_recorded(&self) -> u64 {
+        self.received
+    }
+
+    /// Produces the current quality estimate.
+    ///
+    /// Before any heartbeat is recorded this returns
+    /// [`LinkQuality::conservative_prior`].
+    pub fn estimate(&self) -> LinkQuality {
+        if self.delays.is_empty() || self.recent_seqs.is_empty() {
+            return LinkQuality::conservative_prior();
+        }
+        let n = self.delays.len();
+        let mean = self.delays.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            self.delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+
+        // Loss: compare the sequence-number span of the window with the
+        // number of heartbeats actually received in it.
+        let oldest = self.recent_seqs.iter().copied().min().unwrap_or(self.highest_seq);
+        let expected = self.highest_seq.saturating_sub(oldest) + 1;
+        let received = self.recent_seqs.len() as u64;
+        let loss = if expected == 0 || received >= expected {
+            0.0
+        } else {
+            1.0 - received as f64 / expected as f64
+        };
+
+        LinkQuality {
+            loss_probability: loss.clamp(0.0, 1.0),
+            delay_mean: SimDuration::from_secs_f64(mean),
+            delay_std_dev: SimDuration::from_secs_f64(variance.sqrt()),
+            samples: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(est: &mut LinkQualityEstimator, seqs: &[u64], delay_ms: f64, interval_ms: u64) {
+        for &seq in seqs {
+            let sent = SimInstant::ZERO + SimDuration::from_millis(seq * interval_ms);
+            let recv = sent + SimDuration::from_millis_f64(delay_ms);
+            est.record(seq, sent, recv);
+        }
+    }
+
+    #[test]
+    fn empty_estimator_returns_prior() {
+        let est = LinkQualityEstimator::new(16);
+        assert_eq!(est.estimate(), LinkQuality::conservative_prior());
+        assert_eq!(est.heartbeats_recorded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = LinkQualityEstimator::new(0);
+    }
+
+    #[test]
+    fn estimates_constant_delay_with_no_loss() {
+        let mut est = LinkQualityEstimator::new(64);
+        let seqs: Vec<u64> = (0..100).collect();
+        feed(&mut est, &seqs, 5.0, 100);
+        let q = est.estimate();
+        assert!((q.delay_mean.as_millis_f64() - 5.0).abs() < 1e-6);
+        assert!(q.delay_std_dev.as_millis_f64() < 1e-6);
+        assert_eq!(q.loss_probability, 0.0);
+        assert_eq!(q.samples, 64);
+        assert_eq!(est.heartbeats_recorded(), 100);
+    }
+
+    #[test]
+    fn estimates_loss_from_sequence_gaps() {
+        let mut est = LinkQualityEstimator::new(64);
+        // Receive only even sequence numbers: 50% loss.
+        let seqs: Vec<u64> = (0..200).filter(|s| s % 2 == 0).collect();
+        feed(&mut est, &seqs, 1.0, 100);
+        let q = est.estimate();
+        assert!((q.loss_probability - 0.5).abs() < 0.05, "loss = {}", q.loss_probability);
+    }
+
+    #[test]
+    fn estimates_delay_variance() {
+        let mut est = LinkQualityEstimator::new(128);
+        // Alternate 10 ms and 30 ms delays: mean 20 ms, std dev ~10 ms.
+        for seq in 0..100u64 {
+            let sent = SimInstant::ZERO + SimDuration::from_millis(seq * 50);
+            let delay = if seq % 2 == 0 { 10 } else { 30 };
+            est.record(seq, sent, sent + SimDuration::from_millis(delay));
+        }
+        let q = est.estimate();
+        assert!((q.delay_mean.as_millis_f64() - 20.0).abs() < 0.5);
+        assert!((q.delay_std_dev.as_millis_f64() - 10.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn negative_clock_skew_is_clamped_to_zero_delay() {
+        let mut est = LinkQualityEstimator::new(8);
+        let sent = SimInstant::ZERO + SimDuration::from_millis(100);
+        est.record(0, sent, sent - SimDuration::from_millis(5));
+        let q = est.estimate();
+        assert_eq!(q.delay_mean, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn window_slides_and_forgets_ancient_losses() {
+        let mut est = LinkQualityEstimator::new(16);
+        // A burst of losses early on (only every 4th received), then a long
+        // clean period; the final estimate should reflect the clean period.
+        let early: Vec<u64> = (0..80).filter(|s| s % 4 == 0).collect();
+        feed(&mut est, &early, 1.0, 10);
+        let late: Vec<u64> = (80..400).collect();
+        feed(&mut est, &late, 1.0, 10);
+        let q = est.estimate();
+        assert!(q.loss_probability < 0.1, "loss = {}", q.loss_probability);
+    }
+
+    #[test]
+    fn from_parts_clamps_loss() {
+        let q = LinkQuality::from_parts(2.0, SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(q.loss_probability, 1.0);
+        let q = LinkQuality::from_parts(-0.5, SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(q.loss_probability, 0.0);
+        assert_eq!(LinkQuality::default(), LinkQuality::conservative_prior());
+        assert_eq!(LinkQuality::perfect().loss_probability, 0.0);
+    }
+}

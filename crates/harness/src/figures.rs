@@ -1,0 +1,437 @@
+//! One module per figure of the paper's evaluation (Section 6).
+//!
+//! Each figure is described as a list of [`Cell`]s: a scenario to run plus
+//! the values the paper reports (read from its graphs and text), so the
+//! `reproduce` binary can print paper-vs-measured tables side by side.
+
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_net::link::{LinkCrashSpec, LinkSpec};
+use sle_sim::time::SimDuration;
+
+use crate::metrics::ExperimentMetrics;
+use crate::scenario::Scenario;
+
+/// The values the paper reports for one experimental cell (approximate when
+/// read from a graph; exact when stated in the text).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PaperValues {
+    /// Average leader recovery time, seconds.
+    pub recovery_secs: Option<f64>,
+    /// Average mistake rate, unjustified demotions per hour.
+    pub mistakes_per_hour: Option<f64>,
+    /// Leader availability (fraction of time).
+    pub availability: Option<f64>,
+    /// CPU utilisation per workstation, percent.
+    pub cpu_percent: Option<f64>,
+    /// Network traffic per workstation, KB/s.
+    pub kbytes_per_sec: Option<f64>,
+}
+
+/// One experimental cell: a label, the scenario to run and the paper's
+/// reported values.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Row label, e.g. `"(100ms, 0.1)"`.
+    pub label: String,
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// The values reported by the paper.
+    pub paper: PaperValues,
+}
+
+/// A fully described figure: identifier, caption and cells.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure identifier, e.g. `"fig3"`.
+    pub id: &'static str,
+    /// The paper's caption for the figure.
+    pub caption: &'static str,
+    /// The metrics that matter for this figure.
+    pub metrics: &'static [&'static str],
+    /// The cells to run.
+    pub cells: Vec<Cell>,
+}
+
+/// A cell result: the cell description plus the measured metrics.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that was run.
+    pub cell: Cell,
+    /// The measured metrics.
+    pub measured: ExperimentMetrics,
+}
+
+/// The five lossy-link settings of Figures 3–5: `(label, D ms, p_L)`.
+pub const LOSSY_SETTINGS: [(&str, f64, f64); 5] = [
+    ("(0.025ms, 0)", 0.025, 0.0),
+    ("(10ms, 0.01)", 10.0, 0.01),
+    ("(100ms, 0.01)", 100.0, 0.01),
+    ("(10ms, 0.1)", 10.0, 0.1),
+    ("(100ms, 0.1)", 100.0, 0.1),
+];
+
+fn lossy_cell(
+    algorithm: ElectorKind,
+    label: &str,
+    delay_ms: f64,
+    loss: f64,
+    duration: SimDuration,
+    paper: PaperValues,
+) -> Cell {
+    let link = LinkSpec::from_paper_tuple(delay_ms, loss);
+    let name = format!("{} {}", algorithm.service_name(), label);
+    Cell {
+        label: format!("{} {}", algorithm.service_name(), label),
+        scenario: Scenario::paper_default(name, algorithm, link).with_duration(duration),
+        paper,
+    }
+}
+
+/// Figure 3 — S1 (Ωid) in lossy networks: T_r and λ_u.
+pub fn fig3(duration: SimDuration) -> Figure {
+    let paper_tr = [0.81, 0.82, 0.87, 0.85, 0.94];
+    let cells = LOSSY_SETTINGS
+        .iter()
+        .zip(paper_tr)
+        .map(|(&(label, d, p), tr)| {
+            lossy_cell(
+                ElectorKind::OmegaId,
+                label,
+                d,
+                p,
+                duration,
+                PaperValues {
+                    recovery_secs: Some(tr),
+                    mistakes_per_hour: Some(6.0),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    Figure {
+        id: "fig3",
+        caption: "Figure 3: S1 in lossy networks",
+        metrics: &["Tr", "mistakes/h"],
+        cells,
+    }
+}
+
+/// Figure 4 — S1 vs S2 in lossy networks: T_r, λ_u and P_leader.
+pub fn fig4(duration: SimDuration) -> Figure {
+    let s1_tr = [0.81, 0.82, 0.87, 0.85, 0.94];
+    let s1_avail = [0.9980, 0.9979, 0.9978, 0.9979, 0.9975];
+    let s2_tr = [0.88, 0.90, 0.95, 0.93, 1.00];
+    let s2_avail = [0.9985, 0.9985, 0.9984, 0.9984, 0.9982];
+    let mut cells = Vec::new();
+    for (index, &(label, d, p)) in LOSSY_SETTINGS.iter().enumerate() {
+        cells.push(lossy_cell(
+            ElectorKind::OmegaId,
+            label,
+            d,
+            p,
+            duration,
+            PaperValues {
+                recovery_secs: Some(s1_tr[index]),
+                mistakes_per_hour: Some(6.0),
+                availability: Some(s1_avail[index]),
+                ..Default::default()
+            },
+        ));
+        cells.push(lossy_cell(
+            ElectorKind::OmegaLc,
+            label,
+            d,
+            p,
+            duration,
+            PaperValues {
+                recovery_secs: Some(s2_tr[index]),
+                mistakes_per_hour: Some(0.0),
+                availability: Some(s2_avail[index]),
+                ..Default::default()
+            },
+        ));
+    }
+    Figure {
+        id: "fig4",
+        caption: "Figure 4: S1 and S2 in lossy networks",
+        metrics: &["Tr", "mistakes/h", "P_leader"],
+        cells,
+    }
+}
+
+/// Figure 5 — S2 vs S3 in lossy networks: T_r and P_leader (λ_u = 0 for both).
+pub fn fig5(duration: SimDuration) -> Figure {
+    let s2_tr = [0.88, 0.90, 0.95, 0.93, 1.00];
+    let s3_tr = [0.86, 0.89, 0.96, 0.94, 1.02];
+    let s2_avail = [0.9985, 0.9985, 0.9984, 0.9984, 0.9982];
+    let s3_avail = [0.9986, 0.9985, 0.9984, 0.9984, 0.9982];
+    let mut cells = Vec::new();
+    for (index, &(label, d, p)) in LOSSY_SETTINGS.iter().enumerate() {
+        cells.push(lossy_cell(
+            ElectorKind::OmegaLc,
+            label,
+            d,
+            p,
+            duration,
+            PaperValues {
+                recovery_secs: Some(s2_tr[index]),
+                mistakes_per_hour: Some(0.0),
+                availability: Some(s2_avail[index]),
+                ..Default::default()
+            },
+        ));
+        cells.push(lossy_cell(
+            ElectorKind::OmegaL,
+            label,
+            d,
+            p,
+            duration,
+            PaperValues {
+                recovery_secs: Some(s3_tr[index]),
+                mistakes_per_hour: Some(0.0),
+                availability: Some(s3_avail[index]),
+                ..Default::default()
+            },
+        ));
+    }
+    Figure {
+        id: "fig5",
+        caption: "Figure 5: S2 and S3 in lossy networks",
+        metrics: &["Tr", "P_leader"],
+        cells,
+    }
+}
+
+/// Figure 6 — CPU and bandwidth overhead per workstation for 4/8/12
+/// workstations, S2 and S3, on the real LAN and on (100 ms, 0.1) links.
+pub fn fig6(duration: SimDuration) -> Figure {
+    // (algorithm, network label, delay ms, loss, [cpu% per size], [KB/s per size])
+    let configs: [(ElectorKind, &str, f64, f64, [f64; 3], [f64; 3]); 4] = [
+        (ElectorKind::OmegaLc, "(100ms, 0.1)", 100.0, 0.1, [0.035, 0.13, 0.30], [8.0, 28.0, 62.38]),
+        (ElectorKind::OmegaL, "(100ms, 0.1)", 100.0, 0.1, [0.012, 0.025, 0.04], [2.2, 4.3, 6.48]),
+        (ElectorKind::OmegaLc, "(0.025ms, 0)", 0.025, 0.0, [0.02, 0.08, 0.17], [5.0, 18.0, 40.0]),
+        (ElectorKind::OmegaL, "(0.025ms, 0)", 0.025, 0.0, [0.005, 0.01, 0.015], [1.3, 2.4, 3.5]),
+    ];
+    let sizes = [4usize, 8, 12];
+    let mut cells = Vec::new();
+    for (algorithm, label, d, p, cpu, traffic) in configs {
+        for (i, &n) in sizes.iter().enumerate() {
+            let link = LinkSpec::from_paper_tuple(d, p);
+            let name = format!("{} {} n={}", algorithm.service_name(), label, n);
+            cells.push(Cell {
+                label: name.clone(),
+                scenario: Scenario::paper_default(name, algorithm, link)
+                    .with_nodes(n)
+                    .with_duration(duration),
+                paper: PaperValues {
+                    cpu_percent: Some(cpu[i]),
+                    kbytes_per_sec: Some(traffic[i]),
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    Figure {
+        id: "fig6",
+        caption: "Figure 6: CPU and bandwidth overhead",
+        metrics: &["CPU %/workst.", "KB/s/workst."],
+        cells,
+    }
+}
+
+/// Figure 7 — S2 vs S3 with crash-prone links (mean uptime 600/300/60 s,
+/// mean downtime 3 s): T_r, λ_u and P_leader.
+pub fn fig7(duration: SimDuration) -> Figure {
+    let settings = [(600u64, "(600s, 3s)"), (300, "(300s, 3s)"), (60, "(60s, 3s)")];
+    // Paper values: availability is stated in the text for the extremes,
+    // the rest is read from the graphs.
+    let s2 = [(1.0, 10.0, 0.9983), (1.0, 30.0, 0.9980), (1.2, 250.0, 0.9878)];
+    let s3 = [(1.1, 30.0, 0.9975), (1.5, 120.0, 0.9766), (3.0, 450.0, 0.7742)];
+    let mut cells = Vec::new();
+    for (index, &(uptime, label)) in settings.iter().enumerate() {
+        for (algorithm, values) in [(ElectorKind::OmegaLc, s2[index]), (ElectorKind::OmegaL, s3[index])] {
+            let name = format!("{} {}", algorithm.service_name(), label);
+            cells.push(Cell {
+                label: name.clone(),
+                scenario: Scenario::paper_default(name, algorithm, LinkSpec::lan())
+                    .with_link_crashes(LinkCrashSpec::from_paper_uptime_secs(uptime))
+                    .with_duration(duration),
+                paper: PaperValues {
+                    recovery_secs: Some(values.0),
+                    mistakes_per_hour: Some(values.1),
+                    availability: Some(values.2),
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    Figure {
+        id: "fig7",
+        caption: "Figure 7: S2 and S3 with crash-prone links",
+        metrics: &["Tr", "mistakes/h", "P_leader"],
+        cells,
+    }
+}
+
+/// Figure 8 — effect of the FD detection bound T_D^U on T_r and P_leader for
+/// S2 and S3 (LAN links, workstation crashes every 10 minutes).
+pub fn fig8(duration: SimDuration) -> Figure {
+    let bounds_ms = [100u64, 250, 500, 750, 1000];
+    let s2_tr = [0.09, 0.22, 0.45, 0.67, 0.88];
+    let s3_tr = [0.09, 0.22, 0.44, 0.66, 0.86];
+    let s2_avail = [0.99985, 0.99962, 0.99925, 0.99888, 0.99850];
+    let s3_avail = [0.99985, 0.99963, 0.99926, 0.99890, 0.99855];
+    let mut cells = Vec::new();
+    for (index, &bound) in bounds_ms.iter().enumerate() {
+        let qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(bound));
+        for (algorithm, tr, avail) in [
+            (ElectorKind::OmegaLc, s2_tr[index], s2_avail[index]),
+            (ElectorKind::OmegaL, s3_tr[index], s3_avail[index]),
+        ] {
+            let name = format!("{} TdU={}ms", algorithm.service_name(), bound);
+            cells.push(Cell {
+                label: name.clone(),
+                scenario: Scenario::paper_default(name, algorithm, LinkSpec::lan())
+                    .with_qos(qos)
+                    .with_duration(duration),
+                paper: PaperValues {
+                    recovery_secs: Some(tr),
+                    availability: Some(avail),
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    Figure {
+        id: "fig8",
+        caption: "Figure 8: effect of TdU on the QoS of S2 and S3",
+        metrics: &["Tr", "P_leader"],
+        cells,
+    }
+}
+
+/// The headline numbers quoted in the paper's introduction and Section 6.5:
+/// availability, CPU and bandwidth of S2 and S3 at 12 workstations in the
+/// harshest lossy network.
+pub fn headline(duration: SimDuration) -> Figure {
+    let mut cells = Vec::new();
+    for (algorithm, avail, cpu, traffic) in [
+        (ElectorKind::OmegaL, 0.9984, 0.04, 6.48),
+        (ElectorKind::OmegaLc, 0.9982, 0.30, 62.38),
+    ] {
+        let name = format!("{} (100ms, 0.1) n=12", algorithm.service_name());
+        cells.push(Cell {
+            label: name.clone(),
+            scenario: Scenario::paper_default(
+                name,
+                algorithm,
+                LinkSpec::from_paper_tuple(100.0, 0.1),
+            )
+            .with_duration(duration),
+            paper: PaperValues {
+                availability: Some(avail),
+                cpu_percent: Some(cpu),
+                kbytes_per_sec: Some(traffic),
+                mistakes_per_hour: Some(0.0),
+                ..Default::default()
+            },
+        });
+    }
+    Figure {
+        id: "headline",
+        caption: "Headline numbers (Sections 1 and 6.5)",
+        metrics: &["P_leader", "CPU %/workst.", "KB/s/workst.", "mistakes/h"],
+        cells,
+    }
+}
+
+/// Every figure, with the given per-cell measured duration.
+pub fn all_figures(duration: SimDuration) -> Vec<Figure> {
+    vec![
+        fig3(duration),
+        fig4(duration),
+        fig5(duration),
+        fig6(duration.min(SimDuration::from_secs(600))),
+        fig7(duration),
+        fig8(duration),
+        headline(duration),
+    ]
+}
+
+/// Looks a figure up by identifier (`fig3` … `fig8`, `headline`).
+pub fn figure_by_id(id: &str, duration: SimDuration) -> Option<Figure> {
+    match id {
+        "fig3" => Some(fig3(duration)),
+        "fig4" => Some(fig4(duration)),
+        "fig5" => Some(fig5(duration)),
+        "fig6" => Some(fig6(duration.min(SimDuration::from_secs(600)))),
+        "fig7" => Some(fig7(duration)),
+        "fig8" => Some(fig8(duration)),
+        "headline" => Some(headline(duration)),
+        _ => None,
+    }
+}
+
+impl Figure {
+    /// Runs every cell of the figure.
+    pub fn run(&self) -> Vec<CellResult> {
+        self.cells
+            .iter()
+            .map(|cell| CellResult {
+                cell: cell.clone(),
+                measured: cell.scenario.run(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figures_are_defined_with_cells() {
+        let figures = all_figures(SimDuration::from_secs(60));
+        assert_eq!(figures.len(), 7);
+        for figure in &figures {
+            assert!(!figure.cells.is_empty(), "{} has no cells", figure.id);
+            assert!(!figure.metrics.is_empty());
+        }
+        // Expected cell counts per figure.
+        assert_eq!(figures[0].cells.len(), 5); // fig3
+        assert_eq!(figures[1].cells.len(), 10); // fig4
+        assert_eq!(figures[2].cells.len(), 10); // fig5
+        assert_eq!(figures[3].cells.len(), 12); // fig6
+        assert_eq!(figures[4].cells.len(), 6); // fig7
+        assert_eq!(figures[5].cells.len(), 10); // fig8
+        assert_eq!(figures[6].cells.len(), 2); // headline
+    }
+
+    #[test]
+    fn figure_lookup_by_id() {
+        assert!(figure_by_id("fig7", SimDuration::from_secs(60)).is_some());
+        assert!(figure_by_id("nope", SimDuration::from_secs(60)).is_none());
+    }
+
+    #[test]
+    fn fig8_varies_the_detection_bound() {
+        let figure = fig8(SimDuration::from_secs(60));
+        let bounds: Vec<u64> = figure
+            .cells
+            .iter()
+            .map(|c| c.scenario.qos.detection_time().as_millis())
+            .collect();
+        assert!(bounds.contains(&100));
+        assert!(bounds.contains(&1000));
+    }
+
+    #[test]
+    fn fig6_varies_group_size() {
+        let figure = fig6(SimDuration::from_secs(60));
+        let sizes: Vec<usize> = figure.cells.iter().map(|c| c.scenario.nodes).collect();
+        assert!(sizes.contains(&4));
+        assert!(sizes.contains(&8));
+        assert!(sizes.contains(&12));
+    }
+}

@@ -1,0 +1,35 @@
+//! # sle-harness — the DSN 2008 evaluation, reproduced
+//!
+//! This crate contains everything needed to regenerate the paper's
+//! evaluation (Section 6): the workload (12 workstations crashing every
+//! 10 minutes on average over lossy or crash-prone links), the QoS metrics
+//! of Section 5 (leader recovery time, mistake rate, leader availability),
+//! the CPU/bandwidth cost accounting of Section 6.5, and one scenario set
+//! per figure.
+//!
+//! * [`metrics`] — the metrics collector ([`metrics::MetricsCollector`]),
+//! * [`crash`] — workstation crash/recovery injection,
+//! * [`scenario`] — a single experiment cell ([`scenario::Scenario`]),
+//! * [`figures`] — per-figure cell definitions with the paper's values,
+//! * [`report`] — paper-vs-measured table rendering,
+//! * [`stats`] — summary statistics (mean, 95% CI).
+//!
+//! The `reproduce` binary in the `sle-bench` crate drives this crate to
+//! regenerate every figure; `EXPERIMENTS.md` records one full run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crash;
+pub mod figures;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+pub use crash::{CrashEvent, CrashPlan, CrashProfile};
+pub use figures::{all_figures, figure_by_id, Cell, CellResult, Figure, PaperValues};
+pub use metrics::{CpuModel, ExperimentMetrics, MetricsCollector, NodeCounters};
+pub use report::{render_figure, render_figure_markdown};
+pub use scenario::{Scenario, EXPERIMENT_GROUP};
+pub use stats::Summary;

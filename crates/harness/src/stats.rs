@@ -1,0 +1,74 @@
+//! Small statistics helpers: mean, standard deviation and 95% confidence
+//! intervals, as reported in the paper's figures.
+
+/// Summary statistics of a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean (0 when there are no samples).
+    pub mean: f64,
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval of the mean.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics for `samples`.
+    pub fn of(samples: &[f64]) -> Summary {
+        let count = samples.len();
+        if count == 0 {
+            return Summary {
+                count,
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let std_dev = if count > 1 {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        // Normal approximation; the paper's experiments collect hundreds of
+        // samples so the difference from the t-distribution is negligible.
+        let ci95 = if count > 1 {
+            1.96 * std_dev / (count as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev,
+            ci95,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_samples() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Summary::of(&[4.0]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.mean, 4.0);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert!(s.ci95 > 0.0);
+    }
+}

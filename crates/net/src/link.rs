@@ -1,0 +1,299 @@
+//! Directed-link models.
+//!
+//! The DSN 2008 evaluation characterises a lossy link by the pair `(D, p_L)`:
+//! every message is dropped with probability `p_L`, and if it is not dropped
+//! its delay is exponentially distributed with mean `D` (Section 6.1,
+//! "Communication links behavior"). Crash-prone links additionally alternate
+//! between an *up* state (behaving like the underlying lossy link) and a
+//! *down* state in which **all** messages are dropped; up and down times are
+//! exponentially distributed.
+
+use sle_sim::rng::SimRng;
+use sle_sim::time::{SimDuration, SimInstant};
+
+/// The behaviour of one directed communication link.
+///
+/// ```
+/// use sle_net::link::LinkSpec;
+/// use sle_sim::time::SimDuration;
+///
+/// // The paper's worst lossy setting: D = 100 ms, p_L = 0.1.
+/// let spec = LinkSpec::lossy(SimDuration::from_millis(100), 0.1);
+/// assert_eq!(spec.loss_probability(), 0.1);
+///
+/// // The authors' real LAN: D = 0.025 ms and practically no losses.
+/// let lan = LinkSpec::lan();
+/// assert!(lan.loss_probability() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    mean_delay: SimDuration,
+    loss_probability: f64,
+}
+
+impl LinkSpec {
+    /// A link with the given exponential mean delay and loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is not within `[0, 1]`.
+    pub fn lossy(mean_delay: SimDuration, loss_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be within [0, 1]"
+        );
+        LinkSpec {
+            mean_delay,
+            loss_probability,
+        }
+    }
+
+    /// A link that never loses nor delays messages.
+    pub fn perfect() -> Self {
+        LinkSpec {
+            mean_delay: SimDuration::ZERO,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// The behaviour the paper measured on its real local-area network:
+    /// average delay of 0.025 ms and practically no message loss.
+    pub fn lan() -> Self {
+        LinkSpec {
+            mean_delay: SimDuration::from_micros(25),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Convenience constructor from `(mean delay in ms, loss probability)`,
+    /// matching the `(D, p_L)` tuples used throughout the paper's figures.
+    pub fn from_paper_tuple(mean_delay_ms: f64, loss_probability: f64) -> Self {
+        LinkSpec::lossy(SimDuration::from_millis_f64(mean_delay_ms), loss_probability)
+    }
+
+    /// The mean of the exponential message-delay distribution.
+    pub fn mean_delay(&self) -> SimDuration {
+        self.mean_delay
+    }
+
+    /// The probability that a message is dropped by the link.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// Samples the fate of a single message: `None` if it is lost, otherwise
+    /// the transmission delay.
+    pub fn sample(&self, rng: &mut SimRng) -> Option<SimDuration> {
+        if rng.bernoulli(self.loss_probability) {
+            None
+        } else {
+            Some(rng.exponential(self.mean_delay))
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::perfect()
+    }
+}
+
+/// Parameters of a crash-prone link: how long it stays up and how long it
+/// stays down, both exponentially distributed (paper Section 6.1, "links
+/// prone to crashes": uptimes of 60/300/600 s, downtime of 3 s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCrashSpec {
+    mean_uptime: SimDuration,
+    mean_downtime: SimDuration,
+}
+
+impl LinkCrashSpec {
+    /// Creates a crash specification with the given mean up and down times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is zero (a link must spend time in both states).
+    pub fn new(mean_uptime: SimDuration, mean_downtime: SimDuration) -> Self {
+        assert!(!mean_uptime.is_zero(), "mean uptime must be positive");
+        assert!(!mean_downtime.is_zero(), "mean downtime must be positive");
+        LinkCrashSpec {
+            mean_uptime,
+            mean_downtime,
+        }
+    }
+
+    /// The paper's crash-prone settings: mean uptime in seconds with a fixed
+    /// 3-second mean downtime.
+    pub fn from_paper_uptime_secs(uptime_secs: u64) -> Self {
+        LinkCrashSpec::new(
+            SimDuration::from_secs(uptime_secs),
+            SimDuration::from_secs(3),
+        )
+    }
+
+    /// Mean time the link stays operational between crashes.
+    pub fn mean_uptime(&self) -> SimDuration {
+        self.mean_uptime
+    }
+
+    /// Mean time the link stays down after a crash.
+    pub fn mean_downtime(&self) -> SimDuration {
+        self.mean_downtime
+    }
+}
+
+/// Lazily-evaluated up/down state of one crash-prone directed link.
+///
+/// The state machine alternates between exponentially-distributed up and
+/// down periods, advanced on demand to the query time. Each link owns a
+/// forked RNG stream so the evolution of one link never perturbs another.
+#[derive(Debug, Clone)]
+pub struct LinkOutageState {
+    spec: LinkCrashSpec,
+    rng: SimRng,
+    up: bool,
+    next_transition: SimInstant,
+}
+
+impl LinkOutageState {
+    /// Creates a link that starts up at time zero.
+    pub fn new(spec: LinkCrashSpec, mut rng: SimRng) -> Self {
+        let first_uptime = rng.exponential(spec.mean_uptime);
+        LinkOutageState {
+            spec,
+            rng,
+            up: true,
+            next_transition: SimInstant::ZERO + first_uptime,
+        }
+    }
+
+    /// Returns whether the link is up at `now`, advancing the internal state
+    /// machine as needed. `now` must be non-decreasing across calls.
+    pub fn is_up_at(&mut self, now: SimInstant) -> bool {
+        while self.next_transition <= now {
+            let at = self.next_transition;
+            if self.up {
+                self.up = false;
+                self.next_transition = at + self.rng.exponential(self.spec.mean_downtime);
+            } else {
+                self.up = true;
+                self.next_transition = at + self.rng.exponential(self.spec.mean_uptime);
+            }
+        }
+        self.up
+    }
+
+    /// The crash specification of this link.
+    pub fn spec(&self) -> LinkCrashSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_link_never_drops_or_delays() {
+        let spec = LinkSpec::perfect();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(spec.sample(&mut rng), Some(SimDuration::ZERO));
+        }
+    }
+
+    #[test]
+    fn lossy_link_drop_rate_matches_probability() {
+        let spec = LinkSpec::from_paper_tuple(10.0, 0.1);
+        let mut rng = SimRng::seed_from(2);
+        let n = 20_000;
+        let dropped = (0..n).filter(|_| spec.sample(&mut rng).is_none()).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn lossy_link_mean_delay_matches_spec() {
+        let spec = LinkSpec::lossy(SimDuration::from_millis(100), 0.0);
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| spec.sample(&mut rng).unwrap().as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.1).abs() < 0.01, "observed mean delay {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let _ = LinkSpec::lossy(SimDuration::ZERO, 1.5);
+    }
+
+    #[test]
+    fn lan_spec_matches_paper() {
+        let lan = LinkSpec::lan();
+        assert_eq!(lan.mean_delay(), SimDuration::from_micros(25));
+        assert_eq!(lan.loss_probability(), 0.0);
+        assert_eq!(LinkSpec::default(), LinkSpec::perfect());
+    }
+
+    #[test]
+    fn paper_tuple_constructor() {
+        let spec = LinkSpec::from_paper_tuple(100.0, 0.01);
+        assert_eq!(spec.mean_delay(), SimDuration::from_millis(100));
+        assert_eq!(spec.loss_probability(), 0.01);
+    }
+
+    #[test]
+    fn crash_spec_paper_constructor() {
+        let spec = LinkCrashSpec::from_paper_uptime_secs(60);
+        assert_eq!(spec.mean_uptime(), SimDuration::from_secs(60));
+        assert_eq!(spec.mean_downtime(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean uptime")]
+    fn crash_spec_zero_uptime_panics() {
+        let _ = LinkCrashSpec::new(SimDuration::ZERO, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn outage_state_alternates_and_is_monotone() {
+        let spec = LinkCrashSpec::new(SimDuration::from_secs(60), SimDuration::from_secs(3));
+        let mut state = LinkOutageState::new(spec, SimRng::seed_from(7));
+        assert!(state.is_up_at(SimInstant::ZERO));
+        // Walk forward over a long period and check that both states occur.
+        let mut ups = 0u32;
+        let mut downs = 0u32;
+        for i in 0..100_000u64 {
+            let t = SimInstant::ZERO + SimDuration::from_millis(i * 10);
+            if state.is_up_at(t) {
+                ups += 1;
+            } else {
+                downs += 1;
+            }
+        }
+        assert!(ups > 0 && downs > 0);
+        // Duty cycle should be roughly uptime / (uptime + downtime) = 95%.
+        let duty = ups as f64 / (ups + downs) as f64;
+        assert!((duty - 60.0 / 63.0).abs() < 0.05, "duty cycle {duty}");
+    }
+
+    #[test]
+    fn outage_duty_cycle_tracks_shorter_uptime() {
+        let spec = LinkCrashSpec::from_paper_uptime_secs(60);
+        let mut state = LinkOutageState::new(spec, SimRng::seed_from(9));
+        let mut ups = 0u32;
+        let mut total = 0u32;
+        for i in 0..200_000u64 {
+            let t = SimInstant::ZERO + SimDuration::from_millis(i * 50);
+            if state.is_up_at(t) {
+                ups += 1;
+            }
+            total += 1;
+        }
+        let duty = ups as f64 / total as f64;
+        assert!((duty - 60.0 / 63.0).abs() < 0.05, "duty cycle {duty}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Whole-network models implementing the simulator's [`Medium`] interface.
+//!
+//! A [`NetworkModel`] describes the full mesh of `n(n-1)` directed links of a
+//! group (paper Section 6.1): a default [`LinkSpec`] for every link,
+//! optional per-link overrides, and an optional crash-prone overlay in which
+//! each directed link independently alternates between up and down periods.
+
+use std::collections::HashMap;
+
+use sle_sim::actor::NodeId;
+use sle_sim::medium::{Medium, Verdict};
+use sle_sim::rng::SimRng;
+use sle_sim::time::SimInstant;
+
+use crate::link::{LinkCrashSpec, LinkOutageState, LinkSpec};
+
+/// Builder-style description of the network connecting a set of nodes.
+///
+/// ```
+/// use sle_net::network::NetworkModel;
+/// use sle_net::link::{LinkCrashSpec, LinkSpec};
+/// use sle_sim::time::SimDuration;
+///
+/// // 12 workstations, every link loses 1 message in 10 and has a 100 ms
+/// // average delay, and every link crashes for ~3 s every ~60 s.
+/// let model = NetworkModel::new(LinkSpec::from_paper_tuple(100.0, 0.1))
+///     .with_link_crashes(LinkCrashSpec::from_paper_uptime_secs(60));
+/// assert!(model.crash_spec().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    default_link: LinkSpec,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    crash_spec: Option<LinkCrashSpec>,
+    /// Links that are administratively severed for the whole run (useful for
+    /// partition experiments and tests).
+    severed: HashMap<(NodeId, NodeId), bool>,
+}
+
+impl NetworkModel {
+    /// A network in which every directed link follows `default_link`.
+    pub fn new(default_link: LinkSpec) -> Self {
+        NetworkModel {
+            default_link,
+            overrides: HashMap::new(),
+            crash_spec: None,
+            severed: HashMap::new(),
+        }
+    }
+
+    /// A network with perfect links; useful in tests.
+    pub fn perfect() -> Self {
+        NetworkModel::new(LinkSpec::perfect())
+    }
+
+    /// The authors' real LAN (0.025 ms delay, no losses).
+    pub fn lan() -> Self {
+        NetworkModel::new(LinkSpec::lan())
+    }
+
+    /// Overrides the behaviour of the directed link `from -> to`.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> Self {
+        self.overrides.insert((from, to), spec);
+        self
+    }
+
+    /// Makes every directed link crash-prone with the given up/down times.
+    pub fn with_link_crashes(mut self, spec: LinkCrashSpec) -> Self {
+        self.crash_spec = Some(spec);
+        self
+    }
+
+    /// Permanently severs the directed link `from -> to` (all messages lost).
+    pub fn with_severed_link(mut self, from: NodeId, to: NodeId) -> Self {
+        self.severed.insert((from, to), true);
+        self
+    }
+
+    /// The default behaviour of links without an override.
+    pub fn default_link(&self) -> LinkSpec {
+        self.default_link
+    }
+
+    /// The behaviour of the directed link `from -> to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// The crash-prone overlay, if configured.
+    pub fn crash_spec(&self) -> Option<LinkCrashSpec> {
+        self.crash_spec
+    }
+
+    /// Returns whether the directed link `from -> to` is permanently severed.
+    pub fn is_severed(&self, from: NodeId, to: NodeId) -> bool {
+        self.severed.get(&(from, to)).copied().unwrap_or(false)
+    }
+
+    /// Instantiates the runtime state for this model, ready to be handed to a
+    /// [`World`](sle_sim::world::World). `seed` controls the per-link outage
+    /// processes and is independent from the world's message-level seed.
+    pub fn build(self, seed: u64) -> SimulatedNetwork {
+        SimulatedNetwork {
+            model: self,
+            outages: HashMap::new(),
+            outage_rng: SimRng::seed_from(seed),
+            stats: NetworkStats::default(),
+        }
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::perfect()
+    }
+}
+
+/// Aggregate counters maintained by [`SimulatedNetwork`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages offered to the network.
+    pub offered: u64,
+    /// Messages dropped because of random loss.
+    pub lost: u64,
+    /// Messages dropped because the link was crashed or severed.
+    pub blocked: u64,
+    /// Messages accepted for delivery.
+    pub delivered: u64,
+    /// Total payload bytes accepted for delivery.
+    pub delivered_bytes: u64,
+}
+
+impl NetworkStats {
+    /// Fraction of offered messages that were dropped (for any reason).
+    pub fn drop_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.lost + self.blocked) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The runtime network state: implements [`Medium`] for the simulator.
+#[derive(Debug, Clone)]
+pub struct SimulatedNetwork {
+    model: NetworkModel,
+    outages: HashMap<(NodeId, NodeId), LinkOutageState>,
+    outage_rng: SimRng,
+    stats: NetworkStats,
+}
+
+impl SimulatedNetwork {
+    /// The model this network was built from.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Returns whether the directed link `from -> to` is up at `now`
+    /// (considering both permanent severing and the crash-prone overlay).
+    pub fn link_up_at(&mut self, now: SimInstant, from: NodeId, to: NodeId) -> bool {
+        if self.model.is_severed(from, to) {
+            return false;
+        }
+        let Some(crash_spec) = self.model.crash_spec else {
+            return true;
+        };
+        let rng = &mut self.outage_rng;
+        let state = self
+            .outages
+            .entry((from, to))
+            .or_insert_with(|| {
+                // Label the fork with the link endpoints so the assignment of
+                // RNG streams to links does not depend on first-use order.
+                let label = ((from.0 as u64) << 32) | to.0 as u64;
+                LinkOutageState::new(crash_spec, rng.fork(label))
+            });
+        state.is_up_at(now)
+    }
+}
+
+impl Medium for SimulatedNetwork {
+    fn transmit(
+        &mut self,
+        now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Verdict {
+        self.stats.offered += 1;
+        if !self.link_up_at(now, from, to) {
+            self.stats.blocked += 1;
+            return Verdict::Dropped;
+        }
+        let spec = self.model.link(from, to);
+        match spec.sample(rng) {
+            None => {
+                self.stats.lost += 1;
+                Verdict::Dropped
+            }
+            Some(delay) => {
+                self.stats.delivered += 1;
+                self.stats.delivered_bytes += wire_bytes as u64;
+                Verdict::Deliver { delay }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::time::SimDuration;
+
+    fn transmit_many(net: &mut SimulatedNetwork, n: usize) -> (usize, usize) {
+        let mut rng = SimRng::seed_from(11);
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for i in 0..n {
+            let now = SimInstant::ZERO + SimDuration::from_millis(i as u64);
+            match net.transmit(now, NodeId(0), NodeId(1), 100, &mut rng) {
+                Verdict::Deliver { .. } => delivered += 1,
+                Verdict::Dropped => dropped += 1,
+            }
+        }
+        (delivered, dropped)
+    }
+
+    #[test]
+    fn perfect_network_delivers_everything() {
+        let mut net = NetworkModel::perfect().build(1);
+        let (delivered, dropped) = transmit_many(&mut net, 1000);
+        assert_eq!(delivered, 1000);
+        assert_eq!(dropped, 0);
+        assert_eq!(net.stats().delivered, 1000);
+        assert_eq!(net.stats().delivered_bytes, 100_000);
+        assert_eq!(net.stats().drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lossy_network_drops_at_the_configured_rate() {
+        let mut net = NetworkModel::new(LinkSpec::from_paper_tuple(10.0, 0.1)).build(2);
+        let (_, dropped) = transmit_many(&mut net, 20_000);
+        let rate = dropped as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "drop rate {rate}");
+        assert!(net.stats().lost > 0);
+        assert_eq!(net.stats().blocked, 0);
+    }
+
+    #[test]
+    fn per_link_override_applies_to_that_link_only() {
+        let model = NetworkModel::perfect().with_link(
+            NodeId(0),
+            NodeId(1),
+            LinkSpec::lossy(SimDuration::ZERO, 1.0),
+        );
+        assert_eq!(model.link(NodeId(0), NodeId(1)).loss_probability(), 1.0);
+        assert_eq!(model.link(NodeId(1), NodeId(0)).loss_probability(), 0.0);
+        let mut net = model.build(3);
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(
+            net.transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng),
+            Verdict::Dropped
+        );
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(1), NodeId(0), 10, &mut rng)
+            .is_delivered());
+    }
+
+    #[test]
+    fn severed_link_blocks_all_messages() {
+        let mut net = NetworkModel::perfect()
+            .with_severed_link(NodeId(0), NodeId(1))
+            .build(5);
+        let (delivered, dropped) = transmit_many(&mut net, 100);
+        assert_eq!(delivered, 0);
+        assert_eq!(dropped, 100);
+        assert_eq!(net.stats().blocked, 100);
+    }
+
+    #[test]
+    fn crash_prone_network_blocks_roughly_the_expected_fraction() {
+        // Mean uptime 60s, downtime 3s => ~4.8% of transmissions blocked.
+        let mut net = NetworkModel::perfect()
+            .with_link_crashes(LinkCrashSpec::from_paper_uptime_secs(60))
+            .build(6);
+        let mut rng = SimRng::seed_from(12);
+        let mut blocked = 0usize;
+        let n = 200_000usize;
+        for i in 0..n {
+            let now = SimInstant::ZERO + SimDuration::from_millis(i as u64 * 20);
+            if net.transmit(now, NodeId(0), NodeId(1), 10, &mut rng) == Verdict::Dropped {
+                blocked += 1;
+            }
+        }
+        let ratio = blocked as f64 / n as f64;
+        assert!((ratio - 3.0 / 63.0).abs() < 0.02, "blocked ratio {ratio}");
+    }
+
+    #[test]
+    fn crash_prone_links_are_independent_per_direction() {
+        let mut net = NetworkModel::perfect()
+            .with_link_crashes(LinkCrashSpec::new(
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(10),
+            ))
+            .build(7);
+        // Scan for a time where one direction is up and the other down.
+        let mut diverged = false;
+        for i in 0..10_000u64 {
+            let t = SimInstant::ZERO + SimDuration::from_millis(i * 100);
+            let a = net.link_up_at(t, NodeId(0), NodeId(1));
+            let b = net.link_up_at(t, NodeId(1), NodeId(0));
+            if a != b {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "directions never diverged; outage streams look coupled");
+    }
+
+    #[test]
+    fn default_model_is_perfect() {
+        let model = NetworkModel::default();
+        assert_eq!(model.default_link(), LinkSpec::perfect());
+        assert!(model.crash_spec().is_none());
+        assert!(!model.is_severed(NodeId(0), NodeId(1)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Real-time transports for running the service outside the simulator.
+//!
+//! The paper's service runs as one daemon per workstation exchanging UDP
+//! datagrams. For the library form of this reproduction we provide an
+//! in-process mesh transport built on crossbeam channels: every node gets an
+//! [`Endpoint`] with a non-blocking `send` and a blocking/polling `recv`.
+//! The mesh can optionally inject losses and delays so examples can
+//! demonstrate adverse conditions in real time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use sle_sim::actor::NodeId;
+use sle_sim::rng::SimRng;
+use sle_sim::time::SimDuration;
+
+use crate::link::LinkSpec;
+
+/// Errors returned by transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination node is not part of the mesh.
+    UnknownDestination(NodeId),
+    /// The mesh has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownDestination(node) => {
+                write!(f, "unknown destination node {node}")
+            }
+            TransportError::Closed => write!(f, "transport is closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A message in flight, tagged with its sender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incoming<M> {
+    /// The node that sent the message.
+    pub from: NodeId,
+    /// The message payload.
+    pub msg: M,
+}
+
+struct MeshShared<M> {
+    senders: Vec<Sender<Incoming<M>>>,
+    loss: LinkSpec,
+    rng: Mutex<SimRng>,
+}
+
+/// An in-process full-mesh transport connecting `n` endpoints.
+///
+/// ```
+/// use sle_net::transport::InMemoryMesh;
+/// use sle_sim::actor::NodeId;
+///
+/// let mut mesh: InMemoryMesh<String> = InMemoryMesh::new(2);
+/// let a = mesh.endpoint(NodeId(0)).unwrap();
+/// let b = mesh.endpoint(NodeId(1)).unwrap();
+/// a.send(NodeId(1), "hello".to_string()).unwrap();
+/// let incoming = b.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+/// assert_eq!(incoming.from, NodeId(0));
+/// assert_eq!(incoming.msg, "hello");
+/// ```
+pub struct InMemoryMesh<M> {
+    shared: Arc<MeshShared<M>>,
+    receivers: Vec<Option<Receiver<Incoming<M>>>>,
+}
+
+impl<M: Send + 'static> InMemoryMesh<M> {
+    /// Creates a mesh of `n` endpoints with perfect links.
+    pub fn new(n: usize) -> Self {
+        Self::with_links(n, LinkSpec::perfect(), 0)
+    }
+
+    /// Creates a mesh whose links follow `spec` (losses are applied at send
+    /// time; delays are applied by the *sender* sleeping is deliberately NOT
+    /// done — instead delayed delivery is approximated by dropping only,
+    /// since blocking a sender would distort the caller's timing. Delay
+    /// injection in real time is the responsibility of the runtime driver).
+    pub fn with_links(n: usize, spec: LinkSpec, seed: u64) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        InMemoryMesh {
+            shared: Arc::new(MeshShared {
+                senders,
+                loss: spec,
+                rng: Mutex::new(SimRng::seed_from(seed)),
+            }),
+            receivers,
+        }
+    }
+
+    /// Number of endpoints in the mesh.
+    pub fn len(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// Returns true if the mesh has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.shared.senders.is_empty()
+    }
+
+    /// Takes the endpoint for `node`. Each endpoint can be taken once.
+    pub fn endpoint(&mut self, node: NodeId) -> Option<Endpoint<M>> {
+        let rx = self.receivers.get_mut(node.index())?.take()?;
+        Some(Endpoint {
+            node,
+            shared: Arc::clone(&self.shared),
+            receiver: rx,
+        })
+    }
+}
+
+/// One node's connection to an [`InMemoryMesh`].
+pub struct Endpoint<M> {
+    node: NodeId,
+    shared: Arc<MeshShared<M>>,
+    receiver: Receiver<Incoming<M>>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// The identity of this endpoint.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`. Returns an error if `to` is not in the mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::UnknownDestination`] for out-of-range nodes
+    /// and [`TransportError::Closed`] if the destination endpoint (and its
+    /// receiver) has been dropped.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), TransportError> {
+        let sender = self
+            .shared
+            .senders
+            .get(to.index())
+            .ok_or(TransportError::UnknownDestination(to))?;
+        {
+            let mut rng = self.shared.rng.lock();
+            if rng.bernoulli(self.shared.loss.loss_probability()) {
+                // Message "lost on the wire": swallowed silently, like UDP.
+                return Ok(());
+            }
+        }
+        sender
+            .send(Incoming {
+                from: self.node,
+                msg,
+            })
+            .map_err(|_| TransportError::Closed)
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// Returns `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Incoming<M>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(incoming) => Some(incoming),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Receives a message if one is already queued.
+    pub fn try_recv(&self) -> Option<Incoming<M>> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// The nominal delay of the mesh links (provided for runtimes that want
+    /// to emulate latency by deferring the handling of received messages).
+    pub fn nominal_delay(&self) -> SimDuration {
+        self.shared.loss.mean_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_routes_between_endpoints() {
+        let mut mesh: InMemoryMesh<u32> = InMemoryMesh::new(3);
+        assert_eq!(mesh.len(), 3);
+        assert!(!mesh.is_empty());
+        let a = mesh.endpoint(NodeId(0)).unwrap();
+        let b = mesh.endpoint(NodeId(1)).unwrap();
+        let c = mesh.endpoint(NodeId(2)).unwrap();
+        a.send(NodeId(1), 10).unwrap();
+        c.send(NodeId(1), 20).unwrap();
+        let first = b.recv_timeout(Duration::from_millis(200)).unwrap();
+        let second = b.recv_timeout(Duration::from_millis(200)).unwrap();
+        let mut got = vec![(first.from, first.msg), (second.from, second.msg)];
+        got.sort();
+        assert_eq!(got, vec![(NodeId(0), 10), (NodeId(2), 20)]);
+    }
+
+    #[test]
+    fn endpoint_can_be_taken_once() {
+        let mut mesh: InMemoryMesh<u32> = InMemoryMesh::new(1);
+        assert!(mesh.endpoint(NodeId(0)).is_some());
+        assert!(mesh.endpoint(NodeId(0)).is_none());
+        assert!(mesh.endpoint(NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let mut mesh: InMemoryMesh<u32> = InMemoryMesh::new(1);
+        let a = mesh.endpoint(NodeId(0)).unwrap();
+        assert_eq!(
+            a.send(NodeId(9), 1),
+            Err(TransportError::UnknownDestination(NodeId(9)))
+        );
+        assert_eq!(
+            TransportError::UnknownDestination(NodeId(9)).to_string(),
+            "unknown destination node n9"
+        );
+    }
+
+    #[test]
+    fn try_recv_and_timeout_behave() {
+        let mut mesh: InMemoryMesh<u32> = InMemoryMesh::new(2);
+        let a = mesh.endpoint(NodeId(0)).unwrap();
+        let b = mesh.endpoint(NodeId(1)).unwrap();
+        assert!(b.try_recv().is_none());
+        assert!(b.recv_timeout(Duration::from_millis(10)).is_none());
+        a.send(NodeId(1), 7).unwrap();
+        assert_eq!(b.try_recv().map(|i| i.msg), Some(7));
+        assert_eq!(a.node(), NodeId(0));
+    }
+
+    #[test]
+    fn lossy_mesh_swallows_messages_silently() {
+        let mut mesh: InMemoryMesh<u32> =
+            InMemoryMesh::with_links(2, LinkSpec::lossy(SimDuration::ZERO, 1.0), 3);
+        let a = mesh.endpoint(NodeId(0)).unwrap();
+        let b = mesh.endpoint(NodeId(1)).unwrap();
+        for i in 0..50 {
+            a.send(NodeId(1), i).unwrap();
+        }
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn sending_across_threads_works() {
+        let mut mesh: InMemoryMesh<u64> = InMemoryMesh::new(2);
+        let a = mesh.endpoint(NodeId(0)).unwrap();
+        let b = mesh.endpoint(NodeId(1)).unwrap();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                a.send(NodeId(1), i).unwrap();
+            }
+        });
+        let mut received = 0u64;
+        while received < 100 {
+            if b.recv_timeout(Duration::from_secs(1)).is_some() {
+                received += 1;
+            } else {
+                break;
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(received, 100);
+    }
+}

@@ -1,0 +1,162 @@
+//! The transmission medium abstraction.
+//!
+//! The simulator asks the medium what happens to every message an actor
+//! sends: is it dropped, and if not, how long does it take to arrive?
+//! Concrete link models (lossy links, crash-prone links, full-mesh
+//! topologies with per-link parameters) live in the `sle-net` crate; the
+//! simulator only depends on this small trait.
+
+use crate::actor::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimInstant};
+
+/// The fate of a transmitted message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The message is lost and never delivered.
+    Dropped,
+    /// The message is delivered after `delay`.
+    Deliver {
+        /// Transmission delay from send to delivery.
+        delay: SimDuration,
+    },
+}
+
+impl Verdict {
+    /// Convenience constructor for an immediate (zero-delay) delivery.
+    pub fn immediate() -> Verdict {
+        Verdict::Deliver {
+            delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Returns true if the message is delivered.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Verdict::Deliver { .. })
+    }
+}
+
+/// Decides the fate of every message sent through the simulated network.
+///
+/// Implementations may keep per-link state (e.g. whether a link is currently
+/// "crashed") and advance it lazily using `now`.
+pub trait Medium {
+    /// Decides what happens to a `wire_bytes`-byte message sent from `from`
+    /// to `to` at time `now`.
+    fn transmit(
+        &mut self,
+        now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Verdict;
+}
+
+/// A medium that delivers every message instantly. Useful for unit tests of
+/// protocol logic where the network is not under study.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectMedium;
+
+impl Medium for PerfectMedium {
+    fn transmit(
+        &mut self,
+        _now: SimInstant,
+        _from: NodeId,
+        _to: NodeId,
+        _wire_bytes: usize,
+        _rng: &mut SimRng,
+    ) -> Verdict {
+        Verdict::immediate()
+    }
+}
+
+/// A medium with a fixed delivery delay and no losses. Useful for tests that
+/// need deterministic, non-zero latencies.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelayMedium {
+    delay: SimDuration,
+}
+
+impl FixedDelayMedium {
+    /// Creates a medium that delivers every message after exactly `delay`.
+    pub fn new(delay: SimDuration) -> Self {
+        FixedDelayMedium { delay }
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+}
+
+impl Medium for FixedDelayMedium {
+    fn transmit(
+        &mut self,
+        _now: SimInstant,
+        _from: NodeId,
+        _to: NodeId,
+        _wire_bytes: usize,
+        _rng: &mut SimRng,
+    ) -> Verdict {
+        Verdict::Deliver { delay: self.delay }
+    }
+}
+
+impl<M: Medium + ?Sized> Medium for Box<M> {
+    fn transmit(
+        &mut self,
+        now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Verdict {
+        (**self).transmit(now, from, to, wire_bytes, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_medium_always_delivers_instantly() {
+        let mut m = PerfectMedium;
+        let mut rng = SimRng::seed_from(1);
+        let v = m.transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 100, &mut rng);
+        assert_eq!(
+            v,
+            Verdict::Deliver {
+                delay: SimDuration::ZERO
+            }
+        );
+        assert!(v.is_delivered());
+    }
+
+    #[test]
+    fn fixed_delay_medium_uses_configured_delay() {
+        let mut m = FixedDelayMedium::new(SimDuration::from_millis(20));
+        assert_eq!(m.delay(), SimDuration::from_millis(20));
+        let mut rng = SimRng::seed_from(1);
+        match m.transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 1, &mut rng) {
+            Verdict::Deliver { delay } => assert_eq!(delay, SimDuration::from_millis(20)),
+            Verdict::Dropped => panic!("fixed delay medium must not drop"),
+        }
+    }
+
+    #[test]
+    fn boxed_medium_dispatches() {
+        let mut m: Box<dyn Medium> = Box::new(PerfectMedium);
+        let mut rng = SimRng::seed_from(1);
+        assert!(m
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 1, &mut rng)
+            .is_delivered());
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::immediate().is_delivered());
+        assert!(!Verdict::Dropped.is_delivered());
+    }
+}

@@ -1,0 +1,107 @@
+//! Dynamic, overlapping groups with different roles and QoS — the features
+//! of the service API that the evaluation does not exercise:
+//!
+//! * a process may belong to several groups at once,
+//! * some members are passive listeners (not leadership candidates),
+//! * each group can pick its own failure-detection QoS, and
+//! * groups can be used as levels of a hierarchy (the paper's suggestion for
+//!   scaling to very large networks: a group of local leaders, a group of
+//!   regional leaders, ...).
+//!
+//! Run with: `cargo run --example multi_group`
+
+use std::time::{Duration, Instant};
+
+use sle_core::{Cluster, GroupId, JoinConfig, ProcessId};
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_sim::time::SimDuration;
+use sle_sim::NodeId;
+
+fn wait_leader(cluster: &Cluster, group: GroupId, nodes: &[NodeId]) -> Option<ProcessId> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let views: Vec<Option<ProcessId>> = nodes
+            .iter()
+            .map(|&n| cluster.handle(n).unwrap().leader_of(group))
+            .collect();
+        if let Some(Some(first)) = views.first() {
+            if views.iter().all(|v| *v == Some(*first)) {
+                return Some(*first);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+fn main() {
+    let n = 6usize;
+    let cluster = Cluster::start(n, ElectorKind::OmegaL);
+
+    // Two "regional" groups of three workstations each, plus one "global"
+    // group joined by every workstation — a two-level hierarchy.
+    let region_a = GroupId(10);
+    let region_b = GroupId(11);
+    let global = GroupId(42);
+
+    let fast_qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(500));
+
+    for i in 0..n as u32 {
+        let node = NodeId(i);
+        let handle = cluster.handle(node).unwrap();
+        let region = if i < 3 { region_a } else { region_b };
+        // Candidate in its region, with a faster failure detector.
+        handle
+            .join(region, JoinConfig::candidate().with_qos(fast_qos))
+            .expect("join region");
+        // In the global group, nodes 0 and 3 are candidates; the rest are
+        // passive listeners that only want to know who the global leader is.
+        let global_join = if i % 3 == 0 {
+            JoinConfig::candidate()
+        } else {
+            JoinConfig::listener()
+        };
+        handle.join(global, global_join).expect("join global");
+    }
+
+    let nodes_a: Vec<NodeId> = (0..3u32).map(NodeId).collect();
+    let nodes_b: Vec<NodeId> = (3..6u32).map(NodeId).collect();
+    let all: Vec<NodeId> = (0..6u32).map(NodeId).collect();
+
+    let leader_a = wait_leader(&cluster, region_a, &nodes_a).expect("region A leader");
+    let leader_b = wait_leader(&cluster, region_b, &nodes_b).expect("region B leader");
+    let leader_global = wait_leader(&cluster, global, &all).expect("global leader");
+
+    println!("region A leader : {leader_a}");
+    println!("region B leader : {leader_b}");
+    println!("global leader   : {leader_global} (listeners follow without competing)");
+
+    assert!(leader_a.node.0 < 3);
+    assert!(leader_b.node.0 >= 3);
+    assert!(
+        leader_global.node.0 % 3 == 0,
+        "only candidates may lead the global group"
+    );
+
+    // A process can leave one group and keep its other memberships.
+    let handle = cluster.handle(leader_a.node).unwrap();
+    assert!(handle.leave(region_a, leader_a));
+    let new_leader_a = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut found = None;
+        while Instant::now() < deadline && found.is_none() {
+            if let Some(candidate) = wait_leader(&cluster, region_a, &nodes_a) {
+                if candidate != leader_a {
+                    found = Some(candidate);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        found
+    };
+    println!("region A leader after the old leader left: {new_leader_a:?}");
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: start a small in-process cluster of the leader-election
+//! service, let it elect a leader, crash the leader, and watch the service
+//! re-elect.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::{Duration, Instant};
+
+use sle_core::{Cluster, GroupId, JoinConfig, ProcessId};
+use sle_election::ElectorKind;
+use sle_sim::NodeId;
+
+/// Polls every node until they agree on a leader (or the timeout expires).
+fn wait_for_agreement(
+    cluster: &Cluster,
+    group: GroupId,
+    exclude: Option<NodeId>,
+    timeout: Duration,
+) -> Option<ProcessId> {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        let views: Vec<Option<ProcessId>> = (0..cluster.len() as u32)
+            .map(NodeId)
+            .filter(|&n| Some(n) != exclude)
+            .map(|n| cluster.handle(n).unwrap().leader_of(group))
+            .collect();
+        if let Some(Some(first)) = views.first() {
+            if views.iter().all(|v| *v == Some(*first)) && Some(first.node) != exclude {
+                return Some(*first);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+fn main() {
+    // Five workstations running the S2 (Omega_lc) version of the service.
+    let cluster = Cluster::start(5, ElectorKind::OmegaLc);
+    let group = GroupId(1);
+
+    println!("joining 5 candidate processes to group {group}...");
+    for i in 0..5u32 {
+        let handle = cluster.handle(NodeId(i)).unwrap();
+        let process = handle
+            .join(group, JoinConfig::candidate())
+            .expect("join must succeed");
+        println!("  node {i}: registered and joined as {process}");
+    }
+
+    let leader = wait_for_agreement(&cluster, group, None, Duration::from_secs(10))
+        .expect("the group should elect a leader within seconds");
+    println!("elected leader: {leader}");
+
+    println!("crashing the leader's workstation ({})...", leader.node);
+    cluster.crash(leader.node);
+
+    let new_leader = wait_for_agreement(&cluster, group, Some(leader.node), Duration::from_secs(15))
+        .expect("the group should re-elect a leader after the crash");
+    println!("new leader after the crash: {new_leader}");
+    assert_ne!(new_leader.node, leader.node);
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,215 @@
+//! End-to-end integration tests spanning all crates: the full service stack
+//! (simulator + network models + failure detector + electors + service)
+//! exercised under the workloads of the paper.
+
+use sle_core::{GroupId, JoinConfig, ProcessId, ServiceConfig, ServiceNode};
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_harness::{CrashPlan, CrashProfile, MetricsCollector, Scenario, EXPERIMENT_GROUP};
+use sle_net::link::{LinkCrashSpec, LinkSpec};
+use sle_net::network::NetworkModel;
+use sle_sim::prelude::*;
+
+const GROUP: GroupId = GroupId(1);
+
+fn build_world(
+    n: usize,
+    algorithm: ElectorKind,
+    link: LinkSpec,
+    seed: u64,
+) -> World<ServiceNode, sle_net::network::SimulatedNetwork> {
+    let medium = NetworkModel::new(link).build(seed.wrapping_add(99));
+    World::new(
+        n,
+        Box::new(move |node, _| {
+            ServiceNode::new(
+                ServiceConfig::full_mesh(node, n, algorithm)
+                    .with_auto_join(GROUP, JoinConfig::candidate()),
+            )
+        }),
+        medium,
+        seed,
+    )
+}
+
+fn agreed_leader(
+    world: &World<ServiceNode, sle_net::network::SimulatedNetwork>,
+) -> Option<ProcessId> {
+    let mut leader = None;
+    for i in 0..world.num_nodes() {
+        let node = NodeId(i as u32);
+        if !world.is_up(node) {
+            continue;
+        }
+        let view = world.actor(node)?.leader_of(GROUP)?;
+        match leader {
+            None => leader = Some(view),
+            Some(l) if l == view => {}
+            _ => return None,
+        }
+    }
+    leader
+}
+
+#[test]
+fn every_algorithm_elects_over_a_lossy_network() {
+    for algorithm in ElectorKind::all() {
+        let mut world = build_world(6, algorithm, LinkSpec::from_paper_tuple(10.0, 0.01), 5);
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(10), &mut obs);
+        let leader = agreed_leader(&world);
+        assert!(leader.is_some(), "{algorithm}: no agreed leader over lossy links");
+    }
+}
+
+#[test]
+fn recovery_time_is_close_to_the_detection_bound() {
+    // Crash the leader explicitly and measure how long the group stays
+    // leaderless: it should be near T_D^U = 1s, never more than a couple of
+    // seconds (paper Figures 4/5).
+    for algorithm in [ElectorKind::OmegaLc, ElectorKind::OmegaL] {
+        let mut world = build_world(6, algorithm, LinkSpec::lan(), 17);
+        let mut collector = MetricsCollector::new(GROUP, 6, SimInstant::ZERO);
+        world.run_for(SimDuration::from_secs(10), &mut collector);
+        let leader = agreed_leader(&world).expect("initial leader");
+        world.schedule_crash(leader.node, world.now() + SimDuration::from_millis(1));
+        world.run_for(SimDuration::from_secs(10), &mut collector);
+        let metrics = collector.finish(world.now());
+        assert_eq!(metrics.leader_crashes, 1);
+        assert_eq!(metrics.recovery.count, 1, "{algorithm}: missing recovery sample");
+        assert!(
+            metrics.recovery.mean < 2.5,
+            "{algorithm}: recovery took {}s",
+            metrics.recovery.mean
+        );
+    }
+}
+
+#[test]
+fn stable_algorithms_make_no_mistakes_under_churn() {
+    // 20 virtual minutes of the paper's churn (crash every 10 minutes per
+    // node) over a lossy network: S2 and S3 must not demote a healthy leader.
+    for algorithm in [ElectorKind::OmegaLc, ElectorKind::OmegaL] {
+        let metrics = Scenario::paper_default(
+            "integration",
+            algorithm,
+            LinkSpec::from_paper_tuple(10.0, 0.01),
+        )
+        .with_nodes(8)
+        .with_duration(SimDuration::from_secs(1200))
+        .with_seed(23)
+        .run();
+        assert_eq!(
+            metrics.unjustified_demotions, 0,
+            "{algorithm} demoted a healthy leader"
+        );
+        assert!(
+            metrics.leader_availability > 0.99,
+            "{algorithm}: availability {}",
+            metrics.leader_availability
+        );
+    }
+}
+
+#[test]
+fn omega_id_is_unstable_under_churn() {
+    let metrics = Scenario::paper_default("integration", ElectorKind::OmegaId, LinkSpec::lan())
+        .with_nodes(8)
+        .with_duration(SimDuration::from_secs(1800))
+        .with_seed(29)
+        .run();
+    assert!(
+        metrics.unjustified_demotions > 0,
+        "Omega_id should demote leaders when smaller ids rejoin"
+    );
+}
+
+#[test]
+fn omega_l_uses_far_less_bandwidth_than_omega_lc() {
+    let s2 = Scenario::paper_default("s2", ElectorKind::OmegaLc, LinkSpec::lan())
+        .without_workstation_crashes()
+        .with_duration(SimDuration::from_secs(300))
+        .run();
+    let s3 = Scenario::paper_default("s3", ElectorKind::OmegaL, LinkSpec::lan())
+        .without_workstation_crashes()
+        .with_duration(SimDuration::from_secs(300))
+        .run();
+    assert!(
+        s3.kbytes_per_sec_per_node * 2.0 < s2.kbytes_per_sec_per_node,
+        "S3 ({:.2} KB/s) should be far cheaper than S2 ({:.2} KB/s)",
+        s3.kbytes_per_sec_per_node,
+        s2.kbytes_per_sec_per_node
+    );
+}
+
+#[test]
+fn omega_lc_availability_beats_omega_l_under_link_crashes() {
+    // The Figure 7 trade-off, in miniature: with links crashing every minute
+    // the forwarding-based S2 keeps a much higher availability than S3.
+    let crashes = LinkCrashSpec::from_paper_uptime_secs(60);
+    let s2 = Scenario::paper_default("s2", ElectorKind::OmegaLc, LinkSpec::lan())
+        .with_link_crashes(crashes)
+        .with_duration(SimDuration::from_secs(900))
+        .with_seed(41)
+        .run();
+    let s3 = Scenario::paper_default("s3", ElectorKind::OmegaL, LinkSpec::lan())
+        .with_link_crashes(crashes)
+        .with_duration(SimDuration::from_secs(900))
+        .with_seed(41)
+        .run();
+    assert!(
+        s2.leader_availability > s3.leader_availability,
+        "S2 ({:.4}) should be more available than S3 ({:.4}) under link crashes",
+        s2.leader_availability,
+        s3.leader_availability
+    );
+    // The paper reports 98.78% for S2 in this setting; our reproduction lands
+    // a few points lower (see EXPERIMENTS.md) but must stay well above S3's.
+    assert!(s2.leader_availability > 0.90, "S2 availability {}", s2.leader_availability);
+}
+
+#[test]
+fn faster_detection_bound_gives_faster_recovery() {
+    let slow = Scenario::paper_default("slow", ElectorKind::OmegaL, LinkSpec::lan())
+        .with_duration(SimDuration::from_secs(1800))
+        .with_seed(47)
+        .run();
+    let fast = Scenario::paper_default("fast", ElectorKind::OmegaL, LinkSpec::lan())
+        .with_qos(QosSpec::paper_default_with_detection(SimDuration::from_millis(250)))
+        .with_duration(SimDuration::from_secs(1800))
+        .with_seed(47)
+        .run();
+    assert!(fast.recovery.count > 0 && slow.recovery.count > 0);
+    assert!(
+        fast.recovery.mean < slow.recovery.mean,
+        "T_D=250ms gave {}s, T_D=1s gave {}s",
+        fast.recovery.mean,
+        slow.recovery.mean
+    );
+}
+
+#[test]
+fn crash_plan_installs_into_a_running_world() {
+    let mut world = build_world(4, ElectorKind::OmegaLc, LinkSpec::lan(), 53);
+    let plan = CrashPlan::generate(
+        4,
+        SimDuration::from_secs(600),
+        CrashProfile::paper_default(),
+        53,
+    );
+    plan.install(&mut world);
+    let mut counting = CountingObserver::new();
+    world.run_for(SimDuration::from_secs(600), &mut counting);
+    assert_eq!(counting.crashes as usize, {
+        // Crashes scheduled strictly before the horizon all fire.
+        plan.events()
+            .iter()
+            .filter(|e| e.is_crash && e.at <= SimInstant::ZERO + SimDuration::from_secs(600))
+            .count()
+    });
+}
+
+#[test]
+fn experiment_group_constant_matches_harness() {
+    assert_eq!(EXPERIMENT_GROUP, GroupId(1));
+}
