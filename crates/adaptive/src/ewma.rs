@@ -1,0 +1,212 @@
+//! Exponentially weighted moving averages.
+//!
+//! The online measurement pipeline needs estimators that (a) track a drifting
+//! signal with bounded memory and (b) converge quickly after a regime shift.
+//! EWMAs provide both: the smoothing factor α trades convergence speed
+//! against noise rejection, and the paired mean/variance estimator follows
+//! the classic exponentially weighted variance recurrence (as used by RFC
+//! 6298-style RTT estimation).
+
+/// An exponentially weighted moving average of a scalar signal.
+///
+/// ```
+/// use sle_adaptive::ewma::Ewma;
+///
+/// let mut ewma = Ewma::new(0.5);
+/// assert_eq!(ewma.value(), None);
+/// ewma.observe(10.0);
+/// ewma.observe(20.0);
+/// assert_eq!(ewma.value(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not within `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must lie in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feeds one observation. The first observation initialises the average.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// The current average, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// An exponentially weighted estimator of both the mean and the variance of
+/// a signal.
+///
+/// The recurrence (`diff = x − mean`, `mean += α·diff`,
+/// `var = (1 − α)·(var + α·diff²)`) is the standard exponentially weighted
+/// variance update; it converges to the true variance for a stationary
+/// signal and tracks it after shifts.
+///
+/// ```
+/// use sle_adaptive::ewma::EwmaVar;
+///
+/// let mut est = EwmaVar::new(0.2);
+/// for i in 0..200 {
+///     est.observe(if i % 2 == 0 { 10.0 } else { 30.0 });
+/// }
+/// let mean = est.mean().unwrap();
+/// assert!((mean - 20.0).abs() < 3.0);
+/// assert!(est.std_dev().unwrap() > 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaVar {
+    alpha: f64,
+    mean: f64,
+    var: f64,
+    samples: u64,
+}
+
+impl EwmaVar {
+    /// Creates an estimator with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not within `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must lie in (0, 1]"
+        );
+        EwmaVar {
+            alpha,
+            mean: 0.0,
+            var: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.samples == 0 {
+            self.mean = x;
+            self.var = 0.0;
+        } else {
+            let diff = x - self.mean;
+            let incr = self.alpha * diff;
+            self.mean += incr;
+            self.var = (1.0 - self.alpha) * (self.var + diff * incr);
+        }
+        self.samples += 1;
+    }
+
+    /// The current mean, or `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.mean)
+    }
+
+    /// The current standard deviation, or `None` before any observation.
+    pub fn std_dev(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.var.max(0.0).sqrt())
+    }
+
+    /// Number of observations fed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_a_constant_signal() {
+        let mut ewma = Ewma::new(0.1);
+        for _ in 0..100 {
+            ewma.observe(42.0);
+        }
+        assert!((ewma.value().unwrap() - 42.0).abs() < 1e-9);
+        assert_eq!(ewma.alpha(), 0.1);
+    }
+
+    #[test]
+    fn ewma_tracks_a_step_change() {
+        let mut ewma = Ewma::new(0.2);
+        for _ in 0..50 {
+            ewma.observe(100.0);
+        }
+        for _ in 0..50 {
+            ewma.observe(10.0);
+        }
+        // After 50 samples at alpha 0.2 the old level has decayed to
+        // 100 * 0.8^50 ~ 0.001: the estimate must sit at the new level.
+        assert!((ewma.value().unwrap() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn ewma_var_rejects_large_alpha() {
+        let _ = EwmaVar::new(1.5);
+    }
+
+    #[test]
+    fn ewma_var_on_constant_signal_has_zero_variance() {
+        let mut est = EwmaVar::new(0.3);
+        assert_eq!(est.mean(), None);
+        assert_eq!(est.std_dev(), None);
+        for _ in 0..100 {
+            est.observe(7.0);
+        }
+        assert!((est.mean().unwrap() - 7.0).abs() < 1e-12);
+        assert!(est.std_dev().unwrap() < 1e-9);
+        assert_eq!(est.samples(), 100);
+    }
+
+    #[test]
+    fn ewma_var_estimates_alternating_signal() {
+        let mut est = EwmaVar::new(0.1);
+        for i in 0..500 {
+            est.observe(if i % 2 == 0 { 0.0 } else { 20.0 });
+        }
+        // True mean 10, true std dev 10.
+        assert!((est.mean().unwrap() - 10.0).abs() < 2.0);
+        let sd = est.std_dev().unwrap();
+        assert!((5.0..15.0).contains(&sd), "std dev {sd}");
+    }
+
+    #[test]
+    fn ewma_var_mean_tracks_latency_drop() {
+        let mut est = EwmaVar::new(0.2);
+        for _ in 0..100 {
+            est.observe(0.050);
+        }
+        for _ in 0..100 {
+            est.observe(0.005);
+        }
+        assert!((est.mean().unwrap() - 0.005).abs() < 0.001);
+    }
+}

@@ -1,0 +1,74 @@
+//! # sle-adaptive — online network measurement and dynamic QoS tuning
+//!
+//! The reproduced paper (Schiper & Toueg, DSN 2008) configures its Chen
+//! et al. failure detector with *static* per-join QoS parameters, even
+//! though its whole premise is a dynamic system whose link quality drifts.
+//! This crate makes the service self-tuning, following the direction of
+//! measurement-driven timeout derivation (Dynatune, arXiv:2507.15154) and
+//! performance-aware election (SEER, arXiv:2104.01355):
+//!
+//! * [`ewma`] / [`quantile`] — the estimator toolbox: exponentially weighted
+//!   mean/variance tracking and exact sliding-window quantiles,
+//! * [`sampler`] — [`sampler::LinkSampler`]: passive per-link delay, jitter
+//!   and loss measurement from the ALIVE heartbeats the service already
+//!   exchanges (no probe traffic is added),
+//! * [`tuner`] — the [`tuner::Tuner`] trait, the default no-op
+//!   [`tuner::StaticTuner`], and [`tuner::AdaptiveTuner`], which
+//!   periodically re-derives the failure-detector parameters (η, δ, safety
+//!   margin) and the election grace period from live measurements against
+//!   the application's mistake-recurrence bound.
+//!
+//! The subsystem is sans-io, like everything else in this workspace: the
+//! service feeds it receive timestamps and polls it from a timer, so the
+//! exact same tuning code runs under the discrete-event simulator and the
+//! real-time runtime. Tuning is opt-in per group join
+//! (`JoinConfig::with_tuning(TuningPolicy::adaptive())` in `sle-core`);
+//! the default [`tuner::TuningPolicy::Static`] reproduces the paper
+//! unchanged.
+//!
+//! ## Example
+//!
+//! ```
+//! use sle_adaptive::prelude::*;
+//! use sle_fd::QosSpec;
+//! use sle_sim::actor::NodeId;
+//! use sle_sim::time::{SimDuration, SimInstant};
+//!
+//! let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+//! let qos = QosSpec::paper_default();
+//! let peer = NodeId(1);
+//! let mut now = SimInstant::ZERO;
+//! // Feed heartbeats observed over a fast LAN...
+//! for seq in 0..64u64 {
+//!     now = now + SimDuration::from_millis(100);
+//!     tuner.observe(peer, seq, now - SimDuration::from_micros(25), now);
+//! }
+//! // ...and the tuner derives a detection bound far below the static 1 s.
+//! let rec = tuner.recommend(peer, &qos, now).unwrap();
+//! assert!(rec.detection_bound() <= SimDuration::from_millis(250));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ewma;
+pub mod quantile;
+pub mod sampler;
+pub mod tuner;
+
+/// Convenient re-exports of the items most users need.
+pub mod prelude {
+    pub use crate::ewma::{Ewma, EwmaVar};
+    pub use crate::quantile::WindowedQuantile;
+    pub use crate::sampler::{LinkMeasurement, LinkSampler};
+    pub use crate::tuner::{
+        AdaptiveTuner, AnyTuner, Recommendation, StaticTuner, Tuner, TunerConfig, TuningPolicy,
+    };
+}
+
+pub use ewma::{Ewma, EwmaVar};
+pub use quantile::WindowedQuantile;
+pub use sampler::{LinkMeasurement, LinkSampler};
+pub use tuner::{
+    AdaptiveTuner, AnyTuner, Recommendation, StaticTuner, Tuner, TunerConfig, TuningPolicy,
+};

@@ -1,0 +1,164 @@
+//! Sliding-window quantile estimation.
+//!
+//! The tuner sets the failure-detector timeout shift δ from a high quantile
+//! of the recently observed delays (plus a safety margin), so the estimator
+//! must (a) forget old regimes quickly — hence a bounded window — and
+//! (b) be exact over that window, since the far tail is precisely what a
+//! timeout must cover and an approximate sketch could under-estimate it.
+
+use std::collections::VecDeque;
+
+/// An exact quantile estimator over a sliding window of the last `capacity`
+/// observations.
+///
+/// ```
+/// use sle_adaptive::quantile::WindowedQuantile;
+///
+/// let mut q = WindowedQuantile::new(100);
+/// for i in 1..=100u32 {
+///     q.record(i as f64);
+/// }
+/// assert_eq!(q.quantile(0.5), Some(50.0));
+/// assert_eq!(q.quantile(0.99), Some(99.0));
+/// assert_eq!(q.quantile(1.0), Some(100.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedQuantile {
+    capacity: usize,
+    window: VecDeque<f64>,
+}
+
+impl WindowedQuantile {
+    /// Creates an estimator over the last `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "quantile window capacity must be positive");
+        WindowedQuantile {
+            capacity,
+            window: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns true if no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Records an observation, evicting the oldest one if the window is full.
+    /// Non-finite observations are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+    }
+
+    /// The `q`-quantile (lower nearest-rank) of the current window, or `None`
+    /// if the window is empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("window holds only finite values"));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// The maximum of the current window, or `None` if it is empty.
+    pub fn max(&self) -> Option<f64> {
+        self.window
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = WindowedQuantile::new(0);
+    }
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let q = WindowedQuantile::new(8);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.quantile(0.5), None);
+        assert_eq!(q.max(), None);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut q = WindowedQuantile::new(10);
+        for x in [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0] {
+            q.record(x);
+        }
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        assert_eq!(q.quantile(0.1), Some(1.0));
+        assert_eq!(q.quantile(0.5), Some(5.0));
+        assert_eq!(q.quantile(0.9), Some(9.0));
+        assert_eq!(q.quantile(1.0), Some(10.0));
+        assert_eq!(q.max(), Some(10.0));
+    }
+
+    #[test]
+    fn window_evicts_oldest_and_forgets_old_regime() {
+        let mut q = WindowedQuantile::new(50);
+        // An old regime of large delays...
+        for _ in 0..50 {
+            q.record(100.0);
+        }
+        // ...completely displaced by the new regime.
+        for _ in 0..50 {
+            q.record(1.0);
+        }
+        assert_eq!(q.quantile(0.99), Some(1.0));
+        assert_eq!(q.len(), 50);
+    }
+
+    #[test]
+    fn convergence_on_a_synthetic_delay_stream() {
+        // 95% of delays at 10 ms, 5% spikes at 50 ms: the 0.99 quantile must
+        // report the spike level, the median the base level.
+        let mut q = WindowedQuantile::new(200);
+        for i in 0..200 {
+            q.record(if i % 20 == 0 { 0.050 } else { 0.010 });
+        }
+        assert_eq!(q.quantile(0.5), Some(0.010));
+        assert_eq!(q.quantile(0.99), Some(0.050));
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut q = WindowedQuantile::new(4);
+        q.record(f64::NAN);
+        q.record(f64::INFINITY);
+        assert!(q.is_empty());
+        q.record(2.0);
+        assert_eq!(q.quantile(0.5), Some(2.0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Passive per-link measurement from the service's existing traffic.
+//!
+//! The service already timestamps every ALIVE/HELLO it sends and numbers the
+//! ALIVEs per destination; a [`LinkSampler`] turns that into a continuously
+//! updated estimate of the directed link's delay, jitter and loss — no probe
+//! messages are added (the measurement is entirely passive, in the spirit of
+//! Dynatune's piggybacked measurement plane).
+
+use sle_fd::LinkQuality;
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::ewma::{Ewma, EwmaVar};
+use crate::quantile::WindowedQuantile;
+
+/// A snapshot of what the sampler currently believes about one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkMeasurement {
+    /// EWMA of the one-way delay.
+    pub delay_mean: SimDuration,
+    /// Exponentially weighted standard deviation of the one-way delay.
+    pub delay_std_dev: SimDuration,
+    /// A high quantile of the delay over the recent window (the quantile
+    /// itself is configured on the sampler).
+    pub delay_quantile: SimDuration,
+    /// EWMA of the per-heartbeat loss indicator.
+    pub loss_probability: f64,
+    /// Number of heartbeats observed so far.
+    pub samples: u64,
+}
+
+impl LinkMeasurement {
+    /// Converts the measurement into the failure detector's link-quality
+    /// vocabulary `(p_L, E[D], S[D])`.
+    ///
+    /// The standard deviation is widened to at least half the gap between the
+    /// high delay quantile and the mean, so that heavy-tailed delays (which
+    /// an EWMA of squared deviations under-weights) still push the Chebyshev
+    /// tail bound — and therefore the derived timeout — outward.
+    pub fn to_link_quality(&self) -> LinkQuality {
+        let mean = self.delay_mean.as_secs_f64();
+        let tail_spread = (self.delay_quantile.as_secs_f64() - mean).max(0.0) / 2.0;
+        let std = self.delay_std_dev.as_secs_f64().max(tail_spread);
+        LinkQuality::from_parts(
+            self.loss_probability,
+            self.delay_mean,
+            SimDuration::from_secs_f64(std),
+        )
+    }
+}
+
+/// Passively measures one directed link from the heartbeats received over it.
+///
+/// This is deliberately separate from the failure detector's own
+/// `LinkQualityEstimator` even though both consume the same heartbeat
+/// stream: the tuner needs drift-tracking estimators (EWMAs and a bounded
+/// quantile window) where the detector keeps long flat sample windows, and
+/// keeping the tuner outside `sle-fd` preserves the monitor's independence
+/// from tuning policy. The overhead is one O(1) record per heartbeat.
+///
+/// ```
+/// use sle_adaptive::sampler::LinkSampler;
+/// use sle_sim::time::{SimDuration, SimInstant};
+///
+/// let mut sampler = LinkSampler::new(0.2, 64, 0.99);
+/// let mut now = SimInstant::ZERO;
+/// for seq in 0..50u64 {
+///     now = now + SimDuration::from_millis(100);
+///     sampler.record(seq, now - SimDuration::from_millis(5), now);
+/// }
+/// let m = sampler.measurement().unwrap();
+/// assert!((m.delay_mean.as_millis_f64() - 5.0).abs() < 0.5);
+/// assert!(m.loss_probability < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSampler {
+    delay: EwmaVar,
+    window: WindowedQuantile,
+    quantile: f64,
+    loss: Ewma,
+    highest_seq: u64,
+    received: u64,
+}
+
+impl LinkSampler {
+    /// Creates a sampler with EWMA smoothing factor `alpha`, a delay window
+    /// of `window` samples, and `quantile` as the reported high quantile.
+    pub fn new(alpha: f64, window: usize, quantile: f64) -> Self {
+        LinkSampler {
+            delay: EwmaVar::new(alpha),
+            window: WindowedQuantile::new(window),
+            quantile: quantile.clamp(0.5, 1.0),
+            loss: Ewma::new(alpha),
+            highest_seq: 0,
+            received: 0,
+        }
+    }
+
+    /// Number of heartbeats recorded.
+    pub fn samples(&self) -> u64 {
+        self.received
+    }
+
+    /// Records heartbeat `seq`, stamped `sent_at` by the sender and received
+    /// at `received_at`.
+    ///
+    /// Losses are inferred from gaps in the sequence numbers: receiving
+    /// heartbeat `n` after heartbeat `m < n − 1` means `n − m − 1` heartbeats
+    /// were lost (or are still in flight; late arrivals are counted back as
+    /// deliveries, so a transient reordering only perturbs the loss EWMA
+    /// briefly).
+    pub fn record(&mut self, seq: u64, sent_at: SimInstant, received_at: SimInstant) {
+        let delay = received_at.saturating_since(sent_at).as_secs_f64();
+        self.delay.observe(delay);
+        self.window.record(delay);
+
+        if self.received == 0 {
+            self.highest_seq = seq;
+            self.loss.observe(0.0);
+        } else if seq > self.highest_seq {
+            let gap = seq - self.highest_seq - 1;
+            // Each lost heartbeat is one "1" observation, the delivered one a
+            // "0"; cap the gap so one pathological sequence jump (e.g. a
+            // sender restart) cannot saturate the estimator for long.
+            for _ in 0..gap.min(16) {
+                self.loss.observe(1.0);
+            }
+            self.loss.observe(0.0);
+            self.highest_seq = seq;
+        } else {
+            // Duplicate or late arrival: a previously counted loss made it
+            // after all.
+            self.loss.observe(0.0);
+        }
+        self.received += 1;
+    }
+
+    /// The current measurement, or `None` before any heartbeat arrived.
+    pub fn measurement(&self) -> Option<LinkMeasurement> {
+        let mean = self.delay.mean()?;
+        let std = self.delay.std_dev()?;
+        let quantile = self.window.quantile(self.quantile)?;
+        Some(LinkMeasurement {
+            delay_mean: SimDuration::from_secs_f64(mean),
+            delay_std_dev: SimDuration::from_secs_f64(std),
+            delay_quantile: SimDuration::from_secs_f64(quantile),
+            loss_probability: self.loss.value().unwrap_or(0.0).clamp(0.0, 1.0),
+            samples: self.received,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sampler: &mut LinkSampler, seqs: &[u64], delay_ms: f64) {
+        for &seq in seqs {
+            let sent = SimInstant::ZERO + SimDuration::from_millis(seq * 100);
+            let recv = sent + SimDuration::from_millis_f64(delay_ms);
+            sampler.record(seq, sent, recv);
+        }
+    }
+
+    #[test]
+    fn empty_sampler_has_no_measurement() {
+        let sampler = LinkSampler::new(0.1, 32, 0.99);
+        assert_eq!(sampler.measurement(), None);
+        assert_eq!(sampler.samples(), 0);
+    }
+
+    #[test]
+    fn clean_stream_measures_delay_and_no_loss() {
+        let mut sampler = LinkSampler::new(0.1, 64, 0.99);
+        let seqs: Vec<u64> = (0..100).collect();
+        feed(&mut sampler, &seqs, 10.0);
+        let m = sampler.measurement().unwrap();
+        assert!((m.delay_mean.as_millis_f64() - 10.0).abs() < 1e-6);
+        assert!(m.delay_std_dev.as_millis_f64() < 1e-6);
+        assert_eq!(m.delay_quantile, SimDuration::from_millis(10));
+        assert!(m.loss_probability < 1e-3);
+        assert_eq!(m.samples, 100);
+    }
+
+    #[test]
+    fn sequence_gaps_raise_the_loss_estimate() {
+        let mut sampler = LinkSampler::new(0.05, 64, 0.99);
+        // Every other heartbeat lost: true loss 0.5.
+        let seqs: Vec<u64> = (0..300).filter(|s| s % 2 == 0).collect();
+        feed(&mut sampler, &seqs, 1.0);
+        let m = sampler.measurement().unwrap();
+        assert!(
+            (m.loss_probability - 0.5).abs() < 0.1,
+            "loss {}",
+            m.loss_probability
+        );
+    }
+
+    #[test]
+    fn loss_estimate_recovers_after_a_lossy_burst() {
+        let mut sampler = LinkSampler::new(0.1, 64, 0.99);
+        let lossy: Vec<u64> = (0..100).filter(|s| s % 4 == 0).collect();
+        feed(&mut sampler, &lossy, 1.0);
+        let clean: Vec<u64> = (100..300).collect();
+        feed(&mut sampler, &clean, 1.0);
+        let m = sampler.measurement().unwrap();
+        assert!(m.loss_probability < 0.02, "loss {}", m.loss_probability);
+    }
+
+    #[test]
+    fn late_arrivals_do_not_inflate_loss_permanently() {
+        let mut sampler = LinkSampler::new(0.2, 32, 0.99);
+        let sent = |s: u64| SimInstant::ZERO + SimDuration::from_millis(s * 100);
+        sampler.record(0, sent(0), sent(0));
+        sampler.record(2, sent(2), sent(2));
+        // Heartbeat 1 was counted lost; now it arrives late.
+        sampler.record(1, sent(1), sent(2) + SimDuration::from_millis(50));
+        for s in 3..40u64 {
+            sampler.record(s, sent(s), sent(s));
+        }
+        let m = sampler.measurement().unwrap();
+        assert!(m.loss_probability < 0.01, "loss {}", m.loss_probability);
+    }
+
+    #[test]
+    fn quantile_tracks_the_tail_and_quality_widens_std() {
+        let mut sampler = LinkSampler::new(0.1, 100, 0.99);
+        for seq in 0..100u64 {
+            let sent = SimInstant::ZERO + SimDuration::from_millis(seq * 100);
+            let delay = if seq % 10 == 0 { 80 } else { 5 };
+            sampler.record(seq, sent, sent + SimDuration::from_millis(delay));
+        }
+        let m = sampler.measurement().unwrap();
+        assert_eq!(m.delay_quantile, SimDuration::from_millis(80));
+        let quality = m.to_link_quality();
+        // The widened std must cover at least half the tail spread.
+        assert!(
+            quality.delay_std_dev.as_millis_f64()
+                >= (80.0 - m.delay_mean.as_millis_f64()) / 2.0 - 1e-6
+        );
+    }
+
+    #[test]
+    fn giant_sequence_jump_is_capped() {
+        let mut sampler = LinkSampler::new(0.3, 16, 0.99);
+        let sent = |s: u64| SimInstant::ZERO + SimDuration::from_millis(s);
+        sampler.record(0, sent(0), sent(0));
+        // A restart-style jump of a million: must not pin loss at 1 forever.
+        sampler.record(1_000_000, sent(10), sent(10));
+        for s in 1_000_001..1_000_040u64 {
+            sampler.record(s, sent(s), sent(s));
+        }
+        let m = sampler.measurement().unwrap();
+        assert!(m.loss_probability < 0.05, "loss {}", m.loss_probability);
+    }
+}

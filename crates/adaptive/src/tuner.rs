@@ -1,0 +1,619 @@
+//! Dynamic re-derivation of failure-detection and election timing.
+//!
+//! The paper's service configures its Chen et al. failure detector once per
+//! join, from the application QoS `(T_D^U, T_MR^L, P_A^L)` and a
+//! conservative link prior: the detection bound `T_D^U` is treated as a
+//! *target* and η + δ is pinned to it. On a link that is faster and cleaner
+//! than the prior this wastes detection latency — the group takes the full
+//! `T_D^U` to notice a crashed leader even though the measured network would
+//! support a far tighter timeout at the same false-suspicion rate.
+//!
+//! An [`AdaptiveTuner`] closes that loop. It consumes the passive per-link
+//! measurements of [`LinkSampler`](crate::sampler::LinkSampler) and
+//! periodically re-derives, per monitored peer:
+//!
+//! * the heartbeat interval η and timeout shift δ (as
+//!   [`FdParams`]), choosing the **smallest** worst-case detection time
+//!   η + δ ≤ `T_D^U` whose predicted false-suspicion rate still honours the
+//!   application's mistake-recurrence bound — the acceptance test is the
+//!   exact same [`params_meet_qos`] the static configurator applies, but fed
+//!   with live measurements instead of the prior;
+//! * a safety margin: δ is floored at a high quantile of the measured delay
+//!   plus `safety_margin` standard deviations of jitter, so a regime shift
+//!   towards a slower network immediately pushes the timeout back out;
+//! * the election-layer grace period (the time a freshly joined candidate
+//!   waits before claiming leadership, and the horizon accusations are
+//!   judged against), kept at twice the derived detection bound exactly as
+//!   the static service keeps it at twice `T_D^U`.
+//!
+//! The [`Tuner`] trait keeps all of this opt-in: the default
+//! [`StaticTuner`] recommends nothing, leaving the per-join static
+//! configuration untouched.
+
+use std::collections::BTreeMap;
+
+use sle_fd::config::params_meet_qos;
+use sle_fd::{FdConfigurator, FdParams, QosSpec};
+use sle_sim::actor::NodeId;
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::sampler::LinkSampler;
+
+/// Knobs of the adaptive tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerConfig {
+    /// How often the parameters are re-derived.
+    pub period: SimDuration,
+    /// Heartbeats that must be observed on a link before its measurements
+    /// replace the static configuration.
+    pub min_samples: u64,
+    /// Lower bound on the derived worst-case detection time η + δ. Guards
+    /// against over-fitting a briefly quiet network with a hair-trigger
+    /// timeout.
+    pub floor: SimDuration,
+    /// Smallest heartbeat interval the tuner will ask a peer for.
+    pub min_interval: SimDuration,
+    /// η as a fraction of the derived detection bound (mirrors the static
+    /// configurator's cap fraction).
+    pub interval_fraction: f64,
+    /// δ is floored at `delay quantile + safety_margin × jitter`.
+    pub safety_margin: f64,
+    /// The delay quantile used for the δ floor.
+    pub quantile: f64,
+    /// EWMA smoothing factor of the delay/loss estimators.
+    pub ewma_alpha: f64,
+    /// Sliding-window size of the quantile estimator.
+    pub window: usize,
+    /// Candidate detection bounds examined between the floor and `T_D^U`.
+    pub search_steps: usize,
+    /// Relative change of the detection bound below which the previous
+    /// recommendation is kept (hysteresis against parameter flapping).
+    pub hysteresis: f64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            period: SimDuration::from_secs(1),
+            min_samples: 16,
+            floor: SimDuration::from_millis(100),
+            min_interval: SimDuration::from_millis(5),
+            interval_fraction: 0.25,
+            safety_margin: 4.0,
+            quantile: 0.99,
+            ewma_alpha: 0.1,
+            window: 64,
+            search_steps: 64,
+            hysteresis: 0.1,
+        }
+    }
+}
+
+/// Whether (and how) a group's failure detection is tuned at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TuningPolicy {
+    /// The paper's behaviour: parameters derived once per join from the QoS
+    /// and a conservative prior, never revisited by the tuner.
+    #[default]
+    Static,
+    /// Continuous re-derivation from passive measurements.
+    Adaptive(TunerConfig),
+}
+
+impl TuningPolicy {
+    /// Adaptive tuning with the default configuration.
+    pub fn adaptive() -> Self {
+        TuningPolicy::Adaptive(TunerConfig::default())
+    }
+}
+
+/// What the tuner currently recommends for one monitored peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The failure-detector operating point (η, δ).
+    pub params: FdParams,
+}
+
+impl Recommendation {
+    /// The derived worst-case detection time η + δ.
+    pub fn detection_bound(&self) -> SimDuration {
+        self.params.worst_case_detection()
+    }
+
+    /// The recommended election grace period (self-election delay of a
+    /// freshly joined candidate): twice the detection bound, mirroring the
+    /// static service's `2 × T_D^U`.
+    pub fn election_grace(&self) -> SimDuration {
+        self.detection_bound() * 2
+    }
+}
+
+/// A source of failure-detection parameter recommendations.
+///
+/// Implementations are sans-io: they are fed receive timestamps by the
+/// service and queried on the service's timers.
+pub trait Tuner {
+    /// Whether this tuner ever recommends anything.
+    fn is_adaptive(&self) -> bool;
+
+    /// The cadence at which the owner should call
+    /// [`recommend`](Tuner::recommend), or `None` for a static tuner.
+    fn period(&self) -> Option<SimDuration>;
+
+    /// Feeds the receive timestamp of heartbeat `seq` from `peer`.
+    fn observe(&mut self, peer: NodeId, seq: u64, sent_at: SimInstant, received_at: SimInstant);
+
+    /// Re-derives (if due) and returns the current recommendation for
+    /// `peer`, or `None` while measurements are insufficient (or for a
+    /// static tuner, always).
+    fn recommend(&mut self, peer: NodeId, qos: &QosSpec, now: SimInstant)
+        -> Option<Recommendation>;
+
+    /// Discards all measurement state about `peer` (it left, or restarted
+    /// with a new incarnation).
+    fn forget_peer(&mut self, peer: NodeId);
+}
+
+/// The default tuner: keeps the per-join static configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StaticTuner;
+
+impl Tuner for StaticTuner {
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    fn period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn observe(&mut self, _: NodeId, _: u64, _: SimInstant, _: SimInstant) {}
+
+    fn recommend(&mut self, _: NodeId, _: &QosSpec, _: SimInstant) -> Option<Recommendation> {
+        None
+    }
+
+    fn forget_peer(&mut self, _: NodeId) {}
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PeerTuning {
+    sampler: LinkSampler,
+    current: Option<Recommendation>,
+}
+
+/// Continuously re-derives FD parameters from passive link measurements.
+///
+/// ```
+/// use sle_adaptive::tuner::{AdaptiveTuner, Tuner, TunerConfig};
+/// use sle_fd::QosSpec;
+/// use sle_sim::actor::NodeId;
+/// use sle_sim::time::{SimDuration, SimInstant};
+///
+/// let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+/// let qos = QosSpec::paper_default();
+/// let mut now = SimInstant::ZERO;
+/// for seq in 0..100u64 {
+///     now = now + SimDuration::from_millis(100);
+///     // A fast, clean link: 1 ms delay, no loss.
+///     tuner.observe(NodeId(1), seq, now - SimDuration::from_millis(1), now);
+/// }
+/// let rec = tuner.recommend(NodeId(1), &qos, now).unwrap();
+/// // The derived bound sits at the configured floor, far below T_D^U = 1 s.
+/// assert!(rec.detection_bound() < SimDuration::from_millis(200));
+/// assert!(rec.detection_bound() >= TunerConfig::default().floor);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveTuner {
+    config: TunerConfig,
+    peers: BTreeMap<NodeId, PeerTuning>,
+}
+
+impl AdaptiveTuner {
+    /// Creates a tuner with the given configuration.
+    pub fn new(config: TunerConfig) -> Self {
+        AdaptiveTuner {
+            config,
+            peers: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TunerConfig {
+        self.config
+    }
+
+    /// Number of peers with measurement state.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Derives the smallest acceptable detection bound for the measured link,
+    /// or `None` if the measurements do not (yet) justify deviating from the
+    /// static configuration.
+    fn derive(&self, sampler: &LinkSampler, qos: &QosSpec) -> Option<Recommendation> {
+        let measurement = sampler.measurement()?;
+        if measurement.samples < self.config.min_samples {
+            return None;
+        }
+        let quality = measurement.to_link_quality();
+        let t_d = qos.detection_time();
+        let fraction = self.config.interval_fraction.clamp(0.05, 0.8);
+
+        // The timeout shift must cover the observed delay tail plus margin.
+        let delta_min = measurement
+            .delay_quantile
+            .saturating_add(measurement.delay_std_dev.mul_f64(self.config.safety_margin));
+        let floor = self
+            .config
+            .floor
+            .max(delta_min.mul_f64(1.0 / (1.0 - fraction)))
+            .min(t_d);
+        let steps = self.config.search_steps.max(2);
+
+        for i in 0..steps {
+            // Walk from the floor up towards T_D^U, keeping the smallest
+            // (fastest-detecting) bound that still honours the QoS.
+            let fraction_of_span = i as f64 / (steps - 1) as f64;
+            let total = floor + (t_d.saturating_sub(floor)).mul_f64(fraction_of_span);
+            let interval = total.mul_f64(fraction).max(self.config.min_interval);
+            if interval >= total {
+                continue;
+            }
+            let shift = total - interval;
+            if shift < delta_min {
+                continue;
+            }
+            // The acceptance test is shared with the static configurator
+            // (sle_fd::config::params_meet_qos): predicted mistakes must
+            // recur no more often than T_MR^L and last no longer than T_M^U.
+            if !params_meet_qos(&quality, interval, shift, qos) {
+                continue;
+            }
+            return Some(Recommendation {
+                params: FdParams { interval, shift },
+            });
+        }
+        // Even T_D^U cannot be met with the measured link. Recommend what
+        // the static configurator would choose for these measurements rather
+        // than nothing: a previously applied tight recommendation must not
+        // linger on a link that has degraded past it.
+        let params = FdConfigurator::default().compute(qos, &quality);
+        Some(Recommendation { params })
+    }
+}
+
+impl Tuner for AdaptiveTuner {
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn period(&self) -> Option<SimDuration> {
+        Some(self.config.period)
+    }
+
+    fn observe(&mut self, peer: NodeId, seq: u64, sent_at: SimInstant, received_at: SimInstant) {
+        let config = &self.config;
+        let entry = self.peers.entry(peer).or_insert_with(|| PeerTuning {
+            sampler: LinkSampler::new(config.ewma_alpha, config.window, config.quantile),
+            current: None,
+        });
+        entry.sampler.record(seq, sent_at, received_at);
+    }
+
+    fn recommend(
+        &mut self,
+        peer: NodeId,
+        qos: &QosSpec,
+        _now: SimInstant,
+    ) -> Option<Recommendation> {
+        let hysteresis = self.config.hysteresis;
+        let derived = self.derive(&self.peers.get(&peer)?.sampler, qos)?;
+        let entry = self.peers.get_mut(&peer).expect("peer state just read");
+        // Hysteresis compares the full operating point, not just the bound:
+        // in the fallback regime the bound is pinned at T_D^U while the
+        // (η, δ) split keeps tracking the degrading link, and those updates
+        // must go through.
+        let within = |old: SimDuration, new: SimDuration| {
+            let old = old.as_secs_f64();
+            old > 0.0 && ((new.as_secs_f64() - old) / old).abs() < hysteresis
+        };
+        let keep_current = entry.current.is_some_and(|current| {
+            within(current.params.interval, derived.params.interval)
+                && within(current.params.shift, derived.params.shift)
+        });
+        if !keep_current {
+            entry.current = Some(derived);
+        }
+        entry.current
+    }
+
+    fn forget_peer(&mut self, peer: NodeId) {
+        self.peers.remove(&peer);
+    }
+}
+
+/// Runtime-selectable tuner, mirroring the `AnyElector` pattern: concrete
+/// enough for the service's group state to stay `Clone` + `Debug`, while the
+/// [`Tuner`] trait remains the extension point for new policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyTuner {
+    /// No tuning (the default).
+    Static(StaticTuner),
+    /// Measurement-driven tuning.
+    Adaptive(AdaptiveTuner),
+}
+
+impl AnyTuner {
+    /// Builds the tuner selected by `policy`.
+    pub fn new(policy: TuningPolicy) -> Self {
+        match policy {
+            TuningPolicy::Static => AnyTuner::Static(StaticTuner),
+            TuningPolicy::Adaptive(config) => AnyTuner::Adaptive(AdaptiveTuner::new(config)),
+        }
+    }
+}
+
+impl Default for AnyTuner {
+    fn default() -> Self {
+        AnyTuner::Static(StaticTuner)
+    }
+}
+
+impl Tuner for AnyTuner {
+    fn is_adaptive(&self) -> bool {
+        match self {
+            AnyTuner::Static(t) => t.is_adaptive(),
+            AnyTuner::Adaptive(t) => t.is_adaptive(),
+        }
+    }
+
+    fn period(&self) -> Option<SimDuration> {
+        match self {
+            AnyTuner::Static(t) => t.period(),
+            AnyTuner::Adaptive(t) => t.period(),
+        }
+    }
+
+    fn observe(&mut self, peer: NodeId, seq: u64, sent_at: SimInstant, received_at: SimInstant) {
+        match self {
+            AnyTuner::Static(t) => t.observe(peer, seq, sent_at, received_at),
+            AnyTuner::Adaptive(t) => t.observe(peer, seq, sent_at, received_at),
+        }
+    }
+
+    fn recommend(
+        &mut self,
+        peer: NodeId,
+        qos: &QosSpec,
+        now: SimInstant,
+    ) -> Option<Recommendation> {
+        match self {
+            AnyTuner::Static(t) => t.recommend(peer, qos, now),
+            AnyTuner::Adaptive(t) => t.recommend(peer, qos, now),
+        }
+    }
+
+    fn forget_peer(&mut self, peer: NodeId) {
+        match self {
+            AnyTuner::Static(t) => t.forget_peer(peer),
+            AnyTuner::Adaptive(t) => t.forget_peer(peer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEER: NodeId = NodeId(1);
+
+    fn feed(
+        tuner: &mut AdaptiveTuner,
+        start_seq: u64,
+        count: u64,
+        delay: SimDuration,
+        start: SimInstant,
+    ) -> SimInstant {
+        let mut now = start;
+        for seq in start_seq..start_seq + count {
+            now += SimDuration::from_millis(100);
+            tuner.observe(PEER, seq, now - delay, now);
+        }
+        now
+    }
+
+    #[test]
+    fn static_tuner_never_recommends() {
+        let mut tuner = StaticTuner;
+        assert!(!tuner.is_adaptive());
+        assert_eq!(tuner.period(), None);
+        tuner.observe(PEER, 0, SimInstant::ZERO, SimInstant::ZERO);
+        assert_eq!(
+            tuner.recommend(PEER, &QosSpec::paper_default(), SimInstant::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn too_few_samples_yield_no_recommendation() {
+        let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+        let now = feed(
+            &mut tuner,
+            0,
+            5,
+            SimDuration::from_millis(1),
+            SimInstant::ZERO,
+        );
+        assert_eq!(tuner.recommend(PEER, &QosSpec::paper_default(), now), None);
+        assert_eq!(tuner.peer_count(), 1);
+    }
+
+    #[test]
+    fn clean_link_earns_a_tight_detection_bound() {
+        let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+        let qos = QosSpec::paper_default();
+        let now = feed(
+            &mut tuner,
+            0,
+            100,
+            SimDuration::from_millis(1),
+            SimInstant::ZERO,
+        );
+        let rec = tuner.recommend(PEER, &qos, now).unwrap();
+        assert!(rec.detection_bound() < qos.detection_time());
+        assert!(rec.detection_bound() >= TunerConfig::default().floor);
+        assert_eq!(
+            rec.params.worst_case_detection(),
+            rec.detection_bound(),
+            "η + δ must equal the derived bound"
+        );
+        assert_eq!(rec.election_grace(), rec.detection_bound() * 2);
+        // The shift must clear the measured delay tail with margin to spare.
+        assert!(rec.params.shift >= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn delta_shrinks_after_a_latency_drop_and_grows_after_a_spike() {
+        let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+        let qos = QosSpec::paper_default();
+
+        // Regime 1: a slow WAN-ish link (90 ms delays).
+        let now = feed(
+            &mut tuner,
+            0,
+            200,
+            SimDuration::from_millis(90),
+            SimInstant::ZERO,
+        );
+        let slow = tuner.recommend(PEER, &qos, now).unwrap();
+        assert!(slow.params.shift > SimDuration::from_millis(90));
+
+        // Regime 2: latency drops to 1 ms; δ and the bound must shrink.
+        let now = feed(&mut tuner, 200, 200, SimDuration::from_millis(1), now);
+        let fast = tuner.recommend(PEER, &qos, now).unwrap();
+        assert!(
+            fast.params.shift < slow.params.shift,
+            "δ must shrink after the latency drop: {} !< {}",
+            fast.params.shift,
+            slow.params.shift
+        );
+        assert!(fast.detection_bound() < slow.detection_bound());
+
+        // Regime 3: latency spikes to 150 ms; δ must grow back out.
+        let now = feed(&mut tuner, 400, 200, SimDuration::from_millis(150), now);
+        let spiked = tuner.recommend(PEER, &qos, now).unwrap();
+        assert!(
+            spiked.params.shift > fast.params.shift,
+            "δ must grow after the latency spike: {} !> {}",
+            spiked.params.shift,
+            fast.params.shift
+        );
+        assert!(spiked.params.shift > SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn derived_bound_never_exceeds_the_static_one() {
+        let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+        let qos = QosSpec::paper_default();
+        // A terrible link: 300 ms delays with heavy jitter.
+        let mut now = SimInstant::ZERO;
+        for seq in 0..200u64 {
+            now += SimDuration::from_millis(100);
+            let delay = SimDuration::from_millis(if seq % 3 == 0 { 500 } else { 150 });
+            tuner.observe(PEER, seq, now - delay, now);
+        }
+        if let Some(rec) = tuner.recommend(PEER, &qos, now) {
+            assert!(rec.detection_bound() <= qos.detection_time());
+        }
+    }
+
+    #[test]
+    fn lossy_link_keeps_a_wider_bound_than_a_clean_one() {
+        let qos = QosSpec::paper_default();
+        let config = TunerConfig::default();
+
+        let mut clean = AdaptiveTuner::new(config);
+        let now = feed(
+            &mut clean,
+            0,
+            300,
+            SimDuration::from_millis(5),
+            SimInstant::ZERO,
+        );
+        let clean_rec = clean.recommend(PEER, &qos, now).unwrap();
+
+        let mut lossy = AdaptiveTuner::new(config);
+        let mut t = SimInstant::ZERO;
+        for seq in (0..300u64).filter(|s| s % 3 != 0) {
+            t = SimInstant::ZERO + SimDuration::from_millis((seq + 1) * 100);
+            lossy.observe(PEER, seq, t - SimDuration::from_millis(5), t);
+        }
+        // Declining to recommend at all would also be acceptable on such a
+        // lossy link; a recommendation, if made, must not be tighter.
+        if let Some(lossy_rec) = lossy.recommend(PEER, &qos, t) {
+            assert!(
+                lossy_rec.detection_bound() >= clean_rec.detection_bound(),
+                "a 33%-lossy link must not get a tighter bound"
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_suppresses_small_oscillations() {
+        let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+        let qos = QosSpec::paper_default();
+        let now = feed(
+            &mut tuner,
+            0,
+            100,
+            SimDuration::from_millis(10),
+            SimInstant::ZERO,
+        );
+        let first = tuner.recommend(PEER, &qos, now).unwrap();
+        // A tiny wobble in measured delay must not move the recommendation.
+        let now = feed(&mut tuner, 100, 20, SimDuration::from_millis(11), now);
+        let second = tuner.recommend(PEER, &qos, now).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn forget_peer_drops_measurement_state() {
+        let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+        let now = feed(
+            &mut tuner,
+            0,
+            50,
+            SimDuration::from_millis(1),
+            SimInstant::ZERO,
+        );
+        assert!(tuner
+            .recommend(PEER, &QosSpec::paper_default(), now)
+            .is_some());
+        tuner.forget_peer(PEER);
+        assert_eq!(tuner.peer_count(), 0);
+        assert_eq!(tuner.recommend(PEER, &QosSpec::paper_default(), now), None);
+    }
+
+    #[test]
+    fn any_tuner_selects_by_policy() {
+        let mut s = AnyTuner::new(TuningPolicy::Static);
+        assert!(!s.is_adaptive());
+        assert_eq!(s.period(), None);
+        assert_eq!(AnyTuner::default(), s);
+        s.observe(PEER, 0, SimInstant::ZERO, SimInstant::ZERO);
+        s.forget_peer(PEER);
+
+        let mut a = AnyTuner::new(TuningPolicy::adaptive());
+        assert!(a.is_adaptive());
+        assert_eq!(a.period(), Some(TunerConfig::default().period));
+        let mut now = SimInstant::ZERO;
+        for seq in 0..100u64 {
+            now += SimDuration::from_millis(100);
+            a.observe(PEER, seq, now - SimDuration::from_millis(1), now);
+        }
+        assert!(a.recommend(PEER, &QosSpec::paper_default(), now).is_some());
+        a.forget_peer(PEER);
+        assert!(a.recommend(PEER, &QosSpec::paper_default(), now).is_none());
+    }
+}

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the three election algorithms' hot paths: handling an
 //! ALIVE payload and recomputing the leader.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sle_bench::{bench_loop, black_box};
 use sle_election::{AlivePayload, AnyElector, ElectorKind, LeaderElector};
 use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
@@ -14,45 +14,47 @@ fn payload(secs: u64) -> AlivePayload {
     }
 }
 
-fn bench_alive_handling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elector_on_alive_and_leader");
+fn bench_alive_handling() {
     for kind in ElectorKind::all() {
-        group.bench_function(kind.algorithm_name(), |b| {
-            let mut elector = AnyElector::new(kind, NodeId(0), true, SimInstant::ZERO);
-            // Pre-populate with 11 peers, as in the paper's 12-node group.
-            for peer in 1..12u32 {
-                elector.on_alive(NodeId(peer), payload(peer as u64), SimInstant::ZERO);
-            }
-            let mut tick = 0u64;
-            b.iter(|| {
+        let mut elector = AnyElector::new(kind, NodeId(0), true, SimInstant::ZERO);
+        // Pre-populate with 11 peers, as in the paper's 12-node group.
+        for peer in 1..12u32 {
+            elector.on_alive(NodeId(peer), payload(peer as u64), SimInstant::ZERO);
+        }
+        let mut tick = 0u64;
+        bench_loop(
+            &format!("elector_on_alive_and_leader/{}", kind.algorithm_name()),
+            200_000,
+            || {
                 tick += 1;
                 let from = NodeId(1 + (tick % 11) as u32);
                 elector.on_alive(from, payload(from.0 as u64), SimInstant::ZERO);
                 black_box(elector.leader())
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_suspicion_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elector_suspect_trust_cycle");
+fn bench_suspicion_path() {
     for kind in [ElectorKind::OmegaLc, ElectorKind::OmegaL] {
-        group.bench_function(kind.algorithm_name(), |b| {
-            let mut elector = AnyElector::new(kind, NodeId(0), true, SimInstant::ZERO);
-            for peer in 1..12u32 {
-                elector.on_alive(NodeId(peer), payload(peer as u64), SimInstant::ZERO);
-            }
-            b.iter(|| {
+        let mut elector = AnyElector::new(kind, NodeId(0), true, SimInstant::ZERO);
+        for peer in 1..12u32 {
+            elector.on_alive(NodeId(peer), payload(peer as u64), SimInstant::ZERO);
+        }
+        bench_loop(
+            &format!("elector_suspect_trust_cycle/{}", kind.algorithm_name()),
+            200_000,
+            || {
                 let now = SimInstant::ZERO + SimDuration::from_secs(1);
                 black_box(elector.on_suspect(NodeId(5), now));
                 elector.on_trust(NodeId(5), now);
                 black_box(elector.leader())
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_alive_handling, bench_suspicion_path);
-criterion_main!(benches);
+fn main() {
+    bench_alive_handling();
+    bench_suspicion_path();
+}

@@ -1,12 +1,14 @@
 //! Micro-benchmarks of the failure-detector building blocks: the
-//! configurator search, the link-quality estimator and the freshness
-//! monitor's heartbeat path.
+//! configurator search, the link-quality estimator, the freshness monitor's
+//! heartbeat path and the adaptive tuner's re-derivation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sle_adaptive::{AdaptiveTuner, Tuner, TunerConfig};
+use sle_bench::{bench_loop, black_box};
 use sle_fd::{FdConfigurator, LinkQuality, LinkQualityEstimator, PeerMonitor, QosSpec};
+use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
 
-fn bench_configurator(c: &mut Criterion) {
+fn bench_configurator() {
     let configurator = FdConfigurator::default();
     let qos = QosSpec::paper_default();
     let quality = LinkQuality::from_parts(
@@ -14,38 +16,58 @@ fn bench_configurator(c: &mut Criterion) {
         SimDuration::from_millis(100),
         SimDuration::from_millis(100),
     );
-    c.bench_function("fd_configurator_compute", |b| {
-        b.iter(|| configurator.compute(black_box(&qos), black_box(&quality)))
+    bench_loop("fd_configurator_compute", 100_000, || {
+        configurator.compute(black_box(&qos), black_box(&quality))
     });
 }
 
-fn bench_estimator(c: &mut Criterion) {
-    c.bench_function("link_quality_estimator_record_and_estimate", |b| {
-        let mut estimator = LinkQualityEstimator::new(256);
-        let mut seq = 0u64;
-        b.iter(|| {
+fn bench_estimator() {
+    let mut estimator = LinkQualityEstimator::new(256);
+    let mut seq = 0u64;
+    bench_loop(
+        "link_quality_estimator_record_and_estimate",
+        100_000,
+        || {
             let sent = SimInstant::ZERO + SimDuration::from_millis(seq * 100);
             estimator.record(seq, sent, sent + SimDuration::from_millis(5));
             seq += 1;
             black_box(estimator.estimate())
-        })
+        },
+    );
+}
+
+fn bench_monitor() {
+    let mut monitor = PeerMonitor::new(QosSpec::paper_default(), SimInstant::ZERO);
+    let interval = SimDuration::from_millis(250);
+    let mut seq = 0u64;
+    let mut now = SimInstant::ZERO;
+    bench_loop("peer_monitor_heartbeat", 1_000_000, || {
+        now += interval;
+        seq += 1;
+        black_box(monitor.on_heartbeat(seq, now, interval, now));
+        black_box(monitor.check(now))
     });
 }
 
-fn bench_monitor(c: &mut Criterion) {
-    c.bench_function("peer_monitor_heartbeat", |b| {
-        let mut monitor = PeerMonitor::new(QosSpec::paper_default(), SimInstant::ZERO);
-        let interval = SimDuration::from_millis(250);
-        let mut seq = 0u64;
-        let mut now = SimInstant::ZERO;
-        b.iter(|| {
-            now = now + interval;
-            seq += 1;
-            black_box(monitor.on_heartbeat(seq, now, interval, now));
-            black_box(monitor.check(now));
-        })
+fn bench_adaptive_tuner() {
+    let qos = QosSpec::paper_default();
+    let peer = NodeId(1);
+    let mut tuner = AdaptiveTuner::new(TunerConfig::default());
+    let mut seq = 0u64;
+    let mut now = SimInstant::ZERO;
+    bench_loop("adaptive_tuner_observe", 1_000_000, || {
+        now += SimDuration::from_millis(100);
+        seq += 1;
+        tuner.observe(peer, seq, now - SimDuration::from_millis(3), now);
+    });
+    bench_loop("adaptive_tuner_recommend", 10_000, || {
+        black_box(tuner.recommend(peer, &qos, now))
     });
 }
 
-criterion_group!(benches, bench_configurator, bench_estimator, bench_monitor);
-criterion_main!(benches);
+fn main() {
+    bench_configurator();
+    bench_estimator();
+    bench_monitor();
+    bench_adaptive_tuner();
+}

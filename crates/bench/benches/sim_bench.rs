@@ -3,7 +3,7 @@
 //! virtual minute (this is the quantity that determines how long the figure
 //! reproductions take).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sle_bench::bench_once;
 use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
 use sle_election::ElectorKind;
 use sle_net::link::LinkSpec;
@@ -30,20 +30,15 @@ fn run_virtual_minute(algorithm: ElectorKind, link: LinkSpec) -> u64 {
     observer.delivered
 }
 
-fn bench_virtual_minute(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_one_virtual_minute_12_nodes");
-    group.sample_size(10);
-    group.bench_function("S2_lan", |b| {
-        b.iter(|| run_virtual_minute(ElectorKind::OmegaLc, LinkSpec::lan()))
+fn main() {
+    bench_once("simulate_one_virtual_minute_12_nodes/S2_lan", || {
+        run_virtual_minute(ElectorKind::OmegaLc, LinkSpec::lan())
     });
-    group.bench_function("S3_lan", |b| {
-        b.iter(|| run_virtual_minute(ElectorKind::OmegaL, LinkSpec::lan()))
+    bench_once("simulate_one_virtual_minute_12_nodes/S3_lan", || {
+        run_virtual_minute(ElectorKind::OmegaL, LinkSpec::lan())
     });
-    group.bench_function("S2_lossy_100ms_0.1", |b| {
-        b.iter(|| run_virtual_minute(ElectorKind::OmegaLc, LinkSpec::from_paper_tuple(100.0, 0.1)))
-    });
-    group.finish();
+    bench_once(
+        "simulate_one_virtual_minute_12_nodes/S2_lossy_100ms_0.1",
+        || run_virtual_minute(ElectorKind::OmegaLc, LinkSpec::from_paper_tuple(100.0, 0.1)),
+    );
 }
-
-criterion_group!(benches, bench_virtual_minute);
-criterion_main!(benches);

@@ -5,16 +5,65 @@
 //! * the `reproduce` binary (`cargo run -p sle-bench --release --bin
 //!   reproduce`), which re-runs every experimental cell of the paper's
 //!   figures and prints paper-vs-measured tables, and
-//! * the Criterion micro-benchmarks (`cargo bench`) for the failure
-//!   detector, the election algorithms, the simulator and small versions of
-//!   the figure scenarios.
+//! * the micro-benchmarks (`cargo bench`) for the failure detector, the
+//!   election algorithms, the adaptive tuner, the simulator and small
+//!   versions of the figure scenarios. They are plain `harness = false`
+//!   binaries built on the dependency-free [`runner`] below, so the whole
+//!   workspace builds without any third-party crate.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for a recorded run.
 
 #![warn(missing_docs)]
 
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
 /// A tiny helper shared by the benchmarks: a short experiment used as a
 /// macro-benchmark workload.
 pub fn smoke_scenario_seconds() -> u64 {
     60
+}
+
+/// Prevents the optimiser from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Times `iters` calls of `f` (after `iters / 10` warm-up calls) and prints
+/// one `name: <ns>/iter` line — the dependency-free stand-in for a Criterion
+/// benchmark.
+pub fn bench_loop<T, F: FnMut() -> T>(name: &str, iters: u64, mut f: F) {
+    let warmup = (iters / 10).max(1);
+    for _ in 0..warmup {
+        std_black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std_black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<55} {per_iter:>12.1} ns/iter  ({iters} iters)");
+}
+
+/// Times a single execution of `f` and prints one `name: <ms>` line — for
+/// macro-benchmarks where one run is already seconds of work.
+pub fn bench_once<T, F: FnOnce() -> T>(name: &str, f: F) -> T {
+    let start = Instant::now();
+    let result = std_black_box(f());
+    let elapsed = start.elapsed();
+    println!("{name:<55} {:>12.1} ms", elapsed.as_secs_f64() * 1e3);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_run() {
+        assert_eq!(smoke_scenario_seconds(), 60);
+        bench_loop("noop", 10, || black_box(1 + 1));
+        assert_eq!(bench_once("noop-once", || 7), 7);
+    }
 }

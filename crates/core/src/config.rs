@@ -1,5 +1,6 @@
 //! Service and group configuration.
 
+use sle_adaptive::TuningPolicy;
 use sle_election::ElectorKind;
 use sle_fd::QosSpec;
 use sle_sim::actor::NodeId;
@@ -21,8 +22,9 @@ pub enum NotificationMode {
     Query,
 }
 
-/// Per-join parameters: the four things a process specifies when joining a
-/// group (paper Section 4).
+/// Per-join parameters: what a process specifies when joining a group
+/// (paper Section 4), extended with the tuning policy of the adaptive
+/// subsystem.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinConfig {
     /// Whether the joining process is a candidate for the group leadership.
@@ -31,16 +33,21 @@ pub struct JoinConfig {
     pub notification: NotificationMode,
     /// The QoS of the failure detection underlying this group's election.
     pub qos: QosSpec,
+    /// Whether the failure-detection parameters are re-derived at run time
+    /// from passive network measurements ([`TuningPolicy::Static`], the
+    /// default, reproduces the paper's fixed per-join configuration).
+    pub tuning: TuningPolicy,
 }
 
 impl JoinConfig {
-    /// A candidate joining with the paper's default QoS and interrupt-style
-    /// notifications.
+    /// A candidate joining with the paper's default QoS, interrupt-style
+    /// notifications and static (paper-faithful) tuning.
     pub fn candidate() -> Self {
         JoinConfig {
             candidate: true,
             notification: NotificationMode::Interrupt,
             qos: QosSpec::paper_default(),
+            tuning: TuningPolicy::Static,
         }
     }
 
@@ -51,6 +58,7 @@ impl JoinConfig {
             candidate: false,
             notification: NotificationMode::Interrupt,
             qos: QosSpec::paper_default(),
+            tuning: TuningPolicy::Static,
         }
     }
 
@@ -64,6 +72,17 @@ impl JoinConfig {
     pub fn with_notification(mut self, notification: NotificationMode) -> Self {
         self.notification = notification;
         self
+    }
+
+    /// Replaces the tuning policy.
+    pub fn with_tuning(mut self, tuning: TuningPolicy) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Enables adaptive tuning with its default configuration.
+    pub fn with_adaptive_tuning(self) -> Self {
+        self.with_tuning(TuningPolicy::adaptive())
     }
 }
 
@@ -155,6 +174,11 @@ mod tests {
         let c = JoinConfig::candidate();
         assert!(c.candidate);
         assert_eq!(c.notification, NotificationMode::Interrupt);
+        assert_eq!(c.tuning, TuningPolicy::Static);
+        assert!(matches!(
+            JoinConfig::candidate().with_adaptive_tuning().tuning,
+            TuningPolicy::Adaptive(_)
+        ));
         let l = JoinConfig::listener().with_notification(NotificationMode::Query);
         assert!(!l.candidate);
         assert_eq!(l.notification, NotificationMode::Query);

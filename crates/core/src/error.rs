@@ -18,7 +18,10 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::UnknownProcess(p) => {
-                write!(f, "process {p} is not registered with this service instance")
+                write!(
+                    f,
+                    "process {p} is not registered with this service instance"
+                )
             }
             ServiceError::ForeignProcess(p) => {
                 write!(f, "process {p} is registered on a different workstation")

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use sle_adaptive::AnyTuner;
 use sle_election::{AnyElector, LeaderElector};
 use sle_fd::{FailureDetector, QosSpec};
 use sle_sim::actor::NodeId;
@@ -69,6 +70,11 @@ pub struct GroupState {
     /// period: a freshly joined candidate does not claim the leadership for
     /// itself until it had a chance to learn about the incumbent).
     pub joined_at: SimInstant,
+    /// The QoS tuner selected by the join configuration (static by default).
+    pub tuner: AnyTuner,
+    /// The election grace period recommended by the tuner, if any; overrides
+    /// the static `2 × T_D^U` once adaptive tuning has converged.
+    pub tuned_grace: Option<SimDuration>,
 }
 
 impl GroupState {
@@ -93,14 +99,18 @@ impl GroupState {
             representatives: BTreeMap::new(),
             announced_leader: None,
             joined_at: now,
+            tuner: AnyTuner::new(config.tuning),
+            tuned_grace: None,
         }
     }
 
     /// How long after joining this node refrains from announcing *itself* as
     /// the leader (twice the crash-detection bound: enough to hear from an
-    /// incumbent leader if there is one).
+    /// incumbent leader if there is one). An adaptive tuner shrinks this
+    /// alongside the detection bound.
     pub fn self_election_grace(&self) -> SimDuration {
-        self.qos.detection_time() * 2
+        self.tuned_grace
+            .unwrap_or_else(|| self.qos.detection_time() * 2)
     }
 
     /// True if any local process joined this group as a candidate.
@@ -129,7 +139,11 @@ impl GroupState {
     /// group: the most demanding (smallest) of what the peers asked for,
     /// never exceeding the default derived from the group's QoS.
     pub fn send_interval(&self) -> SimDuration {
-        let default = self.qos.detection_time().mul_f64(0.25).max(SimDuration::from_millis(5));
+        let default = self
+            .qos
+            .detection_time()
+            .mul_f64(0.25)
+            .max(SimDuration::from_millis(5));
         self.requested_by_peers
             .values()
             .copied()

@@ -90,6 +90,7 @@ pub mod prelude {
     pub use crate::node::{ServiceContext, ServiceNode};
     pub use crate::process::{GroupId, ProcessId};
     pub use crate::runtime::{Cluster, ClusterEvent, ClusterHandle};
+    pub use sle_adaptive::{TunerConfig, TuningPolicy};
 }
 
 pub use config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
@@ -100,3 +101,4 @@ pub use messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
 pub use node::{ServiceContext, ServiceNode};
 pub use process::{GroupId, ProcessId};
 pub use runtime::{Cluster, ClusterEvent, ClusterHandle};
+pub use sle_adaptive::{TunerConfig, TuningPolicy};

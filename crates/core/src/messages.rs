@@ -104,11 +104,11 @@ impl WireSize for ServiceMessage {
         // Sizes follow a straightforward binary encoding: fixed-width
         // integers and timestamps, one byte per message/option tag.
         match self {
-            ServiceMessage::Hello {
-                announcements, ..
-            } => {
+            ServiceMessage::Hello { announcements, .. } => {
                 // tag + incarnation + sent_at + count
-                1 + 8 + 8 + 2
+                1 + 8
+                    + 8
+                    + 2
                     + announcements
                         .iter()
                         .map(|a| 4 + 2 + a.processes.len() * (8 + 1))

@@ -9,8 +9,9 @@
 //! under the discrete-event simulator (for the evaluation) and under the
 //! real-time runtime in [`crate::runtime`] (for applications).
 
+use sle_adaptive::Tuner;
 use sle_election::{ElectorKind, ElectorOutput, LeaderElector};
-use sle_fd::Transition;
+use sle_fd::{FdParams, Transition};
 use sle_sim::actor::{Actor, Context, NodeId, TimerTag};
 use sle_sim::time::SimDuration;
 
@@ -31,6 +32,8 @@ const ALIVE_KIND: u64 = 1;
 const FD_KIND: u64 = 2;
 /// Timer-tag namespace for the end of the self-election grace period.
 const GRACE_KIND: u64 = 3;
+/// Timer-tag namespace for periodic QoS re-derivation (adaptive tuning).
+const TUNE_KIND: u64 = 4;
 
 fn alive_tag(group: GroupId) -> TimerTag {
     TimerTag(ALIVE_KIND << 32 | group.0 as u64)
@@ -42,6 +45,10 @@ fn fd_tag(group: GroupId) -> TimerTag {
 
 fn grace_tag(group: GroupId) -> TimerTag {
     TimerTag(GRACE_KIND << 32 | group.0 as u64)
+}
+
+fn tune_tag(group: GroupId) -> TimerTag {
+    TimerTag(TUNE_KIND << 32 | group.0 as u64)
 }
 
 /// The context type used by the service.
@@ -148,6 +155,9 @@ impl ServiceNode {
         ctx.set_timer_after(alive_tag(group), SimDuration::from_millis(5));
         let grace_ends = state.joined_at + state.self_election_grace();
         ctx.set_timer_at(grace_tag(group), grace_ends);
+        if let Some(period) = state.tuner.period() {
+            ctx.set_timer_after(tune_tag(group), period);
+        }
         self.arm_fd_timer(group, ctx);
         self.send_hellos(ctx);
         self.check_leader(group, ctx);
@@ -184,6 +194,7 @@ impl ServiceNode {
             self.groups.remove(&group);
             ctx.cancel_timer(alive_tag(group));
             ctx.cancel_timer(fd_tag(group));
+            ctx.cancel_timer(tune_tag(group));
         } else if !state.locally_candidate() && state.elector.is_candidate() {
             // The last local candidate left: stop competing.
             state.elector = sle_election::AnyElector::new(algorithm, me, false, ctx.now());
@@ -314,6 +325,7 @@ impl ServiceNode {
             if state.members.remove(&peer).is_some() {
                 state.elector.remove_peer(peer, now);
                 state.fd.reset_peer(peer, now);
+                state.tuner.forget_peer(peer);
                 state.representatives.remove(&peer);
                 state.requested_by_peers.remove(&peer);
                 self.check_leader(group, ctx);
@@ -388,6 +400,9 @@ impl ServiceNode {
             header.sending_interval,
             now,
         );
+        // Feed the receive timestamp to the adaptive tuner (a no-op for the
+        // default static policy): ALIVEs double as measurement probes.
+        state.tuner.observe(from, header.seq, header.sent_at, now);
         if let Some(t) = transition {
             if t.transition == Transition::BecameTrusted {
                 state.elector.on_trust(from, now);
@@ -428,6 +443,7 @@ impl ServiceNode {
             state.members.remove(&from);
             state.elector.remove_peer(from, now);
             state.fd.remove_peer(from);
+            state.tuner.forget_peer(from);
             state.representatives.remove(&from);
         }
         self.check_leader(group, ctx);
@@ -450,6 +466,7 @@ impl ServiceNode {
                     state.members.remove(peer);
                     state.elector.remove_peer(*peer, now);
                     state.fd.remove_peer(*peer);
+                    state.tuner.forget_peer(*peer);
                     state.representatives.remove(peer);
                 }
             }
@@ -482,6 +499,51 @@ impl ServiceNode {
         }
         self.arm_fd_timer(group, ctx);
         self.check_leader(group, ctx);
+    }
+
+    /// Periodic QoS re-derivation (adaptive tuning only): asks the tuner for
+    /// a fresh recommendation per monitored peer and applies it live to the
+    /// failure detector and to the election grace period.
+    fn handle_tune_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
+        let now = ctx.now();
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let Some(period) = state.tuner.period() else {
+            return;
+        };
+        let qos = state.qos;
+        let peers: Vec<NodeId> = state.fd.peers().collect();
+        // The group-wide grace period must cover the *slowest* link: an
+        // incumbent leader behind the worst link still has to be heard from
+        // before a rejoining candidate may claim the leadership. A peer
+        // without a recommendation is still on the static bound, so the
+        // grace may only be tuned once every monitored peer is measured.
+        let mut round_grace: Option<SimDuration> = None;
+        let mut all_peers_measured = !peers.is_empty();
+        for peer in peers {
+            if let Some(recommendation) = state.tuner.recommend(peer, &qos, now) {
+                state.fd.set_peer_params(peer, recommendation.params);
+                let grace = recommendation.election_grace();
+                round_grace = Some(round_grace.map_or(grace, |g| g.max(grace)));
+            } else {
+                all_peers_measured = false;
+            }
+        }
+        state.tuned_grace = if all_peers_measured {
+            round_grace
+        } else {
+            None
+        };
+        ctx.set_timer_after(tune_tag(group), period);
+        self.arm_fd_timer(group, ctx);
+    }
+
+    /// The failure-detector operating parameters currently used towards
+    /// `peer` in `group` (observability hook; also used by the experiment
+    /// harness to verify adaptation).
+    pub fn fd_params_of(&self, group: GroupId, peer: NodeId) -> Option<FdParams> {
+        self.groups.get(&group)?.fd.params(peer)
     }
 }
 
@@ -531,6 +593,7 @@ impl Actor for ServiceNode {
             ALIVE_KIND => self.send_alives(group, ctx),
             FD_KIND => self.handle_fd_timer(group, ctx),
             GRACE_KIND => self.check_leader(group, ctx),
+            TUNE_KIND => self.handle_tune_timer(group, ctx),
             _ => {}
         }
     }
@@ -560,8 +623,8 @@ mod tests {
         )
     }
 
-    fn agreed_leader(
-        world: &World<ServiceNode, PerfectMedium>,
+    fn agreed_leader<M: Medium>(
+        world: &World<ServiceNode, M>,
         group: GroupId,
     ) -> Option<ProcessId> {
         let mut leader = None;
@@ -603,7 +666,10 @@ mod tests {
             world.run_for(SimDuration::from_secs(5), &mut obs);
             let new_leader = agreed_leader(&world, GROUP)
                 .unwrap_or_else(|| panic!("{algorithm}: no new leader after crash"));
-            assert_ne!(new_leader.node, leader.node, "{algorithm}: crashed node still leads");
+            assert_ne!(
+                new_leader.node, leader.node,
+                "{algorithm}: crashed node still leads"
+            );
         }
     }
 
@@ -645,9 +711,18 @@ mod tests {
         world.run_for(SimDuration::from_secs(10), &mut obs);
         let competing: Vec<NodeId> = (0..6)
             .map(|i| NodeId(i as u32))
-            .filter(|&n| world.actor(n).map(|a| a.is_competing(GROUP)).unwrap_or(false))
+            .filter(|&n| {
+                world
+                    .actor(n)
+                    .map(|a| a.is_competing(GROUP))
+                    .unwrap_or(false)
+            })
             .collect();
-        assert_eq!(competing.len(), 1, "exactly one process should still send ALIVEs");
+        assert_eq!(
+            competing.len(),
+            1,
+            "exactly one process should still send ALIVEs"
+        );
         let leader = agreed_leader(&world, GROUP).unwrap();
         assert_eq!(leader.node, competing[0]);
     }
@@ -719,6 +794,90 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_tuning_tracks_latency_regimes_deterministically() {
+        // A two-node group over a deterministic medium whose delay steps
+        // 90 ms → 2 ms → 150 ms. The tuner's recommended timeout shift δ
+        // must shrink after the latency drop and grow after the spike.
+        let n = 2;
+        let medium = SteppedDelayMedium::new(SimDuration::from_millis(90))
+            .with_step(SimInstant::from_secs_f64(20.0), SimDuration::from_millis(2))
+            .with_step(
+                SimInstant::from_secs_f64(40.0),
+                SimDuration::from_millis(150),
+            );
+        let mut world: World<ServiceNode, SteppedDelayMedium> = World::new(
+            n,
+            Box::new(move |node, _inc| {
+                let config = ServiceConfig::full_mesh(node, n, ElectorKind::OmegaLc)
+                    .with_auto_join(GROUP, JoinConfig::candidate().with_adaptive_tuning());
+                ServiceNode::new(config)
+            }),
+            medium,
+            3,
+        );
+        let mut obs = NullObserver;
+        let params_at = |world: &World<ServiceNode, SteppedDelayMedium>| {
+            world
+                .actor(NodeId(0))
+                .unwrap()
+                .fd_params_of(GROUP, NodeId(1))
+                .expect("node 0 monitors node 1")
+        };
+
+        world.run_until(SimInstant::from_secs_f64(18.0), &mut obs);
+        let slow = params_at(&world);
+        // Tuned: the bound must already be below the static T_D^U = 1 s.
+        assert!(slow.worst_case_detection() < SimDuration::from_secs(1));
+        assert!(
+            slow.shift > SimDuration::from_millis(90),
+            "δ must clear the 90 ms delay"
+        );
+
+        world.run_until(SimInstant::from_secs_f64(38.0), &mut obs);
+        let fast = params_at(&world);
+        assert!(
+            fast.shift < slow.shift,
+            "δ must shrink after the latency drop: {} !< {}",
+            fast.shift,
+            slow.shift
+        );
+
+        world.run_until(SimInstant::from_secs_f64(58.0), &mut obs);
+        let spiked = params_at(&world);
+        assert!(
+            spiked.shift > fast.shift,
+            "δ must grow after the latency spike: {} !> {}",
+            spiked.shift,
+            fast.shift
+        );
+        assert!(
+            spiked.shift > SimDuration::from_millis(150),
+            "δ must clear the 150 ms delay"
+        );
+
+        // Throughout, both nodes keep agreeing on a leader (tuning must not
+        // destabilise the election).
+        assert!(agreed_leader(&world, GROUP).is_some());
+    }
+
+    #[test]
+    fn static_join_never_arms_the_tuner() {
+        let config = ServiceConfig::full_mesh(NodeId(0), 2, ElectorKind::OmegaLc);
+        let mut node = ServiceNode::new(config);
+        let mut ctx = ServiceContext::new(SimInstant::ZERO, NodeId(0), 0);
+        let process = node.register_process();
+        node.join_group(process, GROUP, JoinConfig::candidate(), &mut ctx)
+            .unwrap();
+        // A static join arms HELLO/ALIVE/FD/grace timers but no tune timer.
+        let effects = ctx.into_effects();
+        let tune = TimerTag(4u64 << 32 | GROUP.0 as u64);
+        assert!(effects.iter().all(|e| !matches!(
+            e,
+            sle_sim::Effect::SetTimer { tag, .. } if *tag == tune
+        )));
+    }
+
+    #[test]
     fn nodes_in_different_groups_do_not_interfere() {
         // Nodes 0,1 join group 1; nodes 2,3 join group 2.
         let n = 4;
@@ -735,8 +894,16 @@ mod tests {
         );
         let mut obs = NullObserver;
         world.run_for(SimDuration::from_secs(5), &mut obs);
-        let leader1 = world.actor(NodeId(0)).unwrap().leader_of(GroupId(1)).unwrap();
-        let leader2 = world.actor(NodeId(2)).unwrap().leader_of(GroupId(2)).unwrap();
+        let leader1 = world
+            .actor(NodeId(0))
+            .unwrap()
+            .leader_of(GroupId(1))
+            .unwrap();
+        let leader2 = world
+            .actor(NodeId(2))
+            .unwrap()
+            .leader_of(GroupId(2))
+            .unwrap();
         assert!(leader1.node.0 < 2);
         assert!(leader2.node.0 >= 2);
         assert_eq!(world.actor(NodeId(0)).unwrap().leader_of(GroupId(2)), None);

@@ -11,12 +11,10 @@
 //! The protocol code is exactly the same [`ServiceNode`] state machine the
 //! simulator runs; this module merely drives it with the wall clock.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use sle_election::ElectorKind;
 use sle_net::link::LinkSpec;
@@ -101,10 +99,7 @@ impl NodeRuntime {
         self.timers.values().copied().min()
     }
 
-    fn fire_due_timers(
-        &mut self,
-        endpoint: &sle_net::transport::Endpoint<ServiceMessage>,
-    ) {
+    fn fire_due_timers(&mut self, endpoint: &sle_net::transport::Endpoint<ServiceMessage>) {
         loop {
             let now = self.now();
             let due: Vec<TimerTag> = self
@@ -144,7 +139,7 @@ impl ClusterHandle {
     ///
     /// Returns `None` if the node has shut down.
     pub fn join(&self, group: GroupId, config: JoinConfig) -> Option<ProcessId> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.commands
             .send(Command::Join {
                 group,
@@ -157,7 +152,7 @@ impl ClusterHandle {
 
     /// Removes `process` from `group`. Returns whether the leave succeeded.
     pub fn leave(&self, group: GroupId, process: ProcessId) -> bool {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         if self
             .commands
             .send(Command::Leave {
@@ -174,7 +169,7 @@ impl ClusterHandle {
 
     /// Queries this node's current view of the leader of `group`.
     pub fn leader_of(&self, group: GroupId) -> Option<ProcessId> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.commands
             .send(Command::QueryLeader { group, reply: tx })
             .ok()?;
@@ -202,7 +197,7 @@ impl Cluster {
     /// applied inside the in-memory mesh).
     pub fn start_with_links(n: usize, algorithm: ElectorKind, links: LinkSpec) -> Self {
         let mut mesh: InMemoryMesh<ServiceMessage> = InMemoryMesh::with_links(n, links, 42);
-        let (event_tx, event_rx) = unbounded();
+        let (event_tx, event_rx) = channel();
         let crashed = Arc::new(Mutex::new(vec![false; n]));
         let mut handles = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
@@ -211,7 +206,7 @@ impl Cluster {
         for i in 0..n {
             let id = NodeId(i as u32);
             let endpoint = mesh.endpoint(id).expect("endpoint already taken");
-            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+            let (cmd_tx, cmd_rx) = channel::<Command>();
             let config = ServiceConfig::full_mesh(id, n, algorithm)
                 .with_hello_interval(SimDuration::from_millis(200));
             let events = event_tx.clone();
@@ -233,7 +228,11 @@ impl Cluster {
                     // Process any pending command.
                     while let Ok(command) = cmd_rx.try_recv() {
                         match command {
-                            Command::Join { group, config, reply } => {
+                            Command::Join {
+                                group,
+                                config,
+                                reply,
+                            } => {
                                 let process = runtime.node.register_process();
                                 let mut ctx = ServiceContext::new(runtime.now(), id, 0);
                                 let _ = runtime.node.join_group(process, group, config, &mut ctx);
@@ -241,10 +240,13 @@ impl Cluster {
                                 runtime.apply_effects(effects, &endpoint);
                                 let _ = reply.send(process);
                             }
-                            Command::Leave { group, process, reply } => {
+                            Command::Leave {
+                                group,
+                                process,
+                                reply,
+                            } => {
                                 let mut ctx = ServiceContext::new(runtime.now(), id, 0);
-                                let ok =
-                                    runtime.node.leave_group(process, group, &mut ctx).is_ok();
+                                let ok = runtime.node.leave_group(process, group, &mut ctx).is_ok();
                                 let effects = ctx.into_effects();
                                 runtime.apply_effects(effects, &endpoint);
                                 let _ = reply.send(ok);
@@ -256,7 +258,7 @@ impl Cluster {
                         }
                     }
 
-                    if crashed_flags.lock()[id.index()] {
+                    if crashed_flags.lock().expect("crash flags poisoned")[id.index()] {
                         // A "crashed" node drops traffic and does nothing.
                         while endpoint.try_recv().is_some() {}
                         std::thread::sleep(Duration::from_millis(5));
@@ -278,7 +280,9 @@ impl Cluster {
                         .unwrap_or(Duration::from_millis(10));
                     if let Some(incoming) = endpoint.recv_timeout(wait) {
                         let mut ctx = ServiceContext::new(runtime.now(), id, 0);
-                        runtime.node.on_message(incoming.from, incoming.msg, &mut ctx);
+                        runtime
+                            .node
+                            .on_message(incoming.from, incoming.msg, &mut ctx);
                         let effects = ctx.into_effects();
                         runtime.apply_effects(effects, &endpoint);
                     }
@@ -323,7 +327,12 @@ impl Cluster {
 
     /// Simulates a crash of `node`: it stops handling messages and timers.
     pub fn crash(&self, node: NodeId) {
-        if let Some(flag) = self.crashed.lock().get_mut(node.index()) {
+        if let Some(flag) = self
+            .crashed
+            .lock()
+            .expect("crash flags poisoned")
+            .get_mut(node.index())
+        {
             *flag = true;
         }
     }
@@ -333,7 +342,12 @@ impl Cluster {
     /// Note: unlike the simulator, the in-process runtime keeps the node's
     /// state; for full crash-recovery semantics use the simulator.
     pub fn recover(&self, node: NodeId) {
-        if let Some(flag) = self.crashed.lock().get_mut(node.index()) {
+        if let Some(flag) = self
+            .crashed
+            .lock()
+            .expect("crash flags poisoned")
+            .get_mut(node.index())
+        {
             *flag = false;
         }
     }
@@ -377,7 +391,10 @@ mod tests {
             }
             std::thread::sleep(Duration::from_millis(50));
         }
-        assert!(agreed.is_some(), "no agreement within 10 s of wall-clock time");
+        assert!(
+            agreed.is_some(),
+            "no agreement within 10 s of wall-clock time"
+        );
         cluster.shutdown();
     }
 

@@ -185,10 +185,17 @@ mod tests {
         assert!(state.trusted);
         assert_eq!(state.payload.epoch, 1);
 
-        table.record_alive(NodeId(1), payload(5, 2), SimInstant::ZERO + SimDuration::from_secs(1));
+        table.record_alive(
+            NodeId(1),
+            payload(5, 2),
+            SimInstant::ZERO + SimDuration::from_secs(1),
+        );
         let state = table.get(NodeId(1)).unwrap();
         assert_eq!(state.payload.epoch, 2);
-        assert_eq!(state.last_alive, SimInstant::ZERO + SimDuration::from_secs(1));
+        assert_eq!(
+            state.last_alive,
+            SimInstant::ZERO + SimDuration::from_secs(1)
+        );
     }
 
     #[test]
@@ -217,7 +224,10 @@ mod tests {
         table.mark_suspected(NodeId(3));
         assert_eq!(
             table.best_trusted_rank(),
-            Some(Rank::new(SimInstant::ZERO + SimDuration::from_secs(10), NodeId(5)))
+            Some(Rank::new(
+                SimInstant::ZERO + SimDuration::from_secs(10),
+                NodeId(5)
+            ))
         );
         table.mark_suspected(NodeId(5));
         assert_eq!(table.best_trusted_rank(), None);

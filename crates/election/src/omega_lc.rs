@@ -186,8 +186,10 @@ mod tests {
     /// Exchanges current payloads among a set of electors (full mesh), as the
     /// service would by broadcasting ALIVE messages.
     fn exchange(electors: &mut [OmegaLc], now: SimInstant) {
-        let payloads: Vec<(NodeId, AlivePayload)> =
-            electors.iter().map(|e| (e.id(), e.alive_payload())).collect();
+        let payloads: Vec<(NodeId, AlivePayload)> = electors
+            .iter()
+            .map(|e| (e.id(), e.alive_payload()))
+            .collect();
         for elector in electors.iter_mut() {
             for &(from, p) in &payloads {
                 if from != elector.id() {
@@ -229,7 +231,11 @@ mod tests {
             exchange(&mut electors, secs(501));
         }
         for elector in &electors {
-            assert_eq!(elector.leader(), Some(NodeId(1)), "leader must remain node 1");
+            assert_eq!(
+                elector.leader(),
+                Some(NodeId(1)),
+                "leader must remain node 1"
+            );
         }
     }
 
@@ -249,7 +255,11 @@ mod tests {
         let mut survivors: Vec<OmegaLc> = electors.drain(1..).collect();
         for elector in survivors.iter_mut() {
             let out = elector.on_suspect(NodeId(0), secs(12));
-            assert_eq!(out.len(), 1, "suspicion of a known peer produces an accusation");
+            assert_eq!(
+                out.len(),
+                1,
+                "suspicion of a known peer produces an accusation"
+            );
         }
         for _ in 0..2 {
             exchange(&mut survivors, secs(12));
@@ -265,7 +275,11 @@ mod tests {
         // claiming node 0 as its local leader; node 2 must keep following
         // node 0 (this is the mechanism behind Figure 7's S2 robustness).
         let mut n2 = OmegaLc::new(NodeId(2), true, secs(0));
-        n2.on_alive(NodeId(1), payload(secs(0), 0, Some((NodeId(0), secs(0)))), secs(1));
+        n2.on_alive(
+            NodeId(1),
+            payload(secs(0), 0, Some((NodeId(0), secs(0)))),
+            secs(1),
+        );
         // Node 2 has never heard node 0 directly (link crashed), so its local
         // leader is node 1... but the forwarded claim wins globally.
         assert_eq!(n2.leader(), Some(NodeId(0)));
@@ -273,7 +287,10 @@ mod tests {
         // Even after node 2 explicitly suspects node 0 (it cannot hear it),
         // the forwarded claim keeps node 0 elected.
         let accusations = n2.on_suspect(NodeId(0), secs(2));
-        assert!(accusations.is_empty(), "node 0 was never directly heard, nothing to accuse");
+        assert!(
+            accusations.is_empty(),
+            "node 0 was never directly heard, nothing to accuse"
+        );
         assert_eq!(n2.leader(), Some(NodeId(0)));
     }
 
@@ -313,7 +330,10 @@ mod tests {
         observer.on_alive(NodeId(3), payload(secs(1), 0, None), secs(2));
         assert_eq!(observer.leader(), Some(NodeId(3)));
         // Its own payload never claims itself.
-        assert_eq!(observer.alive_payload().local_leader.unwrap().node, NodeId(3));
+        assert_eq!(
+            observer.alive_payload().local_leader.unwrap().node,
+            NodeId(3)
+        );
     }
 
     #[test]

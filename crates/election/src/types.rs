@@ -48,7 +48,11 @@ impl ElectorKind {
 
     /// All implemented algorithms.
     pub fn all() -> [ElectorKind; 3] {
-        [ElectorKind::OmegaId, ElectorKind::OmegaLc, ElectorKind::OmegaL]
+        [
+            ElectorKind::OmegaId,
+            ElectorKind::OmegaLc,
+            ElectorKind::OmegaL,
+        ]
     }
 }
 
@@ -198,7 +202,10 @@ mod tests {
         };
         assert_eq!(without.wire_size(), 17);
         assert_eq!(with.wire_size(), 29);
-        assert_eq!(with.rank_of(NodeId(3)), Rank::new(SimInstant::ZERO, NodeId(3)));
+        assert_eq!(
+            with.rank_of(NodeId(3)),
+            Rank::new(SimInstant::ZERO, NodeId(3))
+        );
     }
 
     #[test]
@@ -207,6 +214,9 @@ mod tests {
             node: NodeId(4),
             accusation_time: SimInstant::from_nanos(42),
         };
-        assert_eq!(claim.rank(), Rank::new(SimInstant::from_nanos(42), NodeId(4)));
+        assert_eq!(
+            claim.rank(),
+            Rank::new(SimInstant::from_nanos(42), NodeId(4))
+        );
     }
 }

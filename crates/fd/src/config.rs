@@ -154,26 +154,39 @@ impl FdConfigurator {
             return false;
         }
         let delta = qos.detection_time().saturating_sub(eta);
-        let p_fs = false_suspicion_probability(quality, eta, delta);
-
-        // Mistake recurrence: one freshness point every η, each starting a
-        // mistake with probability P_fs.
-        let recurrence_ok = if p_fs <= 0.0 {
-            true
-        } else {
-            eta.as_secs_f64() / p_fs >= qos.mistake_recurrence().as_secs_f64()
-        };
-
-        // Mistake duration: once suspected, trust resumes when the next
-        // heartbeat that survives the link arrives: on average after about
-        // one inter-heartbeat interval per expected retransmission plus the
-        // mean delay.
-        let p_l = quality.loss_probability.min(0.999);
-        let expected_duration = eta.as_secs_f64() / (1.0 - p_l) + quality.delay_mean.as_secs_f64();
-        let duration_ok = expected_duration <= qos.mistake_duration_bound().as_secs_f64().max(1e-9);
-
-        recurrence_ok && duration_ok
+        params_meet_qos(quality, eta, delta, qos)
     }
+}
+
+/// Returns whether the operating point `(eta, delta)` meets `qos` on a link
+/// with the given quality: predicted mistakes must recur no more often than
+/// `T_MR^L` and last no longer than `T_M^U`. This is the acceptance test of
+/// both the static configurator and the adaptive tuner.
+pub fn params_meet_qos(
+    quality: &LinkQuality,
+    eta: SimDuration,
+    delta: SimDuration,
+    qos: &QosSpec,
+) -> bool {
+    let p_fs = false_suspicion_probability(quality, eta, delta);
+
+    // Mistake recurrence: one freshness point every η, each starting a
+    // mistake with probability P_fs.
+    let recurrence_ok = if p_fs <= 0.0 {
+        true
+    } else {
+        eta.as_secs_f64() / p_fs >= qos.mistake_recurrence().as_secs_f64()
+    };
+
+    // Mistake duration: once suspected, trust resumes when the next
+    // heartbeat that survives the link arrives: on average after about
+    // one inter-heartbeat interval per expected retransmission plus the
+    // mean delay.
+    let p_l = quality.loss_probability.min(0.999);
+    let expected_duration = eta.as_secs_f64() / (1.0 - p_l) + quality.delay_mean.as_secs_f64();
+    let duration_ok = expected_duration <= qos.mistake_duration_bound().as_secs_f64().max(1e-9);
+
+    recurrence_ok && duration_ok
 }
 
 /// Probability that a message sent with `margin` time to spare misses its
@@ -242,7 +255,8 @@ mod tests {
 
     #[test]
     fn perfect_link_hits_the_interval_cap() {
-        let params = FdConfigurator::default().compute(&QosSpec::paper_default(), &LinkQuality::perfect());
+        let params =
+            FdConfigurator::default().compute(&QosSpec::paper_default(), &LinkQuality::perfect());
         assert_eq!(params.interval, SimDuration::from_millis(250));
         assert_eq!(params.shift, SimDuration::from_millis(750));
     }
@@ -320,8 +334,14 @@ mod tests {
     fn cantelli_tail_behaviour() {
         let q = quality(0.0, 100.0, 100.0);
         // Below or at the mean the bound is vacuous (1.0).
-        assert_eq!(delay_tail_probability(&q, SimDuration::from_millis(50)), 1.0);
-        assert_eq!(delay_tail_probability(&q, SimDuration::from_millis(100)), 1.0);
+        assert_eq!(
+            delay_tail_probability(&q, SimDuration::from_millis(50)),
+            1.0
+        );
+        assert_eq!(
+            delay_tail_probability(&q, SimDuration::from_millis(100)),
+            1.0
+        );
         // One standard deviation above the mean: bound = 1/2.
         let one_sigma = delay_tail_probability(&q, SimDuration::from_millis(200));
         assert!((one_sigma - 0.5).abs() < 1e-9);
@@ -329,8 +349,14 @@ mod tests {
         assert!(delay_tail_probability(&q, SimDuration::from_millis(1100)) < 0.01);
         // Zero variance: deterministic delay.
         let det = quality(0.0, 100.0, 0.0);
-        assert_eq!(delay_tail_probability(&det, SimDuration::from_millis(101)), 0.0);
-        assert_eq!(delay_tail_probability(&det, SimDuration::from_millis(99)), 1.0);
+        assert_eq!(
+            delay_tail_probability(&det, SimDuration::from_millis(101)),
+            0.0
+        );
+        assert_eq!(
+            delay_tail_probability(&det, SimDuration::from_millis(99)),
+            1.0
+        );
     }
 
     #[test]
@@ -339,7 +365,10 @@ mod tests {
         // Far beyond the mean with zero variance: only losses matter.
         assert!((late_or_lost_probability(&q, SimDuration::from_millis(100)) - 0.2).abs() < 1e-9);
         // Below the mean: certainly late.
-        assert_eq!(late_or_lost_probability(&q, SimDuration::from_millis(5)), 1.0);
+        assert_eq!(
+            late_or_lost_probability(&q, SimDuration::from_millis(5)),
+            1.0
+        );
     }
 
     #[test]

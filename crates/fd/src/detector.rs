@@ -137,6 +137,23 @@ impl FailureDetector {
         self.monitors.get(&peer).map(|m| m.quality())
     }
 
+    /// The operating parameters (η, δ) currently used for `peer`.
+    pub fn params(&self, peer: NodeId) -> Option<crate::config::FdParams> {
+        self.monitors.get(&peer).map(|m| m.params())
+    }
+
+    /// Applies externally derived parameters to `peer`'s monitor, live (see
+    /// [`PeerMonitor::set_params`]). Returns false if the peer is unknown.
+    pub fn set_peer_params(&mut self, peer: NodeId, params: crate::config::FdParams) -> bool {
+        match self.monitors.get_mut(&peer) {
+            Some(monitor) => {
+                monitor.set_params(params);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Processes a heartbeat from `peer`.
     ///
     /// The peer is implicitly added to the monitored set if unknown.
@@ -232,7 +249,10 @@ mod tests {
         );
         assert!(!detector.is_trusted(NodeId(1)));
         assert!(detector.is_trusted(NodeId(2)));
-        assert_eq!(detector.trusted_peers().collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(
+            detector.trusted_peers().collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
 
         // The next deadline now belongs to peer 2.
         assert_eq!(
@@ -295,6 +315,22 @@ mod tests {
     }
 
     #[test]
+    fn set_peer_params_targets_one_monitor() {
+        let mut detector = fd();
+        detector.ensure_peer(NodeId(1), SimInstant::ZERO);
+        detector.ensure_peer(NodeId(2), SimInstant::ZERO);
+        let tuned = crate::config::FdParams {
+            interval: SimDuration::from_millis(25),
+            shift: SimDuration::from_millis(75),
+        };
+        assert!(detector.set_peer_params(NodeId(1), tuned));
+        assert!(!detector.set_peer_params(NodeId(9), tuned));
+        assert_eq!(detector.params(NodeId(1)), Some(tuned));
+        assert_eq!(detector.requested_interval(NodeId(1)), Some(tuned.interval));
+        assert_ne!(detector.params(NodeId(2)), Some(tuned));
+    }
+
+    #[test]
     fn steady_heartbeats_never_trigger_suspicion() {
         let mut detector = fd();
         let interval = SimDuration::from_millis(250);
@@ -302,7 +338,7 @@ mod tests {
         detector.ensure_peer(NodeId(1), now);
         let mut suspicions = 0;
         for seq in 0..200u64 {
-            now = now + interval;
+            now += interval;
             detector.on_heartbeat(NodeId(1), seq, now, interval, now);
             suspicions += detector.poll(now).len();
         }

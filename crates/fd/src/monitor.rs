@@ -74,6 +74,9 @@ pub struct PeerMonitor {
     fresh_until: SimInstant,
     last_reconfigure: SimInstant,
     heartbeats: u64,
+    /// True once an external tuner took over the parameters; the monitor's
+    /// own periodic reconfiguration then stands down.
+    externally_tuned: bool,
 }
 
 impl PeerMonitor {
@@ -99,7 +102,24 @@ impl PeerMonitor {
             fresh_until: now + qos.detection_time(),
             last_reconfigure: now,
             heartbeats: 0,
+            externally_tuned: false,
         }
+    }
+
+    /// Applies externally derived parameters (from an adaptive tuner) *live*:
+    /// the link-quality estimator, the trust state and the current freshness
+    /// horizon are all preserved, so tuning never manufactures a suspicion or
+    /// discards measurement history. From this point on the monitor's own
+    /// periodic reconfiguration is suppressed — the external tuner owns the
+    /// operating point.
+    pub fn set_params(&mut self, params: FdParams) {
+        self.params = params;
+        self.externally_tuned = true;
+    }
+
+    /// Whether an external tuner has taken over this monitor's parameters.
+    pub fn is_externally_tuned(&self) -> bool {
+        self.externally_tuned
     }
 
     /// The QoS this monitor was created with.
@@ -201,6 +221,9 @@ impl PeerMonitor {
     }
 
     fn maybe_reconfigure(&mut self, now: SimInstant) {
+        if self.externally_tuned {
+            return;
+        }
         if now.saturating_since(self.last_reconfigure) < RECONFIGURE_EVERY {
             return;
         }
@@ -226,7 +249,10 @@ mod tests {
     fn new_peer_is_trusted_with_grace_period() {
         let monitor = paper_monitor();
         assert!(monitor.is_trusted());
-        assert_eq!(monitor.deadline(), SimInstant::ZERO + SimDuration::from_secs(1));
+        assert_eq!(
+            monitor.deadline(),
+            SimInstant::ZERO + SimDuration::from_secs(1)
+        );
         assert_eq!(monitor.heartbeats_received(), 0);
     }
 
@@ -237,7 +263,10 @@ mod tests {
         assert_eq!(monitor.check(just_before), None);
         assert!(monitor.is_trusted());
         let at_deadline = monitor.deadline();
-        assert_eq!(monitor.check(at_deadline), Some(Transition::BecameSuspected));
+        assert_eq!(
+            monitor.check(at_deadline),
+            Some(Transition::BecameSuspected)
+        );
         assert_eq!(monitor.state(), TrustState::Suspected);
         // Further checks do not produce duplicate transitions.
         assert_eq!(monitor.check(at_deadline + SimDuration::from_secs(1)), None);
@@ -250,7 +279,7 @@ mod tests {
         let interval = SimDuration::from_millis(250);
         let mut now = SimInstant::ZERO;
         for seq in 0..100u64 {
-            now = now + interval;
+            now += interval;
             let sent = now - SimDuration::from_micros(25);
             assert_eq!(monitor.on_heartbeat(seq, sent, interval, now), None);
             assert_eq!(monitor.check(now), None);
@@ -266,7 +295,7 @@ mod tests {
         let mut now = SimInstant::ZERO;
         let mut last_sent = SimInstant::ZERO;
         for seq in 0..20u64 {
-            now = now + interval;
+            now += interval;
             last_sent = now;
             monitor.on_heartbeat(seq, last_sent, interval, now);
         }
@@ -274,7 +303,10 @@ mod tests {
         // suspect it no later than T_D^U after the crash.
         let bound = last_sent + QosSpec::paper_default().detection_time();
         assert!(monitor.deadline() <= bound);
-        assert_eq!(monitor.check(monitor.deadline()), Some(Transition::BecameSuspected));
+        assert_eq!(
+            monitor.check(monitor.deadline()),
+            Some(Transition::BecameSuspected)
+        );
     }
 
     #[test]
@@ -327,14 +359,81 @@ mod tests {
         let interval = SimDuration::from_millis(50);
         let mut now = SimInstant::ZERO;
         for seq in 0..400u64 {
-            now = now + interval;
+            now += interval;
             let sent = now - SimDuration::from_micros(25);
             monitor.on_heartbeat(seq, sent, interval, now);
         }
         let relaxed = monitor.requested_interval();
-        assert!(relaxed >= initial, "interval should not shrink on a clean link");
+        assert!(
+            relaxed >= initial,
+            "interval should not shrink on a clean link"
+        );
         assert_eq!(relaxed, SimDuration::from_millis(250));
         assert!(monitor.quality().loss_probability < 0.01);
+    }
+
+    #[test]
+    fn set_params_applies_live_without_resetting_state() {
+        let mut monitor = paper_monitor();
+        // Build up estimator history.
+        let interval = SimDuration::from_millis(100);
+        let mut now = SimInstant::ZERO;
+        for seq in 0..20u64 {
+            now += interval;
+            monitor.on_heartbeat(seq, now - SimDuration::from_millis(2), interval, now);
+        }
+        let heartbeats_before = monitor.heartbeats_received();
+        let quality_before = monitor.quality();
+        let deadline_before = monitor.deadline();
+
+        let tuned = FdParams {
+            interval: SimDuration::from_millis(50),
+            shift: SimDuration::from_millis(150),
+        };
+        monitor.set_params(tuned);
+        assert!(monitor.is_externally_tuned());
+        assert_eq!(monitor.params(), tuned);
+        assert_eq!(monitor.requested_interval(), SimDuration::from_millis(50));
+        // Estimator state, trust state and horizon survive the update.
+        assert_eq!(monitor.heartbeats_received(), heartbeats_before);
+        assert_eq!(monitor.quality(), quality_before);
+        assert_eq!(monitor.deadline(), deadline_before);
+        assert!(monitor.is_trusted());
+
+        // Heartbeats after the update extend the horizon using the tuned
+        // shift (the pre-update horizon stays valid until it expires — the
+        // horizon is monotone, so tuning can never manufacture a suspicion).
+        let old_deadline = monitor.deadline();
+        assert_eq!(
+            monitor.check(old_deadline),
+            Some(Transition::BecameSuspected)
+        );
+        let sent = old_deadline + SimDuration::from_millis(100);
+        monitor.on_heartbeat(20, sent, SimDuration::from_millis(50), sent);
+        assert!(monitor.is_trusted());
+        assert_eq!(
+            monitor.deadline(),
+            sent + SimDuration::from_millis(50) + tuned.shift
+        );
+    }
+
+    #[test]
+    fn external_tuning_suppresses_self_reconfiguration() {
+        let mut monitor = paper_monitor();
+        let tuned = FdParams {
+            interval: SimDuration::from_millis(40),
+            shift: SimDuration::from_millis(60),
+        };
+        monitor.set_params(tuned);
+        // Feed far more than RECONFIGURE_EVERY worth of heartbeats; the
+        // monitor must keep the externally chosen operating point.
+        let interval = SimDuration::from_millis(100);
+        let mut now = SimInstant::ZERO;
+        for seq in 0..200u64 {
+            now += interval;
+            monitor.on_heartbeat(seq, now, interval, now);
+        }
+        assert_eq!(monitor.params(), tuned);
     }
 
     #[test]

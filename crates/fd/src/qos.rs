@@ -198,6 +198,9 @@ mod tests {
         assert_eq!(qos.detection_time(), SimDuration::from_millis(1));
         let qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(250));
         assert_eq!(qos.detection_time(), SimDuration::from_millis(250));
-        assert_eq!(qos.mistake_recurrence(), QosSpec::paper_default().mistake_recurrence());
+        assert_eq!(
+            qos.mistake_recurrence(),
+            QosSpec::paper_default().mistake_recurrence()
+        );
     }
 }

@@ -52,7 +52,11 @@ impl LinkQuality {
 
     /// Builds a quality description directly from parameters; primarily used
     /// by tests and by the configurator's own unit tests.
-    pub fn from_parts(loss_probability: f64, delay_mean: SimDuration, delay_std_dev: SimDuration) -> Self {
+    pub fn from_parts(
+        loss_probability: f64,
+        delay_mean: SimDuration,
+        delay_std_dev: SimDuration,
+    ) -> Self {
         LinkQuality {
             loss_probability: loss_probability.clamp(0.0, 1.0),
             delay_mean,
@@ -181,7 +185,12 @@ impl LinkQualityEstimator {
 
         // Loss: compare the sequence-number span of the window with the
         // number of heartbeats actually received in it.
-        let oldest = self.recent_seqs.iter().copied().min().unwrap_or(self.highest_seq);
+        let oldest = self
+            .recent_seqs
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.highest_seq);
         let expected = self.highest_seq.saturating_sub(oldest) + 1;
         let received = self.recent_seqs.len() as u64;
         let loss = if expected == 0 || received >= expected {
@@ -244,7 +253,11 @@ mod tests {
         let seqs: Vec<u64> = (0..200).filter(|s| s % 2 == 0).collect();
         feed(&mut est, &seqs, 1.0, 100);
         let q = est.estimate();
-        assert!((q.loss_probability - 0.5).abs() < 0.05, "loss = {}", q.loss_probability);
+        assert!(
+            (q.loss_probability - 0.5).abs() < 0.05,
+            "loss = {}",
+            q.loss_probability
+        );
     }
 
     #[test]

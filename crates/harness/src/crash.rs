@@ -71,7 +71,7 @@ impl CrashPlan {
                     at,
                     is_crash: true,
                 });
-                at = at + node_rng.exponential(profile.mean_downtime);
+                at += node_rng.exponential(profile.mean_downtime);
                 if at >= horizon {
                     break;
                 }
@@ -80,7 +80,7 @@ impl CrashPlan {
                     at,
                     is_crash: false,
                 });
-                at = at + node_rng.exponential(profile.mean_uptime);
+                at += node_rng.exponential(profile.mean_uptime);
             }
         }
         events.sort_by_key(|e| e.at);

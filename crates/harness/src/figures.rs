@@ -207,11 +207,40 @@ pub fn fig5(duration: SimDuration) -> Figure {
 /// workstations, S2 and S3, on the real LAN and on (100 ms, 0.1) links.
 pub fn fig6(duration: SimDuration) -> Figure {
     // (algorithm, network label, delay ms, loss, [cpu% per size], [KB/s per size])
-    let configs: [(ElectorKind, &str, f64, f64, [f64; 3], [f64; 3]); 4] = [
-        (ElectorKind::OmegaLc, "(100ms, 0.1)", 100.0, 0.1, [0.035, 0.13, 0.30], [8.0, 28.0, 62.38]),
-        (ElectorKind::OmegaL, "(100ms, 0.1)", 100.0, 0.1, [0.012, 0.025, 0.04], [2.2, 4.3, 6.48]),
-        (ElectorKind::OmegaLc, "(0.025ms, 0)", 0.025, 0.0, [0.02, 0.08, 0.17], [5.0, 18.0, 40.0]),
-        (ElectorKind::OmegaL, "(0.025ms, 0)", 0.025, 0.0, [0.005, 0.01, 0.015], [1.3, 2.4, 3.5]),
+    type Fig6Config = (ElectorKind, &'static str, f64, f64, [f64; 3], [f64; 3]);
+    let configs: [Fig6Config; 4] = [
+        (
+            ElectorKind::OmegaLc,
+            "(100ms, 0.1)",
+            100.0,
+            0.1,
+            [0.035, 0.13, 0.30],
+            [8.0, 28.0, 62.38],
+        ),
+        (
+            ElectorKind::OmegaL,
+            "(100ms, 0.1)",
+            100.0,
+            0.1,
+            [0.012, 0.025, 0.04],
+            [2.2, 4.3, 6.48],
+        ),
+        (
+            ElectorKind::OmegaLc,
+            "(0.025ms, 0)",
+            0.025,
+            0.0,
+            [0.02, 0.08, 0.17],
+            [5.0, 18.0, 40.0],
+        ),
+        (
+            ElectorKind::OmegaL,
+            "(0.025ms, 0)",
+            0.025,
+            0.0,
+            [0.005, 0.01, 0.015],
+            [1.3, 2.4, 3.5],
+        ),
     ];
     let sizes = [4usize, 8, 12];
     let mut cells = Vec::new();
@@ -243,14 +272,29 @@ pub fn fig6(duration: SimDuration) -> Figure {
 /// Figure 7 — S2 vs S3 with crash-prone links (mean uptime 600/300/60 s,
 /// mean downtime 3 s): T_r, λ_u and P_leader.
 pub fn fig7(duration: SimDuration) -> Figure {
-    let settings = [(600u64, "(600s, 3s)"), (300, "(300s, 3s)"), (60, "(60s, 3s)")];
+    let settings = [
+        (600u64, "(600s, 3s)"),
+        (300, "(300s, 3s)"),
+        (60, "(60s, 3s)"),
+    ];
     // Paper values: availability is stated in the text for the extremes,
     // the rest is read from the graphs.
-    let s2 = [(1.0, 10.0, 0.9983), (1.0, 30.0, 0.9980), (1.2, 250.0, 0.9878)];
-    let s3 = [(1.1, 30.0, 0.9975), (1.5, 120.0, 0.9766), (3.0, 450.0, 0.7742)];
+    let s2 = [
+        (1.0, 10.0, 0.9983),
+        (1.0, 30.0, 0.9980),
+        (1.2, 250.0, 0.9878),
+    ];
+    let s3 = [
+        (1.1, 30.0, 0.9975),
+        (1.5, 120.0, 0.9766),
+        (3.0, 450.0, 0.7742),
+    ];
     let mut cells = Vec::new();
     for (index, &(uptime, label)) in settings.iter().enumerate() {
-        for (algorithm, values) in [(ElectorKind::OmegaLc, s2[index]), (ElectorKind::OmegaL, s3[index])] {
+        for (algorithm, values) in [
+            (ElectorKind::OmegaLc, s2[index]),
+            (ElectorKind::OmegaL, s3[index]),
+        ] {
             let name = format!("{} {}", algorithm.service_name(), label);
             cells.push(Cell {
                 label: name.clone(),

@@ -10,6 +10,8 @@
 //! * [`metrics`] — the metrics collector ([`metrics::MetricsCollector`]),
 //! * [`crash`] — workstation crash/recovery injection,
 //! * [`scenario`] — a single experiment cell ([`scenario::Scenario`]),
+//! * [`regime`] — the regime-shift experiment comparing static vs adaptive
+//!   QoS tuning ([`regime::RegimeShiftScenario`]),
 //! * [`figures`] — per-figure cell definitions with the paper's values,
 //! * [`report`] — paper-vs-measured table rendering,
 //! * [`stats`] — summary statistics (mean, 95% CI).
@@ -23,6 +25,7 @@
 pub mod crash;
 pub mod figures;
 pub mod metrics;
+pub mod regime;
 pub mod report;
 pub mod scenario;
 pub mod stats;
@@ -30,6 +33,7 @@ pub mod stats;
 pub use crash::{CrashEvent, CrashPlan, CrashProfile};
 pub use figures::{all_figures, figure_by_id, Cell, CellResult, Figure, PaperValues};
 pub use metrics::{CpuModel, ExperimentMetrics, MetricsCollector, NodeCounters};
+pub use regime::{RegimeShiftComparison, RegimeShiftOutcome, RegimeShiftScenario};
 pub use report::{render_figure, render_figure_markdown};
 pub use scenario::{Scenario, EXPERIMENT_GROUP};
 pub use stats::Summary;

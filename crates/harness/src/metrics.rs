@@ -159,7 +159,12 @@ impl MetricsCollector {
             return None;
         }
         let leader = agreed?;
-        if self.node_up.get(leader.node.index()).copied().unwrap_or(false) {
+        if self
+            .node_up
+            .get(leader.node.index())
+            .copied()
+            .unwrap_or(false)
+        {
             Some(leader)
         } else {
             None
@@ -199,11 +204,9 @@ impl MetricsCollector {
                 if let Some(previous) = previous {
                     if previous != new {
                         let previous_alive = match old_opt {
-                            Some(old) => self
-                                .node_up
-                                .get(old.node.index())
-                                .copied()
-                                .unwrap_or(false),
+                            Some(old) => {
+                                self.node_up.get(old.node.index()).copied().unwrap_or(false)
+                            }
                             None => self.last_leader_alive_at_loss,
                         };
                         if previous_alive && self.in_measurement(now) {
@@ -243,9 +246,8 @@ impl MetricsCollector {
             let packets = counter.messages_sent + counter.messages_received;
             total_bytes += (counter.bytes_sent + counter.bytes_received) as f64
                 + (packets as usize * self.overhead_bytes) as f64;
-            total_cpu = total_cpu
-                + self.cpu.per_message * packets
-                + self.cpu.per_timer * counter.timers;
+            total_cpu =
+                total_cpu + self.cpu.per_message * packets + self.cpu.per_timer * counter.timers;
         }
 
         ExperimentMetrics {
@@ -364,7 +366,12 @@ mod tests {
         ProcessId::new(NodeId(node), 0)
     }
 
-    fn set_view(collector: &mut MetricsCollector, node: u32, view: Option<ProcessId>, at_secs: f64) {
+    fn set_view(
+        collector: &mut MetricsCollector,
+        node: u32,
+        view: Option<ProcessId>,
+        at_secs: f64,
+    ) {
         let event = ServiceEvent::LeaderChanged {
             group: GROUP,
             leader: view,

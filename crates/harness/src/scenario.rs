@@ -109,10 +109,8 @@ impl Scenario {
         let mut world: World<ServiceNode, _> = World::new(
             n,
             Box::new(move |node, _incarnation| {
-                let config = ServiceConfig::full_mesh(node, n, algorithm).with_auto_join(
-                    EXPERIMENT_GROUP,
-                    JoinConfig::candidate().with_qos(qos),
-                );
+                let config = ServiceConfig::full_mesh(node, n, algorithm)
+                    .with_auto_join(EXPERIMENT_GROUP, JoinConfig::candidate().with_qos(qos));
                 ServiceNode::new(config)
             }),
             medium,
@@ -146,7 +144,11 @@ mod tests {
             .with_duration(SimDuration::from_secs(120))
             .run();
         assert_eq!(metrics.unjustified_demotions, 0);
-        assert!(metrics.leader_availability > 0.999, "availability {}", metrics.leader_availability);
+        assert!(
+            metrics.leader_availability > 0.999,
+            "availability {}",
+            metrics.leader_availability
+        );
         assert!(metrics.kbytes_per_sec_per_node > 0.0);
         assert!(metrics.cpu_percent_per_node > 0.0);
         assert_eq!(metrics.leader_crashes, 0);
@@ -161,7 +163,10 @@ mod tests {
             .with_duration(SimDuration::from_secs(1800))
             .with_seed(77)
             .run();
-        assert!(metrics.leader_crashes > 0, "expected at least one leader crash");
+        assert!(
+            metrics.leader_crashes > 0,
+            "expected at least one leader crash"
+        );
         assert!(metrics.recovery.count > 0);
         assert!(
             metrics.recovery.mean < 3.0,
@@ -178,7 +183,9 @@ mod tests {
             .with_seed(3)
             .with_duration(SimDuration::from_secs(10))
             .with_link_crashes(LinkCrashSpec::from_paper_uptime_secs(60))
-            .with_qos(QosSpec::paper_default_with_detection(SimDuration::from_millis(500)))
+            .with_qos(QosSpec::paper_default_with_detection(
+                SimDuration::from_millis(500),
+            ))
             .without_workstation_crashes();
         assert_eq!(scenario.nodes, 5);
         assert_eq!(scenario.seed, 3);

@@ -12,6 +12,9 @@
 //!   [`link::LinkCrashSpec`]/[`link::LinkOutageState`] (crash-prone links),
 //! * [`network`] — whole-network models ([`network::NetworkModel`] /
 //!   [`network::SimulatedNetwork`]) with per-link overrides and statistics,
+//! * [`drift`] — networks whose behaviour shifts between regimes mid-run
+//!   ([`drift::DriftSchedule`] / [`drift::DriftingNetwork`]), the workload of
+//!   the adaptive-tuning evaluation,
 //! * [`transport`] — the in-memory mesh used by the real-time runtime.
 //!
 //! ## Example: the paper's harshest lossy network
@@ -31,10 +34,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod drift;
 pub mod link;
 pub mod network;
 pub mod transport;
 
+pub use drift::{DriftSchedule, DriftingNetwork};
 pub use link::{LinkCrashSpec, LinkOutageState, LinkSpec};
 pub use network::{NetworkModel, NetworkStats, SimulatedNetwork};
 pub use transport::{Endpoint, InMemoryMesh, Incoming, TransportError};

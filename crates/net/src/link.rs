@@ -68,7 +68,10 @@ impl LinkSpec {
     /// Convenience constructor from `(mean delay in ms, loss probability)`,
     /// matching the `(D, p_L)` tuples used throughout the paper's figures.
     pub fn from_paper_tuple(mean_delay_ms: f64, loss_probability: f64) -> Self {
-        LinkSpec::lossy(SimDuration::from_millis_f64(mean_delay_ms), loss_probability)
+        LinkSpec::lossy(
+            SimDuration::from_millis_f64(mean_delay_ms),
+            loss_probability,
+        )
     }
 
     /// The mean of the exponential message-delay distribution.

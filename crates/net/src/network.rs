@@ -174,15 +174,12 @@ impl SimulatedNetwork {
             return true;
         };
         let rng = &mut self.outage_rng;
-        let state = self
-            .outages
-            .entry((from, to))
-            .or_insert_with(|| {
-                // Label the fork with the link endpoints so the assignment of
-                // RNG streams to links does not depend on first-use order.
-                let label = ((from.0 as u64) << 32) | to.0 as u64;
-                LinkOutageState::new(crash_spec, rng.fork(label))
-            });
+        let state = self.outages.entry((from, to)).or_insert_with(|| {
+            // Label the fork with the link endpoints so the assignment of
+            // RNG streams to links does not depend on first-use order.
+            let label = ((from.0 as u64) << 32) | to.0 as u64;
+            LinkOutageState::new(crash_spec, rng.fork(label))
+        });
         state.is_up_at(now)
     }
 }
@@ -325,7 +322,10 @@ mod tests {
                 break;
             }
         }
-        assert!(diverged, "directions never diverged; outage streams look coupled");
+        assert!(
+            diverged,
+            "directions never diverged; outage streams look coupled"
+        );
     }
 
     #[test]

@@ -2,16 +2,15 @@
 //!
 //! The paper's service runs as one daemon per workstation exchanging UDP
 //! datagrams. For the library form of this reproduction we provide an
-//! in-process mesh transport built on crossbeam channels: every node gets an
-//! [`Endpoint`] with a non-blocking `send` and a blocking/polling `recv`.
+//! in-process mesh transport built on standard-library channels: every node
+//! gets an [`Endpoint`] with a non-blocking `send` and a blocking/polling
+//! `recv`.
 //! The mesh can optionally inject losses and delays so examples can
 //! demonstrate adverse conditions in real time.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
-
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 
 use sle_sim::actor::NodeId;
 use sle_sim::rng::SimRng;
@@ -90,7 +89,7 @@ impl<M: Send + 'static> InMemoryMesh<M> {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(Some(rx));
         }
@@ -152,7 +151,7 @@ impl<M: Send + 'static> Endpoint<M> {
             .get(to.index())
             .ok_or(TransportError::UnknownDestination(to))?;
         {
-            let mut rng = self.shared.rng.lock();
+            let mut rng = self.shared.rng.lock().expect("transport rng poisoned");
             if rng.bernoulli(self.shared.loss.loss_probability()) {
                 // Message "lost on the wire": swallowed silently, like UDP.
                 return Ok(());

@@ -51,21 +51,24 @@ pub mod medium;
 pub mod observer;
 pub mod rng;
 pub mod time;
+pub mod timeline;
 pub mod world;
 
 /// Convenient re-exports of the items most users need.
 pub mod prelude {
     pub use crate::actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
-    pub use crate::medium::{FixedDelayMedium, Medium, PerfectMedium, Verdict};
+    pub use crate::medium::{FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
     pub use crate::observer::{CountingObserver, NullObserver, Observer, PairObserver};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimInstant};
+    pub use crate::timeline::Timeline;
     pub use crate::world::{ActorFactory, World};
 }
 
 pub use actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
-pub use medium::{FixedDelayMedium, Medium, PerfectMedium, Verdict};
+pub use medium::{FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
 pub use observer::{CountingObserver, NullObserver, Observer, PairObserver};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimInstant};
+pub use timeline::Timeline;
 pub use world::{ActorFactory, World};

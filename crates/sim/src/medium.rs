@@ -103,6 +103,68 @@ impl Medium for FixedDelayMedium {
     }
 }
 
+/// A medium whose (deterministic, loss-free) delivery delay changes at
+/// scheduled instants — the simplest possible drifting network, used to
+/// observe adaptation to latency regime shifts without any stochastic noise.
+///
+/// ```
+/// use sle_sim::medium::{Medium, SteppedDelayMedium, Verdict};
+/// use sle_sim::actor::NodeId;
+/// use sle_sim::rng::SimRng;
+/// use sle_sim::time::{SimDuration, SimInstant};
+///
+/// let mut medium = SteppedDelayMedium::new(SimDuration::from_millis(50))
+///     .with_step(SimInstant::from_secs_f64(10.0), SimDuration::from_millis(5));
+/// let mut rng = SimRng::seed_from(1);
+/// let early = medium.transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng);
+/// assert_eq!(early, Verdict::Deliver { delay: SimDuration::from_millis(50) });
+/// let late = medium.transmit(SimInstant::from_secs_f64(11.0), NodeId(0), NodeId(1), 10, &mut rng);
+/// assert_eq!(late, Verdict::Deliver { delay: SimDuration::from_millis(5) });
+/// ```
+#[derive(Debug, Clone)]
+pub struct SteppedDelayMedium {
+    steps: crate::timeline::Timeline<SimDuration>,
+}
+
+impl SteppedDelayMedium {
+    /// Creates a medium delivering every message after `initial` delay.
+    pub fn new(initial: SimDuration) -> Self {
+        SteppedDelayMedium {
+            steps: crate::timeline::Timeline::new(initial),
+        }
+    }
+
+    /// Switches the delivery delay to `delay` from `at` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not later than the previous step.
+    pub fn with_step(mut self, at: SimInstant, delay: SimDuration) -> Self {
+        self.steps = self.steps.then_at(at, delay);
+        self
+    }
+
+    /// The delay in force at `now`.
+    pub fn delay_at(&self, now: SimInstant) -> SimDuration {
+        self.steps.at(now)
+    }
+}
+
+impl Medium for SteppedDelayMedium {
+    fn transmit(
+        &mut self,
+        now: SimInstant,
+        _from: NodeId,
+        _to: NodeId,
+        _wire_bytes: usize,
+        _rng: &mut SimRng,
+    ) -> Verdict {
+        Verdict::Deliver {
+            delay: self.delay_at(now),
+        }
+    }
+}
+
 impl<M: Medium + ?Sized> Medium for Box<M> {
     fn transmit(
         &mut self,
@@ -158,5 +220,36 @@ mod tests {
     fn verdict_helpers() {
         assert!(Verdict::immediate().is_delivered());
         assert!(!Verdict::Dropped.is_delivered());
+    }
+
+    #[test]
+    fn stepped_medium_switches_delay_at_the_scheduled_instants() {
+        let medium = SteppedDelayMedium::new(SimDuration::from_millis(40))
+            .with_step(SimInstant::from_secs_f64(1.0), SimDuration::from_millis(10))
+            .with_step(SimInstant::from_secs_f64(2.0), SimDuration::from_millis(80));
+        assert_eq!(
+            medium.delay_at(SimInstant::ZERO),
+            SimDuration::from_millis(40)
+        );
+        assert_eq!(
+            medium.delay_at(SimInstant::from_secs_f64(1.0)),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            medium.delay_at(SimInstant::from_secs_f64(1.5)),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            medium.delay_at(SimInstant::from_secs_f64(3.0)),
+            SimDuration::from_millis(80)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn stepped_medium_rejects_out_of_order_steps() {
+        let _ = SteppedDelayMedium::new(SimDuration::ZERO)
+            .with_step(SimInstant::from_secs_f64(2.0), SimDuration::ZERO)
+            .with_step(SimInstant::from_secs_f64(1.0), SimDuration::ZERO);
     }
 }

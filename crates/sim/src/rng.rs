@@ -7,10 +7,16 @@
 //! crash injector do not perturb each other's sequences when one of them
 //! changes how many samples it draws.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic, seedable random number generator with helpers for the
 /// distributions used by the DSN 2008 experiments.
@@ -29,15 +35,26 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    /// xoshiro256++ state (self-contained so the simulator has no external
+    /// dependencies; the distribution helpers below are all inverse-CDF
+    /// based, so quality requirements are modest).
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            *slot = splitmix64(&mut sm);
         }
+        // An all-zero state would be a fixed point; splitmix64 cannot produce
+        // four consecutive zeros, but guard anyway.
+        if state == [0; 4] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { state }
     }
 
     /// Forks an independent substream labelled by `label`.
@@ -45,7 +62,7 @@ impl SimRng {
     /// The substream is a pure function of the parent's seed position and the
     /// label, so forking is itself deterministic.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         // SplitMix64-style mixing of the base state and the label keeps the
         // substreams statistically independent for practical purposes.
         let mut z = base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -55,27 +72,40 @@ impl SimRng {
         SimRng::seed_from(z)
     }
 
-    /// Returns the next raw 64-bit value.
+    /// Returns the next raw 64-bit value (one xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Returns a uniformly distributed value in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits give the standard [0, 1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns a uniformly distributed value in `[lo, hi)`.
     ///
     /// # Panics
     ///
-    /// Panics if `lo > hi`.
+    /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo <= hi, "uniform_range: lo must not exceed hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "uniform_range: bounds must be finite with lo <= hi"
+        );
         if lo == hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.uniform_f64() * (hi - lo)
         }
     }
 
@@ -86,7 +116,8 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn uniform_usize(&mut self, n: usize) -> usize {
         assert!(n > 0, "uniform_usize: n must be positive");
-        self.inner.gen_range(0..n)
+        // The modulo bias is below 2^-32 for any n a simulation uses.
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -96,7 +127,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.uniform_f64() < p
         }
     }
 
@@ -110,7 +141,7 @@ impl SimRng {
             return SimDuration::ZERO;
         }
         // Inverse-CDF sampling; 1 - U avoids ln(0).
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.uniform_f64();
         SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
     }
 

@@ -139,7 +139,7 @@ impl fmt::Display for SimDuration {
         let nanos = self.0;
         if nanos == 0 {
             write!(f, "0s")
-        } else if nanos % 1_000_000_000 == 0 {
+        } else if nanos.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", nanos / 1_000_000_000)
         } else if nanos >= 1_000_000_000 {
             write!(f, "{:.3}s", self.as_secs_f64())
@@ -317,8 +317,14 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
-        assert_eq!(SimDuration::from_millis_f64(2.5), SimDuration::from_micros(2500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(2.5),
+            SimDuration::from_micros(2500)
+        );
     }
 
     #[test]
@@ -363,13 +369,20 @@ mod tests {
         assert_eq!(SimDuration::from_millis(250).to_string(), "250.000ms");
         assert_eq!(SimDuration::from_nanos(17).to_string(), "17ns");
         assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
-        assert!(SimInstant::from_secs_f64(1.5).to_string().starts_with("1.5"));
-        assert_eq!(format!("{:?}", SimInstant::ZERO + SimDuration::from_secs(2)), "t+2s");
+        assert!(SimInstant::from_secs_f64(1.5)
+            .to_string()
+            .starts_with("1.5"));
+        assert_eq!(
+            format!("{:?}", SimInstant::ZERO + SimDuration::from_secs(2)),
+            "t+2s"
+        );
     }
 
     #[test]
     fn instant_checked_add() {
-        assert!(SimInstant::FAR_FUTURE.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimInstant::FAR_FUTURE
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimInstant::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimInstant::from_nanos(1_000_000_000))

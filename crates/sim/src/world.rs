@@ -29,11 +29,27 @@ pub type ActorFactory<A> = Box<dyn FnMut(NodeId, u64) -> A>;
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Start { node: NodeId },
-    Deliver { from: NodeId, to: NodeId, msg: M, bytes: usize },
-    Timer { node: NodeId, tag: TimerTag, node_epoch: u64, generation: u64 },
-    Crash { node: NodeId },
-    Recover { node: NodeId },
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+    },
+    Timer {
+        node: NodeId,
+        tag: TimerTag,
+        node_epoch: u64,
+        generation: u64,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
 }
 
 struct QueuedEvent<M> {
@@ -123,7 +139,12 @@ impl<A: Actor, M: Medium> World<A, M> {
             events_processed: 0,
         };
         for i in 0..num_nodes {
-            world.push(SimInstant::ZERO, EventKind::Start { node: NodeId(i as u32) });
+            world.push(
+                SimInstant::ZERO,
+                EventKind::Start {
+                    node: NodeId(i as u32),
+                },
+            );
         }
         world
     }
@@ -231,12 +252,18 @@ impl<A: Actor, M: Medium> World<A, M> {
         self.events_processed += 1;
         match event.kind {
             EventKind::Start { node } => self.handle_start(node, observer),
-            EventKind::Deliver { from, to, msg, bytes } => {
-                self.handle_deliver(from, to, msg, bytes, observer)
-            }
-            EventKind::Timer { node, tag, node_epoch, generation } => {
-                self.handle_timer(node, tag, node_epoch, generation, observer)
-            }
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+            } => self.handle_deliver(from, to, msg, bytes, observer),
+            EventKind::Timer {
+                node,
+                tag,
+                node_epoch,
+                generation,
+            } => self.handle_timer(node, tag, node_epoch, generation, observer),
             EventKind::Crash { node } => self.handle_crash(node, observer),
             EventKind::Recover { node } => self.handle_recover(node, observer),
         }
@@ -382,11 +409,22 @@ impl<A: Actor, M: Medium> World<A, M> {
                         observer.message_dropped(self.now, node, to, bytes);
                         continue;
                     }
-                    match self.medium.transmit(self.now, node, to, bytes, &mut self.rng) {
+                    match self
+                        .medium
+                        .transmit(self.now, node, to, bytes, &mut self.rng)
+                    {
                         Verdict::Dropped => observer.message_dropped(self.now, node, to, bytes),
                         Verdict::Deliver { delay } => {
                             let at = self.now + delay;
-                            self.push(at, EventKind::Deliver { from: node, to, msg, bytes });
+                            self.push(
+                                at,
+                                EventKind::Deliver {
+                                    from: node,
+                                    to,
+                                    msg,
+                                    bytes,
+                                },
+                            );
                         }
                     }
                 }
@@ -397,7 +435,15 @@ impl<A: Actor, M: Medium> World<A, M> {
                     slot.timers.insert(tag, generation);
                     let node_epoch = slot.epoch;
                     let fire_at = at.max(self.now);
-                    self.push(fire_at, EventKind::Timer { node, tag, node_epoch, generation });
+                    self.push(
+                        fire_at,
+                        EventKind::Timer {
+                            node,
+                            tag,
+                            node_epoch,
+                            generation,
+                        },
+                    );
                 }
                 Effect::CancelTimer { tag } => {
                     self.nodes[node.index()].timers.remove(&tag);

@@ -1,0 +1,49 @@
+//! Static vs adaptive QoS tuning under a network regime shift.
+//!
+//! The network starts congested (40 ms exponential delays, 2% loss) and
+//! clears up to the paper's LAN at t = 30 s; the commonly agreed leader is
+//! crashed at t = 60 s. With the paper's static per-join configuration the
+//! failure detector keeps its worst-case detection time at T_D^U = 1 s
+//! forever; the adaptive tuner measures the improvement and tightens the
+//! bound, so the crash is detected — and the group recovers — faster, at
+//! the same mistake budget.
+//!
+//! Run with: `cargo run --release --example adaptive_tuning`
+
+use sle_election::ElectorKind;
+use sle_harness::RegimeShiftScenario;
+
+fn main() {
+    println!("regime shift: (D=40ms, pL=0.02) -> LAN at t=30s; leader crash at t=60s\n");
+    println!(
+        "{:<16} {:>8} {:>14} {:>12} {:>10} {:>16}",
+        "service", "tuning", "eta+delta (s)", "Tr (s)", "mistakes", "P_leader"
+    );
+    for algorithm in [ElectorKind::OmegaLc, ElectorKind::OmegaL] {
+        let scenario = RegimeShiftScenario::improving_network("demo", algorithm);
+        let comparison = scenario.compare();
+        for (label, outcome) in [
+            ("static", &comparison.static_outcome),
+            ("adaptive", &comparison.adaptive_outcome),
+        ] {
+            println!(
+                "{:<16} {:>8} {:>14.3} {:>12.3} {:>10} {:>16.5}",
+                algorithm.to_string(),
+                label,
+                outcome
+                    .detection_bound_towards_leader
+                    .map(|b| b.as_secs_f64())
+                    .unwrap_or(f64::NAN),
+                outcome.recovery_seconds(),
+                outcome.metrics.unjustified_demotions,
+                outcome.metrics.leader_availability,
+            );
+        }
+        assert!(
+            comparison.adaptive_no_worse(),
+            "{algorithm}: adaptive tuning must not be worse than static"
+        );
+    }
+    println!("\nadaptive detection is bounded by the static T_D^U and tightens when the");
+    println!("measured network allows it; mistakes never exceed the static run's.");
+}

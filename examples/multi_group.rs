@@ -80,18 +80,25 @@ fn main() {
     assert!(leader_a.node.0 < 3);
     assert!(leader_b.node.0 >= 3);
     assert!(
-        leader_global.node.0 % 3 == 0,
+        leader_global.node.0.is_multiple_of(3),
         "only candidates may lead the global group"
     );
 
-    // A process can leave one group and keep its other memberships.
+    // A process can leave one group and keep its other memberships. Poll the
+    // *remaining* members: the departed process no longer has a view of the
+    // group it left.
     let handle = cluster.handle(leader_a.node).unwrap();
     assert!(handle.leave(region_a, leader_a));
+    let remaining_a: Vec<NodeId> = nodes_a
+        .iter()
+        .copied()
+        .filter(|&n| n != leader_a.node)
+        .collect();
     let new_leader_a = {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut found = None;
         while Instant::now() < deadline && found.is_none() {
-            if let Some(candidate) = wait_leader(&cluster, region_a, &nodes_a) {
+            if let Some(candidate) = wait_leader(&cluster, region_a, &remaining_a) {
                 if candidate != leader_a {
                     found = Some(candidate);
                 }
@@ -101,6 +108,10 @@ fn main() {
         found
     };
     println!("region A leader after the old leader left: {new_leader_a:?}");
+    assert!(
+        new_leader_a.is_some(),
+        "region A must re-elect after the leave"
+    );
 
     cluster.shutdown();
     println!("done.");

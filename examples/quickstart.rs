@@ -55,8 +55,9 @@ fn main() {
     println!("crashing the leader's workstation ({})...", leader.node);
     cluster.crash(leader.node);
 
-    let new_leader = wait_for_agreement(&cluster, group, Some(leader.node), Duration::from_secs(15))
-        .expect("the group should re-elect a leader after the crash");
+    let new_leader =
+        wait_for_agreement(&cluster, group, Some(leader.node), Duration::from_secs(15))
+            .expect("the group should re-elect a leader after the crash");
     println!("new leader after the crash: {new_leader}");
     assert_ne!(new_leader.node, leader.node);
 

@@ -1,1 +1,6 @@
-pub use sle_core as core; pub use sle_sim as sim; pub use sle_net as net; pub use sle_fd as fd; pub use sle_election as election; pub use sle_harness as harness;
+pub use sle_core as core;
+pub use sle_election as election;
+pub use sle_fd as fd;
+pub use sle_harness as harness;
+pub use sle_net as net;
+pub use sle_sim as sim;
