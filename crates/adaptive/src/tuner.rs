@@ -9,7 +9,7 @@
 //! support a far tighter timeout at the same false-suspicion rate.
 //!
 //! An [`AdaptiveTuner`] closes that loop. It consumes the passive per-link
-//! measurements of [`LinkSampler`](crate::sampler::LinkSampler) and
+//! measurements of [`LinkSampler`] and
 //! periodically re-derives, per monitored peer:
 //!
 //! * the heartbeat interval η and timeout shift δ (as

@@ -8,10 +8,21 @@
 //! * the micro-benchmarks (`cargo bench`) for the failure detector, the
 //!   election algorithms, the adaptive tuner, the simulator and small
 //!   versions of the figure scenarios. They are plain `harness = false`
-//!   binaries built on the dependency-free [`runner`] below, so the whole
-//!   workspace builds without any third-party crate.
+//!   binaries built on the dependency-free helpers below ([`bench_loop`],
+//!   [`bench_once`]), so the whole workspace builds without any third-party
+//!   crate.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for a recorded run.
+//!
+//! ## Example: timing a snippet with the mini-harness
+//!
+//! ```
+//! use sle_bench::{bench_loop, bench_once, black_box};
+//!
+//! // Prints "sum-1..100                ... ns/iter" on stdout.
+//! bench_loop("sum-1..100", 100, || black_box((1u64..=100).sum::<u64>()));
+//! assert_eq!(bench_once("once", || 6 * 7), 42);
+//! ```
 
 #![warn(missing_docs)]
 

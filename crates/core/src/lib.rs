@@ -21,8 +21,12 @@
 //!
 //! The protocol logic is a sans-io state machine ([`ServiceNode`]) that runs
 //! identically under the discrete-event simulator (`sle-sim`, used by the
-//! evaluation harness) and under the real-time in-process runtime
-//! ([`runtime::Cluster`]).
+//! evaluation harness) and under the real-time runtime
+//! ([`runtime::Cluster`]), which is generic over its transport
+//! ([`sle_net::transport::MessageEndpoint`]): the in-memory mesh by
+//! default, or real UDP sockets via the `sle-udp` crate — the paper's
+//! daemon-per-workstation deployment (§2), speaking the datagram format of
+//! `docs/WIRE.md`.
 //!
 //! ## Quick start (real time)
 //!

@@ -2,9 +2,9 @@
 //!
 //! A [`ServiceNode`] is the sans-io heart of the leader-election service: it
 //! combines the Group Maintenance module (HELLO gossip, membership), the
-//! Failure Detector module (per-group [`FailureDetector`]s fed by ALIVE
-//! messages) and the Leader Election Algorithm module (one
-//! [`AnyElector`] per group), exactly mirroring the architecture of the
+//! Failure Detector module (per-group [`sle_fd::FailureDetector`]s fed by
+//! ALIVE messages) and the Leader Election Algorithm module (one
+//! [`sle_election::AnyElector`] per group), exactly mirroring the architecture of the
 //! paper's Figure 2. It implements [`sle_sim::Actor`], so the same code runs
 //! under the discrete-event simulator (for the evaluation) and under the
 //! real-time runtime in [`crate::runtime`] (for applications).

@@ -1,15 +1,19 @@
-//! A real-time, in-process runtime for the service.
+//! A real-time runtime for the service.
 //!
 //! The paper deploys one service daemon per workstation; applications link a
-//! shared library that talks to the local daemon. For the library form of
-//! this reproduction, [`Cluster`] plays the role of a deployment: it spawns
-//! one thread per service instance, connects them through an in-memory mesh
-//! (optionally lossy, to demonstrate adverse conditions live), and exposes
-//! the service API — join/leave groups, query the leader, subscribe to
-//! leader-change events — through [`ClusterHandle`].
+//! shared library that talks to the local daemon. [`Cluster`] plays the role
+//! of a deployment: it spawns one thread per service instance, connects them
+//! through any [`MessageEndpoint`] transport, and exposes the service API —
+//! join/leave groups, query the leader, subscribe to leader-change events —
+//! through [`ClusterHandle`].
 //!
-//! The protocol code is exactly the same [`ServiceNode`] state machine the
-//! simulator runs; this module merely drives it with the wall clock.
+//! Two transports implement the endpoint contract today: the in-memory mesh
+//! of `sle-net` (the default, optionally lossy, used by most examples) and
+//! the real-UDP sockets of `sle-udp` ([`Cluster::start_with_endpoints`] —
+//! the paper's actual deployment shape, one datagram socket per
+//! workstation). The protocol code is exactly the same [`ServiceNode`]
+//! state machine the simulator runs; this module merely drives it with the
+//! wall clock.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -18,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use sle_election::ElectorKind;
 use sle_net::link::LinkSpec;
-use sle_net::transport::{InMemoryMesh, TransportError};
+use sle_net::transport::{InMemoryMesh, MessageEndpoint};
 use sle_sim::actor::{Actor, Effect, NodeId, TimerTag};
 use sle_sim::time::{SimDuration, SimInstant};
 
@@ -68,17 +72,22 @@ impl NodeRuntime {
         SimInstant::from_nanos(self.start.elapsed().as_nanos() as u64)
     }
 
-    fn apply_effects(
+    fn apply_effects<E: MessageEndpoint<ServiceMessage>>(
         &mut self,
         effects: Vec<Effect<ServiceMessage, ServiceEvent>>,
-        endpoint: &sle_net::transport::Endpoint<ServiceMessage>,
+        endpoint: &E,
     ) {
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => match endpoint.send(to, msg) {
-                    Ok(()) | Err(TransportError::UnknownDestination(_)) => {}
-                    Err(TransportError::Closed) => {}
-                },
+                // Send failures are tolerable for a best-effort datagram
+                // protocol: to the state machine they are the network
+                // dropping a message. Transports are responsible for making
+                // the one *deterministic* failure observable (an
+                // unencodable-on-this-wire message — counted by sle-udp's
+                // UdpStats::send_unencodable).
+                Effect::Send { to, msg } => {
+                    let _ = endpoint.send(to, msg);
+                }
                 Effect::SetTimer { tag, at } => {
                     self.timers.insert(tag, at);
                 }
@@ -99,7 +108,7 @@ impl NodeRuntime {
         self.timers.values().copied().min()
     }
 
-    fn fire_due_timers(&mut self, endpoint: &sle_net::transport::Endpoint<ServiceMessage>) {
+    fn fire_due_timers<E: MessageEndpoint<ServiceMessage>>(&mut self, endpoint: &E) {
         loop {
             let now = self.now();
             let due: Vec<TimerTag> = self
@@ -177,8 +186,9 @@ impl ClusterHandle {
     }
 }
 
-/// An in-process deployment of the leader-election service: one thread per
-/// workstation, connected by an in-memory mesh.
+/// A real-time deployment of the leader-election service: one thread per
+/// workstation, connected by any [`MessageEndpoint`] transport (in-memory
+/// mesh by default, real UDP sockets via `sle-udp`).
 pub struct Cluster {
     handles: Vec<ClusterHandle>,
     threads: Vec<JoinHandle<()>>,
@@ -197,15 +207,43 @@ impl Cluster {
     /// applied inside the in-memory mesh).
     pub fn start_with_links(n: usize, algorithm: ElectorKind, links: LinkSpec) -> Self {
         let mut mesh: InMemoryMesh<ServiceMessage> = InMemoryMesh::with_links(n, links, 42);
+        let endpoints: Vec<_> = (0..n)
+            .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint taken"))
+            .collect();
+        Self::start_with_endpoints(endpoints, algorithm)
+    }
+
+    /// Starts one service instance per endpoint, each on its own thread,
+    /// over whatever transport the endpoints implement.
+    ///
+    /// The endpoints' node identities must be the contiguous range
+    /// `0..endpoints.len()` in order (the shape every deployment in this
+    /// workspace uses); the peer set of every instance is the full set of
+    /// endpoint identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint identities are not `0, 1, …, n-1` in order.
+    pub fn start_with_endpoints<E>(endpoints: Vec<E>, algorithm: ElectorKind) -> Self
+    where
+        E: MessageEndpoint<ServiceMessage> + Send + 'static,
+    {
+        let n = endpoints.len();
+        for (i, endpoint) in endpoints.iter().enumerate() {
+            assert_eq!(
+                endpoint.node(),
+                NodeId(i as u32),
+                "endpoint identities must be 0..n in order"
+            );
+        }
         let (event_tx, event_rx) = channel();
         let crashed = Arc::new(Mutex::new(vec![false; n]));
         let mut handles = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
         let mut command_senders = Vec::with_capacity(n);
 
-        for i in 0..n {
-            let id = NodeId(i as u32);
-            let endpoint = mesh.endpoint(id).expect("endpoint already taken");
+        for endpoint in endpoints {
+            let id = endpoint.node();
             let (cmd_tx, cmd_rx) = channel::<Command>();
             let config = ServiceConfig::full_mesh(id, n, algorithm)
                 .with_hello_interval(SimDuration::from_millis(200));
@@ -325,6 +363,50 @@ impl Cluster {
         self.events.recv_timeout(timeout).ok()
     }
 
+    /// The leader of `group` that every node (other than `exclude`)
+    /// currently agrees on.
+    ///
+    /// Returns `None` while views differ, any polled node has no leader
+    /// yet, or the agreed leader is hosted on `exclude` (the typical use of
+    /// `exclude` is a node whose crash is being recovered from, so a stale
+    /// view of it still in office does not count as agreement).
+    pub fn agreed_leader(&self, group: GroupId, exclude: Option<NodeId>) -> Option<ProcessId> {
+        let mut agreed: Option<ProcessId> = None;
+        for handle in &self.handles {
+            if Some(handle.node()) == exclude {
+                continue;
+            }
+            let view = handle.leader_of(group)?;
+            match agreed {
+                None => agreed = Some(view),
+                Some(leader) if leader == view => {}
+                Some(_) => return None,
+            }
+        }
+        agreed.filter(|leader| Some(leader.node) != exclude)
+    }
+
+    /// Polls [`Cluster::agreed_leader`] until the nodes agree or `timeout`
+    /// expires — the standard way examples and tests wait for an election
+    /// to settle in real time.
+    pub fn await_agreement(
+        &self,
+        group: GroupId,
+        exclude: Option<NodeId>,
+        timeout: Duration,
+    ) -> Option<ProcessId> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(leader) = self.agreed_leader(group, exclude) {
+                return Some(leader);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
     /// Simulates a crash of `node`: it stops handling messages and timers.
     pub fn crash(&self, node: NodeId) {
         if let Some(flag) = self
@@ -379,18 +461,7 @@ mod tests {
             processes.push(handle.join(group, JoinConfig::candidate()).unwrap());
         }
         // Wait until every node reports the same leader (or give up).
-        let deadline = Instant::now() + Duration::from_secs(10);
-        let mut agreed = None;
-        while Instant::now() < deadline {
-            let views: Vec<Option<ProcessId>> = (0..3u32)
-                .map(|i| cluster.handle(NodeId(i)).unwrap().leader_of(group))
-                .collect();
-            if views.iter().all(|v| v.is_some() && *v == views[0]) {
-                agreed = views[0];
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(50));
-        }
+        let agreed = cluster.await_agreement(group, None, Duration::from_secs(10));
         assert!(
             agreed.is_some(),
             "no agreement within 10 s of wall-clock time"
@@ -409,35 +480,14 @@ mod tests {
                 .join(group, JoinConfig::candidate())
                 .unwrap();
         }
-        let deadline = Instant::now() + Duration::from_secs(10);
-        let mut leader = None;
-        while Instant::now() < deadline && leader.is_none() {
-            let views: Vec<Option<ProcessId>> = (0..3u32)
-                .map(|i| cluster.handle(NodeId(i)).unwrap().leader_of(group))
-                .collect();
-            if views.iter().all(|v| v.is_some() && *v == views[0]) {
-                leader = views[0];
-            }
-            std::thread::sleep(Duration::from_millis(50));
-        }
-        let leader = leader.expect("initial leader");
+        let leader = cluster
+            .await_agreement(group, None, Duration::from_secs(10))
+            .expect("initial leader");
         cluster.crash(leader.node);
 
-        let deadline = Instant::now() + Duration::from_secs(15);
-        let mut new_leader = None;
-        while Instant::now() < deadline && new_leader.is_none() {
-            let views: Vec<Option<ProcessId>> = (0..3u32)
-                .filter(|&i| NodeId(i) != leader.node)
-                .map(|i| cluster.handle(NodeId(i)).unwrap().leader_of(group))
-                .collect();
-            if views.iter().all(|v| v.is_some() && *v == views[0])
-                && views[0].map(|p| p.node) != Some(leader.node)
-            {
-                new_leader = views[0];
-            }
-            std::thread::sleep(Duration::from_millis(50));
-        }
+        let new_leader = cluster.await_agreement(group, Some(leader.node), Duration::from_secs(15));
         assert!(new_leader.is_some(), "no re-election within 15 s");
+        assert_ne!(new_leader.unwrap().node, leader.node);
         cluster.shutdown();
     }
 }

@@ -18,6 +18,30 @@
 //!
 //! The `reproduce` binary in the `sle-bench` crate drives this crate to
 //! regenerate every figure; `EXPERIMENTS.md` records one full run.
+//!
+//! ## Example: the paper's crash workload, in miniature
+//!
+//! Section 6 crashes each of 12 workstations on average every 10 minutes
+//! and reports means with 95% confidence intervals; [`CrashPlan`] generates
+//! that schedule and [`Summary`] does the reporting arithmetic:
+//!
+//! ```
+//! use sle_harness::{CrashPlan, CrashProfile, Summary};
+//! use sle_sim::time::SimDuration;
+//!
+//! let plan = CrashPlan::generate(
+//!     12,
+//!     SimDuration::from_secs(3600),
+//!     CrashProfile::paper_default(),
+//!     7,
+//! );
+//! // ~6 crashes per node-hour at one crash per 10 minutes of uptime.
+//! assert!(plan.crash_count() > 12);
+//!
+//! let summary = Summary::of(&[1.0, 2.0, 3.0]);
+//! assert_eq!(summary.mean, 2.0);
+//! assert!(summary.ci95 > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

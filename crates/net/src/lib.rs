@@ -15,7 +15,9 @@
 //! * [`drift`] — networks whose behaviour shifts between regimes mid-run
 //!   ([`drift::DriftSchedule`] / [`drift::DriftingNetwork`]), the workload of
 //!   the adaptive-tuning evaluation,
-//! * [`transport`] — the in-memory mesh used by the real-time runtime.
+//! * [`transport`] — the [`transport::MessageEndpoint`] abstraction the
+//!   real-time runtime is generic over, and the in-memory mesh
+//!   implementation of it (the UDP implementation lives in `sle-udp`).
 //!
 //! ## Example: the paper's harshest lossy network
 //!
@@ -42,4 +44,4 @@ pub mod transport;
 pub use drift::{DriftSchedule, DriftingNetwork};
 pub use link::{LinkCrashSpec, LinkOutageState, LinkSpec};
 pub use network::{NetworkModel, NetworkStats, SimulatedNetwork};
-pub use transport::{Endpoint, InMemoryMesh, Incoming, TransportError};
+pub use transport::{Endpoint, InMemoryMesh, Incoming, MessageEndpoint, TransportError};

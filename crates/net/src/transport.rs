@@ -25,6 +25,9 @@ pub enum TransportError {
     UnknownDestination(NodeId),
     /// The mesh has been shut down.
     Closed,
+    /// The message cannot be represented on this transport's wire (for
+    /// example, it encodes to more bytes than one datagram may carry).
+    Unencodable(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -34,11 +37,46 @@ impl std::fmt::Display for TransportError {
                 write!(f, "unknown destination node {node}")
             }
             TransportError::Closed => write!(f, "transport is closed"),
+            TransportError::Unencodable(reason) => {
+                write!(f, "message cannot be encoded: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for TransportError {}
+
+/// The endpoint shape the real-time runtime in `sle-core` is written
+/// against: an unreliable, unordered, node-addressed datagram service.
+///
+/// Two implementations exist: the in-process [`Endpoint`] of an
+/// [`InMemoryMesh`] (std channels) and the `UdpEndpoint` of the `sle-udp`
+/// crate (real `std::net::UdpSocket`s, one daemon per workstation exactly as
+/// the paper deploys the service). Both are *best effort*: a send that
+/// reaches the wire may still be lost, duplicated or reordered, which is
+/// precisely the fault model the protocol is designed for, so runtimes must
+/// never treat a successful `send` as a delivery guarantee.
+pub trait MessageEndpoint<M> {
+    /// The identity of this endpoint.
+    fn node(&self) -> NodeId;
+
+    /// Sends `msg` to `to`, best effort and without blocking on delivery.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report only *local* failures (unknown destination,
+    /// closed transport, unencodable message); losing the message in the
+    /// network is silent, like UDP.
+    fn send(&self, to: NodeId, msg: M) -> Result<(), TransportError>;
+
+    /// Receives the next message, waiting up to `timeout`.
+    ///
+    /// Returns `None` on timeout (or when the transport has shut down).
+    fn recv_timeout(&self, timeout: Duration) -> Option<Incoming<M>>;
+
+    /// Receives a message if one is already queued, without blocking.
+    fn try_recv(&self) -> Option<Incoming<M>>;
+}
 
 /// A message in flight, tagged with its sender.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,6 +222,24 @@ impl<M: Send + 'static> Endpoint<M> {
     /// to emulate latency by deferring the handling of received messages).
     pub fn nominal_delay(&self) -> SimDuration {
         self.shared.loss.mean_delay()
+    }
+}
+
+impl<M: Send + 'static> MessageEndpoint<M> for Endpoint<M> {
+    fn node(&self) -> NodeId {
+        Endpoint::node(self)
+    }
+
+    fn send(&self, to: NodeId, msg: M) -> Result<(), TransportError> {
+        Endpoint::send(self, to, msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Incoming<M>> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Incoming<M>> {
+        Endpoint::try_recv(self)
     }
 }
 

@@ -153,6 +153,23 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// Converts a wall-clock duration, saturating past ~584 years.
+///
+/// The real-time runtime and the examples use this to render measured
+/// wall-clock times in the same human units (`1.287s`, `86.000ms`) the
+/// simulator reports:
+///
+/// ```
+/// use sle_sim::time::SimDuration;
+/// let d = SimDuration::from(std::time::Duration::from_millis(1500));
+/// assert_eq!(d.to_string(), "1.500s");
+/// ```
+impl From<std::time::Duration> for SimDuration {
+    fn from(d: std::time::Duration) -> Self {
+        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {

@@ -1,0 +1,417 @@
+//! # sle-udp — the service over real UDP sockets
+//!
+//! The DSN 2008 paper runs the leader-election service as **one lightweight
+//! daemon per workstation exchanging UDP datagrams** (Section 6 evaluates
+//! exactly that deployment on a 12-workstation cluster). This crate is that
+//! deployment shape for the reproduction: a [`UdpEndpoint`] owns one
+//! `std::net::UdpSocket`, a peer address book mapping
+//! [`NodeId`]s to socket addresses, and a reader
+//! thread that decodes arriving datagrams with the `sle-wire` codec
+//! (`docs/WIRE.md`) and queues them for the runtime.
+//!
+//! [`UdpEndpoint`] implements the same
+//! [`MessageEndpoint`] contract as the
+//! in-memory mesh of `sle-net`, so `sle-core`'s real-time
+//! [`Cluster`](sle_core::runtime::Cluster) drives either transport with the
+//! *identical* protocol state machine — swapping channels for sockets is
+//! `Cluster::start_with_endpoints(bind_loopback_mesh(n)?, …)`.
+//!
+//! The endpoint is hardened the way a daemon facing a real network must be:
+//! oversized datagrams, truncated or corrupted frames, unknown senders and
+//! spoofed source addresses are counted ([`UdpStats`]) and dropped, never
+//! parsed into a panic (the codec is total; see `sle-wire`'s property
+//! tests).
+//!
+//! ## Example: two endpoints on the loopback interface
+//!
+//! ```
+//! use sle_net::transport::MessageEndpoint;
+//! use sle_sim::actor::NodeId;
+//! use sle_udp::bind_loopback_mesh;
+//! use std::time::Duration;
+//!
+//! // Two sockets on 127.0.0.1 with ephemeral ports, already introduced to
+//! // each other.
+//! let mut endpoints = bind_loopback_mesh::<u64>(2).unwrap();
+//! let b = endpoints.pop().unwrap();
+//! let a = endpoints.pop().unwrap();
+//!
+//! a.send(NodeId(1), 42).unwrap();
+//! let incoming = b.recv_timeout(Duration::from_secs(5)).expect("delivered");
+//! assert_eq!(incoming.from, NodeId(0));
+//! assert_eq!(incoming.msg, 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sle_net::transport::{Incoming, MessageEndpoint, TransportError};
+use sle_sim::actor::NodeId;
+use sle_wire::{decode_frame, encode_frame, WireFormat, MAX_DATAGRAM};
+
+/// How long the reader thread blocks in `recv_from` before re-checking the
+/// shutdown flag.
+const READER_POLL: Duration = Duration::from_millis(25);
+
+/// Datagram-level counters of one endpoint, all monotonically increasing.
+///
+/// The `dropped_*` counters are the endpoint's hardening made visible:
+/// every datagram the reader refused, by reason.
+#[derive(Debug, Default)]
+pub struct UdpStats {
+    /// Well-formed datagrams handed to the runtime.
+    pub delivered: AtomicU64,
+    /// Datagrams larger than [`MAX_DATAGRAM`], dropped unparsed.
+    pub dropped_oversized: AtomicU64,
+    /// Datagrams the `sle-wire` codec rejected (bad magic or version,
+    /// truncation, corruption, trailing bytes).
+    pub dropped_malformed: AtomicU64,
+    /// Well-formed datagrams whose claimed sender is not in the address
+    /// book, or whose UDP source address does not match the address book
+    /// entry for that sender (a spoof, or a peer behind a NAT rebinding).
+    pub dropped_misaddressed: AtomicU64,
+    /// Outbound messages that could not be encoded into one datagram
+    /// ([`WireError::TooLarge`](sle_wire::WireError)). Unlike the
+    /// `dropped_*` receive counters this is a *send-side* failure: it
+    /// recurs deterministically for the same message, so a non-zero value
+    /// means the node is trying to say something the wire cannot carry
+    /// (e.g. a HELLO gossiping more members than fit in
+    /// [`MAX_DATAGRAM`]) — not that the network is lossy.
+    pub send_unencodable: AtomicU64,
+}
+
+/// A point-in-time copy of [`UdpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UdpStatsSnapshot {
+    /// Well-formed datagrams handed to the runtime.
+    pub delivered: u64,
+    /// Datagrams larger than [`MAX_DATAGRAM`], dropped unparsed.
+    pub dropped_oversized: u64,
+    /// Datagrams the codec rejected.
+    pub dropped_malformed: u64,
+    /// Datagrams with an unknown or spoofed sender.
+    pub dropped_misaddressed: u64,
+    /// Outbound messages too large to encode into one datagram.
+    pub send_unencodable: u64,
+}
+
+impl UdpStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> UdpStatsSnapshot {
+        UdpStatsSnapshot {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_oversized: self.dropped_oversized.load(Ordering::Relaxed),
+            dropped_malformed: self.dropped_malformed.load(Ordering::Relaxed),
+            dropped_misaddressed: self.dropped_misaddressed.load(Ordering::Relaxed),
+            send_unencodable: self.send_unencodable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One workstation's UDP attachment to the service: a socket, an address
+/// book, and a reader thread feeding decoded messages to the runtime.
+///
+/// Dropping the endpoint stops and joins the reader thread.
+pub struct UdpEndpoint<M> {
+    node: NodeId,
+    socket: UdpSocket,
+    peers: Arc<Vec<SocketAddr>>,
+    rx: Receiver<Incoming<M>>,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+    stats: Arc<UdpStats>,
+}
+
+impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
+    /// Wraps an already-bound socket as the endpoint of `node`, with
+    /// `peers[i]` the address of node `i` (including this node's own
+    /// address at `peers[node]`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be cloned for the reader thread or its
+    /// read timeout cannot be set.
+    pub fn new(node: NodeId, socket: UdpSocket, peers: Vec<SocketAddr>) -> io::Result<Self> {
+        let peers = Arc::new(peers);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(UdpStats::default());
+        let (tx, rx) = channel();
+
+        let reader_socket = socket.try_clone()?;
+        reader_socket.set_read_timeout(Some(READER_POLL))?;
+        let reader = std::thread::Builder::new()
+            .name(format!("sle-udp-reader-{node}"))
+            .spawn({
+                let peers = Arc::clone(&peers);
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                move || reader_loop(reader_socket, &peers, &stop, &stats, &tx)
+            })?;
+
+        Ok(UdpEndpoint {
+            node,
+            socket,
+            peers,
+            rx,
+            stop,
+            reader: Some(reader),
+            stats,
+        })
+    }
+
+    /// The address this endpoint's socket is bound to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has no local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The address-book entry for `node`, if it has one.
+    pub fn peer_addr(&self, node: NodeId) -> Option<SocketAddr> {
+        self.peers.get(node.index()).copied()
+    }
+
+    /// A copy of the endpoint's datagram counters.
+    pub fn stats(&self) -> UdpStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// A shared handle to the live counters, for observing an endpoint
+    /// after it has moved into a runtime thread (a daemon's metrics
+    /// exporter holds one of these).
+    pub fn stats_handle(&self) -> Arc<UdpStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+fn reader_loop<M: WireFormat>(
+    socket: UdpSocket,
+    peers: &[SocketAddr],
+    stop: &AtomicBool,
+    stats: &UdpStats,
+    tx: &Sender<Incoming<M>>,
+) {
+    // One byte over the limit so an in-limit read is provably untruncated.
+    let mut buf = vec![0u8; MAX_DATAGRAM + 1];
+    while !stop.load(Ordering::Relaxed) {
+        let (len, src) = match socket.recv_from(&mut buf) {
+            Ok(received) => received,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            // Transient errors (e.g. ECONNREFUSED bounced back by a dead
+            // peer's ICMP on Linux) must not kill the daemon's reader.
+            Err(_) => continue,
+        };
+        if len > MAX_DATAGRAM {
+            stats.dropped_oversized.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let (from, msg) = match decode_frame::<M>(&buf[..len]) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                stats.dropped_malformed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        // The claimed sender must be in the address book *and* the datagram
+        // must actually come from that peer's socket.
+        if peers.get(from.index()) != Some(&src) {
+            stats.dropped_misaddressed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        stats.delivered.fetch_add(1, Ordering::Relaxed);
+        if tx.send(Incoming { from, msg }).is_err() {
+            // The endpoint (and its receiver) is gone: nothing left to do.
+            return;
+        }
+    }
+}
+
+impl<M: WireFormat + Send + 'static> MessageEndpoint<M> for UdpEndpoint<M> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Encodes `msg` and sends it as one datagram, best effort.
+    ///
+    /// OS-level send failures are swallowed: to the protocol they are the
+    /// network losing a message, which it is built to tolerate.
+    fn send(&self, to: NodeId, msg: M) -> Result<(), TransportError> {
+        let addr = self
+            .peers
+            .get(to.index())
+            .ok_or(TransportError::UnknownDestination(to))?;
+        let frame = encode_frame(self.node, &msg).map_err(|e| {
+            self.stats.send_unencodable.fetch_add(1, Ordering::Relaxed);
+            TransportError::Unencodable(e.to_string())
+        })?;
+        let _ = self.socket.send_to(&frame, addr);
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Incoming<M>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(incoming) => Some(incoming),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    fn try_recv(&self) -> Option<Incoming<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl<M> Drop for UdpEndpoint<M> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Binds `n` endpoints to ephemeral ports on `127.0.0.1` and introduces
+/// them to each other — the socket-world equivalent of
+/// [`InMemoryMesh::new(n)`](sle_net::transport::InMemoryMesh::new), used by
+/// the `udp_cluster` example and the loopback integration tests.
+///
+/// Endpoint `i` has identity `NodeId(i)`.
+///
+/// # Errors
+///
+/// Fails if any socket cannot be bound or any reader thread cannot start.
+pub fn bind_loopback_mesh<M: WireFormat + Send + 'static>(
+    n: usize,
+) -> io::Result<Vec<UdpEndpoint<M>>> {
+    let sockets: Vec<UdpSocket> = (0..n)
+        .map(|_| UdpSocket::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = sockets
+        .iter()
+        .map(|s| s.local_addr())
+        .collect::<io::Result<_>>()?;
+    sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, socket)| UdpEndpoint::new(NodeId(i as u32), socket, addrs.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_mesh_routes_datagrams() {
+        let endpoints = bind_loopback_mesh::<u64>(3).unwrap();
+        assert_eq!(endpoints[1].node(), NodeId(1));
+        endpoints[0].send(NodeId(1), 10).unwrap();
+        endpoints[2].send(NodeId(1), 20).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let incoming = endpoints[1]
+                .recv_timeout(Duration::from_secs(5))
+                .expect("datagram delivered on loopback");
+            got.push((incoming.from, incoming.msg));
+        }
+        got.sort();
+        assert_eq!(got, vec![(NodeId(0), 10), (NodeId(2), 20)]);
+        assert_eq!(endpoints[1].stats().delivered, 2);
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let endpoints = bind_loopback_mesh::<u64>(1).unwrap();
+        assert_eq!(
+            endpoints[0].send(NodeId(9), 1),
+            Err(TransportError::UnknownDestination(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn garbage_and_oversized_datagrams_are_counted_and_dropped() {
+        let endpoints = bind_loopback_mesh::<u64>(1).unwrap();
+        let target = endpoints[0].local_addr().unwrap();
+        let attacker = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        attacker.send_to(b"definitely not a frame", target).unwrap();
+        attacker.send_to(&[0u8; MAX_DATAGRAM + 64], target).unwrap();
+        // A well-formed frame, but from a socket that is not in the
+        // address book (spoofing NodeId(0)'s identity).
+        let spoof = encode_frame(NodeId(0), &7u64).unwrap();
+        attacker.send_to(&spoof, target).unwrap();
+
+        // Nothing may surface to the application...
+        assert!(endpoints[0]
+            .recv_timeout(Duration::from_millis(300))
+            .is_none());
+        // ...and each drop is attributed to its reason.
+        let stats = endpoints[0].stats();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped_malformed, 1);
+        assert_eq!(stats.dropped_oversized, 1);
+        assert_eq!(stats.dropped_misaddressed, 1);
+    }
+
+    #[test]
+    fn unencodable_sends_error_and_are_counted() {
+        use sle_core::messages::{GroupAnnouncement, ServiceMessage};
+        use sle_core::process::GroupId;
+        use sle_sim::time::SimInstant;
+
+        let endpoints = bind_loopback_mesh::<ServiceMessage>(2).unwrap();
+        // A HELLO gossiping more groups than fit in MAX_DATAGRAM.
+        let huge = ServiceMessage::Hello {
+            incarnation: 0,
+            sent_at: SimInstant::ZERO,
+            announcements: (0..250)
+                .map(|i| GroupAnnouncement {
+                    group: GroupId(i),
+                    processes: Vec::new(),
+                })
+                .collect(),
+        };
+        assert!(matches!(
+            endpoints[0].send(NodeId(1), huge),
+            Err(TransportError::Unencodable(_))
+        ));
+        assert_eq!(endpoints[0].stats().send_unencodable, 1);
+        assert!(endpoints[1]
+            .recv_timeout(Duration::from_millis(100))
+            .is_none());
+    }
+
+    #[test]
+    fn self_send_works_like_any_peer() {
+        let endpoints = bind_loopback_mesh::<u64>(1).unwrap();
+        endpoints[0].send(NodeId(0), 5).unwrap();
+        let incoming = endpoints[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(incoming.from, NodeId(0));
+        assert_eq!(incoming.msg, 5);
+        assert_eq!(
+            endpoints[0].peer_addr(NodeId(0)),
+            endpoints[0].local_addr().ok()
+        );
+        assert_eq!(endpoints[0].peer_addr(NodeId(3)), None);
+    }
+
+    #[test]
+    fn drop_joins_the_reader_thread() {
+        let endpoints = bind_loopback_mesh::<u64>(2).unwrap();
+        drop(endpoints);
+        // Nothing to assert beyond "this returns": Drop joins the readers.
+    }
+}

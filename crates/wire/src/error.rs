@@ -1,0 +1,54 @@
+//! Decode/encode failures.
+//!
+//! Every way a datagram can be malformed maps to one variant here; decoding
+//! *never* panics, because the UDP transport feeds it bytes straight off the
+//! network and a garbage datagram must cost one error value, not a daemon.
+
+use std::fmt;
+
+/// Why a byte buffer could not be decoded (or a message encoded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field being read was complete.
+    Truncated {
+        /// Bytes still needed by the field being decoded.
+        needed: usize,
+        /// Bytes actually remaining in the buffer.
+        remaining: usize,
+    },
+    /// The first four bytes are not the protocol magic `b"SLEP"`.
+    BadMagic([u8; 4]),
+    /// The version byte is one this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// The message-tag byte does not name a known message family.
+    UnknownTag(u8),
+    /// An option-tag byte was neither 0 (absent) nor 1 (present).
+    BadOptionTag(u8),
+    /// Bytes were left over after the message was fully decoded.
+    TrailingBytes(usize),
+    /// The encoded message would exceed [`crate::MAX_DATAGRAM`] bytes.
+    TooLarge(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated datagram: field needs {needed} bytes, {remaining} remain"
+            ),
+            WireError::BadMagic(bytes) => write!(f, "bad magic {bytes:?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadOptionTag(t) => write!(f, "bad option tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::TooLarge(n) => write!(
+                f,
+                "encoded datagram is {n} bytes, over the {} byte limit",
+                crate::MAX_DATAGRAM
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,402 @@
+//! [`WireFormat`] implementations for the service's message vocabulary
+//! (`sle-core`'s [`ServiceMessage`] family and the election payload it
+//! carries).
+//!
+//! The field layout is specified normatively in `docs/WIRE.md`; the
+//! encoding here matches, byte for byte, the sizes
+//! [`WireSize`](sle_sim::actor::WireSize) has always charged to the
+//! simulator's bandwidth accounting (asserted by `body_len_matches_wire_size`
+//! in this module's tests and by the property suite in `tests/properties.rs`).
+
+use sle_core::messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
+use sle_core::process::{GroupId, ProcessId};
+use sle_election::{AlivePayload, LeaderClaim};
+use sle_sim::actor::NodeId;
+use sle_sim::time::{SimDuration, SimInstant};
+
+use crate::codec::{Reader, WireFormat, Writer};
+use crate::error::WireError;
+
+/// Message-tag byte for HELLO (membership gossip).
+pub const TAG_HELLO: u8 = 1;
+/// Message-tag byte for ALIVE (heartbeat + election payload).
+pub const TAG_ALIVE: u8 = 2;
+/// Message-tag byte for ACCUSE ("I believe you crashed").
+pub const TAG_ACCUSE: u8 = 3;
+/// Message-tag byte for LEAVE (explicit group withdrawal).
+pub const TAG_LEAVE: u8 = 4;
+
+impl WireFormat for NodeId {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.take_u32()?))
+    }
+}
+
+impl WireFormat for GroupId {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GroupId(r.take_u32()?))
+    }
+}
+
+impl WireFormat for ProcessId {
+    fn encode_into(&self, w: &mut Writer) {
+        self.node.encode_into(w);
+        w.put_u32(self.local);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let node = NodeId::decode(r)?;
+        let local = r.take_u32()?;
+        Ok(ProcessId::new(node, local))
+    }
+}
+
+impl WireFormat for SimInstant {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.as_nanos());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SimInstant::from_nanos(r.take_u64()?))
+    }
+}
+
+impl WireFormat for SimDuration {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.as_nanos());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SimDuration::from_nanos(r.take_u64()?))
+    }
+}
+
+fn encode_bool(v: bool, w: &mut Writer) {
+    w.put_u8(u8::from(v));
+}
+
+fn decode_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.take_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::BadOptionTag(other)),
+    }
+}
+
+impl WireFormat for LeaderClaim {
+    fn encode_into(&self, w: &mut Writer) {
+        self.node.encode_into(w);
+        self.accusation_time.encode_into(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LeaderClaim {
+            node: NodeId::decode(r)?,
+            accusation_time: SimInstant::decode(r)?,
+        })
+    }
+}
+
+impl WireFormat for AlivePayload {
+    fn encode_into(&self, w: &mut Writer) {
+        self.accusation_time.encode_into(w);
+        w.put_u64(self.epoch);
+        match &self.local_leader {
+            None => w.put_u8(0),
+            Some(claim) => {
+                w.put_u8(1);
+                claim.encode_into(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let accusation_time = SimInstant::decode(r)?;
+        let epoch = r.take_u64()?;
+        let local_leader = match r.take_u8()? {
+            0 => None,
+            1 => Some(LeaderClaim::decode(r)?),
+            other => return Err(WireError::BadOptionTag(other)),
+        };
+        Ok(AlivePayload {
+            accusation_time,
+            epoch,
+            local_leader,
+        })
+    }
+}
+
+impl WireFormat for AliveHeader {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.incarnation);
+        w.put_u64(self.seq);
+        self.sent_at.encode_into(w);
+        self.sending_interval.encode_into(w);
+        self.requested_interval.encode_into(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AliveHeader {
+            incarnation: r.take_u64()?,
+            seq: r.take_u64()?,
+            sent_at: SimInstant::decode(r)?,
+            sending_interval: SimDuration::decode(r)?,
+            requested_interval: SimDuration::decode(r)?,
+        })
+    }
+}
+
+/// Decodes a `count`-prefixed list, capping the pre-allocation by what the
+/// remaining bytes could possibly hold so a hostile count cannot force a
+/// large allocation before the bounds checks reject it.
+fn decode_list<T: WireFormat>(
+    r: &mut Reader<'_>,
+    count: usize,
+    min_element_bytes: usize,
+) -> Result<Vec<T>, WireError> {
+    let plausible = r.remaining() / min_element_bytes.max(1);
+    let mut items = Vec::with_capacity(count.min(plausible));
+    for _ in 0..count {
+        items.push(T::decode(r)?);
+    }
+    Ok(items)
+}
+
+/// A `(process, is_candidate)` membership entry: 9 bytes.
+impl WireFormat for (ProcessId, bool) {
+    fn encode_into(&self, w: &mut Writer) {
+        self.0.encode_into(w);
+        encode_bool(self.1, w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let process = ProcessId::decode(r)?;
+        let candidate = decode_bool(r)?;
+        Ok((process, candidate))
+    }
+}
+
+impl WireFormat for GroupAnnouncement {
+    fn encode_into(&self, w: &mut Writer) {
+        self.group.encode_into(w);
+        // A wrapped count can only happen past 65 535 entries, i.e. far
+        // beyond MAX_DATAGRAM; encode_frame rejects such bodies by size
+        // before they can reach a socket.
+        w.put_u16(self.processes.len() as u16);
+        for entry in &self.processes {
+            entry.encode_into(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let group = GroupId::decode(r)?;
+        let count = r.take_u16()? as usize;
+        let processes = decode_list(r, count, 9)?;
+        Ok(GroupAnnouncement { group, processes })
+    }
+}
+
+impl WireFormat for ServiceMessage {
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            ServiceMessage::Hello {
+                incarnation,
+                sent_at,
+                announcements,
+            } => {
+                w.put_u8(TAG_HELLO);
+                w.put_u64(*incarnation);
+                sent_at.encode_into(w);
+                w.put_u16(announcements.len() as u16);
+                for a in announcements {
+                    a.encode_into(w);
+                }
+            }
+            ServiceMessage::Alive {
+                group,
+                header,
+                payload,
+                representative,
+            } => {
+                w.put_u8(TAG_ALIVE);
+                group.encode_into(w);
+                header.encode_into(w);
+                representative.encode_into(w);
+                payload.encode_into(w);
+            }
+            ServiceMessage::Accuse { group, epoch } => {
+                w.put_u8(TAG_ACCUSE);
+                group.encode_into(w);
+                w.put_u64(*epoch);
+            }
+            ServiceMessage::Leave { group, process } => {
+                w.put_u8(TAG_LEAVE);
+                group.encode_into(w);
+                process.encode_into(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            TAG_HELLO => {
+                let incarnation = r.take_u64()?;
+                let sent_at = SimInstant::decode(r)?;
+                let count = r.take_u16()? as usize;
+                // An announcement is at least 6 bytes (group + empty list).
+                let announcements = decode_list(r, count, 6)?;
+                Ok(ServiceMessage::Hello {
+                    incarnation,
+                    sent_at,
+                    announcements,
+                })
+            }
+            TAG_ALIVE => {
+                let group = GroupId::decode(r)?;
+                let header = AliveHeader::decode(r)?;
+                let representative = ProcessId::decode(r)?;
+                let payload = AlivePayload::decode(r)?;
+                Ok(ServiceMessage::Alive {
+                    group,
+                    header,
+                    payload,
+                    representative,
+                })
+            }
+            TAG_ACCUSE => {
+                let group = GroupId::decode(r)?;
+                let epoch = r.take_u64()?;
+                Ok(ServiceMessage::Accuse { group, epoch })
+            }
+            TAG_LEAVE => {
+                let group = GroupId::decode(r)?;
+                let process = ProcessId::decode(r)?;
+                Ok(ServiceMessage::Leave { group, process })
+            }
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::actor::WireSize;
+
+    fn samples() -> Vec<ServiceMessage> {
+        vec![
+            ServiceMessage::Hello {
+                incarnation: 3,
+                sent_at: SimInstant::from_nanos(1_000_000),
+                announcements: vec![
+                    GroupAnnouncement {
+                        group: GroupId(1),
+                        processes: vec![
+                            (ProcessId::new(NodeId(0), 0), true),
+                            (ProcessId::new(NodeId(0), 1), false),
+                        ],
+                    },
+                    GroupAnnouncement {
+                        group: GroupId(9),
+                        processes: Vec::new(),
+                    },
+                ],
+            },
+            ServiceMessage::Alive {
+                group: GroupId(7),
+                header: AliveHeader {
+                    incarnation: 2,
+                    seq: 99,
+                    sent_at: SimInstant::from_nanos(42),
+                    sending_interval: SimDuration::from_millis(250),
+                    requested_interval: SimDuration::from_millis(125),
+                },
+                payload: AlivePayload {
+                    accusation_time: SimInstant::from_nanos(7),
+                    epoch: 5,
+                    local_leader: Some(LeaderClaim {
+                        node: NodeId(3),
+                        accusation_time: SimInstant::ZERO,
+                    }),
+                },
+                representative: ProcessId::new(NodeId(2), 4),
+            },
+            ServiceMessage::Accuse {
+                group: GroupId(1),
+                epoch: 8,
+            },
+            ServiceMessage::Leave {
+                group: GroupId(2),
+                process: ProcessId::new(NodeId(1), 0),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in samples() {
+            let mut w = Writer::new();
+            msg.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = ServiceMessage::decode(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn body_len_matches_wire_size() {
+        for msg in samples() {
+            let mut w = Writer::new();
+            msg.encode_into(&mut w);
+            assert_eq!(w.len(), msg.wire_size(), "size mismatch for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_bad_bool_are_rejected() {
+        let mut r = Reader::new(&[200]);
+        assert_eq!(
+            ServiceMessage::decode(&mut r),
+            Err(WireError::UnknownTag(200))
+        );
+        // An ALIVE whose local-leader option tag is 7.
+        let mut w = Writer::new();
+        if let ServiceMessage::Alive {
+            group,
+            header,
+            representative,
+            payload,
+        } = &samples()[1]
+        {
+            w.put_u8(TAG_ALIVE);
+            group.encode_into(&mut w);
+            header.encode_into(&mut w);
+            representative.encode_into(&mut w);
+            payload.accusation_time.encode_into(&mut w);
+            w.put_u64(payload.epoch);
+            w.put_u8(7);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            ServiceMessage::decode(&mut r),
+            Err(WireError::BadOptionTag(7))
+        );
+    }
+
+    #[test]
+    fn hostile_count_cannot_force_allocation() {
+        // A HELLO claiming 65 535 announcements but carrying none.
+        let mut w = Writer::new();
+        w.put_u8(TAG_HELLO);
+        w.put_u64(0);
+        SimInstant::ZERO.encode_into(&mut w);
+        w.put_u16(u16::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            ServiceMessage::decode(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

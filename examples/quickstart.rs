@@ -3,36 +3,26 @@
 //! re-elect.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Expected output (the elected node and the timings vary run to run;
+//! durations are printed in human units via `SimDuration`'s `Display`):
+//!
+//! ```text
+//! joining 5 candidate processes to group g1...
+//!   node 0: registered and joined as n0.p0
+//!   ...
+//! elected leader n0.p0 after 312.408ms
+//! crashing the leader's workstation (n0)...
+//! new leader after the crash: n1.p0 (re-elected in 1.287s)
+//! done.
+//! ```
 
 use std::time::{Duration, Instant};
 
-use sle_core::{Cluster, GroupId, JoinConfig, ProcessId};
+use sle_core::{Cluster, GroupId, JoinConfig};
 use sle_election::ElectorKind;
+use sle_sim::time::SimDuration;
 use sle_sim::NodeId;
-
-/// Polls every node until they agree on a leader (or the timeout expires).
-fn wait_for_agreement(
-    cluster: &Cluster,
-    group: GroupId,
-    exclude: Option<NodeId>,
-    timeout: Duration,
-) -> Option<ProcessId> {
-    let deadline = Instant::now() + timeout;
-    while Instant::now() < deadline {
-        let views: Vec<Option<ProcessId>> = (0..cluster.len() as u32)
-            .map(NodeId)
-            .filter(|&n| Some(n) != exclude)
-            .map(|n| cluster.handle(n).unwrap().leader_of(group))
-            .collect();
-        if let Some(Some(first)) = views.first() {
-            if views.iter().all(|v| *v == Some(*first)) && Some(first.node) != exclude {
-                return Some(*first);
-            }
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    }
-    None
-}
 
 fn main() {
     // Five workstations running the S2 (Omega_lc) version of the service.
@@ -48,17 +38,27 @@ fn main() {
         println!("  node {i}: registered and joined as {process}");
     }
 
-    let leader = wait_for_agreement(&cluster, group, None, Duration::from_secs(10))
+    let started = Instant::now();
+    let leader = cluster
+        .await_agreement(group, None, Duration::from_secs(10))
         .expect("the group should elect a leader within seconds");
-    println!("elected leader: {leader}");
+    println!(
+        "elected leader {} after {}",
+        leader,
+        SimDuration::from(started.elapsed())
+    );
 
     println!("crashing the leader's workstation ({})...", leader.node);
     cluster.crash(leader.node);
 
-    let new_leader =
-        wait_for_agreement(&cluster, group, Some(leader.node), Duration::from_secs(15))
-            .expect("the group should re-elect a leader after the crash");
-    println!("new leader after the crash: {new_leader}");
+    let crashed_at = Instant::now();
+    let new_leader = cluster
+        .await_agreement(group, Some(leader.node), Duration::from_secs(15))
+        .expect("the group should re-elect a leader after the crash");
+    println!(
+        "new leader after the crash: {new_leader} (re-elected in {})",
+        SimDuration::from(crashed_at.elapsed())
+    );
     assert_ne!(new_leader.node, leader.node);
 
     cluster.shutdown();
