@@ -43,8 +43,14 @@ impl Ewma {
         self.alpha
     }
 
-    /// Feeds one observation. The first observation initialises the average.
+    /// Feeds one observation. The first observation initialises the
+    /// average. Non-finite observations are ignored: a single NaN or
+    /// infinity from a degenerate timestamp must not poison the estimate
+    /// the failure detector's timeout is derived from.
     pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         self.value = Some(match self.value {
             None => x,
             Some(v) => v + self.alpha * (x - v),
@@ -103,8 +109,12 @@ impl EwmaVar {
         }
     }
 
-    /// Feeds one observation.
+    /// Feeds one observation. Non-finite observations are ignored (see
+    /// [`Ewma::observe`]).
     pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         if self.samples == 0 {
             self.mean = x;
             self.var = 0.0;

@@ -1,0 +1,218 @@
+//! Property tests for the online estimators the tuner's safety rests on.
+//!
+//! The adaptive subsystem derives failure-detection timeouts from these
+//! estimators, so an out-of-range quantile or a NaN-poisoned mean is not a
+//! cosmetic bug — it mis-configures the detector. Each property is checked
+//! over many SimRng-driven random inputs (the workspace's dependency-free
+//! stand-in for proptest), covering what the unit tests' happy paths do
+//! not: arbitrary magnitudes, mixed signs, NaN/infinity injection and
+//! adversarial window churn.
+
+use sle_adaptive::ewma::{Ewma, EwmaVar};
+use sle_adaptive::quantile::WindowedQuantile;
+use sle_sim::rng::SimRng;
+
+/// Draws a "reasonable but arbitrary" magnitude: signs, huge and tiny
+/// scales, but finite (overflow behaviour with finite inputs is part of
+/// what is under test).
+fn arbitrary_magnitude(rng: &mut SimRng) -> f64 {
+    let exponent = rng.uniform_range(-30.0, 30.0);
+    let mantissa = rng.uniform_range(-1.0, 1.0);
+    mantissa * 10f64.powf(exponent)
+}
+
+#[test]
+fn ewma_stays_within_the_observed_range() {
+    let mut rng = SimRng::seed_from(0xE3A1);
+    for case in 0..200 {
+        let alpha = rng.uniform_range(0.01, 1.0);
+        let mut ewma = Ewma::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..rng.uniform_usize(200) + 1 {
+            let x = arbitrary_magnitude(&mut rng);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            ewma.observe(x);
+            let value = ewma.value().expect("observed at least once");
+            assert!(
+                value >= lo && value <= hi,
+                "case {case}: EWMA {value} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn ewma_is_monotone_in_the_updates() {
+    // Feeding a value above the current estimate must not decrease it, and
+    // vice versa — the fixed-point property timeout growth relies on.
+    let mut rng = SimRng::seed_from(0xE3A2);
+    for _ in 0..200 {
+        let alpha = rng.uniform_range(0.01, 1.0);
+        let mut ewma = Ewma::new(alpha);
+        ewma.observe(arbitrary_magnitude(&mut rng));
+        for _ in 0..100 {
+            let before = ewma.value().unwrap();
+            let x = arbitrary_magnitude(&mut rng);
+            ewma.observe(x);
+            let after = ewma.value().unwrap();
+            if x >= before {
+                assert!(after >= before, "upward sample decreased the EWMA");
+            } else {
+                assert!(after <= before, "downward sample increased the EWMA");
+            }
+        }
+    }
+}
+
+#[test]
+fn ewma_ignores_non_finite_observations() {
+    let mut rng = SimRng::seed_from(0xE3A3);
+    let mut ewma = Ewma::new(0.3);
+    let mut reference = Ewma::new(0.3);
+    for _ in 0..1000 {
+        let x = rng.uniform_range(-100.0, 100.0);
+        ewma.observe(x);
+        reference.observe(x);
+        // Poison attempts interleaved with every real sample.
+        match rng.uniform_usize(3) {
+            0 => ewma.observe(f64::NAN),
+            1 => ewma.observe(f64::INFINITY),
+            _ => ewma.observe(f64::NEG_INFINITY),
+        }
+        assert_eq!(
+            ewma.value(),
+            reference.value(),
+            "a non-finite observation changed the estimate"
+        );
+    }
+    let mut fresh = Ewma::new(0.5);
+    fresh.observe(f64::NAN);
+    assert_eq!(fresh.value(), None, "NaN must not initialise the average");
+}
+
+#[test]
+fn ewma_var_mean_in_range_and_variance_finite_nonnegative() {
+    let mut rng = SimRng::seed_from(0xE3A4);
+    for case in 0..200 {
+        let alpha = rng.uniform_range(0.01, 1.0);
+        let mut est = EwmaVar::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..rng.uniform_usize(300) + 1 {
+            // Bounded to ±1e150 so squared deviations stay below f64::MAX:
+            // the documented overflow-resistance envelope.
+            let x = arbitrary_magnitude(&mut rng) * 1e120;
+            lo = lo.min(x);
+            hi = hi.max(x);
+            est.observe(x);
+            let mean = est.mean().expect("observed at least once");
+            let std_dev = est.std_dev().expect("observed at least once");
+            assert!(
+                mean >= lo && mean <= hi,
+                "case {case}: mean {mean} outside [{lo}, {hi}]"
+            );
+            assert!(
+                std_dev.is_finite() && std_dev >= 0.0,
+                "case {case}: std dev {std_dev}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ewma_var_ignores_non_finite_observations() {
+    let mut rng = SimRng::seed_from(0xE3A5);
+    let mut est = EwmaVar::new(0.2);
+    let mut reference = EwmaVar::new(0.2);
+    for _ in 0..500 {
+        let x = rng.uniform_range(0.0, 1.0);
+        est.observe(x);
+        reference.observe(x);
+        est.observe(f64::NAN);
+        est.observe(f64::INFINITY);
+        assert_eq!(est.mean(), reference.mean());
+        assert_eq!(est.std_dev(), reference.std_dev());
+        assert_eq!(est.samples(), reference.samples());
+    }
+}
+
+#[test]
+fn windowed_quantile_is_within_range_monotone_and_bounded() {
+    let mut rng = SimRng::seed_from(0xE3A6);
+    for case in 0..100 {
+        let capacity = rng.uniform_usize(64) + 1;
+        let mut quantile = WindowedQuantile::new(capacity);
+        let total = rng.uniform_usize(300) + 1;
+        let mut window: Vec<f64> = Vec::new();
+        for _ in 0..total {
+            let x = arbitrary_magnitude(&mut rng);
+            quantile.record(x);
+            window.push(x);
+            if window.len() > capacity {
+                window.remove(0);
+            }
+            assert!(quantile.len() <= capacity, "case {case}: window overflow");
+            assert_eq!(quantile.len(), window.len());
+
+            let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            // Every quantile lies within the observed window...
+            let mut previous = f64::NEG_INFINITY;
+            for step in 0..=10 {
+                let q = step as f64 / 10.0;
+                let value = quantile.quantile(q).expect("non-empty window");
+                assert!(
+                    value >= lo && value <= hi,
+                    "case {case}: q{q} = {value} outside [{lo}, {hi}]"
+                );
+                // ...and quantiles are monotone in q.
+                assert!(
+                    value >= previous,
+                    "case {case}: quantile not monotone at q{q}"
+                );
+                previous = value;
+            }
+            assert_eq!(quantile.quantile(0.0), Some(lo));
+            assert_eq!(quantile.quantile(1.0), Some(hi));
+            assert_eq!(quantile.max(), Some(hi));
+        }
+    }
+}
+
+#[test]
+fn windowed_quantile_updates_track_eviction_exactly() {
+    // The window is an exact sliding window: after `capacity` further
+    // records, nothing of the old regime may survive, whatever the values.
+    let mut rng = SimRng::seed_from(0xE3A7);
+    for _ in 0..50 {
+        let capacity = rng.uniform_usize(32) + 1;
+        let mut quantile = WindowedQuantile::new(capacity);
+        for _ in 0..rng.uniform_usize(100) {
+            quantile.record(rng.uniform_range(1e6, 2e6));
+        }
+        for _ in 0..capacity {
+            quantile.record(rng.uniform_range(0.0, 1.0));
+        }
+        let max = quantile.max().unwrap();
+        assert!(max <= 1.0, "old regime survived eviction: max {max}");
+    }
+}
+
+#[test]
+fn windowed_quantile_survives_non_finite_floods() {
+    let mut rng = SimRng::seed_from(0xE3A8);
+    let mut quantile = WindowedQuantile::new(16);
+    for _ in 0..200 {
+        quantile.record(f64::NAN);
+        quantile.record(f64::INFINITY);
+        quantile.record(f64::NEG_INFINITY);
+        let x = rng.uniform_range(10.0, 20.0);
+        quantile.record(x);
+        let q99 = quantile.quantile(0.99).unwrap();
+        assert!(q99.is_finite());
+        assert!((10.0..=20.0).contains(&q99));
+    }
+    assert_eq!(quantile.len(), 16);
+}

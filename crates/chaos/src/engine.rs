@@ -1,0 +1,448 @@
+//! The chaos engine: runs a [`FaultPlan`] against a simulated service
+//! deployment and checks the resulting trace against the protocol
+//! invariants.
+
+use std::collections::HashMap;
+
+use sle_core::{GroupId, JoinConfig, ProcessId, ServiceConfig, ServiceNode};
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_harness::Scenario;
+use sle_net::link::LinkSpec;
+use sle_net::network::{NetworkModel, NetworkStats, SimulatedNetwork};
+use sle_sim::actor::NodeId;
+use sle_sim::time::{SimDuration, SimInstant};
+use sle_sim::world::World;
+
+use crate::invariants::{check_trace, InvariantSpec, Violation};
+use crate::plan::{FaultAction, FaultPlan};
+use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
+
+/// The group every chaos experiment runs in.
+pub const CHAOS_GROUP: GroupId = GroupId(1);
+
+/// Everything a chaos run needs besides the fault plan itself.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The service version under test (S1 = Ωid, S2 = Ωlc, S3 = Ωl).
+    pub algorithm: ElectorKind,
+    /// Number of workstations (all join as candidates).
+    pub nodes: usize,
+    /// Baseline behaviour of every directed link.
+    pub link: LinkSpec,
+    /// Failure-detection QoS of the join.
+    pub qos: QosSpec,
+    /// The window within which fault injections land; the engine always
+    /// appends a quiet tail of two settle windows after it, so the final
+    /// eventual-agreement check has room.
+    pub duration: SimDuration,
+    /// The invariant checker's settle window (see
+    /// [`InvariantSpec::settle`]).
+    pub settle: SimDuration,
+    /// Seed for everything stochastic (messages, link overlays, plan
+    /// resolution).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// A config with the sweep defaults: a mildly lossy 10 ms network, the
+    /// paper's QoS, a 45 s fault window and a 10 s settle window.
+    pub fn new(algorithm: ElectorKind, nodes: usize) -> Self {
+        ChaosConfig {
+            algorithm,
+            nodes,
+            link: LinkSpec::from_paper_tuple(10.0, 0.01),
+            qos: QosSpec::paper_default(),
+            duration: SimDuration::from_secs(45),
+            settle: SimDuration::from_secs(10),
+            seed: 0xC4A0_5EED,
+        }
+    }
+
+    /// Adopts the workload of a harness [`Scenario`] (algorithm, size, link
+    /// behaviour, QoS and seed), so any cell of the paper's figures can be
+    /// re-run under a fault plan.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        ChaosConfig {
+            algorithm: scenario.algorithm,
+            nodes: scenario.nodes,
+            link: scenario.link,
+            qos: scenario.qos,
+            duration: scenario.duration.min(SimDuration::from_secs(120)),
+            settle: SimDuration::from_secs(10),
+            seed: scenario.seed,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the baseline link behaviour.
+    pub fn with_link(mut self, link: LinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Overrides the failure-detection QoS.
+    pub fn with_qos(mut self, qos: QosSpec) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Overrides the fault window.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the settle window.
+    pub fn with_settle(mut self, settle: SimDuration) -> Self {
+        self.settle = settle;
+        self
+    }
+
+    /// End of the run: the fault window plus a quiet tail of two settle
+    /// windows.
+    pub fn end(&self) -> SimInstant {
+        SimInstant::ZERO + self.duration + self.settle + self.settle
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Every invariant violation the checker found (empty = the run passed).
+    pub violations: Vec<Violation>,
+    /// The full chronological trace (for post-mortems).
+    pub trace: Vec<TraceEvent>,
+    /// Network counters (losses, partition drops, duplicates).
+    pub network: NetworkStats,
+    /// The leader every up node agreed on at the end, if any.
+    pub final_leader: Option<ProcessId>,
+    /// Total simulator events processed.
+    pub events_processed: u64,
+}
+
+impl ChaosReport {
+    /// True if no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs `plan` under `config` and checks the invariants over the trace.
+///
+/// Fully deterministic: the same `(config, plan)` pair always produces the
+/// same report.
+pub fn run_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
+    let n = config.nodes;
+    let algorithm = config.algorithm;
+    let qos = config.qos;
+    let network = NetworkModel::new(config.link).build(config.seed.wrapping_add(1));
+    let mut world: World<ServiceNode, SimulatedNetwork> = World::new(
+        n,
+        Box::new(move |node, _incarnation| {
+            let config = ServiceConfig::full_mesh(node, n, algorithm)
+                .with_auto_join(CHAOS_GROUP, JoinConfig::candidate().with_qos(qos));
+            ServiceNode::new(config)
+        }),
+        network,
+        config.seed,
+    );
+    let mut recorder = TraceRecorder::new(CHAOS_GROUP);
+    for timed in plan.actions() {
+        world.run_until(timed.at, &mut recorder);
+        apply_action(&mut world, &mut recorder, &timed.action, qos);
+    }
+    // Hand-written plans may schedule past the configured fault window; the
+    // run is extended so every action still gets its full quiet tail (and
+    // the checker never sees trace events past its declared end).
+    let end = match plan.last_action_at() {
+        Some(last) => config.end().max(last + config.settle + config.settle),
+        None => config.end(),
+    };
+    world.run_until(end, &mut recorder);
+
+    let final_leader = agreed_final_leader(&world);
+    let network = world.medium_mut().stats();
+    let events_processed = world.events_processed();
+    let trace = recorder.into_events();
+    let spec = InvariantSpec {
+        algorithm,
+        nodes: n,
+        qos,
+        settle: config.settle,
+        end,
+    };
+    let violations = check_trace(&trace, &spec);
+    ChaosReport {
+        violations,
+        trace,
+        network,
+        final_leader,
+        events_processed,
+    }
+}
+
+fn apply_action(
+    world: &mut World<ServiceNode, SimulatedNetwork>,
+    recorder: &mut TraceRecorder,
+    action: &FaultAction,
+    qos: QosSpec,
+) {
+    let now = world.now();
+    match action {
+        FaultAction::Crash(node) => {
+            if node.index() < world.num_nodes() {
+                world.schedule_crash(*node, now);
+            }
+        }
+        FaultAction::Recover(node) => {
+            if node.index() < world.num_nodes() {
+                world.schedule_recovery(*node, now);
+            }
+        }
+        FaultAction::CrashLeader { down_for } => {
+            if let Some(leader) = majority_leader_node(world) {
+                world.schedule_crash(leader, now);
+                world.schedule_recovery(leader, now + *down_for);
+            }
+        }
+        FaultAction::Leave(node) => {
+            // Only mark the trace when the action actually does something:
+            // a no-op injection must not grant the run a fresh settle
+            // window in which real violations would be excused.
+            if is_member(world, *node) {
+                recorder.mark(now, TraceEventKind::Left { node: *node });
+                world.with_actor(*node, recorder, |actor, ctx| {
+                    for process in actor.local_members_of(CHAOS_GROUP) {
+                        let _ = actor.leave_group(process, CHAOS_GROUP, ctx);
+                    }
+                });
+            }
+        }
+        FaultAction::Join(node) => {
+            if node.index() < world.num_nodes() && world.is_up(*node) && !is_member(world, *node) {
+                recorder.mark(now, TraceEventKind::Joined { node: *node });
+                world.with_actor(*node, recorder, move |actor, ctx| {
+                    let process = actor.register_process();
+                    let _ = actor.join_group(
+                        process,
+                        CHAOS_GROUP,
+                        JoinConfig::candidate().with_qos(qos),
+                        ctx,
+                    );
+                });
+            }
+        }
+        FaultAction::Partition(components) => {
+            // The same no-op rule as churn: re-applying the partition the
+            // network is already in must not mark a disruption.
+            if !world.medium_mut().partition_matches(components) {
+                recorder.mark(
+                    now,
+                    TraceEventKind::Partitioned {
+                        components: components.clone(),
+                    },
+                );
+                world.medium_mut().set_partition(components);
+            }
+        }
+        FaultAction::Heal => {
+            if world.medium_mut().is_partitioned() {
+                recorder.mark(now, TraceEventKind::Healed);
+                world.medium_mut().heal_partition();
+            }
+        }
+        FaultAction::SetLink(spec) => {
+            if world.medium_mut().model().default_link() != *spec {
+                recorder.mark(now, TraceEventKind::LinkChanged);
+                world.medium_mut().set_default_link(*spec);
+            }
+        }
+    }
+}
+
+/// Whether `node` is up and currently has processes in the chaos group.
+fn is_member(world: &World<ServiceNode, SimulatedNetwork>, node: NodeId) -> bool {
+    node.index() < world.num_nodes()
+        && world
+            .actor(node)
+            .map(|actor| !actor.local_members_of(CHAOS_GROUP).is_empty())
+            .unwrap_or(false)
+}
+
+/// The node most up instances currently consider the leader's host (ties
+/// broken towards the smallest id, so resolution is deterministic).
+fn majority_leader_node(world: &World<ServiceNode, SimulatedNetwork>) -> Option<NodeId> {
+    let mut votes: HashMap<NodeId, usize> = HashMap::new();
+    for index in 0..world.num_nodes() {
+        let node = NodeId(index as u32);
+        if let Some(actor) = world.actor(node) {
+            if let Some(leader) = actor.leader_of(CHAOS_GROUP) {
+                if world.is_up(leader.node) {
+                    *votes.entry(leader.node).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .max_by_key(|&(node, count)| (count, std::cmp::Reverse(node.0)))
+        .map(|(node, _)| node)
+}
+
+/// The leader all up nodes agree on at the end of a run, if any.
+fn agreed_final_leader(world: &World<ServiceNode, SimulatedNetwork>) -> Option<ProcessId> {
+    let mut agreed: Option<ProcessId> = None;
+    let mut seen = false;
+    for index in 0..world.num_nodes() {
+        let node = NodeId(index as u32);
+        let Some(actor) = world.actor(node) else {
+            continue;
+        };
+        if actor.local_members_of(CHAOS_GROUP).is_empty() {
+            continue; // not currently a member (left and never rejoined)
+        }
+        let view = actor.leader_of(CHAOS_GROUP)?;
+        seen = true;
+        match agreed {
+            None => agreed = Some(view),
+            Some(leader) if leader == view => {}
+            _ => return None,
+        }
+    }
+    if seen {
+        agreed
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanKind;
+
+    #[test]
+    fn a_quiet_run_upholds_every_invariant_for_every_service() {
+        for algorithm in ElectorKind::all() {
+            let config = ChaosConfig::new(algorithm, 4).with_duration(SimDuration::from_secs(20));
+            let report = run_plan(&config, &FaultPlan::quiet());
+            assert!(report.ok(), "{algorithm}: {:?}", report.violations);
+            assert!(report.final_leader.is_some(), "{algorithm}: no leader");
+            assert!(report.events_processed > 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let config = ChaosConfig::new(ElectorKind::OmegaLc, 4);
+        let plan = PlanKind::LeaderChurn.generate(4, config.duration, config.link, config.seed);
+        let a = run_plan(&config, &plan);
+        let b = run_plan(&config, &plan);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.network, b.network);
+    }
+
+    #[test]
+    fn crash_leader_resolves_the_actual_leader_and_recovers_it() {
+        let config = ChaosConfig::new(ElectorKind::OmegaL, 4);
+        let plan = FaultPlan::new("kill-the-leader").at(
+            12.0,
+            FaultAction::CrashLeader {
+                down_for: SimDuration::from_secs(5),
+            },
+        );
+        let report = run_plan(&config, &plan);
+        assert!(report.ok(), "{:?}", report.violations);
+        let crashes: Vec<&TraceEvent> = report
+            .trace
+            .iter()
+            .filter(|event| matches!(event.kind, TraceEventKind::Crashed { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 1, "exactly one crash injected");
+        assert!(
+            report
+                .trace
+                .iter()
+                .any(|event| matches!(event.kind, TraceEventKind::Recovered { .. })),
+            "the crashed leader must come back"
+        );
+        assert!(report.final_leader.is_some());
+    }
+
+    #[test]
+    fn hand_written_plans_past_the_window_extend_the_run() {
+        // Actions after the configured fault window are legal in manual
+        // plans: the run is stretched so the checker still gets a quiet
+        // tail (and never sees events past its declared end).
+        let config =
+            ChaosConfig::new(ElectorKind::OmegaLc, 3).with_duration(SimDuration::from_secs(20));
+        let plan = FaultPlan::new("late").at(
+            70.0,
+            FaultAction::CrashLeader {
+                down_for: SimDuration::from_secs(4),
+            },
+        );
+        let report = run_plan(&config, &plan);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(
+            report
+                .trace
+                .iter()
+                .any(|event| matches!(event.kind, TraceEventKind::Crashed { .. })),
+            "the late action was applied"
+        );
+    }
+
+    #[test]
+    fn no_op_injections_leave_no_trace_marks() {
+        // Restoring a link that is already in force, healing a whole
+        // network, re-applying churn that changes nothing: none of these
+        // may appear in the trace, because each mark grants the invariant
+        // checker a settle window in which real violations are excused
+        // (and a shrunk plan must not retain actions that do nothing).
+        let config =
+            ChaosConfig::new(ElectorKind::OmegaLc, 3).with_duration(SimDuration::from_secs(20));
+        let plan = FaultPlan::new("all-no-ops")
+            .at(10.0, FaultAction::SetLink(config.link))
+            .at(11.0, FaultAction::Heal)
+            .at(12.0, FaultAction::Join(NodeId(0)))
+            .at(13.0, FaultAction::Leave(NodeId(99)));
+        let report = run_plan(&config, &plan);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(
+            !report.trace.iter().any(|event| matches!(
+                event.kind,
+                TraceEventKind::LinkChanged
+                    | TraceEventKind::Healed
+                    | TraceEventKind::Joined { .. }
+                    | TraceEventKind::Left { .. }
+            )),
+            "no-op injections polluted the trace"
+        );
+    }
+
+    #[test]
+    fn scenario_bridge_copies_the_workload() {
+        let scenario = Scenario::paper_default(
+            "bridge",
+            ElectorKind::OmegaLc,
+            LinkSpec::from_paper_tuple(100.0, 0.1),
+        )
+        .with_nodes(6)
+        .with_seed(9);
+        let config = ChaosConfig::from_scenario(&scenario);
+        assert_eq!(config.algorithm, ElectorKind::OmegaLc);
+        assert_eq!(config.nodes, 6);
+        assert_eq!(config.link, LinkSpec::from_paper_tuple(100.0, 0.1));
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.qos, scenario.qos);
+    }
+}

@@ -1,5 +1,9 @@
 //! Error types returned by the service API.
 
+use std::time::Duration;
+
+use sle_sim::actor::NodeId;
+
 use crate::process::{GroupId, ProcessId};
 
 /// Errors returned by the service's command interface (register / join /
@@ -35,6 +39,48 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Timeout error returned by
+/// [`Cluster::await_agreement`](crate::runtime::Cluster::await_agreement):
+/// the nodes failed to converge on a common alive leader in time.
+///
+/// It carries the last leader vote observed on every node, so a failing
+/// test or chaos reproducer prints *actionable* state — which nodes
+/// disagreed, and about whom — instead of a bare `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreementTimeout {
+    /// The group that failed to agree.
+    pub group: GroupId,
+    /// How long the caller waited before giving up.
+    pub waited: Duration,
+    /// The last leader view observed on each node, in node order (`None`
+    /// means the node reported no leader at all).
+    pub votes: Vec<(NodeId, Option<ProcessId>)>,
+}
+
+impl std::fmt::Display for AgreementTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no agreement on a leader of {} within {:.2}s; last votes:",
+            self.group,
+            self.waited.as_secs_f64()
+        )?;
+        if self.votes.is_empty() {
+            return write!(f, " (none observed)");
+        }
+        for (index, (node, vote)) in self.votes.iter().enumerate() {
+            let sep = if index == 0 { " " } else { ", " };
+            match vote {
+                Some(leader) => write!(f, "{sep}{node} -> {leader}")?,
+                None => write!(f, "{sep}{node} -> (no leader)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AgreementTimeout {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +101,29 @@ mod tests {
             ServiceError::NotJoined(p, GroupId(3)).to_string(),
             "process n1.p2 has not joined group g3"
         );
+    }
+
+    #[test]
+    fn agreement_timeout_prints_per_node_votes() {
+        let err = AgreementTimeout {
+            group: GroupId(1),
+            waited: Duration::from_secs(10),
+            votes: vec![
+                (NodeId(0), Some(ProcessId::new(NodeId(2), 0))),
+                (NodeId(1), None),
+                (NodeId(2), Some(ProcessId::new(NodeId(2), 0))),
+            ],
+        };
+        assert_eq!(
+            err.to_string(),
+            "no agreement on a leader of g1 within 10.00s; last votes: \
+             n0 -> n2.p0, n1 -> (no leader), n2 -> n2.p0"
+        );
+        let empty = AgreementTimeout {
+            group: GroupId(9),
+            waited: Duration::from_millis(500),
+            votes: Vec::new(),
+        };
+        assert!(empty.to_string().ends_with("(none observed)"));
     }
 }

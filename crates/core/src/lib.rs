@@ -88,7 +88,7 @@ pub mod runtime;
 /// Convenient re-exports of the items most users need.
 pub mod prelude {
     pub use crate::config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
-    pub use crate::error::ServiceError;
+    pub use crate::error::{AgreementTimeout, ServiceError};
     pub use crate::events::ServiceEvent;
     pub use crate::messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
     pub use crate::node::{ServiceContext, ServiceNode};
@@ -98,7 +98,7 @@ pub mod prelude {
 }
 
 pub use config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
-pub use error::ServiceError;
+pub use error::{AgreementTimeout, ServiceError};
 pub use events::ServiceEvent;
 pub use group::{GroupState, RemoteMember};
 pub use messages::{AliveHeader, GroupAnnouncement, ServiceMessage};

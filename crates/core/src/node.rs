@@ -108,6 +108,25 @@ impl ServiceNode {
             .unwrap_or(false)
     }
 
+    /// The application processes of this workstation currently joined to
+    /// `group`, in registration order.
+    ///
+    /// This is how external drivers (the chaos harness's mid-run
+    /// leave/rejoin churn, management tooling) discover what there is to
+    /// leave without keeping their own books.
+    pub fn local_members_of(&self, group: GroupId) -> Vec<ProcessId> {
+        self.groups
+            .get(&group)
+            .map(|state| {
+                state
+                    .local_processes
+                    .keys()
+                    .map(|&local| ProcessId::new(self.config.node, local))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Registers a new application process with this service instance and
     /// returns its identifier.
     pub fn register_process(&mut self) -> ProcessId {
@@ -757,13 +776,16 @@ mod tests {
             node.leave_group(process, GROUP, &mut ctx),
             Err(ServiceError::NotJoined(process, GROUP))
         );
+        assert!(node.local_members_of(GROUP).is_empty());
         assert!(node
             .join_group(process, GROUP, JoinConfig::candidate(), &mut ctx)
             .is_ok());
         assert_eq!(node.leader_of(GROUP), Some(process));
         assert_eq!(node.group_ids().collect::<Vec<_>>(), vec![GROUP]);
+        assert_eq!(node.local_members_of(GROUP), vec![process]);
         assert!(node.leave_group(process, GROUP, &mut ctx).is_ok());
         assert_eq!(node.leader_of(GROUP), None);
+        assert!(node.local_members_of(GROUP).is_empty());
         assert_eq!(node.algorithm(), ElectorKind::OmegaLc);
         assert_eq!(node.node_id(), NodeId(0));
     }

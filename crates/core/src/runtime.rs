@@ -27,6 +27,7 @@ use sle_sim::actor::{Actor, Effect, NodeId, TimerTag};
 use sle_sim::time::{SimDuration, SimInstant};
 
 use crate::config::{JoinConfig, ServiceConfig};
+use crate::error::AgreementTimeout;
 use crate::events::ServiceEvent;
 use crate::messages::ServiceMessage;
 use crate::node::{ServiceContext, ServiceNode};
@@ -389,19 +390,34 @@ impl Cluster {
     /// Polls [`Cluster::agreed_leader`] until the nodes agree or `timeout`
     /// expires — the standard way examples and tests wait for an election
     /// to settle in real time.
+    ///
+    /// # Errors
+    ///
+    /// On timeout, returns an [`AgreementTimeout`] carrying the last leader
+    /// vote observed on every node (including `exclude`), so the caller can
+    /// print exactly which nodes disagreed and about whom.
     pub fn await_agreement(
         &self,
         group: GroupId,
         exclude: Option<NodeId>,
         timeout: Duration,
-    ) -> Option<ProcessId> {
+    ) -> Result<ProcessId, AgreementTimeout> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(leader) = self.agreed_leader(group, exclude) {
-                return Some(leader);
+                return Ok(leader);
             }
             if Instant::now() >= deadline {
-                return None;
+                let votes = self
+                    .handles
+                    .iter()
+                    .map(|handle| (handle.node(), handle.leader_of(group)))
+                    .collect();
+                return Err(AgreementTimeout {
+                    group,
+                    waited: timeout,
+                    votes,
+                });
             }
             std::thread::sleep(Duration::from_millis(25));
         }
@@ -463,8 +479,9 @@ mod tests {
         // Wait until every node reports the same leader (or give up).
         let agreed = cluster.await_agreement(group, None, Duration::from_secs(10));
         assert!(
-            agreed.is_some(),
-            "no agreement within 10 s of wall-clock time"
+            agreed.is_ok(),
+            "no agreement within 10 s of wall-clock time: {}",
+            agreed.unwrap_err()
         );
         cluster.shutdown();
     }
@@ -486,8 +503,8 @@ mod tests {
         cluster.crash(leader.node);
 
         let new_leader = cluster.await_agreement(group, Some(leader.node), Duration::from_secs(15));
-        assert!(new_leader.is_some(), "no re-election within 15 s");
-        assert_ne!(new_leader.unwrap().node, leader.node);
+        let new_leader = new_leader.expect("no re-election within 15 s");
+        assert_ne!(new_leader.node, leader.node);
         cluster.shutdown();
     }
 }

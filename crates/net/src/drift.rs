@@ -9,7 +9,7 @@
 //! visibly suboptimal and the adaptive tuner earns its keep.
 
 use sle_sim::actor::NodeId;
-use sle_sim::medium::{Medium, Verdict};
+use sle_sim::medium::{Fate, Medium, Verdict};
 use sle_sim::rng::SimRng;
 use sle_sim::time::SimInstant;
 use sle_sim::timeline::Timeline;
@@ -95,23 +95,26 @@ impl Medium for DriftingNetwork {
     fn transmit(
         &mut self,
         now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Verdict {
+        self.transmit_fate(now, from, to, wire_bytes, rng).into()
+    }
+
+    fn transmit_fate(
+        &mut self,
+        now: SimInstant,
         _from: NodeId,
         _to: NodeId,
         wire_bytes: usize,
         rng: &mut SimRng,
-    ) -> Verdict {
+    ) -> Fate {
         self.stats.offered += 1;
-        match self.schedule.spec_at(now).sample(rng) {
-            None => {
-                self.stats.lost += 1;
-                Verdict::Dropped
-            }
-            Some(delay) => {
-                self.stats.delivered += 1;
-                self.stats.delivered_bytes += wire_bytes as u64;
-                Verdict::Deliver { delay }
-            }
-        }
+        let fate = self.schedule.spec_at(now).sample_fate(rng);
+        self.stats.record_fate(fate, wire_bytes);
+        fate
     }
 }
 
@@ -119,6 +122,24 @@ impl Medium for DriftingNetwork {
 mod tests {
     use super::*;
     use sle_sim::time::SimDuration;
+
+    #[test]
+    fn overlay_specs_keep_duplicating_through_the_drift_medium() {
+        let mut net = DriftSchedule::new(
+            LinkSpec::lossy(SimDuration::from_millis(1), 0.0).with_duplication(1.0),
+        )
+        .build();
+        let mut rng = SimRng::seed_from(21);
+        let fate = net.transmit_fate(SimInstant::ZERO, NodeId(0), NodeId(1), 50, &mut rng);
+        assert_eq!(fate.copies(), 2, "duplication overlay must survive drift");
+        assert_eq!(net.stats().duplicated, 1);
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().delivered_bytes, 100);
+        // The single-delivery view collapses to the first copy.
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 50, &mut rng)
+            .is_delivered());
+    }
 
     #[test]
     fn schedule_reports_the_active_phase() {

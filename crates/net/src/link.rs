@@ -8,6 +8,7 @@
 //! *down* state in which **all** messages are dropped; up and down times are
 //! exponentially distributed.
 
+use sle_sim::medium::Fate;
 use sle_sim::rng::SimRng;
 use sle_sim::time::{SimDuration, SimInstant};
 
@@ -29,6 +30,12 @@ use sle_sim::time::{SimDuration, SimInstant};
 pub struct LinkSpec {
     mean_delay: SimDuration,
     loss_probability: f64,
+    /// Chaos overlay: probability that a delivered message is duplicated.
+    duplicate_probability: f64,
+    /// Chaos overlay: extra uniformly distributed delay in `[0, jitter]`
+    /// added to every delivered copy, independently per copy — on links with
+    /// small base delay this is what makes messages overtake each other.
+    jitter: SimDuration,
 }
 
 impl LinkSpec {
@@ -45,24 +52,43 @@ impl LinkSpec {
         LinkSpec {
             mean_delay,
             loss_probability,
+            duplicate_probability: 0.0,
+            jitter: SimDuration::ZERO,
         }
     }
 
     /// A link that never loses nor delays messages.
     pub fn perfect() -> Self {
-        LinkSpec {
-            mean_delay: SimDuration::ZERO,
-            loss_probability: 0.0,
-        }
+        LinkSpec::lossy(SimDuration::ZERO, 0.0)
     }
 
     /// The behaviour the paper measured on its real local-area network:
     /// average delay of 0.025 ms and practically no message loss.
     pub fn lan() -> Self {
-        LinkSpec {
-            mean_delay: SimDuration::from_micros(25),
-            loss_probability: 0.0,
-        }
+        LinkSpec::lossy(SimDuration::from_micros(25), 0.0)
+    }
+
+    /// Adds a duplication overlay: every delivered message is duplicated
+    /// with probability `p` (the second copy samples its own delay and
+    /// jitter, so duplicates may also arrive out of order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability must be within [0, 1]"
+        );
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Adds a reordering overlay: every delivered copy gets an extra
+    /// uniformly distributed delay in `[0, jitter]`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
     }
 
     /// Convenience constructor from `(mean delay in ms, loss probability)`,
@@ -84,13 +110,46 @@ impl LinkSpec {
         self.loss_probability
     }
 
-    /// Samples the fate of a single message: `None` if it is lost, otherwise
-    /// the transmission delay.
-    pub fn sample(&self, rng: &mut SimRng) -> Option<SimDuration> {
-        if rng.bernoulli(self.loss_probability) {
-            None
+    /// The probability that a delivered message is duplicated.
+    pub fn duplicate_probability(&self) -> f64 {
+        self.duplicate_probability
+    }
+
+    /// The upper bound of the extra uniform delay added per delivered copy.
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    fn sample_delay(&self, rng: &mut SimRng) -> SimDuration {
+        let base = rng.exponential(self.mean_delay);
+        if self.jitter.is_zero() {
+            base
         } else {
-            Some(rng.exponential(self.mean_delay))
+            base + self.jitter.mul_f64(rng.uniform_f64())
+        }
+    }
+
+    /// Samples the fate of a single message: `None` if it is lost, otherwise
+    /// the transmission delay (of the first copy, if the duplication overlay
+    /// fires).
+    pub fn sample(&self, rng: &mut SimRng) -> Option<SimDuration> {
+        self.sample_fate(rng).first_delay()
+    }
+
+    /// Samples the full fate of a single message, including the duplication
+    /// and reordering overlays.
+    pub fn sample_fate(&self, rng: &mut SimRng) -> Fate {
+        if rng.bernoulli(self.loss_probability) {
+            return Fate::Dropped;
+        }
+        let first = self.sample_delay(rng);
+        if self.duplicate_probability > 0.0 && rng.bernoulli(self.duplicate_probability) {
+            Fate::DeliverTwice {
+                first,
+                second: self.sample_delay(rng),
+            }
+        } else {
+            Fate::Deliver { delay: first }
         }
     }
 }
@@ -231,6 +290,77 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_probability_panics() {
         let _ = LinkSpec::lossy(SimDuration::ZERO, 1.5);
+    }
+
+    #[test]
+    fn duplication_overlay_rate_matches_probability() {
+        let spec = LinkSpec::lossy(SimDuration::from_millis(5), 0.0).with_duplication(0.3);
+        assert_eq!(spec.duplicate_probability(), 0.3);
+        let mut rng = SimRng::seed_from(8);
+        let n = 20_000;
+        let duplicated = (0..n)
+            .filter(|_| matches!(spec.sample_fate(&mut rng), Fate::DeliverTwice { .. }))
+            .count();
+        let rate = duplicated as f64 / n as f64;
+        assert!(
+            (rate - 0.3).abs() < 0.02,
+            "observed duplication rate {rate}"
+        );
+    }
+
+    #[test]
+    fn jitter_overlay_adds_bounded_extra_delay_and_reorders() {
+        let jitter = SimDuration::from_millis(50);
+        let spec = LinkSpec::lossy(SimDuration::ZERO, 0.0).with_jitter(jitter);
+        assert_eq!(spec.jitter(), jitter);
+        let mut rng = SimRng::seed_from(9);
+        let mut saw_out_of_order = false;
+        let mut previous = SimDuration::ZERO;
+        for i in 0..1000 {
+            let delay = spec.sample(&mut rng).unwrap();
+            assert!(delay <= jitter, "jittered delay {delay} exceeds bound");
+            if i > 0 && delay < previous {
+                saw_out_of_order = true;
+            }
+            previous = delay;
+        }
+        assert!(saw_out_of_order, "jitter never produced a reordering");
+    }
+
+    #[test]
+    fn duplicated_copies_sample_independent_delays() {
+        let spec = LinkSpec::lossy(SimDuration::from_millis(20), 0.0).with_duplication(1.0);
+        let mut rng = SimRng::seed_from(10);
+        let mut second_before_first = 0u32;
+        for _ in 0..1000 {
+            match spec.sample_fate(&mut rng) {
+                Fate::DeliverTwice { first, second } => {
+                    if second < first {
+                        second_before_first += 1;
+                    }
+                }
+                other => panic!("expected duplication, got {other:?}"),
+            }
+        }
+        // Independent exponential delays: the duplicate overtakes the
+        // original about half the time.
+        assert!(
+            (300..700).contains(&second_before_first),
+            "overtakes {second_before_first}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplication probability")]
+    fn invalid_duplication_probability_panics() {
+        let _ = LinkSpec::perfect().with_duplication(1.01);
+    }
+
+    #[test]
+    fn plain_links_have_no_overlay() {
+        let spec = LinkSpec::from_paper_tuple(100.0, 0.1);
+        assert_eq!(spec.duplicate_probability(), 0.0);
+        assert_eq!(spec.jitter(), SimDuration::ZERO);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use sle_sim::actor::NodeId;
-use sle_sim::medium::{Medium, Verdict};
+use sle_sim::medium::{Fate, Medium, Verdict};
 use sle_sim::rng::SimRng;
 use sle_sim::time::SimInstant;
 
@@ -108,6 +108,7 @@ impl NetworkModel {
             outages: HashMap::new(),
             outage_rng: SimRng::seed_from(seed),
             stats: NetworkStats::default(),
+            partition: None,
         }
     }
 }
@@ -127,8 +128,13 @@ pub struct NetworkStats {
     pub lost: u64,
     /// Messages dropped because the link was crashed or severed.
     pub blocked: u64,
+    /// Messages dropped because an active partition separated the endpoints.
+    pub partitioned: u64,
     /// Messages accepted for delivery.
     pub delivered: u64,
+    /// Messages the network duplicated (a second copy of an accepted
+    /// message; not included in `delivered`).
+    pub duplicated: u64,
     /// Total payload bytes accepted for delivery.
     pub delivered_bytes: u64,
 }
@@ -139,7 +145,27 @@ impl NetworkStats {
         if self.offered == 0 {
             0.0
         } else {
-            (self.lost + self.blocked) as f64 / self.offered as f64
+            (self.lost + self.blocked + self.partitioned) as f64 / self.offered as f64
+        }
+    }
+
+    /// Accounts for a link-level fate: loss, delivery, or duplication of a
+    /// `wire_bytes`-byte message (blocked/partitioned drops are counted at
+    /// their own call sites, before a link fate is ever sampled).
+    pub fn record_fate(&mut self, fate: Fate, wire_bytes: usize) {
+        match fate {
+            Fate::Dropped => {
+                self.lost += 1;
+            }
+            Fate::Deliver { .. } => {
+                self.delivered += 1;
+                self.delivered_bytes += wire_bytes as u64;
+            }
+            Fate::DeliverTwice { .. } => {
+                self.delivered += 1;
+                self.duplicated += 1;
+                self.delivered_bytes += 2 * wire_bytes as u64;
+            }
         }
     }
 }
@@ -151,6 +177,10 @@ pub struct SimulatedNetwork {
     outages: HashMap<(NodeId, NodeId), LinkOutageState>,
     outage_rng: SimRng,
     stats: NetworkStats,
+    /// Active partition: component id per node. `None` means the network is
+    /// whole. Nodes absent from the map are isolated (every message to or
+    /// from them is dropped).
+    partition: Option<HashMap<NodeId, u32>>,
 }
 
 impl SimulatedNetwork {
@@ -162,6 +192,62 @@ impl SimulatedNetwork {
     /// Counters accumulated since construction.
     pub fn stats(&self) -> NetworkStats {
         self.stats
+    }
+
+    fn components_to_map(components: &[Vec<NodeId>]) -> HashMap<NodeId, u32> {
+        let mut map = HashMap::new();
+        for (id, component) in components.iter().enumerate() {
+            for &node in component {
+                map.insert(node, id as u32);
+            }
+        }
+        map
+    }
+
+    /// Partitions the network into the given components: messages crossing
+    /// a component boundary are dropped until [`SimulatedNetwork::heal_partition`].
+    /// Nodes listed in no component are isolated entirely. Replaces any
+    /// previously active partition.
+    pub fn set_partition(&mut self, components: &[Vec<NodeId>]) {
+        self.partition = Some(Self::components_to_map(components));
+    }
+
+    /// Removes any active partition: all links carry traffic again.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Returns whether the currently active partition is exactly the one
+    /// described by `components` (false when the network is whole).
+    pub fn partition_matches(&self, components: &[Vec<NodeId>]) -> bool {
+        self.partition
+            .as_ref()
+            .is_some_and(|current| *current == Self::components_to_map(components))
+    }
+
+    /// Returns whether a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Replaces the behaviour of every link without an override — how the
+    /// chaos engine applies (and later removes) duplication, reordering,
+    /// burst-loss and delay-step overlays mid-run. Per-link overrides and
+    /// accumulated outage state are untouched.
+    pub fn set_default_link(&mut self, spec: LinkSpec) {
+        self.model.default_link = spec;
+    }
+
+    /// Returns whether an active partition separates `from` and `to`.
+    pub fn crosses_partition(&self, from: NodeId, to: NodeId) -> bool {
+        match &self.partition {
+            None => false,
+            Some(map) => match (map.get(&from), map.get(&to)) {
+                (Some(a), Some(b)) => a != b,
+                // An endpoint in no component is isolated.
+                _ => true,
+            },
+        }
     }
 
     /// Returns whether the directed link `from -> to` is up at `now`
@@ -193,23 +279,29 @@ impl Medium for SimulatedNetwork {
         wire_bytes: usize,
         rng: &mut SimRng,
     ) -> Verdict {
+        self.transmit_fate(now, from, to, wire_bytes, rng).into()
+    }
+
+    fn transmit_fate(
+        &mut self,
+        now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Fate {
         self.stats.offered += 1;
+        if self.crosses_partition(from, to) {
+            self.stats.partitioned += 1;
+            return Fate::Dropped;
+        }
         if !self.link_up_at(now, from, to) {
             self.stats.blocked += 1;
-            return Verdict::Dropped;
+            return Fate::Dropped;
         }
-        let spec = self.model.link(from, to);
-        match spec.sample(rng) {
-            None => {
-                self.stats.lost += 1;
-                Verdict::Dropped
-            }
-            Some(delay) => {
-                self.stats.delivered += 1;
-                self.stats.delivered_bytes += wire_bytes as u64;
-                Verdict::Deliver { delay }
-            }
-        }
+        let fate = self.model.link(from, to).sample_fate(rng);
+        self.stats.record_fate(fate, wire_bytes);
+        fate
     }
 }
 
@@ -326,6 +418,79 @@ mod tests {
             diverged,
             "directions never diverged; outage streams look coupled"
         );
+    }
+
+    #[test]
+    fn partition_blocks_cross_component_traffic_until_healed() {
+        let mut net = NetworkModel::perfect().build(9);
+        assert!(!net.is_partitioned());
+        net.set_partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
+        assert!(net.is_partitioned());
+        let mut rng = SimRng::seed_from(2);
+        // Within a component: delivered.
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng)
+            .is_delivered());
+        // Across components, both directions: dropped.
+        assert_eq!(
+            net.transmit(SimInstant::ZERO, NodeId(0), NodeId(2), 10, &mut rng),
+            Verdict::Dropped
+        );
+        assert_eq!(
+            net.transmit(SimInstant::ZERO, NodeId(2), NodeId(1), 10, &mut rng),
+            Verdict::Dropped
+        );
+        // A node in no component is isolated.
+        assert_eq!(
+            net.transmit(SimInstant::ZERO, NodeId(0), NodeId(3), 10, &mut rng),
+            Verdict::Dropped
+        );
+        assert_eq!(net.stats().partitioned, 3);
+        assert!(net.stats().drop_ratio() > 0.0);
+
+        net.heal_partition();
+        assert!(!net.is_partitioned());
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(2), 10, &mut rng)
+            .is_delivered());
+    }
+
+    #[test]
+    fn duplication_overlay_is_applied_and_counted() {
+        let spec = LinkSpec::perfect().with_duplication(1.0);
+        let mut net = NetworkModel::new(spec).build(4);
+        let mut rng = SimRng::seed_from(6);
+        let fate = net.transmit_fate(SimInstant::ZERO, NodeId(0), NodeId(1), 100, &mut rng);
+        assert_eq!(fate.copies(), 2);
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().duplicated, 1);
+        assert_eq!(net.stats().delivered_bytes, 200);
+        // The single-delivery `transmit` view collapses to the first copy.
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 100, &mut rng)
+            .is_delivered());
+    }
+
+    #[test]
+    fn set_default_link_swaps_overlays_mid_run() {
+        let mut net = NetworkModel::perfect().build(7);
+        let mut rng = SimRng::seed_from(3);
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng)
+            .is_delivered());
+        // Burst loss: everything dropped while the overlay is active.
+        net.set_default_link(LinkSpec::lossy(SimDuration::ZERO, 1.0));
+        assert_eq!(
+            net.transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng),
+            Verdict::Dropped
+        );
+        assert_eq!(net.stats().lost, 1);
+        // Restore.
+        net.set_default_link(LinkSpec::perfect());
+        assert!(net
+            .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng)
+            .is_delivered());
+        assert_eq!(net.model().default_link(), LinkSpec::perfect());
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub mod world;
 /// Convenient re-exports of the items most users need.
 pub mod prelude {
     pub use crate::actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
-    pub use crate::medium::{FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
+    pub use crate::medium::{
+        Fate, FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict,
+    };
     pub use crate::observer::{CountingObserver, NullObserver, Observer, PairObserver};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimInstant};
@@ -66,7 +68,7 @@ pub mod prelude {
 }
 
 pub use actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
-pub use medium::{FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
+pub use medium::{Fate, FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
 pub use observer::{CountingObserver, NullObserver, Observer, PairObserver};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimInstant};

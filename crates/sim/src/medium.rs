@@ -36,6 +36,77 @@ impl Verdict {
     }
 }
 
+/// The full fate of a transmitted message, including duplication.
+///
+/// [`Verdict`] can only express "lost" or "delivered once"; real networks
+/// also *duplicate* datagrams (a retransmitting switch, a routing loop).
+/// Media that model duplication implement [`Medium::transmit_fate`] and
+/// return [`Fate::DeliverTwice`]; everything else keeps implementing
+/// [`Medium::transmit`] and gets the equivalent single-delivery fate for
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The message is lost and never delivered.
+    Dropped,
+    /// The message is delivered exactly once after `delay`.
+    Deliver {
+        /// Transmission delay from send to delivery.
+        delay: SimDuration,
+    },
+    /// The network duplicated the message: two independent copies arrive.
+    DeliverTwice {
+        /// Delay of the first copy.
+        first: SimDuration,
+        /// Delay of the second copy (may be smaller than `first`, in which
+        /// case the duplicate also reorders).
+        second: SimDuration,
+    },
+}
+
+impl Fate {
+    /// Returns true if at least one copy is delivered.
+    pub fn is_delivered(&self) -> bool {
+        !matches!(self, Fate::Dropped)
+    }
+
+    /// Number of copies delivered (0, 1 or 2).
+    pub fn copies(&self) -> usize {
+        match self {
+            Fate::Dropped => 0,
+            Fate::Deliver { .. } => 1,
+            Fate::DeliverTwice { .. } => 2,
+        }
+    }
+
+    /// The delay of the first delivered copy, or `None` if dropped.
+    pub fn first_delay(&self) -> Option<SimDuration> {
+        match self {
+            Fate::Dropped => None,
+            Fate::Deliver { delay } | Fate::DeliverTwice { first: delay, .. } => Some(*delay),
+        }
+    }
+}
+
+impl From<Verdict> for Fate {
+    fn from(v: Verdict) -> Fate {
+        match v {
+            Verdict::Dropped => Fate::Dropped,
+            Verdict::Deliver { delay } => Fate::Deliver { delay },
+        }
+    }
+}
+
+/// Collapses a fate to the single-delivery view: duplication reduces to the
+/// first copy.
+impl From<Fate> for Verdict {
+    fn from(fate: Fate) -> Verdict {
+        match fate.first_delay() {
+            None => Verdict::Dropped,
+            Some(delay) => Verdict::Deliver { delay },
+        }
+    }
+}
+
 /// Decides the fate of every message sent through the simulated network.
 ///
 /// Implementations may keep per-link state (e.g. whether a link is currently
@@ -51,6 +122,22 @@ pub trait Medium {
         wire_bytes: usize,
         rng: &mut SimRng,
     ) -> Verdict;
+
+    /// Decides the full fate (including duplication) of a message.
+    ///
+    /// The default implementation delegates to [`Medium::transmit`], so only
+    /// media that model duplication need to override it. The simulator's
+    /// event loop calls this method, never `transmit` directly.
+    fn transmit_fate(
+        &mut self,
+        now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Fate {
+        self.transmit(now, from, to, wire_bytes, rng).into()
+    }
 }
 
 /// A medium that delivers every message instantly. Useful for unit tests of
@@ -176,6 +263,17 @@ impl<M: Medium + ?Sized> Medium for Box<M> {
     ) -> Verdict {
         (**self).transmit(now, from, to, wire_bytes, rng)
     }
+
+    fn transmit_fate(
+        &mut self,
+        now: SimInstant,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Fate {
+        (**self).transmit_fate(now, from, to, wire_bytes, rng)
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +318,76 @@ mod tests {
     fn verdict_helpers() {
         assert!(Verdict::immediate().is_delivered());
         assert!(!Verdict::Dropped.is_delivered());
+    }
+
+    #[test]
+    fn fate_helpers_and_conversion() {
+        assert_eq!(Fate::Dropped.copies(), 0);
+        assert!(!Fate::Dropped.is_delivered());
+        let once = Fate::from(Verdict::immediate());
+        assert_eq!(
+            once,
+            Fate::Deliver {
+                delay: SimDuration::ZERO
+            }
+        );
+        assert_eq!(once.copies(), 1);
+        let twice = Fate::DeliverTwice {
+            first: SimDuration::from_millis(1),
+            second: SimDuration::from_millis(2),
+        };
+        assert!(twice.is_delivered());
+        assert_eq!(twice.copies(), 2);
+    }
+
+    /// A medium that duplicates every message, used to exercise the
+    /// default-vs-overridden `transmit_fate` path.
+    struct AlwaysDuplicate;
+
+    impl Medium for AlwaysDuplicate {
+        fn transmit(
+            &mut self,
+            _now: SimInstant,
+            _from: NodeId,
+            _to: NodeId,
+            _wire_bytes: usize,
+            _rng: &mut SimRng,
+        ) -> Verdict {
+            Verdict::immediate()
+        }
+
+        fn transmit_fate(
+            &mut self,
+            _now: SimInstant,
+            _from: NodeId,
+            _to: NodeId,
+            _wire_bytes: usize,
+            _rng: &mut SimRng,
+        ) -> Fate {
+            Fate::DeliverTwice {
+                first: SimDuration::ZERO,
+                second: SimDuration::from_millis(1),
+            }
+        }
+    }
+
+    #[test]
+    fn default_transmit_fate_delegates_and_overrides_stick_through_box() {
+        let mut rng = SimRng::seed_from(1);
+        let mut plain = PerfectMedium;
+        assert_eq!(
+            plain.transmit_fate(SimInstant::ZERO, NodeId(0), NodeId(1), 1, &mut rng),
+            Fate::Deliver {
+                delay: SimDuration::ZERO
+            }
+        );
+        let mut boxed: Box<dyn Medium> = Box::new(AlwaysDuplicate);
+        assert_eq!(
+            boxed
+                .transmit_fate(SimInstant::ZERO, NodeId(0), NodeId(1), 1, &mut rng)
+                .copies(),
+            2
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
-use crate::medium::{Medium, Verdict};
+use crate::medium::{Fate, Medium};
 use crate::observer::Observer;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimInstant};
@@ -411,13 +411,33 @@ impl<A: Actor, M: Medium> World<A, M> {
                     }
                     match self
                         .medium
-                        .transmit(self.now, node, to, bytes, &mut self.rng)
+                        .transmit_fate(self.now, node, to, bytes, &mut self.rng)
                     {
-                        Verdict::Dropped => observer.message_dropped(self.now, node, to, bytes),
-                        Verdict::Deliver { delay } => {
+                        Fate::Dropped => observer.message_dropped(self.now, node, to, bytes),
+                        Fate::Deliver { delay } => {
                             let at = self.now + delay;
                             self.push(
                                 at,
+                                EventKind::Deliver {
+                                    from: node,
+                                    to,
+                                    msg,
+                                    bytes,
+                                },
+                            );
+                        }
+                        Fate::DeliverTwice { first, second } => {
+                            self.push(
+                                self.now + first,
+                                EventKind::Deliver {
+                                    from: node,
+                                    to,
+                                    msg: msg.clone(),
+                                    bytes,
+                                },
+                            );
+                            self.push(
+                                self.now + second,
                                 EventKind::Deliver {
                                     from: node,
                                     to,
@@ -459,7 +479,7 @@ impl<A: Actor, M: Medium> World<A, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::medium::{FixedDelayMedium, PerfectMedium};
+    use crate::medium::{FixedDelayMedium, PerfectMedium, Verdict};
     use crate::observer::{CountingObserver, NullObserver};
 
     /// A small test actor: pings its successor every 100 ms and counts pongs.
@@ -665,6 +685,62 @@ mod tests {
         world.run_until(SimInstant::from_secs_f64(3.0), &mut obs);
         assert_eq!(world.now(), SimInstant::from_secs_f64(3.0));
         assert_eq!(world.num_nodes(), 0);
+    }
+
+    /// A medium that duplicates every message with a 1 ms gap between the
+    /// two copies.
+    struct DuplicatingMedium;
+
+    impl Medium for DuplicatingMedium {
+        fn transmit(
+            &mut self,
+            _now: SimInstant,
+            _from: NodeId,
+            _to: NodeId,
+            _wire_bytes: usize,
+            _rng: &mut SimRng,
+        ) -> Verdict {
+            Verdict::immediate()
+        }
+
+        fn transmit_fate(
+            &mut self,
+            _now: SimInstant,
+            _from: NodeId,
+            _to: NodeId,
+            _wire_bytes: usize,
+            _rng: &mut SimRng,
+        ) -> Fate {
+            Fate::DeliverTwice {
+                first: SimDuration::ZERO,
+                second: SimDuration::from_millis(1),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicating_medium_delivers_every_message_twice() {
+        let n = 1u32;
+        let mut world: World<PingActor, DuplicatingMedium> = World::new(
+            1,
+            Box::new(move |id, inc| PingActor {
+                id,
+                n,
+                pings_sent: 0,
+                pongs_received: 0,
+                incarnation: inc,
+            }),
+            DuplicatingMedium,
+            5,
+        );
+        let mut obs = CountingObserver::new();
+        // One node pinging itself: each ping is duplicated, and each of the
+        // two delivered pings triggers a pong, which is duplicated again.
+        world.run_until(SimInstant::from_secs_f64(0.105), &mut obs);
+        // 1 ping sent, delivered twice; 2 pongs sent, delivered 4 times.
+        assert_eq!(obs.sent, 3);
+        assert_eq!(obs.delivered, 6);
+        assert_eq!(world.actor(NodeId(0)).unwrap().pongs_received, 4);
     }
 
     #[test]
