@@ -1,0 +1,442 @@
+//! The scale macro-benchmark: {processes × groups × service level} sweeps
+//! with steady-state message-count assertions.
+//!
+//! ```text
+//! cargo run --release -p sle-bench --bin bench_scale            # full sweep (10k procs / 1k groups)
+//! cargo run --release -p sle-bench --bin bench_scale -- --smoke # CI-sized mini-sweep
+//! ```
+//!
+//! Two experiment families run, both in virtual time over the simulator:
+//!
+//! 1. **Growth law** — one group of n candidates for a range of n, under S2
+//!    (Ω_lc, every candidate keeps sending ALIVEs) and S3 (Ω_l, only the
+//!    leader does). The measured steady-state ALIVE counts must grow
+//!    O(n²) for S2 and O(n) for S3 — the communication-efficiency claim
+//!    the paper makes for Ω_l, held as an executable assertion (the
+//!    process exits 1 if the fitted log-log slopes disagree).
+//! 2. **Scale-out** — a many-group S3 deployment (up to 1 000 workstations
+//!    × 1 000 groups × 10 members each = 10 000 processes) that must
+//!    settle, elect a leader in every group, and complete in seconds of
+//!    wall-clock time. This is the cell that exercises the timer wheel,
+//!    the per-node ALIVE tick with batched fan-out and the shared monitor
+//!    arena together.
+//!
+//! Results are written to `BENCH_scale.json` (schema documented in
+//! `docs/BENCH.md`) so successive PRs leave a perf trajectory; CI uploads
+//! the file as the `bench-scale` artifact.
+//!
+//! Options: `--smoke` (CI sizes), `--out PATH` (default `BENCH_scale.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sle_core::{GroupId, ProcessId};
+use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
+use sle_election::ElectorKind;
+use sle_sim::prelude::*;
+
+/// Virtual time the deployment gets to elect before measuring.
+const SETTLE: SimDuration = SimDuration::from_secs(12);
+/// Virtual measurement window for steady-state counts.
+const WINDOW: SimDuration = SimDuration::from_secs(10);
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_scale.json".to_string(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = iter
+                    .next()
+                    .ok_or_else(|| "--out requires a path".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_scale [--smoke] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// What one measured cell produced.
+struct Cell {
+    name: String,
+    algorithm: &'static str,
+    nodes: usize,
+    groups: usize,
+    processes: usize,
+    members_per_group: usize,
+    /// Per-group ALIVE payloads sent during the window (batch entries
+    /// count individually).
+    alive_payloads: u64,
+    /// ALIVE datagrams sent during the window (a batch counts once).
+    alive_datagrams: u64,
+    /// All messages handed to the network during the window.
+    messages_total: u64,
+    /// All payload bytes handed to the network during the window.
+    bytes_total: u64,
+    /// Simulator events processed over the whole run.
+    events_processed: u64,
+    /// Groups whose members all agreed on a live leader at the end.
+    groups_agreed: usize,
+    wall_ms: u128,
+}
+
+/// A deployment shape: which workstations are members of which groups.
+struct Deployment {
+    nodes: usize,
+    /// `groups[g]` lists the member workstations of group `g + 1`.
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl Deployment {
+    /// One group over workstations `0..n`.
+    fn single_group(n: usize) -> Self {
+        Deployment {
+            nodes: n,
+            groups: vec![(0..n as u32).map(NodeId).collect()],
+        }
+    }
+
+    /// `groups` groups of `members` workstations each, strided over
+    /// `nodes` workstations so membership is spread evenly (with
+    /// `groups == nodes`, every workstation is in exactly `members`
+    /// groups).
+    fn strided(nodes: usize, groups: usize, members: usize) -> Self {
+        // A stride coprime with `nodes` makes `g -> (g + j*stride) % nodes`
+        // a bijection per `j`, i.e. a perfectly balanced assignment.
+        let mut stride = nodes / members.max(1) + 1;
+        while gcd(stride, nodes) != 1 {
+            stride += 1;
+        }
+        let groups = (0..groups)
+            .map(|g| {
+                (0..members)
+                    .map(|j| NodeId(((g + j * stride) % nodes) as u32))
+                    .collect()
+            })
+            .collect();
+        Deployment { nodes, groups }
+    }
+
+    fn processes(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn algorithm_label(algorithm: ElectorKind) -> &'static str {
+    match algorithm {
+        ElectorKind::OmegaId => "S1/omega-id",
+        ElectorKind::OmegaLc => "S2/omega-lc",
+        ElectorKind::OmegaL => "S3/omega-l",
+    }
+}
+
+/// Builds the world for a deployment, runs settle + window, and measures.
+fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u64) -> Cell {
+    let wall = Instant::now();
+    let n = deployment.nodes;
+
+    // Per-workstation membership and peer sets (a workstation only gossips
+    // with workstations it shares a group with — the deployment shape a
+    // sharded installation uses, and what keeps HELLO traffic O(n)).
+    let mut groups_of: Vec<Vec<GroupId>> = vec![Vec::new(); n];
+    let mut peers_of: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (g, members) in deployment.groups.iter().enumerate() {
+        let group = GroupId(g as u32 + 1);
+        for &node in members {
+            groups_of[node.index()].push(group);
+            for &peer in members {
+                if !peers_of[node.index()].contains(&peer) {
+                    peers_of[node.index()].push(peer);
+                }
+            }
+        }
+    }
+    for peers in &mut peers_of {
+        peers.sort();
+    }
+
+    let mut world: World<ServiceNode, PerfectMedium> = World::new(
+        n,
+        Box::new(move |node, _inc| {
+            let mut config = ServiceConfig::new(node, peers_of[node.index()].clone(), algorithm);
+            for &group in &groups_of[node.index()] {
+                config = config.with_auto_join(group, JoinConfig::candidate());
+            }
+            ServiceNode::new(config)
+        }),
+        PerfectMedium,
+        seed,
+    );
+
+    let mut observer = CountingObserver::new();
+    world.run_for(SETTLE, &mut observer);
+    let node_counts = |world: &World<ServiceNode, PerfectMedium>| -> (u64, u64) {
+        let mut payloads = 0;
+        let mut datagrams = 0;
+        for i in 0..world.num_nodes() {
+            if let Some(actor) = world.actor(NodeId(i as u32)) {
+                payloads += actor.alive_payloads_sent();
+                datagrams += actor.alive_datagrams_sent();
+            }
+        }
+        (payloads, datagrams)
+    };
+    let (payloads_before, datagrams_before) = node_counts(&world);
+    let messages_before = observer.sent;
+    let bytes_before = observer.bytes_sent;
+
+    world.run_for(WINDOW, &mut observer);
+    let (payloads_after, datagrams_after) = node_counts(&world);
+
+    // Every group must have converged on a common leader among its members.
+    let mut groups_agreed = 0;
+    for (g, members) in deployment.groups.iter().enumerate() {
+        let group = GroupId(g as u32 + 1);
+        let mut agreed: Option<ProcessId> = None;
+        let mut ok = true;
+        for &member in members {
+            match world.actor(member).and_then(|a| a.leader_of(group)) {
+                Some(view) => match agreed {
+                    None => agreed = Some(view),
+                    Some(leader) if leader == view => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                },
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && agreed.is_some() {
+            groups_agreed += 1;
+        }
+    }
+
+    Cell {
+        name: name.to_string(),
+        algorithm: algorithm_label(algorithm),
+        nodes: n,
+        groups: deployment.groups.len(),
+        processes: deployment.processes(),
+        members_per_group: deployment.groups.first().map(Vec::len).unwrap_or(0),
+        alive_payloads: payloads_after - payloads_before,
+        alive_datagrams: datagrams_after - datagrams_before,
+        messages_total: observer.sent - messages_before,
+        bytes_total: observer.bytes_sent - bytes_before,
+        events_processed: world.events_processed(),
+        groups_agreed,
+        wall_ms: wall.elapsed().as_millis(),
+    }
+}
+
+/// Fitted log-log slope of steady-state ALIVE count against group size
+/// between the first and last point of a growth series.
+fn growth_slope(cells: &[&Cell]) -> f64 {
+    let first = cells.first().expect("non-empty series");
+    let last = cells.last().expect("non-empty series");
+    ((last.alive_payloads as f64).ln() - (first.alive_payloads as f64).ln())
+        / ((last.members_per_group as f64).ln() - (first.members_per_group as f64).ln())
+}
+
+fn json_escape_free(name: &str) -> &str {
+    debug_assert!(!name.contains('"') && !name.contains('\\'));
+    name
+}
+
+fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"settle_secs\": {}, \"window_secs\": {},",
+        SETTLE.as_secs_f64(),
+        WINDOW.as_secs_f64()
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"algorithm\": \"{}\", \"nodes\": {}, \"groups\": {}, \
+             \"processes\": {}, \"members_per_group\": {}, \"alive_payloads\": {}, \
+             \"alive_datagrams\": {}, \"messages_total\": {}, \"bytes_total\": {}, \
+             \"events_processed\": {}, \"groups_agreed\": {}, \"wall_ms\": {}}}",
+            json_escape_free(&cell.name),
+            cell.algorithm,
+            cell.nodes,
+            cell.groups,
+            cell.processes,
+            cell.members_per_group,
+            cell.alive_payloads,
+            cell.alive_datagrams,
+            cell.messages_total,
+            cell.bytes_total,
+            cell.events_processed,
+            cell.groups_agreed,
+            cell.wall_ms,
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"assertions\": {{\"s2_growth_slope\": {s2_slope:.3}, \"s3_growth_slope\": {s3_slope:.3}, \
+         \"s2_expected\": \"O(n^2)\", \"s3_expected\": \"O(n)\"}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let total = Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Family 1: the growth law, S2 vs S3 over one group of n candidates.
+    let sizes: &[usize] = if args.smoke {
+        &[4, 8, 16]
+    } else {
+        &[6, 12, 24]
+    };
+    println!(
+        "growth law: 1 group x n candidates, window {} s",
+        WINDOW.as_secs_f64()
+    );
+    println!(
+        "{:<12} {:>5} {:>16} {:>16} {:>10} {:>8}",
+        "service", "n", "alive-payloads", "alive-datagrams", "msgs", "wall-ms"
+    );
+    for &algorithm in &[ElectorKind::OmegaLc, ElectorKind::OmegaL] {
+        for &n in sizes {
+            let cell = run_cell(
+                &format!("growth-{}-n{}", algorithm_label(algorithm), n),
+                &Deployment::single_group(n),
+                algorithm,
+                0xBE1C_u64 + n as u64,
+            );
+            println!(
+                "{:<12} {:>5} {:>16} {:>16} {:>10} {:>8}",
+                cell.algorithm,
+                n,
+                cell.alive_payloads,
+                cell.alive_datagrams,
+                cell.messages_total,
+                cell.wall_ms
+            );
+            assert_eq!(cell.groups_agreed, 1, "{}: no agreement", cell.name);
+            cells.push(cell);
+        }
+    }
+
+    let series = |label: &str| -> Vec<&Cell> {
+        cells
+            .iter()
+            .filter(|c| c.algorithm == label && c.name.starts_with("growth-"))
+            .collect()
+    };
+    let s2_slope = growth_slope(&series("S2/omega-lc"));
+    let s3_slope = growth_slope(&series("S3/omega-l"));
+    println!(
+        "\nfitted growth slopes: S2 {s2_slope:.2} (want ≥ 1.7), S3 {s3_slope:.2} (want ≤ 1.4)"
+    );
+
+    // Family 2: the S3 scale-out cell (the 10k-process / 1k-group sweep).
+    let scale_shapes: &[(usize, usize, usize)] = if args.smoke {
+        &[(200, 200, 5)]
+    } else {
+        &[(400, 400, 5), (1000, 1000, 10)]
+    };
+    println!("\nscale-out: S3 over strided multi-group deployments");
+    println!(
+        "{:<28} {:>6} {:>6} {:>7} {:>14} {:>14} {:>9} {:>8}",
+        "cell", "nodes", "groups", "procs", "alive-payloads", "datagrams", "agreed", "wall-ms"
+    );
+    for &(nodes, groups, members) in scale_shapes {
+        let deployment = Deployment::strided(nodes, groups, members);
+        let processes = deployment.processes();
+        let cell = run_cell(
+            &format!("scale-s3-{nodes}x{groups}x{members}"),
+            &deployment,
+            ElectorKind::OmegaL,
+            0x5CA1E,
+        );
+        println!(
+            "{:<28} {:>6} {:>6} {:>7} {:>14} {:>14} {:>9} {:>8}",
+            cell.name,
+            cell.nodes,
+            cell.groups,
+            processes,
+            cell.alive_payloads,
+            cell.alive_datagrams,
+            format!("{}/{}", cell.groups_agreed, cell.groups),
+            cell.wall_ms
+        );
+        assert_eq!(
+            cell.groups_agreed, cell.groups,
+            "{}: not every group elected",
+            cell.name
+        );
+        cells.push(cell);
+    }
+
+    let json = render_json(&cells, s2_slope, s3_slope, args.smoke);
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} ({} cells) in {:.1}s wall-clock",
+        args.out,
+        cells.len(),
+        total.elapsed().as_secs_f64()
+    );
+
+    // The headline assertion: S3's steady-state ALIVE count grows O(n),
+    // S2's O(n²). Generous tolerances keep the check insensitive to the
+    // ±1 of "n" vs "n-1" and to settle jitter, while still cleanly
+    // separating linear from quadratic growth.
+    let mut failed = false;
+    if s2_slope < 1.7 {
+        eprintln!("FAIL: S2 growth slope {s2_slope:.2} < 1.7 — expected O(n^2) ALIVE traffic");
+        failed = true;
+    }
+    if s3_slope > 1.4 {
+        eprintln!("FAIL: S3 growth slope {s3_slope:.2} > 1.4 — expected O(n) ALIVE traffic");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: S3 ALIVE traffic grows O(n), S2 grows O(n^2)");
+}

@@ -238,6 +238,26 @@ fn apply_action(
                 });
             }
         }
+        FaultAction::SpawnProcess(node) => {
+            if node.index() < world.num_nodes() && world.is_up(*node) {
+                // Unlike `Join`, an existing member gains a further
+                // process. Only a membership *change* is marked: piling
+                // processes onto a member workstation disrupts nothing, so
+                // it must not grant the run a fresh settle window.
+                if !is_member(world, *node) {
+                    recorder.mark(now, TraceEventKind::Joined { node: *node });
+                }
+                world.with_actor(*node, recorder, move |actor, ctx| {
+                    let process = actor.register_process();
+                    let _ = actor.join_group(
+                        process,
+                        CHAOS_GROUP,
+                        JoinConfig::candidate().with_qos(qos),
+                        ctx,
+                    );
+                });
+            }
+        }
         FaultAction::Partition(components) => {
             // The same no-op rule as churn: re-applying the partition the
             // network is already in must not mark a disruption.
@@ -374,6 +394,34 @@ mod tests {
                 .any(|event| matches!(event.kind, TraceEventKind::Recovered { .. })),
             "the crashed leader must come back"
         );
+        assert!(report.final_leader.is_some());
+    }
+
+    #[test]
+    fn spawn_process_stacks_processes_and_marks_only_membership_changes() {
+        let config =
+            ChaosConfig::new(ElectorKind::OmegaLc, 3).with_duration(SimDuration::from_secs(20));
+        let plan = FaultPlan::new("spawn-stack")
+            // Node 0 is already a member: extra processes, no trace marks.
+            .at(8.0, FaultAction::SpawnProcess(NodeId(0)))
+            .at(9.0, FaultAction::SpawnProcess(NodeId(0)))
+            // Node 1 leaves entirely, then a spawn re-joins it (one mark).
+            .at(10.0, FaultAction::Leave(NodeId(1)))
+            .at(13.0, FaultAction::SpawnProcess(NodeId(1)));
+        let report = run_plan(&config, &plan);
+        assert!(report.ok(), "{:?}", report.violations);
+        let joins = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Joined { .. }))
+            .count();
+        let leaves = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Left { .. }))
+            .count();
+        assert_eq!(joins, 1, "only node 1's re-join changes membership");
+        assert_eq!(leaves, 1);
         assert!(report.final_leader.is_some());
     }
 

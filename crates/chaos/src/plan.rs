@@ -36,6 +36,12 @@ pub enum FaultAction {
     /// to the experiment group as a candidate (a no-op if the workstation
     /// already has a member).
     Join(NodeId),
+    /// Register a fresh application process on this workstation and join it
+    /// to the experiment group as a candidate *unconditionally* — unlike
+    /// [`FaultAction::Join`], an already-member workstation gains an
+    /// additional process. This is how the `LargeChurn` family drives the
+    /// group past 100 member processes.
+    SpawnProcess(NodeId),
     /// Partition the network into the given components: messages crossing a
     /// component boundary are dropped; nodes listed in no component are
     /// isolated entirely.
@@ -71,6 +77,10 @@ impl FaultAction {
             FaultAction::Join(node) => {
                 format!("sle_chaos::FaultAction::Join(sle_sim::NodeId({}))", node.0)
             }
+            FaultAction::SpawnProcess(node) => format!(
+                "sle_chaos::FaultAction::SpawnProcess(sle_sim::NodeId({}))",
+                node.0
+            ),
             FaultAction::Partition(components) => {
                 let rendered: Vec<String> = components
                     .iter()
@@ -218,17 +228,22 @@ pub enum PlanKind {
     DriftStep,
     /// Members voluntarily leave the group mid-run and rejoin later.
     MemberChurn,
+    /// Join/leave churn at scale: the group is driven past 100 member
+    /// processes (spread across at least [`PlanKind::min_nodes`]
+    /// workstations) while whole workstations keep leaving and rejoining.
+    LargeChurn,
 }
 
 impl PlanKind {
     /// Every plan family, in sweep order.
-    pub fn all() -> [PlanKind; 5] {
+    pub fn all() -> [PlanKind; 6] {
         [
             PlanKind::PartitionHeal,
             PlanKind::LeaderChurn,
             PlanKind::DupReorder,
             PlanKind::DriftStep,
             PlanKind::MemberChurn,
+            PlanKind::LargeChurn,
         ]
     }
 
@@ -240,6 +255,18 @@ impl PlanKind {
             PlanKind::DupReorder => "dup-reorder",
             PlanKind::DriftStep => "drift-step",
             PlanKind::MemberChurn => "member-churn",
+            PlanKind::LargeChurn => "large-churn",
+        }
+    }
+
+    /// The smallest deployment this family is meaningful at. The sweep
+    /// runner raises its configured node count to this floor per family, so
+    /// `LargeChurn` always runs with enough workstations to host its
+    /// 100-plus processes while the other families keep the sweep's size.
+    pub fn min_nodes(&self) -> usize {
+        match self {
+            PlanKind::LargeChurn => 24,
+            _ => 0,
         }
     }
 
@@ -265,6 +292,7 @@ impl PlanKind {
             PlanKind::DupReorder => 0x52,
             PlanKind::DriftStep => 0x53,
             PlanKind::MemberChurn => 0x54,
+            PlanKind::LargeChurn => 0x55,
         };
         let mut rng = SimRng::seed_from(seed ^ (salt << 32));
         let total = duration.as_secs_f64();
@@ -361,6 +389,37 @@ impl PlanKind {
                 }
                 plan
             }
+            PlanKind::LargeChurn => {
+                if nodes == 0 {
+                    return FaultPlan::new(self.name());
+                }
+                // Drive the group past 100 member processes: every
+                // workstation auto-joins one candidate, the rest are
+                // spawned across the fault window (several per node).
+                let target_processes = 120usize.max(nodes + 1);
+                let spawns = target_processes - nodes;
+                let window = (cap - start).max(0.1);
+                let mut plan = FaultPlan::new(self.name());
+                for k in 0..spawns {
+                    let jitter = rng.uniform_range(0.0, 1.0);
+                    let at = (start + window * (k as f64 + jitter) / spawns as f64).min(cap);
+                    let node = NodeId(rng.uniform_usize(nodes) as u32);
+                    plan = plan.at(at, FaultAction::SpawnProcess(node));
+                }
+                // Whole workstations keep leaving and rejoining on top of
+                // the growth, so membership never stops moving.
+                let cycles = (nodes / 8).clamp(1, 4);
+                for _ in 0..cycles {
+                    let node = NodeId(rng.uniform_usize(nodes) as u32);
+                    let leave_latest = ((start + cap) / 2.0).max(start + 0.1).min(cap);
+                    let leave_at = rng.uniform_range(start, leave_latest).min(cap);
+                    let rejoin_at = (leave_at + rng.uniform_range(6.0, 10.0)).min(cap);
+                    plan = plan
+                        .at(leave_at, FaultAction::Leave(node))
+                        .at(rejoin_at, FaultAction::Join(node));
+                }
+                plan
+            }
         }
     }
 }
@@ -444,6 +503,42 @@ mod tests {
     }
 
     #[test]
+    fn large_churn_reaches_one_hundred_processes() {
+        let nodes = PlanKind::LargeChurn.min_nodes();
+        assert!(nodes >= 8);
+        for seed in 0..10 {
+            let plan = PlanKind::LargeChurn.generate(
+                nodes,
+                SimDuration::from_secs(45),
+                LinkSpec::perfect(),
+                seed,
+            );
+            let spawns = plan
+                .actions()
+                .iter()
+                .filter(|t| matches!(t.action, FaultAction::SpawnProcess(_)))
+                .count();
+            // One auto-joined candidate per workstation plus the spawned
+            // processes: the group is driven past 100 members.
+            assert!(
+                nodes + spawns >= 100,
+                "seed {seed}: only {} processes",
+                nodes + spawns
+            );
+            assert!(plan
+                .actions()
+                .iter()
+                .any(|t| matches!(t.action, FaultAction::Leave(_))));
+            assert!(plan
+                .actions()
+                .iter()
+                .any(|t| matches!(t.action, FaultAction::Join(_))));
+        }
+        // Other families keep the sweep's configured deployment size.
+        assert_eq!(PlanKind::MemberChurn.min_nodes(), 0);
+    }
+
+    #[test]
     fn partition_plans_split_into_two_disjoint_nonempty_components() {
         for seed in 0..50 {
             let plan = PlanKind::PartitionHeal.generate(
@@ -473,6 +568,7 @@ mod tests {
             },
             FaultAction::Partition(vec![vec![NodeId(0)], vec![NodeId(1), NodeId(2)]]),
             FaultAction::Heal,
+            FaultAction::SpawnProcess(NodeId(7)),
             FaultAction::SetLink(
                 LinkSpec::from_paper_tuple(10.0, 0.05)
                     .with_duplication(0.25)
@@ -483,7 +579,7 @@ mod tests {
             let code = action.to_code();
             assert!(code.starts_with("sle_chaos::FaultAction::"), "{code}");
         }
-        let code = actions[4].to_code();
+        let code = actions[5].to_code();
         assert!(code.contains("with_duplication(0.25)"), "{code}");
         assert!(code.contains("with_jitter"), "{code}");
         // A plain link renders without overlay calls.

@@ -36,7 +36,7 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The acceptance sweep: 50 seeds × all five families × S1/S2/S3.
+    /// The acceptance sweep: 50 seeds × all six families × S1/S2/S3.
     pub fn new() -> Self {
         SweepConfig {
             algorithms: ElectorKind::all().to_vec(),
@@ -86,8 +86,8 @@ impl SweepConfig {
         self
     }
 
-    fn chaos_config(&self, algorithm: ElectorKind, seed: u64) -> ChaosConfig {
-        ChaosConfig::new(algorithm, self.nodes)
+    fn chaos_config(&self, algorithm: ElectorKind, nodes: usize, seed: u64) -> ChaosConfig {
+        ChaosConfig::new(algorithm, nodes)
             .with_seed(seed)
             .with_link(self.link)
             .with_qos(self.qos)
@@ -222,10 +222,14 @@ pub fn run_sweep(config: &SweepConfig) -> SweepSummary {
     for &algorithm in &config.algorithms {
         for &kind in &config.plans {
             let mut failed = 0u64;
+            // Scale-hungry families (LargeChurn needs room for 100+
+            // processes) raise the deployment to their floor; the others
+            // keep the sweep's configured size.
+            let nodes = config.nodes.max(kind.min_nodes());
             for offset in 0..config.seeds {
                 let seed = config.seed_base + offset;
-                let chaos = config.chaos_config(algorithm, seed);
-                let plan = kind.generate(config.nodes, config.duration, config.link, seed);
+                let chaos = config.chaos_config(algorithm, nodes, seed);
+                let plan = kind.generate(nodes, config.duration, config.link, seed);
                 let report = run_plan(&chaos, &plan);
                 runs += 1;
                 if report.ok() {
@@ -338,10 +342,11 @@ mod tests {
             ..config
         };
         let summary = run_sweep(&config);
-        assert_eq!(summary.runs, 2 * 5 * 3);
+        assert_eq!(summary.runs, 2 * 6 * 3);
         assert!(summary.ok(), "{}", summary.render());
-        assert_eq!(summary.cells.len(), 15);
+        assert_eq!(summary.cells.len(), 18);
         assert!(summary.render().contains("chaos sweep"));
+        assert!(summary.render().contains("large-churn"));
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn weakened_detector_is_caught_and_shrunk_to_a_minimal_reproducer() {
 
 #[test]
 fn sweep_over_multiple_seeds_stays_clean() {
-    // A narrow but real sweep (2 seeds x 5 families x 1 algorithm) through
+    // A narrow but real sweep (2 seeds x 6 families x 1 algorithm) through
     // the public sweep API, as the CI smoke job runs it.
     let sweep = sle_chaos::SweepConfig::new().with_seeds(2).with_nodes(4);
     let sweep = sle_chaos::SweepConfig {
@@ -154,6 +154,6 @@ fn sweep_over_multiple_seeds_stays_clean() {
         ..sweep
     };
     let summary = sle_chaos::run_sweep(&sweep);
-    assert_eq!(summary.runs, 2 * 5);
+    assert_eq!(summary.runs, 2 * 6);
     assert!(summary.ok(), "{}", summary.render());
 }

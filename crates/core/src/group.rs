@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use sle_adaptive::AnyTuner;
 use sle_election::{AnyElector, LeaderElector};
-use sle_fd::{FailureDetector, QosSpec};
+use sle_fd::{FailureDetector, FdConfigurator, MonitorArena, QosSpec};
 use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
 
@@ -58,8 +58,10 @@ pub struct GroupState {
     pub fd: FailureDetector,
     /// Remote membership learnt from HELLO/ALIVE messages.
     pub members: BTreeMap<NodeId, RemoteMember>,
-    /// Per-destination ALIVE sequence numbers.
-    pub seqs: BTreeMap<NodeId, u64>,
+    /// When this group is next due to fan out ALIVEs. The per-node ALIVE
+    /// tick (see `ServiceNode`) fires at the minimum of these across all
+    /// groups and sends for every group that is due.
+    pub next_alive_at: SimInstant,
     /// The ALIVE interval each peer asked us to use towards it.
     pub requested_by_peers: BTreeMap<NodeId, SimDuration>,
     /// The representative candidate process advertised by each member node.
@@ -78,12 +80,15 @@ pub struct GroupState {
 }
 
 impl GroupState {
-    /// Creates the state for a group the local node just joined.
+    /// Creates the state for a group the local node just joined. The
+    /// group's failure detector draws its per-peer liveness records from
+    /// `arena`, the workstation-wide store shared by every group.
     pub fn new(
         group: GroupId,
         me: NodeId,
         algorithm: sle_election::ElectorKind,
         config: &JoinConfig,
+        arena: &MonitorArena,
         now: SimInstant,
     ) -> Self {
         GroupState {
@@ -92,9 +97,9 @@ impl GroupState {
             notification: config.notification,
             local_processes: BTreeMap::new(),
             elector: AnyElector::new(algorithm, me, config.candidate, now),
-            fd: FailureDetector::new(config.qos),
+            fd: FailureDetector::with_arena(config.qos, FdConfigurator::default(), arena.clone()),
             members: BTreeMap::new(),
-            seqs: BTreeMap::new(),
+            next_alive_at: now,
             requested_by_peers: BTreeMap::new(),
             representatives: BTreeMap::new(),
             announced_leader: None,
@@ -125,14 +130,6 @@ impl GroupState {
             .filter(|(_, &candidate)| candidate)
             .map(|(&local, _)| ProcessId::new(me, local))
             .min()
-    }
-
-    /// The next ALIVE sequence number for `dest`.
-    pub fn next_seq(&mut self, dest: NodeId) -> u64 {
-        let entry = self.seqs.entry(dest).or_insert(0);
-        let seq = *entry;
-        *entry += 1;
-        seq
     }
 
     /// The interval at which this node should currently send ALIVEs for the
@@ -184,6 +181,7 @@ mod tests {
             NodeId(0),
             ElectorKind::OmegaLc,
             &JoinConfig::candidate(),
+            &MonitorArena::new(),
             SimInstant::ZERO,
         )
     }
@@ -201,14 +199,6 @@ mod tests {
             group.local_representative(NodeId(0)),
             Some(ProcessId::new(NodeId(0), 1))
         );
-    }
-
-    #[test]
-    fn sequence_numbers_are_per_destination() {
-        let mut group = state();
-        assert_eq!(group.next_seq(NodeId(1)), 0);
-        assert_eq!(group.next_seq(NodeId(1)), 1);
-        assert_eq!(group.next_seq(NodeId(2)), 0);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod prelude {
     pub use crate::config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
     pub use crate::error::{AgreementTimeout, ServiceError};
     pub use crate::events::ServiceEvent;
-    pub use crate::messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
+    pub use crate::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
     pub use crate::node::{ServiceContext, ServiceNode};
     pub use crate::process::{GroupId, ProcessId};
     pub use crate::runtime::{Cluster, ClusterEvent, ClusterHandle};
@@ -101,7 +101,7 @@ pub use config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
 pub use error::{AgreementTimeout, ServiceError};
 pub use events::ServiceEvent;
 pub use group::{GroupState, RemoteMember};
-pub use messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
+pub use messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 pub use node::{ServiceContext, ServiceNode};
 pub use process::{GroupId, ProcessId};
 pub use runtime::{Cluster, ClusterEvent, ClusterHandle};

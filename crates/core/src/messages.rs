@@ -41,6 +41,37 @@ pub struct GroupAnnouncement {
     pub processes: Vec<(ProcessId, bool)>,
 }
 
+/// One group's share of a batched ALIVE datagram: everything that varies
+/// per group when a workstation fans its heartbeats out to a peer.
+///
+/// The fields common to every group — the sender's incarnation, the
+/// node-level heartbeat sequence number and the send timestamp — are hoisted
+/// into the [`ServiceMessage::AliveBatch`] envelope, which is where the
+/// bandwidth saving over one [`ServiceMessage::Alive`] per group comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAlive {
+    /// The group this entry belongs to.
+    pub group: GroupId,
+    /// The interval at which the sender currently emits ALIVEs for this
+    /// group.
+    pub sending_interval: SimDuration,
+    /// The interval the sender would like the receiver to use towards it
+    /// for this group.
+    pub requested_interval: SimDuration,
+    /// Election-algorithm payload for this group.
+    pub payload: AlivePayload,
+    /// The sender's representative candidate process in this group.
+    pub representative: ProcessId,
+}
+
+impl GroupAlive {
+    /// Encoded size of one batch entry.
+    pub fn wire_size(&self) -> usize {
+        // group + sending + requested + representative + payload
+        4 + 8 + 8 + 8 + self.payload.wire_size()
+    }
+}
+
 /// A message exchanged between two service instances.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceMessage {
@@ -66,6 +97,22 @@ pub enum ServiceMessage {
         /// election (its representative candidate).
         representative: ProcessId,
     },
+    /// Heartbeats + election payloads for *several* groups, coalesced into
+    /// one datagram by the per-node ALIVE tick (the scale-out form of
+    /// [`ServiceMessage::Alive`]: a workstation sharing many groups with a
+    /// peer pays the header once per interval instead of once per group).
+    AliveBatch {
+        /// The sender's incarnation.
+        incarnation: u64,
+        /// Node-level per-destination heartbeat sequence number (shared by
+        /// every entry: one datagram, one point on the link's loss/delay
+        /// record).
+        seq: u64,
+        /// When the datagram was sent.
+        sent_at: SimInstant,
+        /// One entry per group, in group order.
+        alives: Vec<GroupAlive>,
+    },
     /// Accusation: "I believe you crashed" (paper Sections 6.3/6.4).
     Accuse {
         /// The group in which the suspicion arose.
@@ -86,16 +133,28 @@ impl ServiceMessage {
     /// The group this message concerns, if any (HELLOs concern several).
     pub fn group(&self) -> Option<GroupId> {
         match self {
-            ServiceMessage::Hello { .. } => None,
+            ServiceMessage::Hello { .. } | ServiceMessage::AliveBatch { .. } => None,
             ServiceMessage::Alive { group, .. }
             | ServiceMessage::Accuse { group, .. }
             | ServiceMessage::Leave { group, .. } => Some(*group),
         }
     }
 
-    /// True for ALIVE messages.
+    /// True for ALIVE messages (single-group or batched).
     pub fn is_alive(&self) -> bool {
-        matches!(self, ServiceMessage::Alive { .. })
+        matches!(
+            self,
+            ServiceMessage::Alive { .. } | ServiceMessage::AliveBatch { .. }
+        )
+    }
+
+    /// Number of per-group ALIVE payloads this message carries.
+    pub fn alive_payloads(&self) -> usize {
+        match self {
+            ServiceMessage::Alive { .. } => 1,
+            ServiceMessage::AliveBatch { alives, .. } => alives.len(),
+            _ => 0,
+        }
     }
 }
 
@@ -118,6 +177,10 @@ impl WireSize for ServiceMessage {
                 // tag + group + header (incarnation, seq, sent_at, sending,
                 // requested) + representative + payload
                 1 + 4 + (8 + 8 + 8 + 8 + 8) + 8 + payload.wire_size()
+            }
+            ServiceMessage::AliveBatch { alives, .. } => {
+                // tag + incarnation + seq + sent_at + count
+                1 + 8 + 8 + 8 + 2 + alives.iter().map(GroupAlive::wire_size).sum::<usize>()
             }
             ServiceMessage::Accuse { .. } => 1 + 4 + 8,
             ServiceMessage::Leave { .. } => 1 + 4 + 8,
@@ -176,6 +239,36 @@ mod tests {
         assert_eq!(with_group.wire_size(), 19 + 4 + 2 + 9);
         assert_eq!(empty.group(), None);
         assert!(!empty.is_alive());
+    }
+
+    #[test]
+    fn batched_alives_amortise_the_header() {
+        let entry = GroupAlive {
+            group: GroupId(1),
+            sending_interval: SimDuration::from_millis(250),
+            requested_interval: SimDuration::from_millis(250),
+            payload: AlivePayload {
+                accusation_time: SimInstant::ZERO,
+                epoch: 0,
+                local_leader: None,
+            },
+            representative: ProcessId::new(NodeId(0), 0),
+        };
+        assert_eq!(entry.wire_size(), 4 + 8 + 8 + 8 + 17);
+        let batch = |n: usize| ServiceMessage::AliveBatch {
+            incarnation: 0,
+            seq: 1,
+            sent_at: SimInstant::ZERO,
+            alives: vec![entry.clone(); n],
+        };
+        assert_eq!(batch(0).wire_size(), 27);
+        assert_eq!(batch(3).wire_size(), 27 + 3 * 45);
+        // Three groups batched beat three single ALIVEs (70 bytes each).
+        assert!(batch(3).wire_size() < 3 * sample_alive().wire_size());
+        assert!(batch(2).is_alive());
+        assert_eq!(batch(2).group(), None);
+        assert_eq!(batch(2).alive_payloads(), 2);
+        assert_eq!(sample_alive().alive_payloads(), 1);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The per-workstation shared liveness arena.
+//!
+//! The paper's architecture (Figure 2) already gives every workstation a
+//! *single* Failure Detector module shared by all groups; historically this
+//! implementation nevertheless kept one independent [`PeerMonitor`] — link
+//! quality estimator included — per `(group, peer)` pair. With thousands of
+//! groups sharing the same peers that is N copies of the same measurement:
+//! N estimator windows fed the same packets, N times the memory, and N
+//! disagreeing liveness estimates for one physical link.
+//!
+//! A [`MonitorArena`] fixes the redundancy at the root: it owns one
+//! [`PeerLiveness`] record per *peer node* — the link-quality estimator and
+//! the heartbeat-arrival bookkeeping — and hands every group's monitor a
+//! shared handle to it. The per-group state that genuinely differs between
+//! groups (the (η, δ) operating point derived from each group's QoS, the
+//! trust state, the freshness horizon, adaptive-tuner overrides) stays in
+//! the [`PeerMonitor`]. N groups sharing a peer therefore maintain one
+//! liveness estimate with N cheap QoS views layered on top.
+//!
+//! Because ALIVEs for several groups can ride the same datagram (see
+//! `sle-core`'s batched fan-out), the arena deduplicates: the same
+//! `(seq, sent_at, received_at)` observation is recorded once no matter how
+//! many groups process the datagram.
+//!
+//! [`PeerMonitor`]: crate::monitor::PeerMonitor
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use sle_sim::actor::NodeId;
+use sle_sim::time::SimInstant;
+
+use crate::quality::{LinkQuality, LinkQualityEstimator};
+
+/// How many delay samples each peer's shared estimator keeps.
+const ESTIMATOR_WINDOW: usize = 256;
+
+/// The node-level liveness record for one remote peer: everything about the
+/// peer that is a property of the *link*, not of any particular group.
+#[derive(Debug)]
+pub struct PeerLiveness {
+    estimator: LinkQualityEstimator,
+    /// The last `(seq, sent_at, received_at)` recorded, for deduplicating
+    /// the per-group fan-out of one batched datagram.
+    last_record: Option<(u64, SimInstant, SimInstant)>,
+}
+
+impl PeerLiveness {
+    fn new() -> Self {
+        PeerLiveness {
+            estimator: LinkQualityEstimator::new(ESTIMATOR_WINDOW),
+            last_record: None,
+        }
+    }
+}
+
+/// A shared handle to one peer's [`PeerLiveness`] record.
+///
+/// Cloning the handle shares the record; monitors of different groups hold
+/// clones of the same handle. All accessors copy data out under a private
+/// lock, so a handle can never deadlock against the arena.
+#[derive(Debug, Clone)]
+pub struct LivenessHandle {
+    slot: Arc<Mutex<PeerLiveness>>,
+}
+
+impl LivenessHandle {
+    /// A standalone record not registered in any arena (used by monitors
+    /// constructed outside a service instance, e.g. in tests).
+    pub fn detached() -> Self {
+        LivenessHandle {
+            slot: Arc::new(Mutex::new(PeerLiveness::new())),
+        }
+    }
+
+    /// Records the arrival of heartbeat `seq`, stamped `sent_at`, received
+    /// at `received_at`.
+    ///
+    /// The exact same observation recorded twice in a row (the second and
+    /// later groups processing one batched datagram) is counted once.
+    pub fn record(&self, seq: u64, sent_at: SimInstant, received_at: SimInstant) {
+        let mut liveness = self.slot.lock().expect("liveness poisoned");
+        if liveness.last_record == Some((seq, sent_at, received_at)) {
+            return;
+        }
+        liveness.last_record = Some((seq, sent_at, received_at));
+        liveness.estimator.record(seq, sent_at, received_at);
+    }
+
+    /// The current link-quality estimate.
+    pub fn quality(&self) -> LinkQuality {
+        self.slot
+            .lock()
+            .expect("liveness poisoned")
+            .estimator
+            .estimate()
+    }
+
+    /// Heartbeats recorded (after deduplication) since creation or the last
+    /// reset.
+    pub fn heartbeats_recorded(&self) -> u64 {
+        self.slot
+            .lock()
+            .expect("liveness poisoned")
+            .estimator
+            .heartbeats_recorded()
+    }
+
+    /// Discards every measurement (the peer restarted with a new
+    /// incarnation, so its old link behaviour no longer applies). The
+    /// handle itself — and therefore the sharing between groups — survives.
+    pub fn reset(&self) {
+        *self.slot.lock().expect("liveness poisoned") = PeerLiveness::new();
+    }
+
+    fn is_shared_beyond(&self, holders: usize) -> bool {
+        Arc::strong_count(&self.slot) > holders
+    }
+}
+
+/// The per-workstation registry of shared [`PeerLiveness`] records.
+///
+/// Cloning an arena shares it: a service instance creates one and hands a
+/// clone to every group's failure detector.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorArena {
+    peers: Arc<Mutex<BTreeMap<NodeId, LivenessHandle>>>,
+}
+
+impl MonitorArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the shared record for `peer`, creating it on first use.
+    ///
+    /// This is on the heartbeat-receive hot path, so it is a plain map
+    /// lookup: records whose monitors are all gone are reclaimed lazily by
+    /// [`MonitorArena::prune`] / [`MonitorArena::peer_count`] instead of
+    /// being scanned for here. Unpruned leftovers are bounded by the
+    /// workstation universe (one small record per distinct peer), not by
+    /// churn.
+    pub fn slot(&self, peer: NodeId) -> LivenessHandle {
+        let mut peers = self.peers.lock().expect("arena poisoned");
+        peers
+            .entry(peer)
+            .or_insert_with(LivenessHandle::detached)
+            .clone()
+    }
+
+    /// Drops every record no monitor references any more (a record whose
+    /// only holder is the map itself belongs to a peer every group has
+    /// stopped monitoring).
+    pub fn prune(&self) {
+        let mut peers = self.peers.lock().expect("arena poisoned");
+        peers.retain(|_, handle| handle.is_shared_beyond(1));
+    }
+
+    /// Number of peers currently tracked (after pruning).
+    pub fn peer_count(&self) -> usize {
+        let mut peers = self.peers.lock().expect("arena poisoned");
+        peers.retain(|_, handle| handle.is_shared_beyond(1));
+        peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::time::SimDuration;
+
+    #[test]
+    fn slots_are_shared_per_peer() {
+        let arena = MonitorArena::new();
+        let a1 = arena.slot(NodeId(1));
+        let a2 = arena.slot(NodeId(1));
+        let b = arena.slot(NodeId(2));
+        let sent = SimInstant::ZERO;
+        let recv = sent + SimDuration::from_millis(5);
+        a1.record(0, sent, recv);
+        // The second handle observes the first handle's recording.
+        assert_eq!(a2.heartbeats_recorded(), 1);
+        assert_eq!(b.heartbeats_recorded(), 0);
+        assert_eq!(arena.peer_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_observations_of_one_datagram_count_once() {
+        let arena = MonitorArena::new();
+        let slot = arena.slot(NodeId(1));
+        let sent = SimInstant::ZERO + SimDuration::from_millis(100);
+        let recv = sent + SimDuration::from_millis(2);
+        // Three groups processing the same batched datagram.
+        slot.record(7, sent, recv);
+        slot.record(7, sent, recv);
+        slot.record(7, sent, recv);
+        assert_eq!(slot.heartbeats_recorded(), 1);
+        // A genuinely new observation (network duplicate arriving later)
+        // still counts.
+        slot.record(7, sent, recv + SimDuration::from_millis(9));
+        assert_eq!(slot.heartbeats_recorded(), 2);
+    }
+
+    #[test]
+    fn reset_clears_measurements_but_keeps_sharing() {
+        let arena = MonitorArena::new();
+        let a = arena.slot(NodeId(1));
+        let b = arena.slot(NodeId(1));
+        a.record(0, SimInstant::ZERO, SimInstant::ZERO);
+        a.reset();
+        assert_eq!(b.heartbeats_recorded(), 0);
+        b.record(0, SimInstant::ZERO, SimInstant::ZERO);
+        assert_eq!(a.heartbeats_recorded(), 1);
+    }
+
+    #[test]
+    fn dropped_peers_are_pruned() {
+        let arena = MonitorArena::new();
+        let kept = arena.slot(NodeId(1));
+        {
+            let _dropped = arena.slot(NodeId(2));
+        }
+        assert_eq!(arena.peer_count(), 1);
+        drop(kept);
+        assert_eq!(arena.peer_count(), 0);
+    }
+
+    #[test]
+    fn detached_handles_work_without_an_arena() {
+        let solo = LivenessHandle::detached();
+        assert_eq!(solo.quality(), LinkQuality::conservative_prior());
+        solo.record(0, SimInstant::ZERO, SimInstant::ZERO);
+        assert_eq!(solo.heartbeats_recorded(), 1);
+    }
+}

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
 
+use crate::arena::MonitorArena;
 use crate::config::FdConfigurator;
 use crate::monitor::{PeerMonitor, Transition, TrustState};
 use crate::qos::QosSpec;
@@ -50,20 +51,32 @@ pub struct PeerTransition {
 pub struct FailureDetector {
     qos: QosSpec,
     configurator: FdConfigurator,
+    arena: MonitorArena,
     monitors: BTreeMap<NodeId, PeerMonitor>,
 }
 
 impl FailureDetector {
-    /// Creates a failure detector using `qos` for every monitored peer.
+    /// Creates a failure detector using `qos` for every monitored peer,
+    /// with a private liveness arena.
     pub fn new(qos: QosSpec) -> Self {
         Self::with_configurator(qos, FdConfigurator::default())
     }
 
-    /// Creates a failure detector with a custom configurator.
+    /// Creates a failure detector with a custom configurator (and a
+    /// private liveness arena).
     pub fn with_configurator(qos: QosSpec, configurator: FdConfigurator) -> Self {
+        Self::with_arena(qos, configurator, MonitorArena::new())
+    }
+
+    /// Creates a failure detector whose per-peer liveness records live in
+    /// `arena` — the constructor service instances use so every group on
+    /// one workstation shares a single link estimate per peer (the
+    /// paper's "one Failure Detector module per workstation", Figure 2).
+    pub fn with_arena(qos: QosSpec, configurator: FdConfigurator, arena: MonitorArena) -> Self {
         FailureDetector {
             qos,
             configurator,
+            arena,
             monitors: BTreeMap::new(),
         }
     }
@@ -75,22 +88,32 @@ impl FailureDetector {
 
     /// Starts monitoring `peer` if it is not already monitored.
     pub fn ensure_peer(&mut self, peer: NodeId, now: SimInstant) {
-        self.monitors
-            .entry(peer)
-            .or_insert_with(|| PeerMonitor::with_configurator(self.qos, self.configurator, now));
+        let qos = self.qos;
+        let configurator = self.configurator;
+        let arena = &self.arena;
+        self.monitors.entry(peer).or_insert_with(|| {
+            PeerMonitor::with_liveness(qos, configurator, arena.slot(peer), now)
+        });
     }
 
     /// Stops monitoring `peer` (e.g. because it left every shared group).
     pub fn remove_peer(&mut self, peer: NodeId) {
         self.monitors.remove(&peer);
+        // Reclaim shared records nobody monitors any more. This is the
+        // rare membership-churn path, not the heartbeat hot path.
+        self.arena.prune();
     }
 
     /// Discards any state about `peer` and starts monitoring it afresh
-    /// (used when a peer restarts with a new incarnation).
+    /// (used when a peer restarts with a new incarnation). The shared
+    /// liveness record is wiped in place, so every other group monitoring
+    /// the peer starts measuring the new incarnation too.
     pub fn reset_peer(&mut self, peer: NodeId, now: SimInstant) {
+        let slot = self.arena.slot(peer);
+        slot.reset();
         self.monitors.insert(
             peer,
-            PeerMonitor::with_configurator(self.qos, self.configurator, now),
+            PeerMonitor::with_liveness(self.qos, self.configurator, slot, now),
         );
     }
 
@@ -328,6 +351,52 @@ mod tests {
         assert_eq!(detector.params(NodeId(1)), Some(tuned));
         assert_eq!(detector.requested_interval(NodeId(1)), Some(tuned.interval));
         assert_ne!(detector.params(NodeId(2)), Some(tuned));
+    }
+
+    #[test]
+    fn detectors_sharing_an_arena_share_liveness_estimates() {
+        // Two "groups" on one workstation monitoring the same peer: the
+        // link estimate must be common, the trust state per group.
+        let arena = MonitorArena::new();
+        let mut group_a = FailureDetector::with_arena(
+            QosSpec::paper_default(),
+            FdConfigurator::default(),
+            arena.clone(),
+        );
+        let mut group_b = FailureDetector::with_arena(
+            QosSpec::paper_default_with_detection(SimDuration::from_millis(500)),
+            FdConfigurator::default(),
+            arena.clone(),
+        );
+        let peer = NodeId(7);
+        let interval = SimDuration::from_millis(100);
+        let mut now = SimInstant::ZERO;
+        group_a.ensure_peer(peer, now);
+        group_b.ensure_peer(peer, now);
+        for seq in 0..50u64 {
+            now += interval;
+            // Only group A's monitor processes the heartbeats...
+            group_a.on_heartbeat(peer, seq, now - SimDuration::from_millis(3), interval, now);
+        }
+        // ...yet group B sees the same measured link quality.
+        let qa = group_a.quality(peer).unwrap();
+        let qb = group_b.quality(peer).unwrap();
+        assert_eq!(qa, qb);
+        assert!((qa.delay_mean.as_millis_f64() - 3.0).abs() < 0.5);
+        assert_eq!(arena.peer_count(), 1);
+
+        // Trust remains per group: B heard nothing directly, so its
+        // freshness horizon (armed at ensure time) expires independently.
+        let b_deadline = group_b.next_deadline().unwrap();
+        assert!(group_a.next_deadline().unwrap() > b_deadline);
+        assert_eq!(group_b.poll(b_deadline).len(), 1);
+        assert!(!group_b.is_trusted(peer));
+        assert!(group_a.is_trusted(peer));
+
+        // Dropping both monitors releases the shared record.
+        group_a.remove_peer(peer);
+        group_b.remove_peer(peer);
+        assert_eq!(arena.peer_count(), 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! Failure Detectors", IEEE ToC 2002) exactly as it is used by the service
 //! (paper Section 3, Figure 1):
 //!
+//! * [`arena`] — the per-workstation shared liveness arena: one link
+//!   estimate per peer, however many groups monitor it,
 //! * [`qos`] — the application-facing QoS triple `(T_D^U, T_MR^L, P_A^L)`,
 //! * [`quality`] — the Link Quality Estimator (`p_L`, `E[D]`, `S[D]`),
 //! * [`config`] — the Failure Detector Configurator computing the heartbeat
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod config;
 pub mod detector;
 pub mod monitor;
@@ -47,6 +50,7 @@ pub mod quality;
 
 /// Convenient re-exports of the items most users need.
 pub mod prelude {
+    pub use crate::arena::{LivenessHandle, MonitorArena};
     pub use crate::config::{ConfiguratorOptions, FdConfigurator, FdParams};
     pub use crate::detector::{FailureDetector, PeerTransition};
     pub use crate::monitor::{PeerMonitor, Transition, TrustState};
@@ -54,6 +58,7 @@ pub mod prelude {
     pub use crate::quality::{LinkQuality, LinkQualityEstimator};
 }
 
+pub use arena::{LivenessHandle, MonitorArena};
 pub use config::{ConfiguratorOptions, FdConfigurator, FdParams};
 pub use detector::{FailureDetector, PeerTransition};
 pub use monitor::{PeerMonitor, Transition, TrustState};

@@ -11,9 +11,10 @@
 
 use sle_sim::time::{SimDuration, SimInstant};
 
+use crate::arena::LivenessHandle;
 use crate::config::{FdConfigurator, FdParams};
 use crate::qos::QosSpec;
-use crate::quality::{LinkQuality, LinkQualityEstimator};
+use crate::quality::LinkQuality;
 
 /// The monitor's current opinion about a peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,9 +33,6 @@ pub enum Transition {
     /// The peer was trusted and is now suspected.
     BecameSuspected,
 }
-
-/// How many delay samples the embedded link-quality estimator keeps.
-const ESTIMATOR_WINDOW: usize = 256;
 
 /// How often the FD parameters are recomputed from fresh link estimates.
 const RECONFIGURE_EVERY: SimDuration = SimDuration::from_secs(5);
@@ -68,7 +66,10 @@ const MIN_SAMPLES_FOR_ESTIMATE: u64 = 8;
 pub struct PeerMonitor {
     qos: QosSpec,
     configurator: FdConfigurator,
-    estimator: LinkQualityEstimator,
+    /// The node-level liveness record (link-quality estimator), possibly
+    /// shared with the monitors other groups keep for the same peer.
+    /// Cloning a monitor shares the record.
+    liveness: LivenessHandle,
     params: FdParams,
     state: TrustState,
     fresh_until: SimInstant,
@@ -90,13 +91,28 @@ impl PeerMonitor {
         Self::with_configurator(qos, FdConfigurator::default(), now)
     }
 
-    /// Creates a monitor with a custom configurator.
+    /// Creates a monitor with a custom configurator (and a private
+    /// liveness record).
     pub fn with_configurator(qos: QosSpec, configurator: FdConfigurator, now: SimInstant) -> Self {
+        Self::with_liveness(qos, configurator, LivenessHandle::detached(), now)
+    }
+
+    /// Creates a monitor reading from (and feeding) the given liveness
+    /// record — the constructor used by a service instance's per-group
+    /// failure detectors, which share one record per peer through a
+    /// [`MonitorArena`](crate::arena::MonitorArena) so N groups keep one
+    /// link estimate instead of N.
+    pub fn with_liveness(
+        qos: QosSpec,
+        configurator: FdConfigurator,
+        liveness: LivenessHandle,
+        now: SimInstant,
+    ) -> Self {
         let params = configurator.compute(&qos, &LinkQuality::conservative_prior());
         PeerMonitor {
             qos,
             configurator,
-            estimator: LinkQualityEstimator::new(ESTIMATOR_WINDOW),
+            liveness,
             params,
             state: TrustState::Trusted,
             fresh_until: now + qos.detection_time(),
@@ -140,9 +156,11 @@ impl PeerMonitor {
         self.params.interval
     }
 
-    /// The current link-quality estimate for the peer → monitor direction.
+    /// The current link-quality estimate for the peer → monitor direction
+    /// (shared with every other monitor of the same peer on this
+    /// workstation).
     pub fn quality(&self) -> LinkQuality {
-        self.estimator.estimate()
+        self.liveness.quality()
     }
 
     /// The monitor's current opinion.
@@ -184,7 +202,9 @@ impl PeerMonitor {
         now: SimInstant,
     ) -> Option<Transition> {
         self.heartbeats += 1;
-        self.estimator.record(seq, sent_at, now);
+        // The shared record deduplicates: when several groups process the
+        // same batched datagram, the sample is counted once.
+        self.liveness.record(seq, sent_at, now);
         self.maybe_reconfigure(now);
 
         // The freshness contribution of this heartbeat: it proves the sender
@@ -228,8 +248,8 @@ impl PeerMonitor {
             return;
         }
         self.last_reconfigure = now;
-        let quality = if self.estimator.heartbeats_recorded() >= MIN_SAMPLES_FOR_ESTIMATE {
-            self.estimator.estimate()
+        let quality = if self.liveness.heartbeats_recorded() >= MIN_SAMPLES_FOR_ESTIMATE {
+            self.liveness.quality()
         } else {
             LinkQuality::conservative_prior()
         };

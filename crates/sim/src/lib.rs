@@ -13,6 +13,8 @@
 //! * [`actor`] — the sans-io protocol-node abstraction (messages, timers,
 //!   application events) shared with the real-time runtime,
 //! * [`medium`] — the pluggable link-model interface,
+//! * [`wheel`] — the hierarchical timer wheel backing the event loop
+//!   (`O(1)` scheduling at any population of pending timers),
 //! * [`world`] — the event loop with node crash/recovery support,
 //! * [`observer`] — hooks from which the experiment harness computes the
 //!   paper's QoS metrics.
@@ -52,6 +54,7 @@ pub mod observer;
 pub mod rng;
 pub mod time;
 pub mod timeline;
+pub mod wheel;
 pub mod world;
 
 /// Convenient re-exports of the items most users need.
@@ -64,6 +67,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimInstant};
     pub use crate::timeline::Timeline;
+    pub use crate::wheel::EventWheel;
     pub use crate::world::{ActorFactory, World};
 }
 
@@ -73,4 +77,5 @@ pub use observer::{CountingObserver, NullObserver, Observer, PairObserver};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimInstant};
 pub use timeline::Timeline;
+pub use wheel::EventWheel;
 pub use world::{ActorFactory, World};

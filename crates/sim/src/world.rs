@@ -11,14 +11,14 @@
 //! The engine is fully deterministic: two worlds constructed with the same
 //! actors, medium, schedule and seed produce identical executions.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use crate::actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
 use crate::medium::{Fate, Medium};
 use crate::observer::Observer;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimInstant};
+use crate::wheel::EventWheel;
 
 /// Builds (or rebuilds, after a recovery) the actor for a node.
 ///
@@ -52,34 +52,6 @@ enum EventKind<M> {
     },
 }
 
-struct QueuedEvent<M> {
-    at: SimInstant,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap and we want the earliest
-        // event (ties broken by insertion order) at the top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct NodeSlot<A> {
     actor: Option<A>,
     up: bool,
@@ -109,7 +81,7 @@ impl<A> NodeSlot<A> {
 pub struct World<A: Actor, M: Medium> {
     now: SimInstant,
     seq: u64,
-    queue: BinaryHeap<QueuedEvent<A::Msg>>,
+    queue: EventWheel<EventKind<A::Msg>>,
     nodes: Vec<NodeSlot<A>>,
     factory: ActorFactory<A>,
     medium: M,
@@ -131,7 +103,7 @@ impl<A: Actor, M: Medium> World<A, M> {
         let mut world = World {
             now: SimInstant::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventWheel::new(),
             nodes,
             factory,
             medium,
@@ -243,14 +215,14 @@ impl<A: Actor, M: Medium> World<A, M> {
 
     /// Processes a single event. Returns `false` if the queue is empty.
     pub fn step<O: Observer<A::Event>>(&mut self, observer: &mut O) -> bool {
-        let event = match self.queue.pop() {
+        let (at, _seq, kind) = match self.queue.pop() {
             Some(e) => e,
             None => return false,
         };
-        debug_assert!(event.at >= self.now, "time must not go backwards");
-        self.now = event.at;
+        debug_assert!(at >= self.now, "time must not go backwards");
+        self.now = at;
         self.events_processed += 1;
-        match event.kind {
+        match kind {
             EventKind::Start { node } => self.handle_start(node, observer),
             EventKind::Deliver {
                 from,
@@ -291,14 +263,14 @@ impl<A: Actor, M: Medium> World<A, M> {
         self.apply_effects(node, effects, observer);
     }
 
-    fn peek_time(&self) -> Option<SimInstant> {
-        self.queue.peek().map(|e| e.at)
+    fn peek_time(&mut self) -> Option<SimInstant> {
+        self.queue.peek_time()
     }
 
     fn push(&mut self, at: SimInstant, kind: EventKind<A::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { at, seq, kind });
+        self.queue.push(at, seq, kind);
     }
 
     fn handle_start<O: Observer<A::Event>>(&mut self, node: NodeId, observer: &mut O) {

@@ -58,7 +58,7 @@ pub mod message;
 
 pub use codec::{Reader, WireFormat, Writer};
 pub use error::WireError;
-pub use message::{TAG_ACCUSE, TAG_ALIVE, TAG_HELLO, TAG_LEAVE};
+pub use message::{TAG_ACCUSE, TAG_ALIVE, TAG_ALIVE_BATCH, TAG_HELLO, TAG_LEAVE};
 
 use sle_sim::actor::NodeId;
 
@@ -69,8 +69,10 @@ pub const MAGIC: [u8; 4] = *b"SLEP";
 /// The wire-format version this crate encodes and the only one it decodes.
 ///
 /// Bumped on any incompatible layout change; see `docs/WIRE.md` for the
-/// compatibility rules.
-pub const VERSION: u8 = 1;
+/// compatibility rules. History: v1 = the original HELLO/ALIVE/ACCUSE/LEAVE
+/// vocabulary; v2 added the ALIVE-BATCH message (tag `05`) and redefined
+/// the ALIVE `seq` as a node-level per-destination stream.
+pub const VERSION: u8 = 2;
 
 /// Bytes of envelope preceding the message body: magic (4), version (1),
 /// sender node id (4).

@@ -8,7 +8,7 @@
 //! simulator's bandwidth accounting (asserted by `body_len_matches_wire_size`
 //! in this module's tests and by the property suite in `tests/properties.rs`).
 
-use sle_core::messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
+use sle_core::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use sle_core::process::{GroupId, ProcessId};
 use sle_election::{AlivePayload, LeaderClaim};
 use sle_sim::actor::NodeId;
@@ -25,6 +25,9 @@ pub const TAG_ALIVE: u8 = 2;
 pub const TAG_ACCUSE: u8 = 3;
 /// Message-tag byte for LEAVE (explicit group withdrawal).
 pub const TAG_LEAVE: u8 = 4;
+/// Message-tag byte for ALIVE-BATCH (heartbeats for several groups in one
+/// datagram).
+pub const TAG_ALIVE_BATCH: u8 = 5;
 
 impl WireFormat for NodeId {
     fn encode_into(&self, w: &mut Writer) {
@@ -194,6 +197,32 @@ impl WireFormat for GroupAnnouncement {
     }
 }
 
+/// A batched per-group ALIVE entry: 45 bytes plus the optional leader
+/// claim.
+impl WireFormat for GroupAlive {
+    fn encode_into(&self, w: &mut Writer) {
+        self.group.encode_into(w);
+        self.sending_interval.encode_into(w);
+        self.requested_interval.encode_into(w);
+        self.representative.encode_into(w);
+        self.payload.encode_into(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let group = GroupId::decode(r)?;
+        let sending_interval = SimDuration::decode(r)?;
+        let requested_interval = SimDuration::decode(r)?;
+        let representative = ProcessId::decode(r)?;
+        let payload = AlivePayload::decode(r)?;
+        Ok(GroupAlive {
+            group,
+            sending_interval,
+            requested_interval,
+            payload,
+            representative,
+        })
+    }
+}
+
 impl WireFormat for ServiceMessage {
     fn encode_into(&self, w: &mut Writer) {
         match self {
@@ -221,6 +250,24 @@ impl WireFormat for ServiceMessage {
                 header.encode_into(w);
                 representative.encode_into(w);
                 payload.encode_into(w);
+            }
+            ServiceMessage::AliveBatch {
+                incarnation,
+                seq,
+                sent_at,
+                alives,
+            } => {
+                w.put_u8(TAG_ALIVE_BATCH);
+                w.put_u64(*incarnation);
+                w.put_u64(*seq);
+                sent_at.encode_into(w);
+                // As with HELLO announcements, a wrapped count would need
+                // 65 536+ entries — rejected by encode_frame's size limit
+                // long before.
+                w.put_u16(alives.len() as u16);
+                for entry in alives {
+                    entry.encode_into(w);
+                }
             }
             ServiceMessage::Accuse { group, epoch } => {
                 w.put_u8(TAG_ACCUSE);
@@ -259,6 +306,20 @@ impl WireFormat for ServiceMessage {
                     header,
                     payload,
                     representative,
+                })
+            }
+            TAG_ALIVE_BATCH => {
+                let incarnation = r.take_u64()?;
+                let seq = r.take_u64()?;
+                let sent_at = SimInstant::decode(r)?;
+                let count = r.take_u16()? as usize;
+                // A batch entry is at least 45 bytes (claimless payload).
+                let alives = decode_list(r, count, 45)?;
+                Ok(ServiceMessage::AliveBatch {
+                    incarnation,
+                    seq,
+                    sent_at,
+                    alives,
                 })
             }
             TAG_ACCUSE => {
@@ -318,6 +379,38 @@ mod tests {
                     }),
                 },
                 representative: ProcessId::new(NodeId(2), 4),
+            },
+            ServiceMessage::AliveBatch {
+                incarnation: 1,
+                seq: 512,
+                sent_at: SimInstant::from_nanos(77_000),
+                alives: vec![
+                    GroupAlive {
+                        group: GroupId(4),
+                        sending_interval: SimDuration::from_millis(250),
+                        requested_interval: SimDuration::from_millis(125),
+                        payload: AlivePayload {
+                            accusation_time: SimInstant::from_nanos(11),
+                            epoch: 2,
+                            local_leader: None,
+                        },
+                        representative: ProcessId::new(NodeId(1), 0),
+                    },
+                    GroupAlive {
+                        group: GroupId(6),
+                        sending_interval: SimDuration::from_millis(500),
+                        requested_interval: SimDuration::from_millis(500),
+                        payload: AlivePayload {
+                            accusation_time: SimInstant::ZERO,
+                            epoch: 0,
+                            local_leader: Some(LeaderClaim {
+                                node: NodeId(0),
+                                accusation_time: SimInstant::from_nanos(3),
+                            }),
+                        },
+                        representative: ProcessId::new(NodeId(1), 2),
+                    },
+                ],
             },
             ServiceMessage::Accuse {
                 group: GroupId(1),

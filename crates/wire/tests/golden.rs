@@ -1,0 +1,196 @@
+//! Golden-vector regression corpus for the wire codec.
+//!
+//! One canonical message per [`ServiceMessage`] variant, checked in as
+//! literal bytes. `encode` must reproduce each vector byte for byte and
+//! `decode` must invert it exactly, so a codec refactor that silently
+//! changes the on-wire format — reordered fields, a width change, a new
+//! default — fails here instead of surfacing as a rolling-upgrade
+//! incompatibility between daemons. (Property tests in `properties.rs`
+//! check the codec against *itself*; these vectors pin it to the format
+//! every already-deployed daemon speaks, as specified in `docs/WIRE.md`.)
+//!
+//! If a vector mismatch is *intended* (a deliberate format change), bump
+//! `sle_wire::VERSION`, regenerate the vector from the test's failure
+//! output, and document the new layout in `docs/WIRE.md`.
+
+use sle_core::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
+use sle_core::process::{GroupId, ProcessId};
+use sle_election::{AlivePayload, LeaderClaim};
+use sle_sim::actor::{NodeId, WireSize};
+use sle_sim::time::{SimDuration, SimInstant};
+use sle_wire::{Reader, WireFormat, Writer};
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(hex: &str) -> Vec<u8> {
+    assert!(hex.len().is_multiple_of(2), "odd-length hex vector");
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+/// Asserts that `msg` encodes exactly to `golden_hex` and decodes back.
+fn check(name: &str, msg: &ServiceMessage, golden_hex: &str) {
+    let mut w = Writer::new();
+    msg.encode_into(&mut w);
+    let encoded = w.into_bytes();
+    assert_eq!(
+        to_hex(&encoded),
+        golden_hex,
+        "{name}: encoding changed; if intended, bump sle_wire::VERSION and \
+         update this vector + docs/WIRE.md"
+    );
+    assert_eq!(
+        encoded.len(),
+        msg.wire_size(),
+        "{name}: encoded length diverged from the simulator's wire_size()"
+    );
+    let golden = from_hex(golden_hex);
+    let mut r = Reader::new(&golden);
+    let decoded = ServiceMessage::decode(&mut r).expect("golden vector decodes");
+    r.expect_end().expect("golden vector fully consumed");
+    assert_eq!(&decoded, msg, "{name}: decode(golden) != message");
+}
+
+#[test]
+fn hello_golden_vector() {
+    let msg = ServiceMessage::Hello {
+        incarnation: 2,
+        sent_at: SimInstant::from_nanos(1_000_000_000),
+        announcements: vec![
+            GroupAnnouncement {
+                group: GroupId(1),
+                processes: vec![
+                    (ProcessId::new(NodeId(3), 0), true),
+                    (ProcessId::new(NodeId(3), 1), false),
+                ],
+            },
+            GroupAnnouncement {
+                group: GroupId(7),
+                processes: Vec::new(),
+            },
+        ],
+    };
+    check(
+        "HELLO",
+        &msg,
+        "010000000000000002000000003b9aca0000020000000100020000000300000000010000000300000001000000000700\
+         00",
+    );
+}
+
+#[test]
+fn alive_golden_vector() {
+    let msg = ServiceMessage::Alive {
+        group: GroupId(5),
+        header: AliveHeader {
+            incarnation: 1,
+            seq: 42,
+            sent_at: SimInstant::from_nanos(123_456_789),
+            sending_interval: SimDuration::from_millis(250),
+            requested_interval: SimDuration::from_millis(125),
+        },
+        payload: AlivePayload {
+            accusation_time: SimInstant::from_nanos(77),
+            epoch: 3,
+            local_leader: Some(LeaderClaim {
+                node: NodeId(2),
+                accusation_time: SimInstant::from_nanos(55),
+            }),
+        },
+        representative: ProcessId::new(NodeId(4), 1),
+    };
+    check(
+        "ALIVE",
+        &msg,
+        "02000000050000000000000001000000000000002a00000000075bcd15000000000ee6b2800000000007735940\
+         0000000400000001000000000000004d000000000000000301000000020000000000000037",
+    );
+}
+
+#[test]
+fn alive_batch_golden_vector() {
+    let msg = ServiceMessage::AliveBatch {
+        incarnation: 1,
+        seq: 9,
+        sent_at: SimInstant::from_nanos(2_000_000),
+        alives: vec![
+            GroupAlive {
+                group: GroupId(1),
+                sending_interval: SimDuration::from_millis(250),
+                requested_interval: SimDuration::from_millis(250),
+                payload: AlivePayload {
+                    accusation_time: SimInstant::from_nanos(10),
+                    epoch: 0,
+                    local_leader: None,
+                },
+                representative: ProcessId::new(NodeId(0), 0),
+            },
+            GroupAlive {
+                group: GroupId(2),
+                sending_interval: SimDuration::from_millis(500),
+                requested_interval: SimDuration::from_millis(125),
+                payload: AlivePayload {
+                    accusation_time: SimInstant::from_nanos(20),
+                    epoch: 4,
+                    local_leader: Some(LeaderClaim {
+                        node: NodeId(1),
+                        accusation_time: SimInstant::from_nanos(15),
+                    }),
+                },
+                representative: ProcessId::new(NodeId(1), 2),
+            },
+        ],
+    };
+    check(
+        "ALIVE-BATCH",
+        &msg,
+        "050000000000000001000000000000000900000000001e8480000200000001000000000ee6b280000000000ee6b280\
+         0000000000000000000000000000000a00000000000000000000000002000000001dcd65000000000007735940\
+         0000000100000002000000000000001400000000000000040100000001000000000000000f",
+    );
+}
+
+#[test]
+fn accuse_golden_vector() {
+    let msg = ServiceMessage::Accuse {
+        group: GroupId(3),
+        epoch: 9,
+    };
+    check("ACCUSE", &msg, "03000000030000000000000009");
+}
+
+#[test]
+fn leave_golden_vector() {
+    let msg = ServiceMessage::Leave {
+        group: GroupId(2),
+        process: ProcessId::new(NodeId(1), 0),
+    };
+    check("LEAVE", &msg, "04000000020000000100000000");
+}
+
+#[test]
+fn corpus_covers_every_variant() {
+    // A new ServiceMessage variant must come with a golden vector: this
+    // match is exhaustive on purpose, so adding a variant without
+    // extending the corpus fails to compile.
+    fn covered(msg: &ServiceMessage) -> &'static str {
+        match msg {
+            ServiceMessage::Hello { .. } => "hello_golden_vector",
+            ServiceMessage::Alive { .. } => "alive_golden_vector",
+            ServiceMessage::AliveBatch { .. } => "alive_batch_golden_vector",
+            ServiceMessage::Accuse { .. } => "accuse_golden_vector",
+            ServiceMessage::Leave { .. } => "leave_golden_vector",
+        }
+    }
+    assert_eq!(
+        covered(&ServiceMessage::Accuse {
+            group: GroupId(0),
+            epoch: 0
+        }),
+        "accuse_golden_vector"
+    );
+}

@@ -4,7 +4,7 @@
 //! or garbage input may ever panic the decoder or slip through as a
 //! different *kind* of failure than a `WireError`.
 
-use sle_core::messages::{AliveHeader, GroupAnnouncement, ServiceMessage};
+use sle_core::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use sle_core::process::{GroupId, ProcessId};
 use sle_election::{AlivePayload, LeaderClaim};
 use sle_sim::actor::{NodeId, WireSize};
@@ -19,8 +19,23 @@ fn random_process(rng: &mut SimRng) -> ProcessId {
     )
 }
 
+fn random_payload(rng: &mut SimRng) -> AlivePayload {
+    AlivePayload {
+        accusation_time: SimInstant::from_nanos(rng.next_u64() % (1 << 40)),
+        epoch: rng.next_u64() % 1000,
+        local_leader: if rng.bernoulli(0.5) {
+            Some(LeaderClaim {
+                node: NodeId(rng.uniform_usize(16) as u32),
+                accusation_time: SimInstant::from_nanos(rng.next_u64() % (1 << 40)),
+            })
+        } else {
+            None
+        },
+    }
+}
+
 fn random_message(rng: &mut SimRng) -> ServiceMessage {
-    match rng.uniform_usize(4) {
+    match rng.uniform_usize(5) {
         0 => {
             let groups = rng.uniform_usize(4);
             let announcements = (0..groups)
@@ -49,24 +64,30 @@ fn random_message(rng: &mut SimRng) -> ServiceMessage {
                 sending_interval: SimDuration::from_nanos(rng.next_u64() % (1 << 32)),
                 requested_interval: SimDuration::from_nanos(rng.next_u64() % (1 << 32)),
             },
-            payload: AlivePayload {
-                accusation_time: SimInstant::from_nanos(rng.next_u64() % (1 << 40)),
-                epoch: rng.next_u64() % 1000,
-                local_leader: if rng.bernoulli(0.5) {
-                    Some(LeaderClaim {
-                        node: NodeId(rng.uniform_usize(16) as u32),
-                        accusation_time: SimInstant::from_nanos(rng.next_u64() % (1 << 40)),
-                    })
-                } else {
-                    None
-                },
-            },
+            payload: random_payload(rng),
             representative: random_process(rng),
         },
         2 => ServiceMessage::Accuse {
             group: GroupId(rng.uniform_usize(100) as u32),
             epoch: rng.next_u64() % 1000,
         },
+        4 => {
+            let entries = rng.uniform_usize(6);
+            ServiceMessage::AliveBatch {
+                incarnation: rng.next_u64() % 1000,
+                seq: rng.next_u64() % 100_000,
+                sent_at: SimInstant::from_nanos(rng.next_u64() % (1 << 40)),
+                alives: (0..entries)
+                    .map(|_| GroupAlive {
+                        group: GroupId(rng.uniform_usize(100) as u32),
+                        sending_interval: SimDuration::from_nanos(rng.next_u64() % (1 << 32)),
+                        requested_interval: SimDuration::from_nanos(rng.next_u64() % (1 << 32)),
+                        payload: random_payload(rng),
+                        representative: random_process(rng),
+                    })
+                    .collect(),
+            }
+        }
         _ => ServiceMessage::Leave {
             group: GroupId(rng.uniform_usize(100) as u32),
             process: random_process(rng),

@@ -238,3 +238,100 @@ fn tuner_recommendations_respect_the_qos_bound() {
         }
     }
 }
+
+/// Ω_l (S3) voluntary withdrawal, asserted over the simulator's own
+/// message statistics: once an election settles, only the leader's ALIVEs
+/// appear on the wire. Every defeated candidate's ALIVE counter stops, and
+/// the window's entire sent-message count is accounted for by the leader's
+/// heartbeats plus HELLO gossip — there is no hidden third traffic source.
+#[test]
+fn omega_l_withdrawal_silences_every_defeated_candidate() {
+    use sle_core::{GroupId, JoinConfig, ServiceConfig, ServiceNode};
+    use sle_election::ElectorKind;
+    use sle_sim::observer::CountingObserver;
+    use sle_sim::prelude::{PerfectMedium, World};
+
+    const NODES: usize = 6;
+    const GROUP: GroupId = GroupId(1);
+    let settle = SimDuration::from_secs(15);
+    let window = SimDuration::from_secs(10);
+
+    let mut seeds = SimRng::seed_from(0x5111_E4CE);
+    for _case in 0..5 {
+        let seed = seeds.next_u64();
+        let mut world: World<ServiceNode, PerfectMedium> = World::new(
+            NODES,
+            Box::new(move |node, _inc| {
+                ServiceNode::new(
+                    ServiceConfig::full_mesh(node, NODES, ElectorKind::OmegaL)
+                        .with_auto_join(GROUP, JoinConfig::candidate()),
+                )
+            }),
+            PerfectMedium,
+            seed,
+        );
+        let mut observer = CountingObserver::new();
+        world.run_for(settle, &mut observer);
+
+        // Exactly one node still competes, and it hosts the agreed leader.
+        let competing: Vec<NodeId> = (0..NODES as u32)
+            .map(NodeId)
+            .filter(|&n| world.actor(n).is_some_and(|a| a.is_competing(GROUP)))
+            .collect();
+        assert_eq!(competing.len(), 1, "seed {seed}: competitors {competing:?}");
+        let leader = competing[0];
+        for n in (0..NODES as u32).map(NodeId) {
+            assert_eq!(
+                world.actor(n).unwrap().leader_of(GROUP).map(|p| p.node),
+                Some(leader),
+                "seed {seed}: {n} disagrees"
+            );
+        }
+
+        let alives_at = |world: &World<ServiceNode, PerfectMedium>| -> Vec<u64> {
+            (0..NODES as u32)
+                .map(|i| world.actor(NodeId(i)).unwrap().alive_payloads_sent())
+                .collect()
+        };
+        let before = alives_at(&world);
+        let sent_before = observer.sent;
+        world.run_for(window, &mut observer);
+        let after = alives_at(&world);
+
+        // Only the leader's ALIVE counter moves during the window.
+        let mut leader_alives = 0;
+        for i in 0..NODES {
+            let delta = after[i] - before[i];
+            if NodeId(i as u32) == leader {
+                assert!(delta > 0, "seed {seed}: the leader must keep sending");
+                leader_alives = delta;
+            } else {
+                assert_eq!(
+                    delta, 0,
+                    "seed {seed}: defeated candidate n{i} sent {delta} ALIVEs"
+                );
+            }
+        }
+
+        // Message-count accounting over the sim stats: everything sent in
+        // the window is the leader's ALIVEs or HELLO gossip (every node
+        // gossips to its n-1 peers once per 1 s hello interval).
+        let sent_window = observer.sent - sent_before;
+        let hello_window = sent_window - leader_alives;
+        let hellos_per_round = (NODES * (NODES - 1)) as u64;
+        let rounds = window.as_secs_f64() as u64;
+        assert_eq!(
+            hello_window,
+            hellos_per_round * rounds,
+            "seed {seed}: unexpected non-ALIVE traffic in the window"
+        );
+        // The leader heartbeats its 5 peers at the most demanding interval
+        // its monitors requested — somewhere between the configurator's
+        // floor and the 250 ms default, so 40..=60 sends per peer in 10 s.
+        let per_peer = leader_alives / (NODES as u64 - 1);
+        assert!(
+            (40..=60).contains(&per_peer),
+            "seed {seed}: unexpected ALIVE cadence ({per_peer} per peer in 10 s)"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-transport conformance: the in-process mesh and real UDP loopback
+//! must execute the identical protocol state machine.
+//!
+//! The same deterministic 5-node scenario — staggered joins so the rank
+//! order is unambiguous, a stable election, a leader crash, a re-election —
+//! runs once over `sle-net`'s in-memory mesh and once over `sle-udp`
+//! sockets on 127.0.0.1. The two runs must produce **identical elected
+//! leaders** at every checkpoint, and their leader-view traces must earn
+//! **equivalent verdicts from the chaos invariant checker** (both clean:
+//! eventual agreement, stability, mistake budget, single leadership).
+//!
+//! This is the regression net under the scale-out refactors: a timer-wheel,
+//! fan-out-batching or shared-monitor change that altered election
+//! behaviour on either transport would break the leader equalities or hand
+//! one of the traces a violation the other does not have.
+
+use std::time::{Duration, Instant};
+
+use sle_chaos::{check_trace, InvariantSpec, TraceEvent, TraceEventKind, Violation};
+use sle_core::messages::ServiceMessage;
+use sle_core::{Cluster, GroupId, JoinConfig, ProcessId, ServiceEvent};
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_net::link::LinkSpec;
+use sle_net::transport::{InMemoryMesh, MessageEndpoint};
+use sle_sim::time::{SimDuration, SimInstant};
+use sle_sim::NodeId;
+use sle_udp::bind_loopback_mesh;
+
+const NODES: usize = 5;
+const GROUP: GroupId = GroupId(1);
+/// The stagger between joins: large enough that clock skew between node
+/// threads (milliseconds at worst) can never reorder the candidates'
+/// accusation-time ranks.
+const JOIN_STAGGER: Duration = Duration::from_millis(500);
+
+/// What one transport's run of the scenario produced.
+struct Outcome {
+    transport: &'static str,
+    /// The leader after the initial, staggered election.
+    initial_leader: ProcessId,
+    /// The leader after the initial leader's host crashed.
+    recovered_leader: ProcessId,
+    /// The invariant checker's verdict over the run's leader-view trace.
+    violations: Vec<Violation>,
+}
+
+/// Runs the conformance scenario over whatever transport the endpoints
+/// implement, recording every leader-change notification as a trace event.
+fn run_scenario<E>(endpoints: Vec<E>, transport: &'static str) -> Outcome
+where
+    E: MessageEndpoint<ServiceMessage> + Send + 'static,
+{
+    assert_eq!(endpoints.len(), NODES);
+    let started = Instant::now();
+    let cluster = Cluster::start_with_endpoints(endpoints, ElectorKind::OmegaL);
+    let mut trace: Vec<TraceEvent> = Vec::new();
+
+    let now_virtual =
+        |started: &Instant| SimInstant::from_nanos(started.elapsed().as_nanos() as u64);
+    let drain = |trace: &mut Vec<TraceEvent>| {
+        while let Some(event) = cluster.next_event(Duration::from_millis(1)) {
+            let ServiceEvent::LeaderChanged { group, leader } = event.event;
+            if group == GROUP {
+                trace.push(TraceEvent {
+                    at: now_virtual(&started),
+                    kind: TraceEventKind::View {
+                        node: event.node,
+                        leader,
+                    },
+                });
+            }
+        }
+    };
+
+    // Node 0 joins alone and, after the self-election grace period, must
+    // elect itself.
+    let handle0 = cluster.handle(NodeId(0)).expect("node 0");
+    let p0 = handle0
+        .join(GROUP, JoinConfig::candidate())
+        .expect("join 0");
+    let deadline = Instant::now() + Duration::from_secs(8);
+    while handle0.leader_of(GROUP) != Some(p0) {
+        assert!(
+            Instant::now() < deadline,
+            "{transport}: node 0 never elected itself"
+        );
+        drain(&mut trace);
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The remaining candidates join strictly later, in id order, so the
+    // stable algorithm's rank order (accusation time, then id) is fixed by
+    // construction: 0 before 1 before 2, ...
+    for i in 1..NODES as u32 {
+        std::thread::sleep(JOIN_STAGGER);
+        cluster
+            .handle(NodeId(i))
+            .expect("handle")
+            .join(GROUP, JoinConfig::candidate())
+            .expect("join");
+        drain(&mut trace);
+    }
+
+    let initial_leader = cluster
+        .await_agreement(GROUP, None, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("{transport}: no initial agreement: {e}"));
+    drain(&mut trace);
+
+    // Crash the leader's workstation; the survivors must re-elect.
+    cluster.crash(initial_leader.node);
+    trace.push(TraceEvent {
+        at: now_virtual(&started),
+        kind: TraceEventKind::Crashed {
+            node: initial_leader.node,
+        },
+    });
+    let recovered_leader = cluster
+        .await_agreement(GROUP, Some(initial_leader.node), Duration::from_secs(15))
+        .unwrap_or_else(|e| panic!("{transport}: no re-election: {e}"));
+    drain(&mut trace);
+
+    let end = now_virtual(&started);
+    cluster.shutdown();
+
+    // The same invariant checker the chaos sweeps use, over the wall-clock
+    // trace: eventual agreement, leader stability (the crash justifies the
+    // one demotion), the mistake-recurrence budget, single leadership.
+    let spec = InvariantSpec {
+        algorithm: ElectorKind::OmegaL,
+        nodes: NODES,
+        qos: QosSpec::paper_default(),
+        settle: SimDuration::from_secs(10),
+        end,
+    };
+    let violations = check_trace(&trace, &spec);
+
+    Outcome {
+        transport,
+        initial_leader,
+        recovered_leader,
+        violations,
+    }
+}
+
+#[test]
+fn mesh_and_udp_execute_the_identical_state_machine() {
+    // Transport 1: the in-process mesh (perfect links).
+    let mut mesh: InMemoryMesh<ServiceMessage> =
+        InMemoryMesh::with_links(NODES, LinkSpec::perfect(), 7);
+    let mesh_endpoints: Vec<_> = (0..NODES)
+        .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
+        .collect();
+    let mesh_run = run_scenario(mesh_endpoints, "mesh");
+
+    // Transport 2: real UDP datagrams on loopback.
+    let udp_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
+    let udp_run = run_scenario(udp_endpoints, "udp");
+
+    for run in [&mesh_run, &udp_run] {
+        // The staggered construction pins the outcome: node 0 wins the
+        // initial election, and after its crash the earliest surviving
+        // rank — node 1 — takes over.
+        assert_eq!(
+            run.initial_leader.node,
+            NodeId(0),
+            "{}: wrong initial leader",
+            run.transport
+        );
+        assert_eq!(
+            run.recovered_leader.node,
+            NodeId(1),
+            "{}: wrong recovered leader",
+            run.transport
+        );
+        assert!(
+            run.violations.is_empty(),
+            "{}: invariant violations: {:?}",
+            run.transport,
+            run.violations
+        );
+    }
+
+    // Identical elected leaders across transports, and equivalent
+    // invariant-checker verdicts (both clean).
+    assert_eq!(mesh_run.initial_leader, udp_run.initial_leader);
+    assert_eq!(mesh_run.recovered_leader, udp_run.recovered_leader);
+    assert_eq!(mesh_run.violations, udp_run.violations);
+}
