@@ -1,0 +1,402 @@
+//! The real-time runtime macro-benchmark: large clusters on the **wall
+//! clock**, on a fixed shard worker pool, with thread-count and
+//! wakeup-discipline assertions.
+//!
+//! ```text
+//! cargo run --release -p sle-bench --bin bench_runtime            # full (1000-node mesh + 64-node UDP)
+//! cargo run --release -p sle-bench --bin bench_runtime -- --smoke # CI-sized
+//! ```
+//!
+//! Where `bench_scale` proves the protocol scales in *virtual* time, this
+//! binary proves the deployment scales in *real* time: the sharded runtime
+//! of `sle-core` must run a 1000-node in-memory-mesh cluster (and a
+//! 64-node real-UDP loopback cell) on 8 workers, elect a leader in every
+//! group, and do it with
+//!
+//! * **O(workers) threads** — the runtime may spawn at most 16 threads
+//!   beyond the transport's own reader threads, however many nodes run
+//!   (a thread-per-node runtime fails this immediately at 1000 nodes), and
+//! * **no polling** — workers sleep exactly to their timer wheel's next
+//!   deadline or a mailbox wakeup, so wakeups that find nothing to do must
+//!   stay below 100/s across the whole pool.
+//!
+//! Results are written to `BENCH_runtime.json` (schema documented in
+//! `docs/BENCH.md`); CI runs `--smoke` and uploads the file as the
+//! `runtime-bench` artifact. Exit status: `0` when every assertion holds,
+//! `1` otherwise.
+//!
+//! Options: `--smoke` (CI sizes), `--out PATH` (default
+//! `BENCH_runtime.json`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sle_core::messages::ServiceMessage;
+use sle_core::{Cluster, ClusterConfig, GroupId, JoinConfig, ServiceConfig};
+use sle_election::ElectorKind;
+use sle_harness::deploy::{membership, strided_groups};
+use sle_net::link::LinkSpec;
+use sle_net::transport::{InMemoryMesh, MessageEndpoint};
+use sle_sim::time::SimDuration;
+use sle_sim::NodeId;
+use sle_udp::bind_loopback_mesh;
+
+/// The hard ceiling on runtime threads (shard workers plus bookkeeping),
+/// excluding the transport's own reader threads.
+const MAX_RUNTIME_THREADS: usize = 16;
+/// The hard ceiling on pool-wide idle wakeups per second.
+const MAX_IDLE_WAKEUPS_PER_SEC: f64 = 100.0;
+/// How long a cell may take to elect everywhere before the bench fails.
+const ELECTION_DEADLINE: Duration = Duration::from_secs(60);
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_runtime.json".to_string(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = iter
+                    .next()
+                    .ok_or_else(|| "--out requires a path".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_runtime [--smoke] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Current OS thread count of this process (Linux); `None` elsewhere.
+fn os_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// One measured deployment.
+struct Cell {
+    name: String,
+    transport: &'static str,
+    nodes: usize,
+    groups: usize,
+    members_per_group: usize,
+    workers: usize,
+    /// OS threads the deployment added (shard workers + transport readers),
+    /// when `/proc` is available.
+    threads_spawned: Option<usize>,
+    /// Reader threads the transport itself accounts for (one per UDP
+    /// socket; zero for the in-memory mesh).
+    transport_reader_threads: usize,
+    /// Wall-clock from cluster start until every group's members agreed on
+    /// a leader.
+    elected_ms: u128,
+    /// Pool-wide worker wakeups per second over the idle measurement
+    /// window (after the elections settled).
+    wakeups_per_sec: f64,
+    /// Pool-wide wakeups that found nothing to do, per second, over the
+    /// same window.
+    idle_wakeups_per_sec: f64,
+    wall_ms: u128,
+}
+
+/// Per-node service configs for a strided deployment: each workstation
+/// gossips only with workstations it shares a group with, and auto-joins
+/// its groups at start.
+fn service_configs(nodes: usize, groups: &[Vec<NodeId>]) -> Vec<ServiceConfig> {
+    let deployment = membership(nodes, groups);
+    (0..nodes)
+        .map(|i| {
+            let mut peers = deployment.peers_of[i].clone();
+            if peers.is_empty() {
+                // A workstation in no group still needs itself as a peer.
+                peers.push(NodeId(i as u32));
+            }
+            let mut config = ServiceConfig::new(NodeId(i as u32), peers, ElectorKind::OmegaL)
+                .with_hello_interval(SimDuration::from_millis(200));
+            for &group in &deployment.groups_of[i] {
+                config = config.with_auto_join(group, JoinConfig::candidate());
+            }
+            config
+        })
+        .collect()
+}
+
+/// Runs one deployment: build endpoints, start the sharded cluster, wait
+/// for every group to elect, then measure the pool's wakeup discipline
+/// over an idle window.
+#[allow(clippy::too_many_arguments)]
+fn run_cell<E>(
+    name: String,
+    transport: &'static str,
+    make_endpoints: impl FnOnce() -> Vec<E>,
+    nodes: usize,
+    groups: Vec<Vec<NodeId>>,
+    workers: usize,
+    transport_reader_threads: usize,
+    idle_window: Duration,
+    failures: &mut Vec<String>,
+) -> Cell
+where
+    E: MessageEndpoint<ServiceMessage> + Send + 'static,
+{
+    let wall = Instant::now();
+    let members = groups.first().map(Vec::len).unwrap_or(0);
+    let configs = service_configs(nodes, &groups);
+    // Measured around endpoint construction too, so the transport's reader
+    // threads are part of the accounting.
+    let threads_before = os_threads();
+    let endpoints = make_endpoints();
+
+    let options = ClusterConfig::new(ElectorKind::OmegaL).with_workers(workers);
+    let started = Instant::now();
+    let cluster = Cluster::start_with_service_configs(endpoints, configs, &options);
+
+    let threads_spawned = match (threads_before, os_threads()) {
+        (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+        _ => None,
+    };
+    if let Some(spawned) = threads_spawned {
+        let runtime_only = spawned.saturating_sub(transport_reader_threads);
+        if runtime_only > MAX_RUNTIME_THREADS {
+            failures.push(format!(
+                "{name}: {runtime_only} runtime threads for {nodes} nodes \
+                 (max {MAX_RUNTIME_THREADS}) — the pool is not O(workers)"
+            ));
+        }
+    }
+
+    // Wait for every group's members to agree on a leader.
+    let deadline = started + ELECTION_DEADLINE;
+    let mut pending: Vec<usize> = (0..groups.len()).collect();
+    while !pending.is_empty() && Instant::now() < deadline {
+        pending.retain(|&g| {
+            cluster
+                .agreed_leader_among(GroupId(g as u32 + 1), &groups[g])
+                .is_none()
+        });
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    let elected_ms = started.elapsed().as_millis();
+    if !pending.is_empty() {
+        failures.push(format!(
+            "{name}: {} of {} groups had not elected after {:?}",
+            pending.len(),
+            groups.len(),
+            ELECTION_DEADLINE
+        ));
+    }
+
+    // Steady state: count wakeups over an idle window. Productive wakeups
+    // (HELLO/ALIVE timers, arriving gossip) continue; *idle* wakeups —
+    // a worker waking to find nothing to do — must be a rarity.
+    let before = cluster.runtime_stats();
+    std::thread::sleep(idle_window);
+    let after = cluster.runtime_stats();
+    let secs = idle_window.as_secs_f64();
+    let wakeups_per_sec = (after.wakeups - before.wakeups) as f64 / secs;
+    let idle_wakeups_per_sec = (after.idle_wakeups - before.idle_wakeups) as f64 / secs;
+    if idle_wakeups_per_sec > MAX_IDLE_WAKEUPS_PER_SEC {
+        failures.push(format!(
+            "{name}: {idle_wakeups_per_sec:.0} idle wakeups/s across the pool \
+             (max {MAX_IDLE_WAKEUPS_PER_SEC}) — someone is polling"
+        ));
+    }
+
+    cluster.shutdown();
+    Cell {
+        name,
+        transport,
+        nodes,
+        groups: groups.len(),
+        members_per_group: members,
+        workers,
+        threads_spawned,
+        transport_reader_threads,
+        elected_ms,
+        wakeups_per_sec,
+        idle_wakeups_per_sec,
+        wall_ms: wall.elapsed().as_millis(),
+    }
+}
+
+fn render_json(cells: &[Cell], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-runtime/1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let threads = cell
+            .threads_spawned
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"transport\": \"{}\", \"nodes\": {}, \"groups\": {}, \
+             \"members_per_group\": {}, \"workers\": {}, \"threads_spawned\": {}, \
+             \"transport_reader_threads\": {}, \"elected_ms\": {}, \
+             \"wakeups_per_sec\": {:.1}, \"idle_wakeups_per_sec\": {:.1}, \"wall_ms\": {}}}",
+            cell.name,
+            cell.transport,
+            cell.nodes,
+            cell.groups,
+            cell.members_per_group,
+            cell.workers,
+            threads,
+            cell.transport_reader_threads,
+            cell.elected_ms,
+            cell.wakeups_per_sec,
+            cell.idle_wakeups_per_sec,
+            cell.wall_ms,
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"assertions\": {{\"max_runtime_threads\": {MAX_RUNTIME_THREADS}, \
+         \"max_idle_wakeups_per_sec\": {MAX_IDLE_WAKEUPS_PER_SEC:.1}}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let total = Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Cell 1: the in-memory mesh at four-digit node counts. One group per
+    // 8 workstations, strided; every message still crosses the transport
+    // seam and wakes a shard mailbox.
+    let (mesh_nodes, mesh_groups, mesh_members, mesh_workers) = if args.smoke {
+        (200, 25, 8, 8)
+    } else {
+        (1000, 125, 8, 8)
+    };
+    // Cell 2: real UDP sockets on loopback — the paper's deployment shape,
+    // one datagram socket (and reader thread) per workstation.
+    let (udp_nodes, udp_groups, udp_members, udp_workers) = if args.smoke {
+        (16, 4, 4, 4)
+    } else {
+        (64, 8, 8, 8)
+    };
+    let idle_window = if args.smoke {
+        Duration::from_secs(1)
+    } else {
+        Duration::from_secs(2)
+    };
+
+    println!(
+        "{:<22} {:>6} {:>7} {:>8} {:>9} {:>11} {:>9} {:>8} {:>8}",
+        "cell",
+        "nodes",
+        "groups",
+        "workers",
+        "threads",
+        "elected-ms",
+        "wakes/s",
+        "idle/s",
+        "wall-ms"
+    );
+    {
+        let cell = run_cell(
+            format!("mesh-{mesh_nodes}x{mesh_groups}x{mesh_members}"),
+            "mesh",
+            || {
+                let mut mesh: InMemoryMesh<ServiceMessage> =
+                    InMemoryMesh::with_links(mesh_nodes, LinkSpec::perfect(), 42);
+                (0..mesh_nodes)
+                    .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
+                    .collect()
+            },
+            mesh_nodes,
+            strided_groups(mesh_nodes, mesh_groups, mesh_members),
+            mesh_workers,
+            0,
+            idle_window,
+            &mut failures,
+        );
+        print_cell(&cell);
+        cells.push(cell);
+    }
+    {
+        let cell = run_cell(
+            format!("udp-{udp_nodes}x{udp_groups}x{udp_members}"),
+            "udp",
+            || bind_loopback_mesh::<ServiceMessage>(udp_nodes).expect("bind loopback sockets"),
+            udp_nodes,
+            strided_groups(udp_nodes, udp_groups, udp_members),
+            udp_workers,
+            udp_nodes, // one reader thread per socket
+            idle_window,
+            &mut failures,
+        );
+        print_cell(&cell);
+        cells.push(cell);
+    }
+
+    let json = render_json(&cells, args.smoke);
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} ({} cells) in {:.1}s wall-clock",
+        args.out,
+        cells.len(),
+        total.elapsed().as_secs_f64()
+    );
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "OK: every group elected on O(workers) threads \
+         (<= {MAX_RUNTIME_THREADS} runtime threads + transport readers), \
+         idle wakeups <= {MAX_IDLE_WAKEUPS_PER_SEC}/s"
+    );
+}
+
+fn print_cell(cell: &Cell) {
+    println!(
+        "{:<22} {:>6} {:>7} {:>8} {:>9} {:>11} {:>9.1} {:>8.1} {:>8}",
+        cell.name,
+        cell.nodes,
+        cell.groups,
+        cell.workers,
+        cell.threads_spawned
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "?".into()),
+        cell.elected_ms,
+        cell.wakeups_per_sec,
+        cell.idle_wakeups_per_sec,
+        cell.wall_ms,
+    );
+}

@@ -33,6 +33,7 @@ use std::time::Instant;
 use sle_core::{GroupId, ProcessId};
 use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
 use sle_election::ElectorKind;
+use sle_harness::deploy;
 use sle_sim::prelude::*;
 
 /// Virtual time the deployment gets to elect before measuring.
@@ -112,34 +113,16 @@ impl Deployment {
     /// `groups` groups of `members` workstations each, strided over
     /// `nodes` workstations so membership is spread evenly (with
     /// `groups == nodes`, every workstation is in exactly `members`
-    /// groups).
+    /// groups). See [`deploy::strided_groups`].
     fn strided(nodes: usize, groups: usize, members: usize) -> Self {
-        // A stride coprime with `nodes` makes `g -> (g + j*stride) % nodes`
-        // a bijection per `j`, i.e. a perfectly balanced assignment.
-        let mut stride = nodes / members.max(1) + 1;
-        while gcd(stride, nodes) != 1 {
-            stride += 1;
+        Deployment {
+            nodes,
+            groups: deploy::strided_groups(nodes, groups, members),
         }
-        let groups = (0..groups)
-            .map(|g| {
-                (0..members)
-                    .map(|j| NodeId(((g + j * stride) % nodes) as u32))
-                    .collect()
-            })
-            .collect();
-        Deployment { nodes, groups }
     }
 
     fn processes(&self) -> usize {
         self.groups.iter().map(Vec::len).sum()
-    }
-}
-
-fn gcd(a: usize, b: usize) -> usize {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
     }
 }
 
@@ -159,22 +142,10 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
     // Per-workstation membership and peer sets (a workstation only gossips
     // with workstations it shares a group with — the deployment shape a
     // sharded installation uses, and what keeps HELLO traffic O(n)).
-    let mut groups_of: Vec<Vec<GroupId>> = vec![Vec::new(); n];
-    let mut peers_of: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for (g, members) in deployment.groups.iter().enumerate() {
-        let group = GroupId(g as u32 + 1);
-        for &node in members {
-            groups_of[node.index()].push(group);
-            for &peer in members {
-                if !peers_of[node.index()].contains(&peer) {
-                    peers_of[node.index()].push(peer);
-                }
-            }
-        }
-    }
-    for peers in &mut peers_of {
-        peers.sort();
-    }
+    let deploy::Membership {
+        groups_of,
+        peers_of,
+    } = deploy::membership(n, &deployment.groups);
 
     let mut world: World<ServiceNode, PerfectMedium> = World::new(
         n,

@@ -93,7 +93,7 @@ pub mod prelude {
     pub use crate::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
     pub use crate::node::{ServiceContext, ServiceNode};
     pub use crate::process::{GroupId, ProcessId};
-    pub use crate::runtime::{Cluster, ClusterEvent, ClusterHandle};
+    pub use crate::runtime::{Cluster, ClusterConfig, ClusterEvent, ClusterHandle, RuntimeStats};
     pub use sle_adaptive::{TunerConfig, TuningPolicy};
 }
 
@@ -104,5 +104,5 @@ pub use group::{GroupState, RemoteMember};
 pub use messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 pub use node::{ServiceContext, ServiceNode};
 pub use process::{GroupId, ProcessId};
-pub use runtime::{Cluster, ClusterEvent, ClusterHandle};
+pub use runtime::{Cluster, ClusterConfig, ClusterEvent, ClusterHandle, RuntimeStats};
 pub use sle_adaptive::{TunerConfig, TuningPolicy};

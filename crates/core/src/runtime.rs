@@ -1,20 +1,40 @@
-//! A real-time runtime for the service.
+//! The sharded real-time runtime for the service.
 //!
 //! The paper deploys one service daemon per workstation; applications link a
 //! shared library that talks to the local daemon. [`Cluster`] plays the role
-//! of a deployment: it spawns one thread per service instance, connects them
+//! of a deployment: it runs one [`ServiceNode`] per endpoint, connects them
 //! through any [`MessageEndpoint`] transport, and exposes the service API —
 //! join/leave groups, query the leader, subscribe to leader-change events —
 //! through [`ClusterHandle`].
 //!
-//! Two transports implement the endpoint contract today: the in-memory mesh
-//! of `sle-net` (the default, optionally lossy, used by most examples) and
-//! the real-UDP sockets of `sle-udp` ([`Cluster::start_with_endpoints`] —
-//! the paper's actual deployment shape, one datagram socket per
-//! workstation). The protocol code is exactly the same [`ServiceNode`]
-//! state machine the simulator runs; this module merely drives it with the
-//! wall clock.
+//! Internally the cluster is a **sharded event-loop runtime** (see
+//! `docs/RUNTIME.md`): a fixed pool of worker threads, each owning
+//!
+//! * a *shard* of service nodes (node `i` lives on worker `i % workers`),
+//! * a wall-clock [`TimerWheel`] keyed `(NodeId, TimerTag)` — the same
+//!   `O(1)` hierarchical wheel the simulator's event queue uses, so firing
+//!   the next timer never scans the pending set, and
+//! * a [`sle_net::mailbox::Mailbox`] multiplexing incoming
+//!   messages and [`ClusterHandle`] commands for every resident node behind
+//!   **one** condvar-parked wait: the worker sleeps exactly until its
+//!   wheel's next deadline or a wakeup, never on a fixed polling interval.
+//!
+//! Transports that support push-mode delivery
+//! ([`MessageEndpoint::set_delivery_sink`] — the in-memory mesh and
+//! `sle-udp` both do) deliver straight into the owning shard's mailbox and
+//! wake its worker; pull-only endpoints are polled on a short cadence as a
+//! compatibility fallback. Thread count is therefore O(workers) plus
+//! whatever reader threads the transport itself needs — not O(nodes) —
+//! which is what lets a 1000-node cluster run in real time on one machine
+//! (`bench_runtime` in `sle-bench` measures exactly that).
+//!
+//! The protocol code is the same sans-io [`ServiceNode`] state machine the
+//! simulator runs; this module merely drives it with the wall clock.
+//! [`Cluster::start`] keeps the historical one-worker-per-node shape
+//! (`workers = n`); [`ClusterConfig::with_workers`] selects a smaller pool.
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,9 +42,11 @@ use std::time::{Duration, Instant};
 
 use sle_election::ElectorKind;
 use sle_net::link::LinkSpec;
-use sle_net::transport::{InMemoryMesh, MessageEndpoint};
+use sle_net::mailbox::Mailbox;
+use sle_net::transport::{InMemoryMesh, Incoming, MessageEndpoint};
 use sle_sim::actor::{Actor, Effect, NodeId, TimerTag};
 use sle_sim::time::{SimDuration, SimInstant};
+use sle_sim::wheel::TimerWheel;
 
 use crate::config::{JoinConfig, ServiceConfig};
 use crate::error::AgreementTimeout;
@@ -33,6 +55,11 @@ use crate::messages::ServiceMessage;
 use crate::node::{ServiceContext, ServiceNode};
 use crate::process::{GroupId, ProcessId};
 
+/// How often a shard polls endpoints that do not support push-mode delivery
+/// (the compatibility fallback for custom [`MessageEndpoint`]s; the bundled
+/// transports all push).
+const PULL_POLL: Duration = Duration::from_millis(10);
+
 /// A leader-change notification produced by some node of a [`Cluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterEvent {
@@ -40,6 +67,95 @@ pub struct ClusterEvent {
     pub node: NodeId,
     /// The event itself.
     pub event: ServiceEvent,
+}
+
+/// Deployment-level configuration of a [`Cluster`]: everything
+/// [`Cluster::start`] used to hardcode, as an explicit surface.
+///
+/// ```
+/// use sle_core::runtime::{Cluster, ClusterConfig};
+/// use sle_election::ElectorKind;
+/// use sle_sim::time::SimDuration;
+///
+/// // Eight workstations on a 2-worker shard pool, gossiping every 100 ms.
+/// let config = ClusterConfig::new(ElectorKind::OmegaL)
+///     .with_workers(2)
+///     .with_hello_interval(SimDuration::from_millis(100))
+///     .with_mesh_seed(7);
+/// let cluster = Cluster::start_with_config(8, config);
+/// assert_eq!(cluster.workers(), 2);
+/// cluster.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The leader-election algorithm every service instance runs.
+    pub algorithm: ElectorKind,
+    /// Size of the shard worker pool. `None` (the default) keeps the
+    /// historical one-worker-per-node shape — the legacy driver is exactly
+    /// the sharded runtime with `workers = n`.
+    pub workers: Option<usize>,
+    /// How often service instances send HELLO membership gossip.
+    pub hello_interval: SimDuration,
+    /// Seed of the in-memory mesh's loss lottery (only used by the
+    /// mesh-building constructors).
+    pub mesh_seed: u64,
+    /// Link behaviour of the in-memory mesh (only used by the mesh-building
+    /// constructors).
+    pub links: LinkSpec,
+}
+
+impl ClusterConfig {
+    /// The defaults every historical constructor used: one worker per node,
+    /// a 200 ms HELLO interval, mesh seed 42, perfect links.
+    pub fn new(algorithm: ElectorKind) -> Self {
+        ClusterConfig {
+            algorithm,
+            workers: None,
+            hello_interval: SimDuration::from_millis(200),
+            mesh_seed: 42,
+            links: LinkSpec::perfect(),
+        }
+    }
+
+    /// Runs the cluster on a fixed pool of `workers` shard workers
+    /// (clamped to at least 1; more workers than nodes is capped at
+    /// construction time).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Replaces the HELLO gossip interval.
+    pub fn with_hello_interval(mut self, interval: SimDuration) -> Self {
+        self.hello_interval = interval;
+        self
+    }
+
+    /// Replaces the in-memory mesh seed.
+    pub fn with_mesh_seed(mut self, seed: u64) -> Self {
+        self.mesh_seed = seed;
+        self
+    }
+
+    /// Replaces the in-memory mesh link behaviour.
+    pub fn with_links(mut self, links: LinkSpec) -> Self {
+        self.links = links;
+        self
+    }
+}
+
+/// Aggregate wakeup counters of a running [`Cluster`]'s shard workers —
+/// the observable for "workers sleep exactly to the next deadline".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Size of the shard worker pool.
+    pub workers: usize,
+    /// Times any worker returned from its mailbox wait.
+    pub wakeups: u64,
+    /// Wakeups that found nothing to do: no command, no message, no due
+    /// timer. With push-mode transports these only come from deadline
+    /// rounding races, so the rate should be near zero.
+    pub idle_wakeups: u64,
 }
 
 enum Command {
@@ -57,78 +173,85 @@ enum Command {
         group: GroupId,
         reply: Sender<Option<ProcessId>>,
     },
-    Shutdown,
 }
 
-struct NodeRuntime {
-    node: ServiceNode,
-    id: NodeId,
-    start: Instant,
-    timers: std::collections::BTreeMap<TimerTag, SimInstant>,
-    events: Sender<ClusterEvent>,
+/// One shard's inbound side: the command queue [`ClusterHandle`]s feed and
+/// the mailbox transports deliver into, sharing one condvar.
+struct ShardInbox {
+    commands: Mutex<VecDeque<(NodeId, Command)>>,
+    mail: Mailbox<(NodeId, Incoming<ServiceMessage>)>,
 }
 
-impl NodeRuntime {
-    fn now(&self) -> SimInstant {
-        SimInstant::from_nanos(self.start.elapsed().as_nanos() as u64)
-    }
-
-    fn apply_effects<E: MessageEndpoint<ServiceMessage>>(
-        &mut self,
-        effects: Vec<Effect<ServiceMessage, ServiceEvent>>,
-        endpoint: &E,
-    ) {
-        for effect in effects {
-            match effect {
-                // Send failures are tolerable for a best-effort datagram
-                // protocol: to the state machine they are the network
-                // dropping a message. Transports are responsible for making
-                // the one *deterministic* failure observable (an
-                // unencodable-on-this-wire message — counted by sle-udp's
-                // UdpStats::send_unencodable).
-                Effect::Send { to, msg } => {
-                    let _ = endpoint.send(to, msg);
-                }
-                Effect::SetTimer { tag, at } => {
-                    self.timers.insert(tag, at);
-                }
-                Effect::CancelTimer { tag } => {
-                    self.timers.remove(&tag);
-                }
-                Effect::Emit(event) => {
-                    let _ = self.events.send(ClusterEvent {
-                        node: self.id,
-                        event,
-                    });
-                }
-            }
+impl ShardInbox {
+    fn new() -> Self {
+        ShardInbox {
+            commands: Mutex::new(VecDeque::new()),
+            mail: Mailbox::new(),
         }
     }
 
-    fn next_deadline(&self) -> Option<SimInstant> {
-        self.timers.values().copied().min()
+    fn wake(&self) {
+        self.mail.sender().wake();
     }
 
-    fn fire_due_timers<E: MessageEndpoint<ServiceMessage>>(&mut self, endpoint: &E) {
-        loop {
-            let now = self.now();
-            let due: Vec<TimerTag> = self
-                .timers
-                .iter()
-                .filter(|(_, &at)| at <= now)
-                .map(|(&tag, _)| tag)
-                .collect();
-            if due.is_empty() {
-                return;
+    /// Enqueues a command unless `shutdown` is already set. The flag is
+    /// checked under the queue lock — the same lock the cluster's `Drop`
+    /// drains the queue under *after* setting the flag — so a submission
+    /// either reaches a live queue (and is answered, or drained with its
+    /// reply channel dropped) or is refused outright; it can never strand
+    /// a caller on the full reply timeout.
+    fn submit(&self, shutdown: &AtomicBool, node: NodeId, command: Command) -> bool {
+        {
+            let mut commands = self.commands.lock().expect("shard command queue poisoned");
+            if shutdown.load(Ordering::Relaxed) {
+                return false;
             }
-            for tag in due {
-                self.timers.remove(&tag);
-                let mut ctx = ServiceContext::new(self.now(), self.id, 0);
-                self.node.on_timer(tag, &mut ctx);
-                let effects = ctx.into_effects();
-                self.apply_effects(effects, endpoint);
-            }
+            commands.push_back((node, command));
         }
+        self.wake();
+        true
+    }
+
+    /// Drops everything still queued (and with it the reply senders, so
+    /// blocked callers fail promptly). Called after the workers exited.
+    fn drain_commands(&self) {
+        self.commands
+            .lock()
+            .expect("shard command queue poisoned")
+            .clear();
+    }
+}
+
+#[derive(Default)]
+struct ShardStats {
+    wakeups: AtomicU64,
+    idle_wakeups: AtomicU64,
+}
+
+/// Per-node crash flags, shared between the application-facing [`Cluster`]
+/// and the shard workers.
+struct CrashFlags(Vec<AtomicBool>);
+
+impl CrashFlags {
+    fn new(n: usize) -> Self {
+        CrashFlags((0..n).map(|_| AtomicBool::new(false)).collect())
+    }
+
+    fn set(&self, node: NodeId, crashed: bool) -> bool {
+        match self.0.get(node.index()) {
+            Some(flag) => {
+                flag.store(crashed, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn get(&self, node: NodeId) -> bool {
+        self.0
+            .get(node.index())
+            .map(|flag| flag.load(Ordering::Relaxed))
+            .unwrap_or(false)
     }
 }
 
@@ -136,7 +259,8 @@ impl NodeRuntime {
 #[derive(Clone)]
 pub struct ClusterHandle {
     node: NodeId,
-    commands: Sender<Command>,
+    inbox: Arc<ShardInbox>,
+    shutdown: Arc<AtomicBool>,
 }
 
 impl ClusterHandle {
@@ -150,28 +274,26 @@ impl ClusterHandle {
     /// Returns `None` if the node has shut down.
     pub fn join(&self, group: GroupId, config: JoinConfig) -> Option<ProcessId> {
         let (tx, rx) = channel();
-        self.commands
-            .send(Command::Join {
-                group,
-                config,
-                reply: tx,
-            })
-            .ok()?;
+        let command = Command::Join {
+            group,
+            config,
+            reply: tx,
+        };
+        if !self.inbox.submit(&self.shutdown, self.node, command) {
+            return None;
+        }
         rx.recv_timeout(Duration::from_secs(5)).ok()
     }
 
     /// Removes `process` from `group`. Returns whether the leave succeeded.
     pub fn leave(&self, group: GroupId, process: ProcessId) -> bool {
         let (tx, rx) = channel();
-        if self
-            .commands
-            .send(Command::Leave {
-                group,
-                process,
-                reply: tx,
-            })
-            .is_err()
-        {
+        let command = Command::Leave {
+            group,
+            process,
+            reply: tx,
+        };
+        if !self.inbox.submit(&self.shutdown, self.node, command) {
             return false;
         }
         rx.recv_timeout(Duration::from_secs(5)).unwrap_or(false)
@@ -180,42 +302,303 @@ impl ClusterHandle {
     /// Queries this node's current view of the leader of `group`.
     pub fn leader_of(&self, group: GroupId) -> Option<ProcessId> {
         let (tx, rx) = channel();
-        self.commands
-            .send(Command::QueryLeader { group, reply: tx })
-            .ok()?;
+        let command = Command::QueryLeader { group, reply: tx };
+        if !self.inbox.submit(&self.shutdown, self.node, command) {
+            return None;
+        }
         rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
     }
 }
 
-/// A real-time deployment of the leader-election service: one thread per
-/// workstation, connected by any [`MessageEndpoint`] transport (in-memory
-/// mesh by default, real UDP sockets via `sle-udp`).
+/// One service node resident on a shard.
+struct Resident<E> {
+    id: NodeId,
+    service: ServiceNode,
+    endpoint: E,
+    /// Whether the endpoint delivers straight into the shard mailbox; if
+    /// not, the worker polls `try_recv` on the `PULL_POLL` cadence.
+    push_mode: bool,
+    /// The crash flag as of the worker's last scan, to detect transitions.
+    crashed_seen: bool,
+    /// Timers that came due while the node was crashed. The legacy runtime
+    /// kept a crashed node's timers armed and fired them all on recovery;
+    /// the wheel pops them regardless, so they are parked here and fired
+    /// when the node recovers.
+    frozen: Vec<TimerTag>,
+}
+
+/// The per-worker state of one shard.
+struct ShardRuntime<E> {
+    start: Instant,
+    residents: Vec<Resident<E>>,
+    index: HashMap<NodeId, usize>,
+    wheel: TimerWheel<(NodeId, TimerTag)>,
+    inbox: Arc<ShardInbox>,
+    events: Sender<ClusterEvent>,
+    crashed: Arc<CrashFlags>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ShardStats>,
+    any_pull: bool,
+}
+
+impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn apply_effects(&mut self, idx: usize, effects: Vec<Effect<ServiceMessage, ServiceEvent>>) {
+        let id = self.residents[idx].id;
+        for effect in effects {
+            match effect {
+                // Send failures are tolerable for a best-effort datagram
+                // protocol: to the state machine they are the network
+                // dropping a message. Transports are responsible for making
+                // the one *deterministic* failure observable (an
+                // unencodable-on-this-wire message — counted by sle-udp's
+                // UdpStats::send_unencodable).
+                Effect::Send { to, msg } => {
+                    let _ = self.residents[idx].endpoint.send(to, msg);
+                }
+                Effect::SetTimer { tag, at } => {
+                    self.wheel.schedule((id, tag), at);
+                }
+                Effect::CancelTimer { tag } => {
+                    self.wheel.cancel(&(id, tag));
+                }
+                Effect::Emit(event) => {
+                    let _ = self.events.send(ClusterEvent { node: id, event });
+                }
+            }
+        }
+    }
+
+    fn start_node(&mut self, idx: usize) {
+        let id = self.residents[idx].id;
+        let mut ctx = ServiceContext::new(self.now(), id, 0);
+        self.residents[idx].service.on_start(&mut ctx);
+        let effects = ctx.into_effects();
+        self.apply_effects(idx, effects);
+    }
+
+    fn dispatch_message(&mut self, node: NodeId, incoming: Incoming<ServiceMessage>) {
+        let Some(&idx) = self.index.get(&node) else {
+            return;
+        };
+        // Dispatch consults the worker's own crash snapshot (`crashed_seen`,
+        // maintained by `scan_crash_transitions`), never the live flag:
+        // freezing and un-freezing must share one consistent view, or a
+        // crash+recover flap between two scans could strand frozen timers
+        // forever. A flag flip simply takes effect at the next scan.
+        if self.residents[idx].crashed_seen {
+            // A "crashed" node drops traffic — parked, not polled.
+            return;
+        }
+        let mut ctx = ServiceContext::new(self.now(), node, 0);
+        self.residents[idx]
+            .service
+            .on_message(incoming.from, incoming.msg, &mut ctx);
+        let effects = ctx.into_effects();
+        self.apply_effects(idx, effects);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, tag: TimerTag) {
+        let Some(&idx) = self.index.get(&node) else {
+            return;
+        };
+        // Same snapshot rule as `dispatch_message`.
+        if self.residents[idx].crashed_seen {
+            let frozen = &mut self.residents[idx].frozen;
+            if !frozen.contains(&tag) {
+                frozen.push(tag);
+            }
+            return;
+        }
+        let mut ctx = ServiceContext::new(self.now(), node, 0);
+        self.residents[idx].service.on_timer(tag, &mut ctx);
+        let effects = ctx.into_effects();
+        self.apply_effects(idx, effects);
+    }
+
+    fn handle_command(&mut self, node: NodeId, command: Command) {
+        let Some(&idx) = self.index.get(&node) else {
+            return;
+        };
+        match command {
+            Command::Join {
+                group,
+                config,
+                reply,
+            } => {
+                let process = self.residents[idx].service.register_process();
+                let mut ctx = ServiceContext::new(self.now(), node, 0);
+                let _ = self.residents[idx]
+                    .service
+                    .join_group(process, group, config, &mut ctx);
+                let effects = ctx.into_effects();
+                self.apply_effects(idx, effects);
+                let _ = reply.send(process);
+            }
+            Command::Leave {
+                group,
+                process,
+                reply,
+            } => {
+                let mut ctx = ServiceContext::new(self.now(), node, 0);
+                let ok = self.residents[idx]
+                    .service
+                    .leave_group(process, group, &mut ctx)
+                    .is_ok();
+                let effects = ctx.into_effects();
+                self.apply_effects(idx, effects);
+                let _ = reply.send(ok);
+            }
+            Command::QueryLeader { group, reply } => {
+                let _ = reply.send(self.residents[idx].service.leader_of(group));
+            }
+        }
+    }
+
+    /// Detects crash-flag transitions. On recovery, fires the timers that
+    /// came due while the node was parked (they are all overdue, exactly as
+    /// they would have been under the legacy one-thread-per-node driver).
+    fn scan_crash_transitions(&mut self) -> bool {
+        let mut did_work = false;
+        for idx in 0..self.residents.len() {
+            let id = self.residents[idx].id;
+            let crashed_now = self.crashed.get(id);
+            if crashed_now == self.residents[idx].crashed_seen {
+                continue;
+            }
+            self.residents[idx].crashed_seen = crashed_now;
+            if !crashed_now {
+                did_work = true;
+                let frozen = std::mem::take(&mut self.residents[idx].frozen);
+                for tag in frozen {
+                    self.dispatch_timer(id, tag);
+                }
+            }
+        }
+        did_work
+    }
+
+    /// Drains and processes everything actionable right now: commands,
+    /// crash transitions, delivered messages, due timers. Returns whether
+    /// anything was done.
+    fn process_all(&mut self, mail: &mut Vec<(NodeId, Incoming<ServiceMessage>)>) -> bool {
+        let mut did_work = false;
+        // Commands first: application calls must not starve behind traffic.
+        loop {
+            let next = self
+                .inbox
+                .commands
+                .lock()
+                .expect("shard command queue poisoned")
+                .pop_front();
+            let Some((node, command)) = next else {
+                break;
+            };
+            did_work = true;
+            self.handle_command(node, command);
+        }
+        did_work |= self.scan_crash_transitions();
+        for (node, incoming) in mail.drain(..) {
+            did_work = true;
+            self.dispatch_message(node, incoming);
+        }
+        if self.any_pull {
+            for idx in 0..self.residents.len() {
+                if self.residents[idx].push_mode {
+                    continue;
+                }
+                let node = self.residents[idx].id;
+                while let Some(incoming) = self.residents[idx].endpoint.try_recv() {
+                    did_work = true;
+                    self.dispatch_message(node, incoming);
+                }
+            }
+        }
+        loop {
+            let now = self.now();
+            let Some((_, (node, tag))) = self.wheel.pop_due(now) else {
+                break;
+            };
+            did_work = true;
+            self.dispatch_timer(node, tag);
+        }
+        did_work
+    }
+
+    fn run(mut self) {
+        for idx in 0..self.residents.len() {
+            self.start_node(idx);
+        }
+        let mut mail: Vec<(NodeId, Incoming<ServiceMessage>)> = Vec::new();
+        self.process_all(&mut mail);
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            // Sleep exactly until the wheel's next deadline (or forever, if
+            // no timer is armed) — a push or a wake ends the wait early.
+            let mut deadline = self
+                .wheel
+                .next_deadline()
+                .map(|at| self.start + Duration::from_nanos(at.as_nanos()));
+            if self.any_pull {
+                let poll = Instant::now() + PULL_POLL;
+                deadline = Some(deadline.map_or(poll, |d| d.min(poll)));
+            }
+            let woken = self.inbox.mail.wait_until(deadline, &mut mail);
+            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            let did_work = self.process_all(&mut mail);
+            if !woken && !did_work {
+                self.stats.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A real-time deployment of the leader-election service: a fixed pool of
+/// shard workers driving one [`ServiceNode`] per endpoint, connected by any
+/// [`MessageEndpoint`] transport (in-memory mesh by default, real UDP
+/// sockets via `sle-udp`).
 pub struct Cluster {
     handles: Vec<ClusterHandle>,
     threads: Vec<JoinHandle<()>>,
     events: Receiver<ClusterEvent>,
-    command_senders: Vec<Sender<Command>>,
-    crashed: Arc<Mutex<Vec<bool>>>,
+    crashed: Arc<CrashFlags>,
+    shutdown: Arc<AtomicBool>,
+    inboxes: Vec<Arc<ShardInbox>>,
+    shard_of: Vec<usize>,
+    stats: Vec<Arc<ShardStats>>,
 }
 
 impl Cluster {
     /// Starts `n` service instances running `algorithm` over perfect links.
     pub fn start(n: usize, algorithm: ElectorKind) -> Self {
-        Self::start_with_links(n, algorithm, LinkSpec::perfect())
+        Self::start_with_config(n, ClusterConfig::new(algorithm))
     }
 
     /// Starts `n` service instances whose links follow `links` (losses are
     /// applied inside the in-memory mesh).
     pub fn start_with_links(n: usize, algorithm: ElectorKind, links: LinkSpec) -> Self {
-        let mut mesh: InMemoryMesh<ServiceMessage> = InMemoryMesh::with_links(n, links, 42);
+        Self::start_with_config(n, ClusterConfig::new(algorithm).with_links(links))
+    }
+
+    /// Starts `n` service instances on an in-memory mesh, fully configured:
+    /// algorithm, worker pool size, HELLO interval, mesh links and seed.
+    pub fn start_with_config(n: usize, config: ClusterConfig) -> Self {
+        let mut mesh: InMemoryMesh<ServiceMessage> =
+            InMemoryMesh::with_links(n, config.links, config.mesh_seed);
         let endpoints: Vec<_> = (0..n)
             .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint taken"))
             .collect();
-        Self::start_with_endpoints(endpoints, algorithm)
+        Self::start_endpoints_with_config(endpoints, config)
     }
 
-    /// Starts one service instance per endpoint, each on its own thread,
-    /// over whatever transport the endpoints implement.
+    /// Starts one service instance per endpoint over whatever transport the
+    /// endpoints implement, with the historical defaults (one worker per
+    /// node, 200 ms HELLO interval).
     ///
     /// The endpoints' node identities must be the contiguous range
     /// `0..endpoints.len()` in order (the shape every deployment in this
@@ -229,7 +612,48 @@ impl Cluster {
     where
         E: MessageEndpoint<ServiceMessage> + Send + 'static,
     {
+        Self::start_endpoints_with_config(endpoints, ClusterConfig::new(algorithm))
+    }
+
+    /// Starts one service instance per endpoint, fully configured. Every
+    /// instance's peer set is the full mesh of endpoint identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint identities are not `0, 1, …, n-1` in order.
+    pub fn start_endpoints_with_config<E>(endpoints: Vec<E>, config: ClusterConfig) -> Self
+    where
+        E: MessageEndpoint<ServiceMessage> + Send + 'static,
+    {
         let n = endpoints.len();
+        let service_configs = (0..n)
+            .map(|i| {
+                ServiceConfig::full_mesh(NodeId(i as u32), n, config.algorithm)
+                    .with_hello_interval(config.hello_interval)
+            })
+            .collect();
+        Self::start_with_service_configs(endpoints, service_configs, &config)
+    }
+
+    /// The most general constructor: one service instance per endpoint,
+    /// each with its own explicit [`ServiceConfig`] (peer sets, auto-joins,
+    /// membership timeouts — the surface large deployments with restricted
+    /// gossip topologies need), on the worker pool `options` selects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint identities are not `0, 1, …, n-1` in order,
+    /// or `configs` does not match them one-to-one.
+    pub fn start_with_service_configs<E>(
+        endpoints: Vec<E>,
+        configs: Vec<ServiceConfig>,
+        options: &ClusterConfig,
+    ) -> Self
+    where
+        E: MessageEndpoint<ServiceMessage> + Send + 'static,
+    {
+        let n = endpoints.len();
+        assert_eq!(configs.len(), n, "one ServiceConfig per endpoint");
         for (i, endpoint) in endpoints.iter().enumerate() {
             assert_eq!(
                 endpoint.node(),
@@ -237,110 +661,86 @@ impl Cluster {
                 "endpoint identities must be 0..n in order"
             );
         }
+        for (i, config) in configs.iter().enumerate() {
+            assert_eq!(
+                config.node,
+                NodeId(i as u32),
+                "service config identities must be 0..n in order"
+            );
+        }
+        let workers = options.workers.unwrap_or(n).clamp(1, n.max(1));
         let (event_tx, event_rx) = channel();
-        let crashed = Arc::new(Mutex::new(vec![false; n]));
+        let crashed = Arc::new(CrashFlags::new(n));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+
+        let inboxes: Vec<Arc<ShardInbox>> =
+            (0..workers).map(|_| Arc::new(ShardInbox::new())).collect();
+        let stats: Vec<Arc<ShardStats>> = (0..workers)
+            .map(|_| Arc::new(ShardStats::default()))
+            .collect();
+        let mut members: Vec<Vec<Resident<E>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut shard_of = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        let mut threads = Vec::with_capacity(n);
-        let mut command_senders = Vec::with_capacity(n);
 
-        for endpoint in endpoints {
-            let id = endpoint.node();
-            let (cmd_tx, cmd_rx) = channel::<Command>();
-            let config = ServiceConfig::full_mesh(id, n, algorithm)
-                .with_hello_interval(SimDuration::from_millis(200));
-            let events = event_tx.clone();
-            let crashed_flags = Arc::clone(&crashed);
-            let thread = std::thread::spawn(move || {
-                let mut runtime = NodeRuntime {
-                    node: ServiceNode::new(config),
-                    id,
-                    start: Instant::now(),
-                    timers: std::collections::BTreeMap::new(),
-                    events,
-                };
-                let mut ctx = ServiceContext::new(runtime.now(), id, 0);
-                runtime.node.on_start(&mut ctx);
-                let effects = ctx.into_effects();
-                runtime.apply_effects(effects, &endpoint);
-
-                loop {
-                    // Process any pending command.
-                    while let Ok(command) = cmd_rx.try_recv() {
-                        match command {
-                            Command::Join {
-                                group,
-                                config,
-                                reply,
-                            } => {
-                                let process = runtime.node.register_process();
-                                let mut ctx = ServiceContext::new(runtime.now(), id, 0);
-                                let _ = runtime.node.join_group(process, group, config, &mut ctx);
-                                let effects = ctx.into_effects();
-                                runtime.apply_effects(effects, &endpoint);
-                                let _ = reply.send(process);
-                            }
-                            Command::Leave {
-                                group,
-                                process,
-                                reply,
-                            } => {
-                                let mut ctx = ServiceContext::new(runtime.now(), id, 0);
-                                let ok = runtime.node.leave_group(process, group, &mut ctx).is_ok();
-                                let effects = ctx.into_effects();
-                                runtime.apply_effects(effects, &endpoint);
-                                let _ = reply.send(ok);
-                            }
-                            Command::QueryLeader { group, reply } => {
-                                let _ = reply.send(runtime.node.leader_of(group));
-                            }
-                            Command::Shutdown => return,
-                        }
-                    }
-
-                    if crashed_flags.lock().expect("crash flags poisoned")[id.index()] {
-                        // A "crashed" node drops traffic and does nothing.
-                        while endpoint.try_recv().is_some() {}
-                        std::thread::sleep(Duration::from_millis(5));
-                        continue;
-                    }
-
-                    runtime.fire_due_timers(&endpoint);
-
-                    // Wait for the next message, but never past the next
-                    // timer deadline (and poll commands at least every 10ms).
-                    let wait = runtime
-                        .next_deadline()
-                        .map(|deadline| {
-                            let now = runtime.now();
-                            Duration::from_nanos(
-                                deadline.saturating_since(now).as_nanos().min(10_000_000),
-                            )
-                        })
-                        .unwrap_or(Duration::from_millis(10));
-                    if let Some(incoming) = endpoint.recv_timeout(wait) {
-                        let mut ctx = ServiceContext::new(runtime.now(), id, 0);
-                        runtime
-                            .node
-                            .on_message(incoming.from, incoming.msg, &mut ctx);
-                        let effects = ctx.into_effects();
-                        runtime.apply_effects(effects, &endpoint);
-                    }
-                }
+        for (i, (endpoint, config)) in endpoints.into_iter().zip(configs).enumerate() {
+            let id = NodeId(i as u32);
+            let shard = i % workers;
+            shard_of.push(shard);
+            let push_mode = endpoint.set_delivery_sink(inboxes[shard].mail.sender());
+            members[shard].push(Resident {
+                id,
+                service: ServiceNode::new(config),
+                endpoint,
+                push_mode,
+                crashed_seen: false,
+                frozen: Vec::new(),
             });
             handles.push(ClusterHandle {
                 node: id,
-                commands: cmd_tx.clone(),
+                inbox: Arc::clone(&inboxes[shard]),
+                shutdown: Arc::clone(&shutdown),
             });
-            command_senders.push(cmd_tx);
-            threads.push(thread);
         }
+
+        let threads = members
+            .into_iter()
+            .enumerate()
+            .map(|(k, residents)| {
+                let index = residents
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, resident)| (resident.id, idx))
+                    .collect();
+                let any_pull = residents.iter().any(|resident| !resident.push_mode);
+                let runtime = ShardRuntime {
+                    start,
+                    residents,
+                    index,
+                    wheel: TimerWheel::new(),
+                    inbox: Arc::clone(&inboxes[k]),
+                    events: event_tx.clone(),
+                    crashed: Arc::clone(&crashed),
+                    shutdown: Arc::clone(&shutdown),
+                    stats: Arc::clone(&stats[k]),
+                    any_pull,
+                };
+                std::thread::Builder::new()
+                    .name(format!("sle-shard-{k}"))
+                    .spawn(move || runtime.run())
+                    .expect("spawn shard worker")
+            })
+            .collect();
 
         Cluster {
             handles,
             threads,
             events: event_rx,
-            command_senders,
             crashed,
+            shutdown,
+            inboxes,
+            shard_of,
+            stats,
         }
     }
 
@@ -352,6 +752,25 @@ impl Cluster {
     /// True if the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
         self.handles.is_empty()
+    }
+
+    /// Size of the shard worker pool (the cluster's thread count, excluding
+    /// whatever reader threads the transport runs).
+    pub fn workers(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Aggregate wakeup counters across all shard workers.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        let mut stats = RuntimeStats {
+            workers: self.inboxes.len(),
+            ..RuntimeStats::default()
+        };
+        for shard in &self.stats {
+            stats.wakeups += shard.wakeups.load(Ordering::Relaxed);
+            stats.idle_wakeups += shard.idle_wakeups.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// The handle for `node`.
@@ -385,6 +804,22 @@ impl Cluster {
             }
         }
         agreed.filter(|leader| Some(leader.node) != exclude)
+    }
+
+    /// Like [`Cluster::agreed_leader`], but polling only `members` — the
+    /// form multi-group deployments use, where each group spans a subset of
+    /// the workstations.
+    pub fn agreed_leader_among(&self, group: GroupId, members: &[NodeId]) -> Option<ProcessId> {
+        let mut agreed: Option<ProcessId> = None;
+        for &member in members {
+            let view = self.handles.get(member.index())?.leader_of(group)?;
+            match agreed {
+                None => agreed = Some(view),
+                Some(leader) if leader == view => {}
+                Some(_) => return None,
+            }
+        }
+        agreed
     }
 
     /// Polls [`Cluster::agreed_leader`] until the nodes agree or `timeout`
@@ -425,13 +860,8 @@ impl Cluster {
 
     /// Simulates a crash of `node`: it stops handling messages and timers.
     pub fn crash(&self, node: NodeId) {
-        if let Some(flag) = self
-            .crashed
-            .lock()
-            .expect("crash flags poisoned")
-            .get_mut(node.index())
-        {
-            *flag = true;
+        if self.crashed.set(node, true) {
+            self.inboxes[self.shard_of[node.index()]].wake();
         }
     }
 
@@ -440,23 +870,31 @@ impl Cluster {
     /// Note: unlike the simulator, the in-process runtime keeps the node's
     /// state; for full crash-recovery semantics use the simulator.
     pub fn recover(&self, node: NodeId) {
-        if let Some(flag) = self
-            .crashed
-            .lock()
-            .expect("crash flags poisoned")
-            .get_mut(node.index())
-        {
-            *flag = false;
+        if self.crashed.set(node, false) {
+            self.inboxes[self.shard_of[node.index()]].wake();
         }
     }
 
-    /// Shuts the cluster down, joining all threads.
-    pub fn shutdown(mut self) {
-        for sender in &self.command_senders {
-            let _ = sender.send(Command::Shutdown);
+    /// Shuts the cluster down, joining all shard workers.
+    pub fn shutdown(self) {
+        // Drop does the work; this method is the explicit, readable form.
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for inbox in &self.inboxes {
+            inbox.wake();
         }
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+        // Commands that raced the shutdown and were never answered: drop
+        // them (and their reply senders) so blocked callers fail promptly
+        // instead of waiting out their reply timeout.
+        for inbox in &self.inboxes {
+            inbox.drain_commands();
         }
     }
 }
@@ -470,6 +908,7 @@ mod tests {
         let cluster = Cluster::start(3, ElectorKind::OmegaLc);
         assert_eq!(cluster.len(), 3);
         assert!(!cluster.is_empty());
+        assert_eq!(cluster.workers(), 3, "legacy shape: one worker per node");
         let group = GroupId(1);
         let mut processes = Vec::new();
         for i in 0..3u32 {
@@ -505,6 +944,82 @@ mod tests {
         let new_leader = cluster.await_agreement(group, Some(leader.node), Duration::from_secs(15));
         let new_leader = new_leader.expect("no re-election within 15 s");
         assert_ne!(new_leader.node, leader.node);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sharded_cluster_elects_and_reelects() {
+        // Five nodes on two workers: same protocol, O(workers) threads.
+        let config = ClusterConfig::new(ElectorKind::OmegaL).with_workers(2);
+        let cluster = Cluster::start_with_config(5, config);
+        assert_eq!(cluster.workers(), 2);
+        let group = GroupId(3);
+        for i in 0..5u32 {
+            cluster
+                .handle(NodeId(i))
+                .unwrap()
+                .join(group, JoinConfig::candidate())
+                .unwrap();
+        }
+        let leader = cluster
+            .await_agreement(group, None, Duration::from_secs(10))
+            .expect("initial leader");
+        cluster.crash(leader.node);
+        let new_leader = cluster
+            .await_agreement(group, Some(leader.node), Duration::from_secs(15))
+            .expect("no re-election within 15 s");
+        assert_ne!(new_leader.node, leader.node);
+
+        // A recovered node resumes its timers (they were parked, not lost)
+        // and rejoins the protocol: the *full* membership — recovered node
+        // included — must reach agreement again.
+        cluster.recover(leader.node);
+        let settled = cluster
+            .await_agreement(group, None, Duration::from_secs(20))
+            .expect("no full agreement after recovery");
+        let members: Vec<NodeId> = (0..5u32).map(NodeId).collect();
+        assert_eq!(cluster.agreed_leader_among(group, &members), Some(settled));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_with_crashed_nodes_shuts_down_promptly() {
+        // Crashed nodes are parked on the shard mailbox (no drain/sleep
+        // busy-loop), so shutdown must join instantly even when every node
+        // is crashed.
+        let config = ClusterConfig::new(ElectorKind::OmegaLc).with_workers(2);
+        let cluster = Cluster::start_with_config(4, config);
+        for i in 0..4u32 {
+            cluster.crash(NodeId(i));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        cluster.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn cluster_config_builders() {
+        let config = ClusterConfig::new(ElectorKind::OmegaL)
+            .with_workers(0)
+            .with_hello_interval(SimDuration::from_millis(150))
+            .with_mesh_seed(9)
+            .with_links(LinkSpec::perfect());
+        assert_eq!(config.workers, Some(1), "worker pool is clamped to >= 1");
+        assert_eq!(config.hello_interval, SimDuration::from_millis(150));
+        assert_eq!(config.mesh_seed, 9);
+        // More workers than nodes is capped at construction time.
+        let cluster = Cluster::start_with_config(
+            2,
+            ClusterConfig::new(ElectorKind::OmegaLc).with_workers(16),
+        );
+        assert_eq!(cluster.workers(), 2);
+        let stats = cluster.runtime_stats();
+        assert_eq!(stats.workers, 2);
         cluster.shutdown();
     }
 }

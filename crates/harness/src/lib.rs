@@ -8,6 +8,8 @@
 //! per figure.
 //!
 //! * [`metrics`] — the metrics collector ([`metrics::MetricsCollector`]),
+//! * [`deploy`] — strided multi-group deployment shapes shared by the
+//!   scale benches and tests,
 //! * [`crash`] — workstation crash/recovery injection,
 //! * [`scenario`] — a single experiment cell ([`scenario::Scenario`]),
 //! * [`regime`] — the regime-shift experiment comparing static vs adaptive
@@ -47,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod crash;
+pub mod deploy;
 pub mod figures;
 pub mod metrics;
 pub mod regime;

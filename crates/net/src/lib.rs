@@ -17,7 +17,10 @@
 //!   the adaptive-tuning evaluation,
 //! * [`transport`] — the [`transport::MessageEndpoint`] abstraction the
 //!   real-time runtime is generic over, and the in-memory mesh
-//!   implementation of it (the UDP implementation lives in `sle-udp`).
+//!   implementation of it (the UDP implementation lives in `sle-udp`),
+//! * [`mailbox`] — the condvar-parked shard mailbox through which push-mode
+//!   transports deliver straight to a sharded runtime's workers
+//!   ([`transport::MessageEndpoint::set_delivery_sink`]).
 //!
 //! ## Example: the paper's harshest lossy network
 //!
@@ -38,10 +41,14 @@
 
 pub mod drift;
 pub mod link;
+pub mod mailbox;
 pub mod network;
 pub mod transport;
 
 pub use drift::{DriftSchedule, DriftingNetwork};
 pub use link::{LinkCrashSpec, LinkOutageState, LinkSpec};
+pub use mailbox::{Mailbox, MailboxSender};
 pub use network::{NetworkModel, NetworkStats, SimulatedNetwork};
-pub use transport::{Endpoint, InMemoryMesh, Incoming, MessageEndpoint, TransportError};
+pub use transport::{
+    Endpoint, InMemoryMesh, Incoming, MessageEndpoint, ShardDelivery, TransportError,
+};

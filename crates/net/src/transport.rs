@@ -17,6 +17,7 @@ use sle_sim::rng::SimRng;
 use sle_sim::time::SimDuration;
 
 use crate::link::LinkSpec;
+use crate::mailbox::MailboxSender;
 
 /// Errors returned by transport operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +46,13 @@ impl std::fmt::Display for TransportError {
 }
 
 impl std::error::Error for TransportError {}
+
+/// The push-mode delivery seam between a transport and a sharded runtime:
+/// a [`MailboxSender`] into the shard mailbox of whichever worker owns the
+/// receiving endpoint's node. Arriving messages are tagged with the
+/// receiving endpoint's identity (a shard mailbox multiplexes many resident
+/// nodes) and the push itself wakes the parked worker.
+pub type ShardDelivery<M> = MailboxSender<(NodeId, Incoming<M>)>;
 
 /// The endpoint shape the real-time runtime in `sle-core` is written
 /// against: an unreliable, unordered, node-addressed datagram service.
@@ -76,6 +84,24 @@ pub trait MessageEndpoint<M> {
 
     /// Receives a message if one is already queued, without blocking.
     fn try_recv(&self) -> Option<Incoming<M>>;
+
+    /// Switches the endpoint to push-mode delivery: every message that
+    /// arrives from now on is pushed into `sink` (tagged with this
+    /// endpoint's [`node`](MessageEndpoint::node)) and wakes the owning
+    /// shard's worker, instead of queuing for
+    /// [`recv_timeout`](MessageEndpoint::recv_timeout) /
+    /// [`try_recv`](MessageEndpoint::try_recv) pulls. Messages already
+    /// queued at the moment of the switch are moved into the sink as well
+    /// (their order relative to concurrent arrivals is unspecified, which a
+    /// best-effort datagram contract already permits).
+    ///
+    /// Returns whether the transport supports push mode. The default
+    /// implementation is pull-only and returns `false`; a sharded runtime
+    /// then falls back to polling the endpoint on a short cadence.
+    fn set_delivery_sink(&self, sink: ShardDelivery<M>) -> bool {
+        let _ = sink;
+        false
+    }
 }
 
 /// A message in flight, tagged with its sender.
@@ -87,8 +113,16 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
+/// Where messages for one mesh destination currently go: its endpoint's
+/// pull channel (the default), or straight into the shard mailbox of the
+/// runtime worker that owns the destination node.
+enum MeshRoute<M> {
+    Channel(Sender<Incoming<M>>),
+    Shard(ShardDelivery<M>),
+}
+
 struct MeshShared<M> {
-    senders: Vec<Sender<Incoming<M>>>,
+    routes: Vec<Mutex<MeshRoute<M>>>,
     loss: LinkSpec,
     rng: Mutex<SimRng>,
 }
@@ -124,16 +158,16 @@ impl<M: Send + 'static> InMemoryMesh<M> {
     /// since blocking a sender would distort the caller's timing. Delay
     /// injection in real time is the responsibility of the runtime driver).
     pub fn with_links(n: usize, spec: LinkSpec, seed: u64) -> Self {
-        let mut senders = Vec::with_capacity(n);
+        let mut routes = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = channel();
-            senders.push(tx);
+            routes.push(Mutex::new(MeshRoute::Channel(tx)));
             receivers.push(Some(rx));
         }
         InMemoryMesh {
             shared: Arc::new(MeshShared {
-                senders,
+                routes,
                 loss: spec,
                 rng: Mutex::new(SimRng::seed_from(seed)),
             }),
@@ -143,12 +177,12 @@ impl<M: Send + 'static> InMemoryMesh<M> {
 
     /// Number of endpoints in the mesh.
     pub fn len(&self) -> usize {
-        self.shared.senders.len()
+        self.shared.routes.len()
     }
 
     /// Returns true if the mesh has no endpoints.
     pub fn is_empty(&self) -> bool {
-        self.shared.senders.is_empty()
+        self.shared.routes.is_empty()
     }
 
     /// Takes the endpoint for `node`. Each endpoint can be taken once.
@@ -183,24 +217,33 @@ impl<M: Send + 'static> Endpoint<M> {
     /// and [`TransportError::Closed`] if the destination endpoint (and its
     /// receiver) has been dropped.
     pub fn send(&self, to: NodeId, msg: M) -> Result<(), TransportError> {
-        let sender = self
+        let route = self
             .shared
-            .senders
+            .routes
             .get(to.index())
             .ok_or(TransportError::UnknownDestination(to))?;
-        {
+        // Perfect links skip the loss lottery entirely: the shared RNG lock
+        // would otherwise serialize every sender in the mesh.
+        if self.shared.loss.loss_probability() > 0.0 {
             let mut rng = self.shared.rng.lock().expect("transport rng poisoned");
             if rng.bernoulli(self.shared.loss.loss_probability()) {
                 // Message "lost on the wire": swallowed silently, like UDP.
                 return Ok(());
             }
         }
-        sender
-            .send(Incoming {
-                from: self.node,
-                msg,
-            })
-            .map_err(|_| TransportError::Closed)
+        let incoming = Incoming {
+            from: self.node,
+            msg,
+        };
+        match &*route.lock().expect("mesh route poisoned") {
+            MeshRoute::Channel(sender) => sender.send(incoming).map_err(|_| TransportError::Closed),
+            MeshRoute::Shard(sink) => {
+                // Delivered straight into the owning shard's mailbox, waking
+                // its worker.
+                sink.push((to, incoming));
+                Ok(())
+            }
+        }
     }
 
     /// Receives the next message, waiting up to `timeout`.
@@ -223,6 +266,24 @@ impl<M: Send + 'static> Endpoint<M> {
     pub fn nominal_delay(&self) -> SimDuration {
         self.shared.loss.mean_delay()
     }
+
+    /// Routes all future deliveries for this endpoint straight into `sink`
+    /// (see [`MessageEndpoint::set_delivery_sink`]); anything already queued
+    /// moves into the sink too.
+    pub fn set_delivery_sink(&self, sink: ShardDelivery<M>) {
+        {
+            let mut route = self.shared.routes[self.node.index()]
+                .lock()
+                .expect("mesh route poisoned");
+            *route = MeshRoute::Shard(sink.clone());
+        }
+        // Messages that reached the channel before the switch must not be
+        // stranded: move them into the sink (senders now all use the sink,
+        // so the channel can only drain).
+        while let Ok(incoming) = self.receiver.try_recv() {
+            sink.push((self.node, incoming));
+        }
+    }
 }
 
 impl<M: Send + 'static> MessageEndpoint<M> for Endpoint<M> {
@@ -240,6 +301,11 @@ impl<M: Send + 'static> MessageEndpoint<M> for Endpoint<M> {
 
     fn try_recv(&self) -> Option<Incoming<M>> {
         Endpoint::try_recv(self)
+    }
+
+    fn set_delivery_sink(&self, sink: ShardDelivery<M>) -> bool {
+        Endpoint::set_delivery_sink(self, sink);
+        true
     }
 }
 
@@ -307,6 +373,34 @@ mod tests {
         for i in 0..50 {
             a.send(NodeId(1), i).unwrap();
         }
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn delivery_sink_receives_pushes_and_queued_backlog() {
+        use crate::mailbox::Mailbox;
+
+        let mut mesh: InMemoryMesh<u32> = InMemoryMesh::new(2);
+        let a = mesh.endpoint(NodeId(0)).unwrap();
+        let b = mesh.endpoint(NodeId(1)).unwrap();
+        // A message queued before the switch must move into the sink.
+        a.send(NodeId(1), 1).unwrap();
+        let mailbox: Mailbox<(NodeId, Incoming<u32>)> = Mailbox::new();
+        assert!(MessageEndpoint::set_delivery_sink(&b, mailbox.sender()));
+        // And later sends go straight to the sink, waking the waiter.
+        a.send(NodeId(1), 2).unwrap();
+        let mut buf = Vec::new();
+        assert!(mailbox.wait_until(None, &mut buf));
+        while buf.len() < 2 {
+            mailbox.drain(&mut buf);
+        }
+        let got: Vec<_> = buf
+            .iter()
+            .map(|(node, incoming)| (*node, incoming.from, incoming.msg))
+            .collect();
+        assert!(got.contains(&(NodeId(1), NodeId(0), 1)));
+        assert!(got.contains(&(NodeId(1), NodeId(0), 2)));
+        // Pulls see nothing once the endpoint is in push mode.
         assert!(b.try_recv().is_none());
     }
 

@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimInstant};
     pub use crate::timeline::Timeline;
-    pub use crate::wheel::EventWheel;
+    pub use crate::wheel::{EventWheel, TimerWheel};
     pub use crate::world::{ActorFactory, World};
 }
 
@@ -77,5 +77,5 @@ pub use observer::{CountingObserver, NullObserver, Observer, PairObserver};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimInstant};
 pub use timeline::Timeline;
-pub use wheel::EventWheel;
+pub use wheel::{EventWheel, TimerWheel};
 pub use world::{ActorFactory, World};

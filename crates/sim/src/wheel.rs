@@ -175,6 +175,17 @@ impl<T> EventWheel<T> {
         self.current.peek().map(|pending| pending.0.at)
     }
 
+    /// The earliest queued event as `(at, seq, &item)` without removing it.
+    ///
+    /// Like [`EventWheel::peek_time`], this may cascade slots internally,
+    /// hence `&mut self`.
+    pub fn peek(&mut self) -> Option<(SimInstant, u64, &T)> {
+        self.advance_to_next();
+        self.current
+            .peek()
+            .map(|pending| (pending.0.at, pending.0.seq, &pending.0.item))
+    }
+
     /// Removes and returns the earliest event as `(at, seq, item)`.
     pub fn pop(&mut self) -> Option<(SimInstant, u64, T)> {
         self.advance_to_next();
@@ -225,6 +236,129 @@ impl<T> std::fmt::Debug for EventWheel<T> {
         f.debug_struct("EventWheel")
             .field("len", &self.len)
             .field("elapsed_tick", &self.elapsed)
+            .finish()
+    }
+}
+
+/// A keyed, cancelable timer facade over [`EventWheel`]: the same `O(1)`
+/// hierarchical wheel, generalized over the caller's key (the sharded
+/// real-time runtime in `sle-core` keys it by `(NodeId, TimerTag)`).
+///
+/// Scheduling a key that is already armed re-arms it (the previous deadline
+/// is superseded), and [`TimerWheel::cancel`] disarms it — both in `O(1)`,
+/// using the same lazy generation check the simulator's `World` uses: stale
+/// wheel entries are discarded when they surface. The clock is whatever the
+/// caller's [`SimInstant`]s mean — virtual time under the simulator, or
+/// nanoseconds since some wall-clock epoch under a real-time runtime.
+///
+/// ```
+/// use sle_sim::time::SimInstant;
+/// use sle_sim::wheel::TimerWheel;
+///
+/// let mut wheel: TimerWheel<&str> = TimerWheel::new();
+/// wheel.schedule("hello", SimInstant::from_secs_f64(1.0));
+/// wheel.schedule("alive", SimInstant::from_secs_f64(0.5));
+/// wheel.schedule("hello", SimInstant::from_secs_f64(2.0)); // re-arm
+/// wheel.cancel(&"alive");
+/// assert_eq!(wheel.next_deadline(), Some(SimInstant::from_secs_f64(2.0)));
+/// let now = SimInstant::from_secs_f64(3.0);
+/// assert_eq!(wheel.pop_due(now), Some((SimInstant::from_secs_f64(2.0), "hello")));
+/// assert_eq!(wheel.pop_due(now), None);
+/// ```
+pub struct TimerWheel<K> {
+    wheel: EventWheel<K>,
+    /// Per-key arm state: the generation of the live wheel entry (its `seq`)
+    /// and the deadline it was armed for. A wheel entry whose `seq` no
+    /// longer matches is stale (re-armed or cancelled) and is dropped when
+    /// it reaches the front.
+    armed: std::collections::HashMap<K, (u64, SimInstant)>,
+    generation: u64,
+}
+
+impl<K> Default for TimerWheel<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> TimerWheel<K> {
+    /// Creates an empty timer wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            wheel: EventWheel::new(),
+            armed: std::collections::HashMap::new(),
+            generation: 0,
+        }
+    }
+}
+
+impl<K: Clone + Eq + std::hash::Hash> TimerWheel<K> {
+    /// Number of armed timers (stale wheel entries do not count).
+    pub fn len(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// True if no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+    }
+
+    /// Arms (or re-arms) `key` to fire at `at`. `O(1)`.
+    ///
+    /// Generations are handed out in call order, so two timers armed for
+    /// the same instant fire in the order they were (most recently) armed —
+    /// the same deterministic tie-break the simulator uses.
+    pub fn schedule(&mut self, key: K, at: SimInstant) {
+        self.generation += 1;
+        self.armed.insert(key.clone(), (self.generation, at));
+        self.wheel.push(at, self.generation, key);
+    }
+
+    /// Disarms `key` if it is armed. `O(1)` (the wheel entry is dropped
+    /// lazily when it surfaces).
+    pub fn cancel(&mut self, key: &K) {
+        self.armed.remove(key);
+    }
+
+    /// The deadline `key` is currently armed for, if any.
+    pub fn deadline_of(&self, key: &K) -> Option<SimInstant> {
+        self.armed.get(key).map(|&(_, at)| at)
+    }
+
+    /// The earliest live deadline, if any timer is armed.
+    ///
+    /// Takes `&mut self`: stale entries in front are discarded and wheel
+    /// slots may cascade while searching.
+    pub fn next_deadline(&mut self) -> Option<SimInstant> {
+        loop {
+            let (at, seq, key) = self.wheel.peek()?;
+            match self.armed.get(key) {
+                Some(&(generation, _)) if generation == seq => return Some(at),
+                _ => {
+                    // Re-armed or cancelled since it was pushed: discard.
+                    self.wheel.pop();
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the earliest timer whose deadline is `<= now`,
+    /// as `(deadline, key)` — or `None` when nothing is due yet.
+    pub fn pop_due(&mut self, now: SimInstant) -> Option<(SimInstant, K)> {
+        let at = self.next_deadline()?;
+        if at > now {
+            return None;
+        }
+        let (at, _seq, key) = self.wheel.pop().expect("next_deadline saw an entry");
+        self.armed.remove(&key);
+        Some((at, key))
+    }
+}
+
+impl<K> std::fmt::Debug for TimerWheel<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("armed", &self.armed.len())
             .finish()
     }
 }
@@ -357,5 +491,89 @@ mod tests {
         let rendered = format!("{wheel:?}");
         assert!(rendered.contains("EventWheel"));
         assert!(rendered.contains("len"));
+        let timers: TimerWheel<u8> = TimerWheel::default();
+        assert!(format!("{timers:?}").contains("TimerWheel"));
+    }
+
+    #[test]
+    fn timer_wheel_rearms_and_cancels() {
+        let mut wheel: TimerWheel<(u32, u32)> = TimerWheel::new();
+        assert!(wheel.is_empty());
+        wheel.schedule((0, 1), SimInstant::from_nanos(500));
+        wheel.schedule((0, 2), SimInstant::from_nanos(200));
+        wheel.schedule((1, 1), SimInstant::from_nanos(300));
+        assert_eq!(wheel.len(), 3);
+        // Re-arm supersedes the earlier deadline...
+        wheel.schedule((0, 2), SimInstant::from_nanos(900));
+        assert_eq!(wheel.len(), 3);
+        assert_eq!(
+            wheel.deadline_of(&(0, 2)),
+            Some(SimInstant::from_nanos(900))
+        );
+        // ...and cancel disarms entirely.
+        wheel.cancel(&(1, 1));
+        assert_eq!(wheel.deadline_of(&(1, 1)), None);
+        assert_eq!(wheel.next_deadline(), Some(SimInstant::from_nanos(500)));
+
+        assert_eq!(wheel.pop_due(SimInstant::from_nanos(100)), None);
+        assert_eq!(
+            wheel.pop_due(SimInstant::from_nanos(1_000)),
+            Some((SimInstant::from_nanos(500), (0, 1)))
+        );
+        assert_eq!(
+            wheel.pop_due(SimInstant::from_nanos(1_000)),
+            Some((SimInstant::from_nanos(900), (0, 2)))
+        );
+        assert_eq!(wheel.pop_due(SimInstant::FAR_FUTURE), None);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_matches_a_sorted_model_over_random_workloads() {
+        // Differential test against a sorted map model: random interleaved
+        // schedules (often re-arming a live key), cancels and pops must
+        // agree with the model exactly.
+        let mut rng = SimRng::seed_from(0xFACE);
+        for _case in 0..20 {
+            let mut wheel: TimerWheel<u32> = TimerWheel::new();
+            let mut model: std::collections::BTreeMap<u32, (SimInstant, u64)> =
+                std::collections::BTreeMap::new();
+            let mut order = 0u64;
+            let mut now = SimInstant::ZERO;
+            for _step in 0..300 {
+                for _ in 0..rng.uniform_usize(4) {
+                    let key = rng.next_u64() as u32 % 24;
+                    let exponent = 4 + rng.uniform_usize(38) as u32;
+                    let at = now + SimDuration::from_nanos(rng.next_u64() % (1u64 << exponent));
+                    order += 1;
+                    wheel.schedule(key, at);
+                    model.insert(key, (at, order));
+                }
+                if rng.uniform_usize(3) == 0 {
+                    let key = rng.next_u64() as u32 % 24;
+                    wheel.cancel(&key);
+                    model.remove(&key);
+                }
+                assert_eq!(wheel.len(), model.len());
+                let expected_next = model.values().map(|&(at, _)| at).min();
+                assert_eq!(wheel.next_deadline(), expected_next);
+                // Advance time and drain everything now due, in order.
+                now += SimDuration::from_nanos(rng.next_u64() % (1u64 << 24));
+                loop {
+                    let due = model
+                        .iter()
+                        .filter(|(_, &(at, _))| at <= now)
+                        .min_by_key(|(_, &(at, ord))| (at, ord))
+                        .map(|(&key, &(at, _))| (at, key));
+                    assert_eq!(wheel.pop_due(now), due);
+                    match due {
+                        Some((_, key)) => {
+                            model.remove(&key);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
     }
 }

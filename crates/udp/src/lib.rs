@@ -49,17 +49,19 @@ use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use sle_net::transport::{Incoming, MessageEndpoint, TransportError};
+use sle_net::transport::{Incoming, MessageEndpoint, ShardDelivery, TransportError};
 use sle_sim::actor::NodeId;
 use sle_wire::{decode_frame, encode_frame, WireFormat, MAX_DATAGRAM};
 
-/// How long the reader thread blocks in `recv_from` before re-checking the
-/// shutdown flag.
-const READER_POLL: Duration = Duration::from_millis(25);
+/// Fallback read timeout installed at shutdown, in case the zero-byte wake
+/// datagram is lost. In steady state the reader blocks indefinitely — its
+/// shutdown is edge-triggered (see [`UdpEndpoint`]'s `Drop`), so an idle
+/// endpoint causes no periodic wakeups at all.
+const SHUTDOWN_FALLBACK_POLL: Duration = Duration::from_millis(25);
 
 /// Datagram-level counters of one endpoint, all monotonically increasing.
 ///
@@ -86,6 +88,11 @@ pub struct UdpStats {
     /// (e.g. a HELLO gossiping more members than fit in
     /// [`MAX_DATAGRAM`]) — not that the network is lossy.
     pub send_unencodable: AtomicU64,
+    /// Times the reader thread woke from `recv_from`, for any reason. The
+    /// reader blocks without a timeout, so on an idle endpoint this stays
+    /// flat — the regression guard for "no periodic wakeups when nothing
+    /// arrives".
+    pub reader_wakeups: AtomicU64,
 }
 
 /// A point-in-time copy of [`UdpStats`].
@@ -101,6 +108,8 @@ pub struct UdpStatsSnapshot {
     pub dropped_misaddressed: u64,
     /// Outbound messages too large to encode into one datagram.
     pub send_unencodable: u64,
+    /// Times the reader thread woke from `recv_from`, for any reason.
+    pub reader_wakeups: u64,
 }
 
 impl UdpStats {
@@ -112,8 +121,16 @@ impl UdpStats {
             dropped_malformed: self.dropped_malformed.load(Ordering::Relaxed),
             dropped_misaddressed: self.dropped_misaddressed.load(Ordering::Relaxed),
             send_unencodable: self.send_unencodable.load(Ordering::Relaxed),
+            reader_wakeups: self.reader_wakeups.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Where the reader thread currently delivers decoded messages: the
+/// endpoint's pull channel (the default) or a sharded runtime's mailbox.
+enum UdpDelivery<M> {
+    Channel(Sender<Incoming<M>>),
+    Shard(ShardDelivery<M>),
 }
 
 /// One workstation's UDP attachment to the service: a socket, an address
@@ -125,6 +142,7 @@ pub struct UdpEndpoint<M> {
     socket: UdpSocket,
     peers: Arc<Vec<SocketAddr>>,
     rx: Receiver<Incoming<M>>,
+    delivery: Arc<Mutex<UdpDelivery<M>>>,
     stop: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
     stats: Arc<UdpStats>,
@@ -138,22 +156,27 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
     /// # Errors
     ///
     /// Fails if the socket cannot be cloned for the reader thread or its
-    /// read timeout cannot be set.
+    /// read timeout cannot be cleared.
     pub fn new(node: NodeId, socket: UdpSocket, peers: Vec<SocketAddr>) -> io::Result<Self> {
         let peers = Arc::new(peers);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(UdpStats::default());
         let (tx, rx) = channel();
+        let delivery = Arc::new(Mutex::new(UdpDelivery::Channel(tx)));
 
         let reader_socket = socket.try_clone()?;
-        reader_socket.set_read_timeout(Some(READER_POLL))?;
+        // The reader blocks until a datagram arrives; shutdown is
+        // edge-triggered by a zero-byte self-send (see `Drop`), so an idle
+        // endpoint never wakes.
+        reader_socket.set_read_timeout(None)?;
         let reader = std::thread::Builder::new()
             .name(format!("sle-udp-reader-{node}"))
             .spawn({
                 let peers = Arc::clone(&peers);
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
-                move || reader_loop(reader_socket, &peers, &stop, &stats, &tx)
+                let delivery = Arc::clone(&delivery);
+                move || reader_loop(node, reader_socket, &peers, &stop, &stats, &delivery)
             })?;
 
         Ok(UdpEndpoint {
@@ -161,6 +184,7 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
             socket,
             peers,
             rx,
+            delivery,
             stop,
             reader: Some(reader),
             stats,
@@ -195,16 +219,19 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
 }
 
 fn reader_loop<M: WireFormat>(
+    node: NodeId,
     socket: UdpSocket,
     peers: &[SocketAddr],
     stop: &AtomicBool,
     stats: &UdpStats,
-    tx: &Sender<Incoming<M>>,
+    delivery: &Mutex<UdpDelivery<M>>,
 ) {
     // One byte over the limit so an in-limit read is provably untruncated.
     let mut buf = vec![0u8; MAX_DATAGRAM + 1];
     while !stop.load(Ordering::Relaxed) {
-        let (len, src) = match socket.recv_from(&mut buf) {
+        let received = socket.recv_from(&mut buf);
+        stats.reader_wakeups.fetch_add(1, Ordering::Relaxed);
+        let (len, src) = match received {
             Ok(received) => received,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -215,6 +242,12 @@ fn reader_loop<M: WireFormat>(
             // peer's ICMP on Linux) must not kill the daemon's reader.
             Err(_) => continue,
         };
+        if len == 0 {
+            // A zero-byte datagram carries nothing the codec could accept;
+            // it is the shutdown wake-up (or noise), so just re-check the
+            // stop flag.
+            continue;
+        }
         if len > MAX_DATAGRAM {
             stats.dropped_oversized.fetch_add(1, Ordering::Relaxed);
             continue;
@@ -233,9 +266,15 @@ fn reader_loop<M: WireFormat>(
             continue;
         }
         stats.delivered.fetch_add(1, Ordering::Relaxed);
-        if tx.send(Incoming { from, msg }).is_err() {
-            // The endpoint (and its receiver) is gone: nothing left to do.
-            return;
+        let incoming = Incoming { from, msg };
+        match &*delivery.lock().expect("udp delivery poisoned") {
+            UdpDelivery::Channel(tx) => {
+                if tx.send(incoming).is_err() {
+                    // The endpoint (and its receiver) is gone.
+                    return;
+                }
+            }
+            UdpDelivery::Shard(sink) => sink.push((node, incoming)),
         }
     }
 }
@@ -272,13 +311,55 @@ impl<M: WireFormat + Send + 'static> MessageEndpoint<M> for UdpEndpoint<M> {
     fn try_recv(&self) -> Option<Incoming<M>> {
         self.rx.try_recv().ok()
     }
+
+    fn set_delivery_sink(&self, sink: ShardDelivery<M>) -> bool {
+        {
+            let mut delivery = self.delivery.lock().expect("udp delivery poisoned");
+            *delivery = UdpDelivery::Shard(sink.clone());
+        }
+        // Datagrams decoded before the switch must not be stranded in the
+        // pull channel (the reader only pushes to the sink from now on).
+        while let Ok(incoming) = self.rx.try_recv() {
+            sink.push((self.node, incoming));
+        }
+        true
+    }
 }
 
 impl<M> Drop for UdpEndpoint<M> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // The fallback read timeout covers a reader that has not yet
+        // re-entered `recv_from` (socket options are shared with the
+        // clone); a reader already parked inside the syscall is only woken
+        // by the zero-byte self-send below.
+        let _ = self.socket.set_read_timeout(Some(SHUTDOWN_FALLBACK_POLL));
+        // Edge-triggered shutdown: a zero-byte datagram to our own socket
+        // wakes the blocked reader, which re-checks the stop flag and
+        // exits. A wildcard-bound socket reports an unspecified local IP
+        // that is not a valid destination everywhere, so route the wake
+        // through the matching loopback address instead.
+        let woken = self
+            .socket
+            .local_addr()
+            .and_then(|mut addr| {
+                if addr.ip().is_unspecified() {
+                    match addr {
+                        SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                        SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+                    }
+                }
+                self.socket.send_to(&[], addr)
+            })
+            .is_ok();
         if let Some(reader) = self.reader.take() {
-            let _ = reader.join();
+            if woken {
+                let _ = reader.join();
+            }
+            // If the wake could not even be sent, the reader may be parked
+            // in `recv_from` indefinitely; leaking it (it exits on the next
+            // datagram or timeout tick) beats hanging the dropping thread
+            // forever.
         }
     }
 }
@@ -409,9 +490,47 @@ mod tests {
     }
 
     #[test]
-    fn drop_joins_the_reader_thread() {
-        let endpoints = bind_loopback_mesh::<u64>(2).unwrap();
+    fn drop_joins_the_reader_thread_promptly() {
+        // Shutdown is edge-triggered (zero-byte self-send), so joining the
+        // readers must not wait out any polling interval.
+        let endpoints = bind_loopback_mesh::<u64>(4).unwrap();
+        let start = std::time::Instant::now();
         drop(endpoints);
-        // Nothing to assert beyond "this returns": Drop joins the readers.
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "reader shutdown took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn idle_reader_does_not_wake() {
+        // The reader blocks without a read timeout: an endpoint receiving
+        // nothing must record zero reader wakeups, however long it idles.
+        let endpoints = bind_loopback_mesh::<u64>(1).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(endpoints[0].stats().reader_wakeups, 0);
+    }
+
+    #[test]
+    fn delivery_sink_receives_decoded_datagrams() {
+        use sle_net::mailbox::Mailbox;
+        use std::time::Instant;
+
+        let endpoints = bind_loopback_mesh::<u64>(2).unwrap();
+        let mailbox: Mailbox<(NodeId, Incoming<u64>)> = Mailbox::new();
+        assert!(endpoints[1].set_delivery_sink(mailbox.sender()));
+        endpoints[0].send(NodeId(1), 9).unwrap();
+        let mut buf = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while buf.is_empty() && Instant::now() < deadline {
+            mailbox.wait_until(Some(Instant::now() + Duration::from_millis(50)), &mut buf);
+        }
+        let (node, incoming) = buf.pop().expect("datagram delivered to the sink");
+        assert_eq!(node, NodeId(1));
+        assert_eq!(incoming.from, NodeId(0));
+        assert_eq!(incoming.msg, 9);
+        // The pull path sees nothing once the endpoint is in push mode.
+        assert!(endpoints[1].try_recv().is_none());
     }
 }

@@ -12,7 +12,7 @@
 
 use std::time::{Duration, Instant};
 
-use sle_core::{Cluster, GroupId, JoinConfig, ProcessId};
+use sle_core::{Cluster, ClusterConfig, GroupId, JoinConfig, ProcessId};
 use sle_election::ElectorKind;
 use sle_fd::QosSpec;
 use sle_sim::time::SimDuration;
@@ -37,7 +37,15 @@ fn wait_leader(cluster: &Cluster, group: GroupId, nodes: &[NodeId]) -> Option<Pr
 
 fn main() {
     let n = 6usize;
-    let cluster = Cluster::start(n, ElectorKind::OmegaL);
+    // Six workstations sharing a 2-worker shard pool, gossiping every
+    // 100 ms — the explicit deployment surface behind `Cluster::start`
+    // (which keeps the defaults: one worker per node, 200 ms HELLOs).
+    let cluster = Cluster::start_with_config(
+        n,
+        ClusterConfig::new(ElectorKind::OmegaL)
+            .with_workers(2)
+            .with_hello_interval(SimDuration::from_millis(100)),
+    );
 
     // Two "regional" groups of three workstations each, plus one "global"
     // group joined by every workstation — a two-level hierarchy.

@@ -1,24 +1,27 @@
-//! Cross-transport conformance: the in-process mesh and real UDP loopback
-//! must execute the identical protocol state machine.
+//! Cross-transport and cross-driver conformance: the in-process mesh and
+//! real UDP loopback — under both the legacy one-worker-per-node driver and
+//! the sharded fixed-pool driver — must execute the identical protocol
+//! state machine.
 //!
 //! The same deterministic 5-node scenario — staggered joins so the rank
 //! order is unambiguous, a stable election, a leader crash, a re-election —
-//! runs once over `sle-net`'s in-memory mesh and once over `sle-udp`
-//! sockets on 127.0.0.1. The two runs must produce **identical elected
-//! leaders** at every checkpoint, and their leader-view traces must earn
-//! **equivalent verdicts from the chaos invariant checker** (both clean:
+//! runs over `sle-net`'s in-memory mesh and over `sle-udp` sockets on
+//! 127.0.0.1, each both in the legacy shape (`workers = n`) and on a
+//! 2-worker shard pool. Every run must produce **identical elected
+//! leaders** at every checkpoint, and its leader-view trace must earn an
+//! **equivalent verdict from the chaos invariant checker** (all clean:
 //! eventual agreement, stability, mistake budget, single leadership).
 //!
 //! This is the regression net under the scale-out refactors: a timer-wheel,
-//! fan-out-batching or shared-monitor change that altered election
-//! behaviour on either transport would break the leader equalities or hand
-//! one of the traces a violation the other does not have.
+//! mailbox, fan-out-batching or shared-monitor change that altered election
+//! behaviour on either transport or driver would break the leader
+//! equalities or hand one of the traces a violation the others do not have.
 
 use std::time::{Duration, Instant};
 
 use sle_chaos::{check_trace, InvariantSpec, TraceEvent, TraceEventKind, Violation};
 use sle_core::messages::ServiceMessage;
-use sle_core::{Cluster, GroupId, JoinConfig, ProcessId, ServiceEvent};
+use sle_core::{Cluster, ClusterConfig, GroupId, JoinConfig, ProcessId, ServiceEvent};
 use sle_election::ElectorKind;
 use sle_fd::QosSpec;
 use sle_net::link::LinkSpec;
@@ -34,9 +37,18 @@ const GROUP: GroupId = GroupId(1);
 /// accusation-time ranks.
 const JOIN_STAGGER: Duration = Duration::from_millis(500);
 
+/// Which runtime shape drives the scenario.
+#[derive(Clone, Copy)]
+enum Driver {
+    /// The historical one-worker-per-node shape (`workers = n`).
+    Legacy,
+    /// The sharded fixed-pool runtime.
+    Sharded(usize),
+}
+
 /// What one transport's run of the scenario produced.
 struct Outcome {
-    transport: &'static str,
+    transport: String,
     /// The leader after the initial, staggered election.
     initial_leader: ProcessId,
     /// The leader after the initial leader's host crashed.
@@ -47,13 +59,17 @@ struct Outcome {
 
 /// Runs the conformance scenario over whatever transport the endpoints
 /// implement, recording every leader-change notification as a trace event.
-fn run_scenario<E>(endpoints: Vec<E>, transport: &'static str) -> Outcome
+fn run_scenario<E>(endpoints: Vec<E>, transport: String, driver: Driver) -> Outcome
 where
     E: MessageEndpoint<ServiceMessage> + Send + 'static,
 {
     assert_eq!(endpoints.len(), NODES);
     let started = Instant::now();
-    let cluster = Cluster::start_with_endpoints(endpoints, ElectorKind::OmegaL);
+    let mut config = ClusterConfig::new(ElectorKind::OmegaL);
+    if let Driver::Sharded(workers) = driver {
+        config = config.with_workers(workers);
+    }
+    let cluster = Cluster::start_endpoints_with_config(endpoints, config);
     let mut trace: Vec<TraceEvent> = Vec::new();
 
     let now_virtual =
@@ -143,47 +159,79 @@ where
     }
 }
 
-#[test]
-fn mesh_and_udp_execute_the_identical_state_machine() {
-    // Transport 1: the in-process mesh (perfect links).
+fn mesh_endpoints() -> Vec<sle_net::transport::Endpoint<ServiceMessage>> {
     let mut mesh: InMemoryMesh<ServiceMessage> =
         InMemoryMesh::with_links(NODES, LinkSpec::perfect(), 7);
-    let mesh_endpoints: Vec<_> = (0..NODES)
+    (0..NODES)
         .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
-        .collect();
-    let mesh_run = run_scenario(mesh_endpoints, "mesh");
+        .collect()
+}
 
-    // Transport 2: real UDP datagrams on loopback.
+/// Asserts the scenario's pinned outcome: the staggered construction makes
+/// node 0 win the initial election, and after its crash the earliest
+/// surviving rank — node 1 — takes over, with a clean invariant verdict.
+fn assert_expected_outcome(run: &Outcome) {
+    assert_eq!(
+        run.initial_leader.node,
+        NodeId(0),
+        "{}: wrong initial leader",
+        run.transport
+    );
+    assert_eq!(
+        run.recovered_leader.node,
+        NodeId(1),
+        "{}: wrong recovered leader",
+        run.transport
+    );
+    assert!(
+        run.violations.is_empty(),
+        "{}: invariant violations: {:?}",
+        run.transport,
+        run.violations
+    );
+}
+
+fn assert_identical(a: &Outcome, b: &Outcome) {
+    assert_eq!(a.initial_leader, b.initial_leader);
+    assert_eq!(a.recovered_leader, b.recovered_leader);
+    assert_eq!(a.violations, b.violations);
+}
+
+#[test]
+fn mesh_and_udp_execute_the_identical_state_machine() {
+    // Transport 1: the in-process mesh (perfect links), legacy driver.
+    let mesh_run = run_scenario(mesh_endpoints(), "mesh".into(), Driver::Legacy);
+
+    // Transport 2: real UDP datagrams on loopback, legacy driver.
     let udp_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
-    let udp_run = run_scenario(udp_endpoints, "udp");
+    let udp_run = run_scenario(udp_endpoints, "udp".into(), Driver::Legacy);
 
-    for run in [&mesh_run, &udp_run] {
-        // The staggered construction pins the outcome: node 0 wins the
-        // initial election, and after its crash the earliest surviving
-        // rank — node 1 — takes over.
-        assert_eq!(
-            run.initial_leader.node,
-            NodeId(0),
-            "{}: wrong initial leader",
-            run.transport
-        );
-        assert_eq!(
-            run.recovered_leader.node,
-            NodeId(1),
-            "{}: wrong recovered leader",
-            run.transport
-        );
-        assert!(
-            run.violations.is_empty(),
-            "{}: invariant violations: {:?}",
-            run.transport,
-            run.violations
-        );
-    }
+    assert_expected_outcome(&mesh_run);
+    assert_expected_outcome(&udp_run);
 
     // Identical elected leaders across transports, and equivalent
     // invariant-checker verdicts (both clean).
-    assert_eq!(mesh_run.initial_leader, udp_run.initial_leader);
-    assert_eq!(mesh_run.recovered_leader, udp_run.recovered_leader);
-    assert_eq!(mesh_run.violations, udp_run.violations);
+    assert_identical(&mesh_run, &udp_run);
+}
+
+#[test]
+fn sharded_driver_matches_legacy_on_mesh() {
+    // The same scenario on a 2-worker shard pool: the fixed-pool runtime
+    // must elect the identical leaders with an equally clean verdict.
+    let legacy = run_scenario(mesh_endpoints(), "mesh/legacy".into(), Driver::Legacy);
+    let sharded = run_scenario(mesh_endpoints(), "mesh/sharded".into(), Driver::Sharded(2));
+    assert_expected_outcome(&legacy);
+    assert_expected_outcome(&sharded);
+    assert_identical(&legacy, &sharded);
+}
+
+#[test]
+fn sharded_driver_matches_legacy_on_udp() {
+    let legacy_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
+    let legacy = run_scenario(legacy_endpoints, "udp/legacy".into(), Driver::Legacy);
+    let sharded_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
+    let sharded = run_scenario(sharded_endpoints, "udp/sharded".into(), Driver::Sharded(2));
+    assert_expected_outcome(&legacy);
+    assert_expected_outcome(&sharded);
+    assert_identical(&legacy, &sharded);
 }
