@@ -37,6 +37,7 @@ use sle_election::ElectorKind;
 use sle_harness::deploy::{membership, strided_groups};
 use sle_net::link::LinkSpec;
 use sle_net::transport::{InMemoryMesh, MessageEndpoint};
+use sle_obs::{Registry, Snapshot};
 use sle_sim::time::SimDuration;
 use sle_sim::NodeId;
 use sle_udp::bind_loopback_mesh;
@@ -48,16 +49,26 @@ const MAX_RUNTIME_THREADS: usize = 16;
 const MAX_IDLE_WAKEUPS_PER_SEC: f64 = 100.0;
 /// How long a cell may take to elect everywhere before the bench fails.
 const ELECTION_DEADLINE: Duration = Duration::from_secs(60);
+/// The telemetry overhead gate: with full observability on, the mesh
+/// cell's election wall-clock may grow by at most this ratio...
+const TELEMETRY_MAX_RATIO: f64 = 0.05;
+/// ...or this absolute floor, whichever is larger (sub-second elections
+/// carry scheduler noise a percentage alone would turn into flakes).
+const TELEMETRY_NOISE_FLOOR_MS: u128 = 150;
 
 struct Args {
     smoke: bool,
     out: String,
+    snapshot_prom: Option<String>,
+    snapshot_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         out: "BENCH_runtime.json".to_string(),
+        snapshot_prom: None,
+        snapshot_json: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -68,8 +79,23 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| "--out requires a path".to_string())?;
             }
+            "--snapshot-prom" => {
+                args.snapshot_prom = Some(
+                    iter.next()
+                        .ok_or_else(|| "--snapshot-prom requires a path".to_string())?,
+                );
+            }
+            "--snapshot-json" => {
+                args.snapshot_json = Some(
+                    iter.next()
+                        .ok_or_else(|| "--snapshot-json requires a path".to_string())?,
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: bench_runtime [--smoke] [--out PATH]");
+                println!(
+                    "usage: bench_runtime [--smoke] [--out PATH] \
+                     [--snapshot-prom PATH] [--snapshot-json PATH]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -111,6 +137,13 @@ struct Cell {
     /// same window.
     idle_wakeups_per_sec: f64,
     wall_ms: u128,
+    /// Whether the cell ran with the full observability stack attached.
+    telemetry: bool,
+    /// Election-latency percentiles from the live histograms (telemetry
+    /// cells only): per-node time from group creation to the first stable
+    /// leader announcement.
+    election_p50_ms: Option<f64>,
+    election_p99_ms: Option<f64>,
 }
 
 /// Per-node service configs for a strided deployment: each workstation
@@ -148,8 +181,9 @@ fn run_cell<E>(
     workers: usize,
     transport_reader_threads: usize,
     idle_window: Duration,
+    telemetry: bool,
     failures: &mut Vec<String>,
-) -> Cell
+) -> (Cell, Option<Snapshot>)
 where
     E: MessageEndpoint<ServiceMessage> + Send + 'static,
 {
@@ -161,7 +195,11 @@ where
     let threads_before = os_threads();
     let endpoints = make_endpoints();
 
-    let options = ClusterConfig::new(ElectorKind::OmegaL).with_workers(workers);
+    let mut options = ClusterConfig::new(ElectorKind::OmegaL).with_workers(workers);
+    let registry = Registry::default();
+    if telemetry {
+        options = options.with_observability(registry.clone());
+    }
     let started = Instant::now();
     let cluster = Cluster::start_with_service_configs(endpoints, configs, &options);
 
@@ -218,8 +256,19 @@ where
         ));
     }
 
+    let snapshot = telemetry.then(|| registry.snapshot());
+    let (election_p50_ms, election_p99_ms) = match &snapshot {
+        Some(snapshot) => {
+            let elections = snapshot.merged_histogram("node.", ".elect.election_ns");
+            (
+                Some(elections.percentile_ms(0.50)),
+                Some(elections.percentile_ms(0.99)),
+            )
+        }
+        None => (None, None),
+    };
     cluster.shutdown();
-    Cell {
+    let cell = Cell {
         name,
         transport,
         nodes,
@@ -232,13 +281,26 @@ where
         wakeups_per_sec,
         idle_wakeups_per_sec,
         wall_ms: wall.elapsed().as_millis(),
-    }
+        telemetry,
+        election_p50_ms,
+        election_p99_ms,
+    };
+    (cell, snapshot)
 }
 
-fn render_json(cells: &[Cell], smoke: bool) -> String {
+/// The telemetry on/off comparison of the mesh cell.
+struct Overhead {
+    cell: String,
+    off_ms: u128,
+    on_ms: u128,
+    allowed_ms: u128,
+    ok: bool,
+}
+
+fn render_json(cells: &[Cell], overhead: &Overhead, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"sle-bench-runtime/1\",");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-runtime/2\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
@@ -246,12 +308,17 @@ fn render_json(cells: &[Cell], smoke: bool) -> String {
             .threads_spawned
             .map(|t| t.to_string())
             .unwrap_or_else(|| "null".to_string());
+        let opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"transport\": \"{}\", \"nodes\": {}, \"groups\": {}, \
              \"members_per_group\": {}, \"workers\": {}, \"threads_spawned\": {}, \
              \"transport_reader_threads\": {}, \"elected_ms\": {}, \
-             \"wakeups_per_sec\": {:.1}, \"idle_wakeups_per_sec\": {:.1}, \"wall_ms\": {}}}",
+             \"wakeups_per_sec\": {:.1}, \"idle_wakeups_per_sec\": {:.1}, \"wall_ms\": {}, \
+             \"telemetry\": {}, \"election_p50_ms\": {}, \"election_p99_ms\": {}}}",
             cell.name,
             cell.transport,
             cell.nodes,
@@ -264,14 +331,25 @@ fn render_json(cells: &[Cell], smoke: bool) -> String {
             cell.wakeups_per_sec,
             cell.idle_wakeups_per_sec,
             cell.wall_ms,
+            cell.telemetry,
+            opt(cell.election_p50_ms),
+            opt(cell.election_p99_ms),
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
     let _ = writeln!(
         out,
+        "  \"telemetry_overhead\": {{\"cell\": \"{}\", \"off_ms\": {}, \"on_ms\": {}, \
+         \"allowed_ms\": {}, \"ok\": {}}},",
+        overhead.cell, overhead.off_ms, overhead.on_ms, overhead.allowed_ms, overhead.ok
+    );
+    let _ = writeln!(
+        out,
         "  \"assertions\": {{\"max_runtime_threads\": {MAX_RUNTIME_THREADS}, \
-         \"max_idle_wakeups_per_sec\": {MAX_IDLE_WAKEUPS_PER_SEC:.1}}}"
+         \"max_idle_wakeups_per_sec\": {MAX_IDLE_WAKEUPS_PER_SEC:.1}, \
+         \"telemetry_max_ratio\": {TELEMETRY_MAX_RATIO}, \
+         \"telemetry_noise_floor_ms\": {TELEMETRY_NOISE_FLOOR_MS}}}"
     );
     out.push_str("}\n");
     out
@@ -322,29 +400,72 @@ fn main() {
         "idle/s",
         "wall-ms"
     );
-    {
-        let cell = run_cell(
-            format!("mesh-{mesh_nodes}x{mesh_groups}x{mesh_members}"),
-            "mesh",
-            || {
-                let mut mesh: InMemoryMesh<ServiceMessage> =
-                    InMemoryMesh::with_links(mesh_nodes, LinkSpec::perfect(), 42);
-                (0..mesh_nodes)
-                    .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
-                    .collect()
-            },
-            mesh_nodes,
-            strided_groups(mesh_nodes, mesh_groups, mesh_members),
-            mesh_workers,
-            0,
-            idle_window,
-            &mut failures,
-        );
-        print_cell(&cell);
-        cells.push(cell);
+    let make_mesh = |nodes: usize| {
+        move || {
+            let mut mesh: InMemoryMesh<ServiceMessage> =
+                InMemoryMesh::with_links(nodes, LinkSpec::perfect(), 42);
+            (0..nodes)
+                .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
+                .collect()
+        }
+    };
+    // The overhead comparison: the same mesh deployment, telemetry off
+    // (the baseline cell of schema /1) and telemetry on (full registry,
+    // QoS histograms and the protocol trace attached to every node).
+    let (off_cell, _) = run_cell(
+        format!("mesh-{mesh_nodes}x{mesh_groups}x{mesh_members}"),
+        "mesh",
+        make_mesh(mesh_nodes),
+        mesh_nodes,
+        strided_groups(mesh_nodes, mesh_groups, mesh_members),
+        mesh_workers,
+        0,
+        idle_window,
+        false,
+        &mut failures,
+    );
+    print_cell(&off_cell);
+    let (on_cell, mesh_snapshot) = run_cell(
+        format!("mesh-{mesh_nodes}x{mesh_groups}x{mesh_members}-telemetry"),
+        "mesh",
+        make_mesh(mesh_nodes),
+        mesh_nodes,
+        strided_groups(mesh_nodes, mesh_groups, mesh_members),
+        mesh_workers,
+        0,
+        idle_window,
+        true,
+        &mut failures,
+    );
+    print_cell(&on_cell);
+
+    let allowed_ms = off_cell.elected_ms
+        + ((off_cell.elected_ms as f64 * TELEMETRY_MAX_RATIO) as u128)
+            .max(TELEMETRY_NOISE_FLOOR_MS);
+    let overhead = Overhead {
+        cell: off_cell.name.clone(),
+        off_ms: off_cell.elected_ms,
+        on_ms: on_cell.elected_ms,
+        allowed_ms,
+        ok: on_cell.elected_ms <= allowed_ms,
+    };
+    if !overhead.ok {
+        failures.push(format!(
+            "{}: telemetry overhead gate failed — elected in {} ms with telemetry \
+             vs {} ms without (allowed {} ms = +{:.0}% or +{} ms floor)",
+            on_cell.name,
+            overhead.on_ms,
+            overhead.off_ms,
+            overhead.allowed_ms,
+            TELEMETRY_MAX_RATIO * 100.0,
+            TELEMETRY_NOISE_FLOOR_MS,
+        ));
     }
+    cells.push(off_cell);
+    cells.push(on_cell);
+
     {
-        let cell = run_cell(
+        let (cell, _) = run_cell(
             format!("udp-{udp_nodes}x{udp_groups}x{udp_members}"),
             "udp",
             || bind_loopback_mesh::<ServiceMessage>(udp_nodes).expect("bind loopback sockets"),
@@ -353,13 +474,31 @@ fn main() {
             udp_workers,
             udp_nodes, // one reader thread per socket
             idle_window,
+            false,
             &mut failures,
         );
         print_cell(&cell);
         cells.push(cell);
     }
 
-    let json = render_json(&cells, args.smoke);
+    if let Some(snapshot) = &mesh_snapshot {
+        if let Some(path) = &args.snapshot_prom {
+            if let Err(e) = std::fs::write(path, sle_obs::render_prometheus(snapshot)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote Prometheus snapshot to {path}");
+        }
+        if let Some(path) = &args.snapshot_json {
+            if let Err(e) = std::fs::write(path, sle_obs::render_json(snapshot)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote JSON snapshot to {path}");
+        }
+    }
+
+    let json = render_json(&cells, &overhead, args.smoke);
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {}: {e}", args.out);
         std::process::exit(2);
@@ -380,7 +519,9 @@ fn main() {
     println!(
         "OK: every group elected on O(workers) threads \
          (<= {MAX_RUNTIME_THREADS} runtime threads + transport readers), \
-         idle wakeups <= {MAX_IDLE_WAKEUPS_PER_SEC}/s"
+         idle wakeups <= {MAX_IDLE_WAKEUPS_PER_SEC}/s, telemetry overhead \
+         {} ms vs {} ms baseline (allowed {} ms)",
+        overhead.on_ms, overhead.off_ms, overhead.allowed_ms
     );
 }
 

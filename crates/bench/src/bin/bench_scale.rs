@@ -30,10 +30,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sle_core::{GroupId, ProcessId};
+use sle_core::{GroupId, NodeInstruments, ProcessId};
 use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
 use sle_election::ElectorKind;
 use sle_harness::deploy;
+use sle_obs::{Registry, TraceRing};
 use sle_sim::prelude::*;
 
 /// Virtual time the deployment gets to elect before measuring.
@@ -92,6 +93,10 @@ struct Cell {
     /// Groups whose members all agreed on a live leader at the end.
     groups_agreed: usize,
     wall_ms: u128,
+    /// Election-latency percentiles from the live histograms: per-node
+    /// time from group creation to the first leader announcement.
+    election_p50_ms: f64,
+    election_p99_ms: f64,
 }
 
 /// A deployment shape: which workstations are members of which groups.
@@ -147,14 +152,26 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
         peers_of,
     } = deploy::membership(n, &deployment.groups);
 
+    // Instrumented with the same registry the real-time runtime would
+    // attach: the election histograms below come from live QoS telemetry,
+    // not post-hoc trace analysis. The trace ring is small — this bench
+    // reads histograms, not events.
+    let registry = Registry::default();
+    let ring = TraceRing::new(64);
     let mut world: World<ServiceNode, PerfectMedium> = World::new(
         n,
-        Box::new(move |node, _inc| {
-            let mut config = ServiceConfig::new(node, peers_of[node.index()].clone(), algorithm);
-            for &group in &groups_of[node.index()] {
-                config = config.with_auto_join(group, JoinConfig::candidate());
+        Box::new({
+            let registry = registry.clone();
+            move |node, _inc| {
+                let mut config =
+                    ServiceConfig::new(node, peers_of[node.index()].clone(), algorithm);
+                for &group in &groups_of[node.index()] {
+                    config = config.with_auto_join(group, JoinConfig::candidate());
+                }
+                let mut service = ServiceNode::new(config);
+                service.set_instruments(NodeInstruments::new(&registry, ring.clone(), node));
+                service
             }
-            ServiceNode::new(config)
         }),
         PerfectMedium,
         seed,
@@ -207,6 +224,7 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
         }
     }
 
+    let elections = registry.merged_histogram("node.", ".elect.election_ns");
     Cell {
         name: name.to_string(),
         algorithm: algorithm_label(algorithm),
@@ -221,6 +239,8 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
         events_processed: world.events_processed(),
         groups_agreed,
         wall_ms: wall.elapsed().as_millis(),
+        election_p50_ms: elections.percentile_ms(0.50),
+        election_p99_ms: elections.percentile_ms(0.99),
     }
 }
 
@@ -241,7 +261,7 @@ fn json_escape_free(name: &str) -> &str {
 fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/1\",");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/2\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(
         out,
@@ -256,7 +276,8 @@ fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> Str
             "    {{\"name\": \"{}\", \"algorithm\": \"{}\", \"nodes\": {}, \"groups\": {}, \
              \"processes\": {}, \"members_per_group\": {}, \"alive_payloads\": {}, \
              \"alive_datagrams\": {}, \"messages_total\": {}, \"bytes_total\": {}, \
-             \"events_processed\": {}, \"groups_agreed\": {}, \"wall_ms\": {}}}",
+             \"events_processed\": {}, \"groups_agreed\": {}, \"wall_ms\": {}, \
+             \"election_p50_ms\": {:.1}, \"election_p99_ms\": {:.1}}}",
             json_escape_free(&cell.name),
             cell.algorithm,
             cell.nodes,
@@ -270,6 +291,8 @@ fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> Str
             cell.events_processed,
             cell.groups_agreed,
             cell.wall_ms,
+            cell.election_p50_ms,
+            cell.election_p99_ms,
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }

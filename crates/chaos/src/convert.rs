@@ -1,0 +1,125 @@
+//! Bridging the runtime's protocol event trace into the chaos checker.
+//!
+//! `sle-obs` traces live below the service crates, so its
+//! [`ProtoEvent`]s carry raw ids. This module lifts a drained runtime
+//! trace back into the chaos [`TraceEvent`] vocabulary, which makes
+//! [`check_trace`](crate::invariants::check_trace) applicable to traces
+//! drained from a *real-time* [`Cluster`](sle_core::runtime::Cluster) —
+//! the invariants of the paper hold for the deployment, not just the
+//! simulation.
+//!
+//! Only the events the checker consumes are converted (leader views,
+//! crashes/recoveries, membership churn); transport-level events such as
+//! [`ProtoEvent::DatagramDropped`] and timer firings are diagnostic and
+//! skipped.
+
+use sle_core::{GroupId, ProcessId};
+use sle_obs::{ProtoEvent, TraceRecord};
+use sle_sim::actor::NodeId;
+
+use crate::trace::{TraceEvent, TraceEventKind};
+
+/// Converts one drained runtime record into a chaos trace event, if it
+/// concerns `group` and carries checker-relevant information.
+pub fn convert_record(record: &TraceRecord, group: GroupId) -> Option<TraceEvent> {
+    let kind = match record.event {
+        ProtoEvent::LeaderChange { group: g, leader } if g == group.0 => TraceEventKind::View {
+            node: record.node,
+            leader: leader.map(|(node, local)| ProcessId::new(NodeId(node), local)),
+        },
+        ProtoEvent::Crashed => TraceEventKind::Crashed { node: record.node },
+        ProtoEvent::Recovered => TraceEventKind::Recovered { node: record.node },
+        ProtoEvent::Join { group: g } if g == group.0 => {
+            TraceEventKind::Joined { node: record.node }
+        }
+        ProtoEvent::Leave { group: g } if g == group.0 => {
+            TraceEventKind::Left { node: record.node }
+        }
+        _ => return None,
+    };
+    Some(TraceEvent {
+        at: record.at,
+        kind,
+    })
+}
+
+/// Converts a drained runtime trace (already merged and time-ordered, as
+/// [`Cluster::drain_trace`](sle_core::runtime::Cluster::drain_trace)
+/// returns it) into the chronological trace the invariant checker replays.
+pub fn convert_trace(records: &[TraceRecord], group: GroupId) -> Vec<TraceEvent> {
+    records
+        .iter()
+        .filter_map(|record| convert_record(record, group))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sle_sim::time::SimInstant;
+
+    const GROUP: GroupId = GroupId(1);
+
+    fn record(at_secs: f64, node: u32, event: ProtoEvent) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            at: SimInstant::from_secs_f64(at_secs),
+            node: NodeId(node),
+            event,
+        }
+    }
+
+    #[test]
+    fn checker_relevant_events_convert_and_diagnostics_are_skipped() {
+        let records = vec![
+            record(1.0, 0, ProtoEvent::Join { group: 1 }),
+            record(
+                2.0,
+                0,
+                ProtoEvent::LeaderChange {
+                    group: 1,
+                    leader: Some((0, 0)),
+                },
+            ),
+            // Foreign group: skipped.
+            record(
+                2.5,
+                0,
+                ProtoEvent::LeaderChange {
+                    group: 2,
+                    leader: None,
+                },
+            ),
+            // Diagnostics: skipped.
+            record(3.0, 1, ProtoEvent::TimerFired { kind: 3 }),
+            record(
+                3.1,
+                1,
+                ProtoEvent::Accusation {
+                    group: 1,
+                    accused: 0,
+                },
+            ),
+            record(4.0, 0, ProtoEvent::Crashed),
+            record(5.0, 0, ProtoEvent::Recovered),
+            record(6.0, 1, ProtoEvent::Leave { group: 1 }),
+        ];
+        let events = convert_trace(&records, GROUP);
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].kind, TraceEventKind::Joined { node: NodeId(0) });
+        assert_eq!(
+            events[1].kind,
+            TraceEventKind::View {
+                node: NodeId(0),
+                leader: Some(ProcessId::new(NodeId(0), 0)),
+            }
+        );
+        assert_eq!(events[2].kind, TraceEventKind::Crashed { node: NodeId(0) });
+        assert_eq!(
+            events[3].kind,
+            TraceEventKind::Recovered { node: NodeId(0) }
+        );
+        assert_eq!(events[4].kind, TraceEventKind::Left { node: NodeId(1) });
+        assert_eq!(events[1].at, SimInstant::from_secs_f64(2.0));
+    }
+}

@@ -4,12 +4,13 @@
 
 use std::collections::HashMap;
 
-use sle_core::{GroupId, JoinConfig, ProcessId, ServiceConfig, ServiceNode};
+use sle_core::{GroupId, JoinConfig, NodeInstruments, ProcessId, ServiceConfig, ServiceNode};
 use sle_election::ElectorKind;
 use sle_fd::QosSpec;
 use sle_harness::Scenario;
 use sle_net::link::LinkSpec;
 use sle_net::network::{NetworkModel, NetworkStats, SimulatedNetwork};
+use sle_obs::{Registry, Snapshot, TraceRecord, TraceRing};
 use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
 use sle_sim::world::World;
@@ -20,6 +21,12 @@ use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 
 /// The group every chaos experiment runs in.
 pub const CHAOS_GROUP: GroupId = GroupId(1);
+
+/// Capacity of the protocol-event trace ring a chaos run drains into its
+/// report: enough for the full event history of a typical run, while a
+/// pathological run merely loses its oldest events (the drain reports how
+/// many).
+const PROTO_TRACE_CAPACITY: usize = 4096;
 
 /// Everything a chaos run needs besides the fault plan itself.
 #[derive(Debug, Clone)]
@@ -124,6 +131,14 @@ pub struct ChaosReport {
     pub final_leader: Option<ProcessId>,
     /// Total simulator events processed.
     pub events_processed: u64,
+    /// End-of-run snapshot of the live metrics registry the instrumented
+    /// nodes recorded into (detection/election histograms, mistake counts,
+    /// ALIVE traffic).
+    pub metrics: Snapshot,
+    /// The tail of the runtime protocol-event trace (capacity-bounded).
+    pub proto_trace: Vec<TraceRecord>,
+    /// Protocol-trace events lost to ring overflow before the drain.
+    pub proto_dropped: u64,
 }
 
 impl ChaosReport {
@@ -142,17 +157,27 @@ pub fn run_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     let algorithm = config.algorithm;
     let qos = config.qos;
     let network = NetworkModel::new(config.link).build(config.seed.wrapping_add(1));
+    let registry = Registry::default();
+    let ring = TraceRing::new(PROTO_TRACE_CAPACITY);
     let mut world: World<ServiceNode, SimulatedNetwork> = World::new(
         n,
-        Box::new(move |node, _incarnation| {
-            let config = ServiceConfig::full_mesh(node, n, algorithm)
-                .with_auto_join(CHAOS_GROUP, JoinConfig::candidate().with_qos(qos));
-            ServiceNode::new(config)
+        Box::new({
+            let registry = registry.clone();
+            let ring = ring.clone();
+            move |node, _incarnation| {
+                let config = ServiceConfig::full_mesh(node, n, algorithm)
+                    .with_auto_join(CHAOS_GROUP, JoinConfig::candidate().with_qos(qos));
+                let mut service = ServiceNode::new(config);
+                // Instrumented under virtual time: the same QoS histograms
+                // and protocol trace the real-time runtime exports.
+                service.set_instruments(NodeInstruments::new(&registry, ring.clone(), node));
+                service
+            }
         }),
         network,
         config.seed,
     );
-    let mut recorder = TraceRecorder::new(CHAOS_GROUP);
+    let mut recorder = TraceRecorder::new(CHAOS_GROUP).with_proto_mirror(ring.clone());
     for timed in plan.actions() {
         world.run_until(timed.at, &mut recorder);
         apply_action(&mut world, &mut recorder, &timed.action, qos);
@@ -178,12 +203,19 @@ pub fn run_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         end,
     };
     let violations = check_trace(&trace, &spec);
+    // The simulation publishes its network counters just before the
+    // registry is snapshotted (see `NetworkStats::publish`).
+    network.publish(&registry, "sim.net");
+    let proto = ring.drain();
     ChaosReport {
         violations,
         trace,
         network,
         final_leader,
         events_processed,
+        metrics: registry.snapshot(),
+        proto_trace: proto.events,
+        proto_dropped: proto.dropped,
     }
 }
 
@@ -368,6 +400,58 @@ mod tests {
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.network, b.network);
+        // The observability layer is deterministic too: same histograms,
+        // same protocol trace (ring sequence numbers included).
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.proto_trace, b.proto_trace);
+        assert_eq!(a.proto_dropped, b.proto_dropped);
+    }
+
+    #[test]
+    fn runtime_protocol_trace_converts_into_a_checkable_trace() {
+        // The drained sle-obs trace of an instrumented run, lifted through
+        // the converter, must itself pass the invariant checker — this is
+        // what makes runtime (wall-clock) traces checkable post-hoc.
+        let config = ChaosConfig::new(ElectorKind::OmegaLc, 4);
+        let plan = FaultPlan::new("crash-one").at(
+            15.0,
+            FaultAction::CrashLeader {
+                down_for: SimDuration::from_secs(5),
+            },
+        );
+        let report = run_plan(&config, &plan);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.proto_dropped, 0, "trace ring overflowed");
+        let converted = crate::convert::convert_trace(&report.proto_trace, CHAOS_GROUP);
+        assert!(
+            converted
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::View { .. })),
+            "no leader views in the converted runtime trace"
+        );
+        assert!(
+            converted
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::Crashed { .. })),
+            "crash marks missing from the protocol trace"
+        );
+        let spec = InvariantSpec {
+            algorithm: config.algorithm,
+            nodes: config.nodes,
+            qos: config.qos,
+            settle: config.settle,
+            end: config.end(),
+        };
+        let violations = check_trace(&converted, &spec);
+        assert!(violations.is_empty(), "{violations:?}");
+        // And the node-level metrics saw the episode: at least one
+        // detection sample and one election episode were recorded.
+        let detections = report.metrics.merged_histogram("node.", ".fd.detection_ns");
+        assert!(detections.count > 0, "no detection latency samples");
+        let elections = report
+            .metrics
+            .merged_histogram("node.", ".elect.election_ns");
+        assert!(elections.count > 0, "no election latency samples");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod convert;
 pub mod engine;
 pub mod invariants;
 pub mod plan;
@@ -55,6 +56,7 @@ pub mod shrink;
 pub mod sweep;
 pub mod trace;
 
+pub use convert::{convert_record, convert_trace};
 pub use engine::{run_plan, ChaosConfig, ChaosReport, CHAOS_GROUP};
 pub use invariants::{check_trace, InvariantSpec, Violation, ViolationKind};
 pub use plan::{link_to_code, FaultAction, FaultPlan, PlanKind, TimedAction};

@@ -5,6 +5,7 @@
 use sle_election::ElectorKind;
 use sle_fd::QosSpec;
 use sle_net::link::LinkSpec;
+use sle_obs::{MetricValue, Snapshot, TraceRecord};
 use sle_sim::time::SimDuration;
 
 use crate::engine::{run_plan, ChaosConfig};
@@ -116,7 +117,14 @@ pub struct SweepFailure {
     pub shrunk: FaultPlan,
     /// A ready-to-paste `#[test]` reproducing the failure.
     pub reproducer: String,
+    /// End-of-run metrics registry snapshot of the failing run.
+    pub metrics: Snapshot,
+    /// The last events of the failing run's protocol trace.
+    pub proto_tail: Vec<TraceRecord>,
 }
+
+/// How many trailing protocol-trace events a failure report keeps.
+const PROTO_TAIL: usize = 12;
 
 /// Aggregate results of one cell (algorithm × family).
 #[derive(Debug, Clone)]
@@ -180,6 +188,16 @@ impl SweepSummary {
             for violation in &failure.violations {
                 out.push_str(&format!("  {violation}\n"));
             }
+            out.push_str(&render_failure_metrics(&failure.metrics));
+            if !failure.proto_tail.is_empty() {
+                out.push_str(&format!(
+                    "  last {} protocol events:\n",
+                    failure.proto_tail.len()
+                ));
+                for record in &failure.proto_tail {
+                    out.push_str(&format!("    {record}\n"));
+                }
+            }
             out.push_str(&format!(
                 "  shrunk to {} action(s); regression test:\n\n{}\n",
                 failure.shrunk.len(),
@@ -188,6 +206,35 @@ impl SweepSummary {
         }
         out
     }
+}
+
+/// A compact digest of the failing run's registry snapshot: the aggregate
+/// QoS histograms, the mistake count, and the network counters.
+fn render_failure_metrics(metrics: &Snapshot) -> String {
+    let mut out = String::new();
+    let detection = metrics.merged_histogram("node.", ".fd.detection_ns");
+    let election = metrics.merged_histogram("node.", ".elect.election_ns");
+    let mistakes = metrics.sum_counters("node.", ".fd.mistakes");
+    out.push_str(&format!(
+        "  metrics: {} detections (p99 {:.1} ms), {} elections (p99 {:.1} ms), {} mistakes\n",
+        detection.count,
+        detection.percentile_ms(0.99),
+        election.count,
+        election.percentile_ms(0.99),
+        mistakes,
+    ));
+    let gauge = |name: &str| match metrics.get(name) {
+        Some(MetricValue::Gauge(v)) => *v,
+        _ => 0,
+    };
+    out.push_str(&format!(
+        "  network: {} offered, {} lost, {} blocked, {} partitioned\n",
+        gauge("sim.net.offered"),
+        gauge("sim.net.lost"),
+        gauge("sim.net.blocked"),
+        gauge("sim.net.partitioned"),
+    ));
+    out
 }
 
 fn algorithm_label(algorithm: ElectorKind) -> &'static str {
@@ -242,6 +289,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepSummary {
                     plan.clone()
                 };
                 let reproducer = render_regression_test(&chaos, &shrunk, kind.name(), seed);
+                let tail_from = report.proto_trace.len().saturating_sub(PROTO_TAIL);
                 failures.push(SweepFailure {
                     algorithm,
                     plan_name: kind.name().to_string(),
@@ -249,6 +297,8 @@ pub fn run_sweep(config: &SweepConfig) -> SweepSummary {
                     violations: report.violations,
                     shrunk,
                     reproducer,
+                    metrics: report.metrics,
+                    proto_tail: report.proto_trace[tail_from..].to_vec(),
                 });
             }
             cells.push(CellSummary {
@@ -371,6 +421,15 @@ mod tests {
         let summary = run_sweep(&config);
         assert!(!summary.ok(), "the weakened detector must be caught");
         let failure = &summary.failures[0];
+        // The failure block carries the run's observability context.
+        assert!(
+            !failure.metrics.metrics.is_empty(),
+            "empty metrics snapshot"
+        );
+        assert!(!failure.proto_tail.is_empty(), "empty protocol trace tail");
+        let rendered = summary.render();
+        assert!(rendered.contains("metrics:"), "{rendered}");
+        assert!(rendered.contains("last "), "{rendered}");
         assert!(failure.reproducer.contains("#[test]"));
         assert!(failure
             .reproducer

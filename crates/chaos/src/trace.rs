@@ -68,6 +68,11 @@ pub struct TraceEvent {
 pub struct TraceRecorder {
     group: GroupId,
     events: Vec<TraceEvent>,
+    /// When set, crash/recovery marks are mirrored into this protocol
+    /// event ring, so a drained `sle-obs` trace is as complete as what the
+    /// real-time runtime produces (whose `Cluster::crash`/`recover` push
+    /// the same events) and passes the invariant checker after conversion.
+    proto_mirror: Option<sle_obs::TraceRing>,
 }
 
 impl TraceRecorder {
@@ -76,7 +81,14 @@ impl TraceRecorder {
         TraceRecorder {
             group,
             events: Vec::new(),
+            proto_mirror: None,
         }
+    }
+
+    /// Mirrors crash/recovery marks into `ring` (see `proto_mirror`).
+    pub fn with_proto_mirror(mut self, ring: sle_obs::TraceRing) -> Self {
+        self.proto_mirror = Some(ring);
+        self
     }
 
     /// Appends an engine-side event (churn, topology) to the trace.
@@ -98,10 +110,16 @@ impl TraceRecorder {
 impl Observer<ServiceEvent> for TraceRecorder {
     fn node_crashed(&mut self, now: SimInstant, node: NodeId) {
         self.mark(now, TraceEventKind::Crashed { node });
+        if let Some(ring) = &self.proto_mirror {
+            ring.push(node, now, sle_obs::ProtoEvent::Crashed);
+        }
     }
 
     fn node_recovered(&mut self, now: SimInstant, node: NodeId, _incarnation: u64) {
         self.mark(now, TraceEventKind::Recovered { node });
+        if let Some(ring) = &self.proto_mirror {
+            ring.push(node, now, sle_obs::ProtoEvent::Recovered);
+        }
     }
 
     fn event_emitted(&mut self, now: SimInstant, node: NodeId, event: &ServiceEvent) {

@@ -82,6 +82,7 @@ pub mod events;
 pub mod group;
 pub mod messages;
 pub mod node;
+pub mod obs;
 pub mod process;
 pub mod runtime;
 
@@ -103,6 +104,7 @@ pub use events::ServiceEvent;
 pub use group::{GroupState, RemoteMember};
 pub use messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 pub use node::{ServiceContext, ServiceNode};
+pub use obs::NodeInstruments;
 pub use process::{GroupId, ProcessId};
 pub use runtime::{Cluster, ClusterConfig, ClusterEvent, ClusterHandle, RuntimeStats};
 pub use sle_adaptive::{TunerConfig, TuningPolicy};

@@ -22,6 +22,7 @@ use crate::error::ServiceError;
 use crate::events::ServiceEvent;
 use crate::group::{GroupState, RemoteMember};
 use crate::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
+use crate::obs::NodeInstruments;
 use crate::process::{GroupId, ProcessId};
 
 /// Timer used for periodic HELLO gossip and membership expiry.
@@ -31,7 +32,7 @@ const ALIVE_KIND: u64 = 1;
 /// Timer-tag namespace for per-group failure-detector deadlines.
 const FD_KIND: u64 = 2;
 /// Timer-tag namespace for the end of the self-election grace period.
-const GRACE_KIND: u64 = 3;
+pub(crate) const GRACE_KIND: u64 = 3;
 /// Timer-tag namespace for periodic QoS re-derivation (adaptive tuning).
 const TUNE_KIND: u64 = 4;
 
@@ -92,10 +93,15 @@ pub struct ServiceNode {
     /// fan-out in `note_alive_datagram` is skipped entirely.
     adaptive_groups: usize,
     /// Per-group ALIVE payloads handed to the transport (batch entries
-    /// count individually).
-    alive_payloads_sent: u64,
+    /// count individually). A live counter handle so that attaching
+    /// instruments makes it a registry view instead of a second account.
+    alive_payloads_sent: sle_obs::Counter,
     /// ALIVE datagrams handed to the transport (a batch counts once).
-    alive_datagrams_sent: u64,
+    alive_datagrams_sent: sle_obs::Counter,
+    /// Live QoS instruments and protocol trace, when attached by the
+    /// driving runtime ([`ServiceNode::set_instruments`]). `None` — the
+    /// default — costs one branch per instrumentation point.
+    obs: Option<NodeInstruments>,
 }
 
 impl ServiceNode {
@@ -111,9 +117,26 @@ impl ServiceNode {
             arena: MonitorArena::new(),
             node_seqs: BTreeMap::new(),
             adaptive_groups: 0,
-            alive_payloads_sent: 0,
-            alive_datagrams_sent: 0,
+            alive_payloads_sent: sle_obs::Counter::new(),
+            alive_datagrams_sent: sle_obs::Counter::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches live observability instruments: QoS histograms recorded
+    /// under this node's registry names, protocol events pushed into the
+    /// given trace ring, and the node's own traffic counters bound into the
+    /// registry as views. Runtimes call this right after construction;
+    /// without it, every instrumentation point is a single `None` branch.
+    pub fn set_instruments(&mut self, instruments: NodeInstruments) {
+        instruments.bind_node_counter("net.alive_payloads_sent", &self.alive_payloads_sent);
+        instruments.bind_node_counter("net.alive_datagrams_sent", &self.alive_datagrams_sent);
+        self.obs = Some(instruments);
+    }
+
+    /// The attached instruments, if any.
+    pub fn instruments(&self) -> Option<&NodeInstruments> {
+        self.obs.as_ref()
     }
 
     /// This workstation's identity.
@@ -220,6 +243,9 @@ impl ServiceNode {
         if let Some(period) = state.tuner.period() {
             ctx.set_timer_after(tune_tag(group), period);
         }
+        if let Some(obs) = &mut self.obs {
+            obs.on_join(group, now);
+        }
         self.arm_alive_timer(ctx);
         self.arm_fd_timer(group, ctx);
         self.send_hellos(ctx);
@@ -266,6 +292,9 @@ impl ServiceNode {
             // The last local candidate left: stop competing.
             state.elector = sle_election::AnyElector::new(algorithm, me, false, ctx.now());
             self.check_leader(group, ctx);
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.on_leave(group, ctx.now());
         }
         self.send_hellos(ctx);
         Ok(())
@@ -363,8 +392,8 @@ impl ServiceNode {
                     return;
                 }
                 let seq = this.next_node_seq(dest);
-                this.alive_datagrams_sent += 1;
-                this.alive_payloads_sent += chunk.len() as u64;
+                this.alive_datagrams_sent.inc();
+                this.alive_payloads_sent.add(chunk.len() as u64);
                 if chunk.len() == 1 {
                     let entry = chunk.pop().expect("chunk has one entry");
                     ctx.send(
@@ -421,14 +450,14 @@ impl ServiceNode {
     /// analysis is about: O(n) per group in steady state for S3, O(n²)
     /// for S2.
     pub fn alive_payloads_sent(&self) -> u64 {
-        self.alive_payloads_sent
+        self.alive_payloads_sent.get()
     }
 
     /// ALIVE datagrams handed to the transport so far (a batch counts
     /// once); `alive_payloads_sent - alive_datagrams_sent` is the fan-out
     /// the batching saved.
     pub fn alive_datagrams_sent(&self) -> u64 {
-        self.alive_datagrams_sent
+        self.alive_datagrams_sent.get()
     }
 
     fn arm_fd_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
@@ -457,6 +486,9 @@ impl ServiceNode {
         }
         if leader != state.announced_leader {
             state.announced_leader = leader;
+            if let Some(obs) = &mut self.obs {
+                obs.on_leader_change(group, leader, now);
+            }
             ctx.emit(ServiceEvent::LeaderChanged { group, leader });
         }
     }
@@ -559,6 +591,9 @@ impl ServiceNode {
         now: SimInstant,
     ) {
         self.arena.slot(from).record(seq, sent_at, now);
+        if let Some(obs) = &mut self.obs {
+            obs.on_alive_datagram(from, now);
+        }
         if self.adaptive_groups == 0 {
             // No adaptive tuner anywhere on this node (the paper-faithful
             // default): skip the per-group fan-out on the hot path.
@@ -643,6 +678,11 @@ impl ServiceNode {
         );
         if let Some(t) = transition {
             if t.transition == Transition::BecameTrusted {
+                // A revival of a suspected peer: the suspicion was a
+                // detector mistake (the paper's T_MR numerator).
+                if let Some(obs) = &mut self.obs {
+                    obs.on_mistake(group, now);
+                }
                 state.elector.on_trust(from, now);
             }
         }
@@ -722,6 +762,16 @@ impl ServiceNode {
         if let Some(state) = self.groups.get_mut(&group) {
             for transition in state.fd.poll(now) {
                 if transition.transition == Transition::BecameSuspected {
+                    if let Some(obs) = &mut self.obs {
+                        // Detection latency T_D: silence since the suspected
+                        // peer's last heartbeat or gossip.
+                        let silent_for = state
+                            .members
+                            .get(&transition.peer)
+                            .map(|m| now.saturating_since(m.last_heard))
+                            .unwrap_or_default();
+                        obs.on_detection(group, silent_for, now);
+                    }
                     for output in state.elector.on_suspect(transition.peer, now) {
                         match output {
                             ElectorOutput::SendAccusation { to, epoch } => {
@@ -733,6 +783,9 @@ impl ServiceNode {
             }
         }
         for (to, epoch) in accusations {
+            if let Some(obs) = &mut self.obs {
+                obs.on_accusation(group, to, now);
+            }
             ctx.send(to, ServiceMessage::Accuse { group, epoch });
         }
         self.arm_fd_timer(group, ctx);
@@ -839,7 +892,12 @@ impl Actor for ServiceNode {
         let group = GroupId((tag.0 & 0xFFFF_FFFF) as u32);
         match tag.0 >> 32 {
             FD_KIND => self.handle_fd_timer(group, ctx),
-            GRACE_KIND => self.check_leader(group, ctx),
+            GRACE_KIND => {
+                if let Some(obs) = &mut self.obs {
+                    obs.on_grace_timer(ctx.now());
+                }
+                self.check_leader(group, ctx)
+            }
             TUNE_KIND => self.handle_tune_timer(group, ctx),
             _ => {}
         }

@@ -34,7 +34,7 @@
 //! (`workers = n`); [`ClusterConfig::with_workers`] selects a smaller pool.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -44,6 +44,8 @@ use sle_election::ElectorKind;
 use sle_net::link::LinkSpec;
 use sle_net::mailbox::Mailbox;
 use sle_net::transport::{InMemoryMesh, Incoming, MessageEndpoint};
+use sle_obs::clock::Clock;
+use sle_obs::{Counter, ProtoEvent, Registry, TraceDrain, TraceRing, WallClock};
 use sle_sim::actor::{Actor, Effect, NodeId, TimerTag};
 use sle_sim::time::{SimDuration, SimInstant};
 use sle_sim::wheel::TimerWheel;
@@ -53,6 +55,7 @@ use crate::error::AgreementTimeout;
 use crate::events::ServiceEvent;
 use crate::messages::ServiceMessage;
 use crate::node::{ServiceContext, ServiceNode};
+use crate::obs::NodeInstruments;
 use crate::process::{GroupId, ProcessId};
 
 /// How often a shard polls endpoints that do not support push-mode delivery
@@ -102,6 +105,14 @@ pub struct ClusterConfig {
     /// Link behaviour of the in-memory mesh (only used by the mesh-building
     /// constructors).
     pub links: LinkSpec,
+    /// When set, the cluster records live telemetry into this registry (QoS
+    /// histograms, traffic counters, shard wakeup counters — see
+    /// `docs/OBSERVABILITY.md`) and traces protocol events into per-shard
+    /// rings drainable via [`Cluster::drain_trace`].
+    pub observability: Option<Registry>,
+    /// Capacity of each shard's protocol-event trace ring (only used when
+    /// `observability` is set).
+    pub trace_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -114,6 +125,8 @@ impl ClusterConfig {
             hello_interval: SimDuration::from_millis(200),
             mesh_seed: 42,
             links: LinkSpec::perfect(),
+            observability: None,
+            trace_capacity: 4096,
         }
     }
 
@@ -140,6 +153,21 @@ impl ClusterConfig {
     /// Replaces the in-memory mesh link behaviour.
     pub fn with_links(mut self, links: LinkSpec) -> Self {
         self.links = links;
+        self
+    }
+
+    /// Enables live observability: every service instance records its QoS
+    /// histograms and traffic counters into `registry` (the caller keeps a
+    /// clone to snapshot or export at any time), and protocol events are
+    /// traced into per-shard rings.
+    pub fn with_observability(mut self, registry: Registry) -> Self {
+        self.observability = Some(registry);
+        self
+    }
+
+    /// Replaces the per-shard trace-ring capacity (default 4096 events).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 }
@@ -222,10 +250,14 @@ impl ShardInbox {
     }
 }
 
+/// Live wakeup counters of one shard worker. The fields are `sle-obs`
+/// counter handles, so enabling observability binds the *same cells* into
+/// the registry (`runtime.shard.<k>.wakeups`) — [`RuntimeStats`] and a
+/// registry snapshot are two views of one account.
 #[derive(Default)]
 struct ShardStats {
-    wakeups: AtomicU64,
-    idle_wakeups: AtomicU64,
+    wakeups: Counter,
+    idle_wakeups: Counter,
 }
 
 /// Per-node crash flags, shared between the application-facing [`Cluster`]
@@ -549,10 +581,10 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
                 deadline = Some(deadline.map_or(poll, |d| d.min(poll)));
             }
             let woken = self.inbox.mail.wait_until(deadline, &mut mail);
-            self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.stats.wakeups.inc();
             let did_work = self.process_all(&mut mail);
             if !woken && !did_work {
-                self.stats.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+                self.stats.idle_wakeups.inc();
             }
         }
     }
@@ -571,6 +603,18 @@ pub struct Cluster {
     inboxes: Vec<Arc<ShardInbox>>,
     shard_of: Vec<usize>,
     stats: Vec<Arc<ShardStats>>,
+    obs: Option<ClusterObs>,
+}
+
+/// The cluster-level observability state, present when
+/// [`ClusterConfig::with_observability`] was used.
+struct ClusterObs {
+    registry: Registry,
+    /// One trace ring per shard worker; residents of a shard share it.
+    rings: Vec<TraceRing>,
+    /// Stamps control-plane trace events (crash/recover) on the same
+    /// timeline the shard workers run their timers on.
+    clock: WallClock,
 }
 
 impl Cluster {
@@ -679,6 +723,24 @@ impl Cluster {
         let stats: Vec<Arc<ShardStats>> = (0..workers)
             .map(|_| Arc::new(ShardStats::default()))
             .collect();
+        let obs = options.observability.as_ref().map(|registry| {
+            for (k, shard) in stats.iter().enumerate() {
+                registry.bind_counter(&format!("runtime.shard.{k}.wakeups"), &shard.wakeups);
+                registry.bind_counter(
+                    &format!("runtime.shard.{k}.idle_wakeups"),
+                    &shard.idle_wakeups,
+                );
+            }
+            registry.gauge("runtime.workers").set(workers as i64);
+            registry.gauge("runtime.nodes").set(n as i64);
+            ClusterObs {
+                registry: registry.clone(),
+                rings: (0..workers)
+                    .map(|_| TraceRing::new(options.trace_capacity))
+                    .collect(),
+                clock: WallClock::from_start(start),
+            }
+        });
         let mut members: Vec<Vec<Resident<E>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut shard_of = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -688,9 +750,17 @@ impl Cluster {
             let shard = i % workers;
             shard_of.push(shard);
             let push_mode = endpoint.set_delivery_sink(inboxes[shard].mail.sender());
+            let mut service = ServiceNode::new(config);
+            if let Some(obs) = &obs {
+                service.set_instruments(NodeInstruments::new(
+                    &obs.registry,
+                    obs.rings[shard].clone(),
+                    id,
+                ));
+            }
             members[shard].push(Resident {
                 id,
-                service: ServiceNode::new(config),
+                service,
                 endpoint,
                 push_mode,
                 crashed_seen: false,
@@ -741,7 +811,34 @@ impl Cluster {
             inboxes,
             shard_of,
             stats,
+            obs,
         }
+    }
+
+    /// The live metrics registry, when the cluster was started with
+    /// [`ClusterConfig::with_observability`]. The registry can be
+    /// snapshotted and exported at any time while the cluster runs.
+    pub fn obs_registry(&self) -> Option<&Registry> {
+        self.obs.as_ref().map(|obs| &obs.registry)
+    }
+
+    /// Drains the per-shard protocol-event trace rings into one merged,
+    /// time-ordered trace (plus the total number of events lost to ring
+    /// overflow). Returns an empty drain when observability is off.
+    pub fn drain_trace(&self) -> TraceDrain {
+        let Some(obs) = &self.obs else {
+            return TraceDrain::default();
+        };
+        let mut merged = TraceDrain::default();
+        for ring in &obs.rings {
+            let drain = ring.drain();
+            merged.dropped += drain.dropped;
+            merged.events.extend(drain.events);
+        }
+        // Per-ring sequence numbers only order within a shard; the merged
+        // view is ordered by timestamp (ties broken by node then seq).
+        merged.events.sort_by_key(|r| (r.at, r.node.0, r.seq));
+        merged
     }
 
     /// Number of service instances.
@@ -767,8 +864,8 @@ impl Cluster {
             ..RuntimeStats::default()
         };
         for shard in &self.stats {
-            stats.wakeups += shard.wakeups.load(Ordering::Relaxed);
-            stats.idle_wakeups += shard.idle_wakeups.load(Ordering::Relaxed);
+            stats.wakeups += shard.wakeups.get();
+            stats.idle_wakeups += shard.idle_wakeups.get();
         }
         stats
     }
@@ -861,6 +958,13 @@ impl Cluster {
     /// Simulates a crash of `node`: it stops handling messages and timers.
     pub fn crash(&self, node: NodeId) {
         if self.crashed.set(node, true) {
+            if let Some(obs) = &self.obs {
+                obs.rings[self.shard_of[node.index()]].push(
+                    node,
+                    obs.clock.now(),
+                    ProtoEvent::Crashed,
+                );
+            }
             self.inboxes[self.shard_of[node.index()]].wake();
         }
     }
@@ -871,6 +975,13 @@ impl Cluster {
     /// state; for full crash-recovery semantics use the simulator.
     pub fn recover(&self, node: NodeId) {
         if self.crashed.set(node, false) {
+            if let Some(obs) = &self.obs {
+                obs.rings[self.shard_of[node.index()]].push(
+                    node,
+                    obs.clock.now(),
+                    ProtoEvent::Recovered,
+                );
+            }
             self.inboxes[self.shard_of[node.index()]].wake();
         }
     }

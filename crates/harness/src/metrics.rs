@@ -20,6 +20,7 @@
 //! churn of *non-leader* workstations affects neither λ_u nor P_leader.
 
 use sle_core::{GroupId, ProcessId, ServiceEvent};
+use sle_obs::{Counter, Registry};
 use sle_sim::actor::NodeId;
 use sle_sim::observer::Observer;
 use sle_sim::time::{SimDuration, SimInstant};
@@ -46,7 +47,11 @@ impl Default for CpuModel {
     }
 }
 
-/// Per-node traffic and event counters.
+/// A point-in-time copy of one node's traffic and event counters.
+///
+/// The live cells now reside in an [`sle_obs::Registry`] (under
+/// `node.<n>.sim.*`); this struct is the snapshot view the cost model and
+/// callers consume.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeCounters {
     /// Messages handed to the network by this node.
@@ -61,6 +66,39 @@ pub struct NodeCounters {
     pub timers: u64,
 }
 
+/// The registry-backed live cells behind one node's [`NodeCounters`] view.
+#[derive(Debug)]
+struct NodeHandles {
+    messages_sent: Counter,
+    messages_received: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    timers: Counter,
+}
+
+impl NodeHandles {
+    fn new(registry: &Registry, node: usize) -> Self {
+        let name = |suffix: &str| format!("node.{node}.sim.{suffix}");
+        NodeHandles {
+            messages_sent: registry.counter(&name("messages_sent")),
+            messages_received: registry.counter(&name("messages_received")),
+            bytes_sent: registry.counter(&name("bytes_sent")),
+            bytes_received: registry.counter(&name("bytes_received")),
+            timers: registry.counter(&name("timers")),
+        }
+    }
+
+    fn snapshot(&self) -> NodeCounters {
+        NodeCounters {
+            messages_sent: self.messages_sent.get(),
+            messages_received: self.messages_received.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            timers: self.timers.get(),
+        }
+    }
+}
+
 /// The observer that computes every metric of the evaluation while an
 /// experiment runs.
 #[derive(Debug)]
@@ -73,7 +111,8 @@ pub struct MetricsCollector {
     /// Metrics are only accumulated after this instant (warm-up exclusion).
     measure_from: SimInstant,
 
-    counters: Vec<NodeCounters>,
+    registry: Registry,
+    counters: Vec<NodeHandles>,
     node_up: Vec<bool>,
     views: Vec<Option<ProcessId>>,
 
@@ -96,14 +135,29 @@ pub struct MetricsCollector {
 
 impl MetricsCollector {
     /// Creates a collector for `group` over `nodes` workstations; metrics are
-    /// accumulated starting at `measure_from`.
+    /// accumulated starting at `measure_from`. The per-node counters live in
+    /// a fresh private [`Registry`]; use
+    /// [`MetricsCollector::with_registry`] to share one with other layers.
     pub fn new(group: GroupId, nodes: usize, measure_from: SimInstant) -> Self {
+        Self::with_registry(group, nodes, measure_from, &Registry::default())
+    }
+
+    /// Like [`MetricsCollector::new`], but registering the per-node counters
+    /// (`node.<n>.sim.*`) in `registry` so an exporter sees them alongside
+    /// the protocol-level metrics.
+    pub fn with_registry(
+        group: GroupId,
+        nodes: usize,
+        measure_from: SimInstant,
+        registry: &Registry,
+    ) -> Self {
         MetricsCollector {
             group,
             overhead_bytes: 54,
             cpu: CpuModel::default(),
             measure_from,
-            counters: vec![NodeCounters::default(); nodes],
+            registry: registry.clone(),
+            counters: (0..nodes).map(|n| NodeHandles::new(registry, n)).collect(),
             node_up: vec![true; nodes],
             views: vec![None; nodes],
             agreement_since: None,
@@ -129,6 +183,16 @@ impl MetricsCollector {
     pub fn with_cpu_model(mut self, cpu: CpuModel) -> Self {
         self.cpu = cpu;
         self
+    }
+
+    /// The registry holding the live per-node counters.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of one node's counters, if `node` is in range.
+    pub fn node_counters(&self, node: NodeId) -> Option<NodeCounters> {
+        self.counters.get(node.index()).map(NodeHandles::snapshot)
     }
 
     fn in_measurement(&self, now: SimInstant) -> bool {
@@ -242,7 +306,8 @@ impl MetricsCollector {
         let nodes = self.counters.len().max(1) as f64;
         let mut total_bytes = 0.0;
         let mut total_cpu = SimDuration::ZERO;
-        for counter in &self.counters {
+        for handles in &self.counters {
+            let counter = handles.snapshot();
             let packets = counter.messages_sent + counter.messages_received;
             total_bytes += (counter.bytes_sent + counter.bytes_received) as f64
                 + (packets as usize * self.overhead_bytes) as f64;
@@ -267,26 +332,26 @@ impl MetricsCollector {
 impl Observer<ServiceEvent> for MetricsCollector {
     fn message_sent(&mut self, now: SimInstant, from: NodeId, _to: NodeId, bytes: usize) {
         if self.in_measurement(now) {
-            if let Some(counter) = self.counters.get_mut(from.index()) {
-                counter.messages_sent += 1;
-                counter.bytes_sent += bytes as u64;
+            if let Some(counter) = self.counters.get(from.index()) {
+                counter.messages_sent.inc();
+                counter.bytes_sent.add(bytes as u64);
             }
         }
     }
 
     fn message_delivered(&mut self, now: SimInstant, _from: NodeId, to: NodeId, bytes: usize) {
         if self.in_measurement(now) {
-            if let Some(counter) = self.counters.get_mut(to.index()) {
-                counter.messages_received += 1;
-                counter.bytes_received += bytes as u64;
+            if let Some(counter) = self.counters.get(to.index()) {
+                counter.messages_received.inc();
+                counter.bytes_received.add(bytes as u64);
             }
         }
     }
 
     fn timer_fired(&mut self, now: SimInstant, node: NodeId) {
         if self.in_measurement(now) {
-            if let Some(counter) = self.counters.get_mut(node.index()) {
-                counter.timers += 1;
+            if let Some(counter) = self.counters.get(node.index()) {
+                counter.timers.inc();
             }
         }
     }

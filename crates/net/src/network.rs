@@ -149,6 +149,28 @@ impl NetworkStats {
         }
     }
 
+    /// Publishes this snapshot into `registry` as gauges named
+    /// `<prefix>.<counter>` (e.g. `sim.net.offered`).
+    ///
+    /// `NetworkStats` is deliberately a plain `Copy` value — the chaos
+    /// engine compares whole snapshots for run determinism — so instead of
+    /// live registry-backed cells the simulation publishes a snapshot
+    /// whenever an exporter is about to read the registry.
+    pub fn publish(&self, registry: &sle_obs::Registry, prefix: &str) {
+        let set = |name: &str, value: u64| {
+            registry
+                .gauge(&format!("{prefix}.{name}"))
+                .set(value as i64);
+        };
+        set("offered", self.offered);
+        set("lost", self.lost);
+        set("blocked", self.blocked);
+        set("partitioned", self.partitioned);
+        set("delivered", self.delivered);
+        set("duplicated", self.duplicated);
+        set("delivered_bytes", self.delivered_bytes);
+    }
+
     /// Accounts for a link-level fate: loss, delivery, or duplication of a
     /// `wire_bytes`-byte message (blocked/partitioned drops are counted at
     /// their own call sites, before a link fate is ever sampled).
@@ -491,6 +513,23 @@ mod tests {
             .transmit(SimInstant::ZERO, NodeId(0), NodeId(1), 10, &mut rng)
             .is_delivered());
         assert_eq!(net.model().default_link(), LinkSpec::perfect());
+    }
+
+    #[test]
+    fn stats_publish_as_gauges() {
+        let mut net = NetworkModel::perfect().build(1);
+        transmit_many(&mut net, 10);
+        let registry = sle_obs::Registry::default();
+        net.stats().publish(&registry, "sim.net");
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.get("sim.net.offered"),
+            Some(&sle_obs::MetricValue::Gauge(10))
+        );
+        assert_eq!(
+            snapshot.get("sim.net.delivered"),
+            Some(&sle_obs::MetricValue::Gauge(10))
+        );
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The clock seam: one instrumentation code path for virtual and wall time.
+//!
+//! Protocol code records QoS samples with the [`SimInstant`] its runtime
+//! hands it (`ctx.now()`), which is already virtual-or-wall consistent.
+//! Components that live *outside* an actor context — transport reader
+//! threads, cluster control operations — stamp their trace events through a
+//! [`Clock`] instead: [`WallClock`] in the real-time runtime, and
+//! [`ManualClock`] in tests and simulations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sle_sim::time::{SimDuration, SimInstant};
+
+/// A source of `SimInstant` timestamps.
+pub trait Clock: Send + Sync {
+    /// The current instant on this clock's timeline.
+    fn now(&self) -> SimInstant;
+}
+
+/// A shared, dynamically-dispatched clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// A wall clock reporting nanoseconds elapsed since a start instant —
+/// the same timeline the sharded real-time runtime runs its timers on.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// A wall clock measuring from an existing origin (e.g. the instant a
+    /// runtime started), so its timestamps line up with the runtime's.
+    pub fn from_start(start: Instant) -> Self {
+        WallClock { start }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// A clock that only moves when told to — for tests and virtual time.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A manual clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Sets the clock to `at`.
+    pub fn set(&self, at: SimInstant) {
+        self.0.store(at.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        self.0.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), SimInstant::ZERO);
+        c.advance(SimDuration::from_millis(5));
+        c.set(SimInstant::from_nanos(42));
+        assert_eq!(c.now(), SimInstant::from_nanos(42));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_from_origin() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        let shared: SharedClock = Arc::new(c);
+        assert!(shared.now() >= b);
+    }
+}

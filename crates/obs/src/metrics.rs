@@ -1,0 +1,381 @@
+//! The three metric primitives: counters, gauges and log2-bucket histograms.
+//!
+//! Each primitive is an `Arc`-backed handle: cloning is cheap, every clone
+//! observes and mutates the same underlying atomics, and a handle keeps its
+//! metric alive independently of the [`Registry`](crate::registry::Registry)
+//! it may be bound into. This is what lets pre-existing stats structs (the
+//! runtime's shard counters, the UDP endpoint's drop counters) *become*
+//! registry entries instead of parallel accounting: the struct keeps its
+//! handle, the registry holds a clone of the same handle, and one
+//! `fetch_add` updates both views.
+//!
+//! All operations use relaxed atomics — metrics never order protocol
+//! memory accesses.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sle_sim::time::SimDuration;
+
+/// A monotonically increasing counter.
+///
+/// ```
+/// use sle_obs::Counter;
+/// let c = Counter::new();
+/// let view = c.clone(); // same underlying cell
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(view.get(), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Returns true if `other` is a handle to the same underlying cell.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A fixed log2-bucket histogram of `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i` (for `i >= 1`) holds values in
+/// `[2^(i-1), 2^i - 1]`. Durations are recorded as whole nanoseconds, so the
+/// relative bucket resolution (a factor of two) is independent of the unit a
+/// metric is later rendered in. The exact `count` and `sum` are kept
+/// alongside the buckets, so means are exact even though percentiles are
+/// bucket-bounded estimates.
+///
+/// ```
+/// use sle_obs::Histogram;
+/// let h = Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.sum, 106);
+/// let p50 = snap.percentile(0.50);
+/// assert!((2..=3).contains(&p50)); // within the bucket holding the median
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Returns the bucket index for a sample value.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Returns the smallest value belonging to bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Returns the largest value belonging to bucket `i`.
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Returns a point-in-time snapshot of the histogram.
+    ///
+    /// The snapshot is not atomic with respect to concurrent `record`s: a
+    /// racing sample may be visible in `count` but not yet in its bucket (or
+    /// vice versa). Snapshots are for reporting, not for invariants between
+    /// the fields.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        HistogramSnapshot {
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| inner.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Returns true if `other` is a handle to the same underlying cells.
+    pub fn same_as(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// An owned copy of a histogram's state, mergeable and queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Exact sum of all recorded samples (wrapping on overflow).
+    pub sum: u64,
+    /// Per-bucket sample counts; see [`bucket_lower`] / [`bucket_upper`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot, the identity element of [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Adds another snapshot into this one. Merging never loses samples:
+    /// counts, sums and every bucket add element-wise.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Exact mean of the recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded samples.
+    ///
+    /// The estimate interpolates linearly inside the bucket containing the
+    /// `ceil(q * count)`-th smallest sample, so it always lies within that
+    /// bucket's `[lower, upper]` bounds — off by at most a factor of two
+    /// from the true order statistic. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i);
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est as u64).clamp(lo, hi);
+            }
+            seen += n;
+        }
+        // Unreachable when the bucket counts cover `count`; be conservative
+        // if a racing snapshot left them short.
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// [`percentile`](Self::percentile) rendered as fractional milliseconds,
+    /// for histograms that record durations in nanoseconds.
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        self.percentile(q) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_lower(i), bucket_upper(i - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_estimates() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        assert_eq!(snap.mean(), Some(500.5));
+        // True p50 is 500, in bucket [512/2, 511] = [256, 511]... rank 500
+        // lands in bucket 9 ([256, 511]); the estimate must stay inside it.
+        let p50 = snap.percentile(0.50);
+        assert!((256..=511).contains(&p50), "p50 = {p50}");
+        let p100 = snap.percentile(1.0);
+        assert!((512..=1023).contains(&p100), "p100 = {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.percentile(0.99), 0);
+        assert_eq!(snap.mean(), None);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 7)
+            } else {
+                b.record(v * 7)
+            }
+            all.record(v * 7);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn record_duration_uses_nanos() {
+        let h = Histogram::new();
+        h.record_duration(SimDuration::from_millis(2));
+        let snap = h.snapshot();
+        assert_eq!(snap.sum, 2_000_000);
+        assert!((snap.percentile_ms(1.0) - 2.0).abs() < 2.0);
+    }
+}

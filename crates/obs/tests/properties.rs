@@ -1,0 +1,159 @@
+//! Property tests for the histogram and the trace ring, driven by the
+//! workspace's deterministic `SimRng` (no third-party property-test crate).
+
+use sle_obs::metrics::{bucket_index, bucket_lower, bucket_upper};
+use sle_obs::{Histogram, HistogramSnapshot, ProtoEvent, TraceRing};
+use sle_sim::{NodeId, SimInstant, SimRng};
+
+/// Draws a value whose magnitude spans many buckets: a random bit-width,
+/// then random bits within it.
+fn skewed_value(rng: &mut SimRng) -> u64 {
+    let bits = rng.uniform_usize(64);
+    if bits == 0 {
+        0
+    } else {
+        rng.next_u64() >> (64 - bits)
+    }
+}
+
+#[test]
+fn histogram_never_loses_counts() {
+    let mut rng = SimRng::seed_from(0xB0B5);
+    for case in 0..50u64 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.uniform_usize(500);
+        let h = Histogram::new();
+        let mut expected_sum = 0u64;
+        for _ in 0..n {
+            let v = skewed_value(&mut case_rng);
+            expected_sum = expected_sum.wrapping_add(v);
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, n as u64, "case {case}");
+        assert_eq!(snap.sum, expected_sum, "case {case}");
+        let bucket_total: u64 = snap.buckets.iter().sum();
+        assert_eq!(bucket_total, n as u64, "case {case}: buckets lose counts");
+    }
+}
+
+#[test]
+fn merge_equals_recording_into_one() {
+    let mut rng = SimRng::seed_from(0xCAFE);
+    for case in 0..30u64 {
+        let mut case_rng = rng.fork(case);
+        let parts: usize = 2 + case_rng.uniform_usize(6);
+        let combined = Histogram::new();
+        let mut merged = HistogramSnapshot::empty();
+        for p in 0..parts {
+            let shard = Histogram::new();
+            let n = case_rng.uniform_usize(200);
+            for _ in 0..n {
+                let v = skewed_value(&mut case_rng);
+                shard.record(v);
+                combined.record(v);
+            }
+            merged.merge(&shard.snapshot());
+            let _ = p;
+        }
+        assert_eq!(merged, combined.snapshot(), "case {case}");
+    }
+}
+
+#[test]
+fn percentile_stays_within_the_true_order_statistic_bucket() {
+    let mut rng = SimRng::seed_from(0xD00D);
+    for case in 0..50u64 {
+        let mut case_rng = rng.fork(case);
+        let n = 1 + case_rng.uniform_usize(300);
+        let h = Histogram::new();
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = skewed_value(&mut case_rng);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            // The estimator targets the ceil(q*n)-th smallest sample; the
+            // estimate must land in that sample's bucket.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = values[rank - 1];
+            let bucket = bucket_index(truth);
+            let est = snap.percentile(q);
+            assert!(
+                (bucket_lower(bucket)..=bucket_upper(bucket)).contains(&est),
+                "case {case}: q={q} truth={truth} (bucket {bucket}) est={est}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_writers_never_block_and_drain_accounts_for_every_event() {
+    // 4 writer threads hammer a deliberately tiny ring while the main
+    // thread drains concurrently. The ring must never deadlock, sequence
+    // numbers must be unique and ascending per drain, and
+    // events_seen + dropped must equal exactly the number pushed.
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 5_000;
+
+    let ring = TraceRing::new(64);
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let ring = ring.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_WRITER {
+                ring.push(
+                    NodeId(w as u32),
+                    SimInstant::from_nanos(i),
+                    ProtoEvent::Join { group: w as u32 },
+                );
+            }
+        }));
+    }
+
+    let mut seen = 0u64;
+    let mut dropped = 0u64;
+    let mut last_seq: Option<u64> = None;
+    // Drain while the writers are running — this exercises the
+    // writer-vs-drain slot race the try_lock discipline exists for.
+    loop {
+        let drain = ring.drain();
+        for pair in drain.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "drain out of order");
+        }
+        if let (Some(last), Some(first)) = (last_seq, drain.events.first()) {
+            assert!(first.seq > last, "drain re-delivered an event");
+        }
+        if let Some(l) = drain.events.last() {
+            last_seq = Some(l.seq);
+        }
+        seen += drain.events.len() as u64;
+        dropped += drain.dropped;
+        if handles.iter().all(|h| h.is_finished()) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let final_drain = ring.drain();
+    seen += final_drain.events.len() as u64;
+    dropped += final_drain.dropped;
+
+    let pushed = WRITERS as u64 * PER_WRITER;
+    assert_eq!(ring.pushed(), pushed);
+    assert_eq!(
+        seen + dropped,
+        pushed,
+        "gap accounting must cover every pushed event"
+    );
+    assert!(seen > 0, "some events must survive");
+    assert!(
+        dropped > 0,
+        "a 64-slot ring under 20k pushes must overflow (gap marker exercised)"
+    );
+}

@@ -47,13 +47,14 @@
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sle_net::transport::{Incoming, MessageEndpoint, ShardDelivery, TransportError};
+use sle_obs::{Counter, DropReason, ProtoEvent, Registry, SharedClock, TraceRing};
 use sle_sim::actor::NodeId;
 use sle_wire::{decode_frame, encode_frame, WireFormat, MAX_DATAGRAM};
 
@@ -66,20 +67,23 @@ const SHUTDOWN_FALLBACK_POLL: Duration = Duration::from_millis(25);
 /// Datagram-level counters of one endpoint, all monotonically increasing.
 ///
 /// The `dropped_*` counters are the endpoint's hardening made visible:
-/// every datagram the reader refused, by reason.
+/// every datagram the reader refused, by reason. The fields are
+/// [`sle_obs::Counter`] handles, so the same cells can be bound into a
+/// metrics [`Registry`] with [`UdpStats::bind`] — the endpoint then updates
+/// the exported metrics and this struct's view with one atomic increment.
 #[derive(Debug, Default)]
 pub struct UdpStats {
     /// Well-formed datagrams handed to the runtime.
-    pub delivered: AtomicU64,
+    pub delivered: Counter,
     /// Datagrams larger than [`MAX_DATAGRAM`], dropped unparsed.
-    pub dropped_oversized: AtomicU64,
+    pub dropped_oversized: Counter,
     /// Datagrams the `sle-wire` codec rejected (bad magic or version,
     /// truncation, corruption, trailing bytes).
-    pub dropped_malformed: AtomicU64,
+    pub dropped_malformed: Counter,
     /// Well-formed datagrams whose claimed sender is not in the address
     /// book, or whose UDP source address does not match the address book
     /// entry for that sender (a spoof, or a peer behind a NAT rebinding).
-    pub dropped_misaddressed: AtomicU64,
+    pub dropped_misaddressed: Counter,
     /// Outbound messages that could not be encoded into one datagram
     /// ([`WireError::TooLarge`](sle_wire::WireError)). Unlike the
     /// `dropped_*` receive counters this is a *send-side* failure: it
@@ -87,12 +91,12 @@ pub struct UdpStats {
     /// means the node is trying to say something the wire cannot carry
     /// (e.g. a HELLO gossiping more members than fit in
     /// [`MAX_DATAGRAM`]) — not that the network is lossy.
-    pub send_unencodable: AtomicU64,
+    pub send_unencodable: Counter,
     /// Times the reader thread woke from `recv_from`, for any reason. The
     /// reader blocks without a timeout, so on an idle endpoint this stays
     /// flat — the regression guard for "no periodic wakeups when nothing
     /// arrives".
-    pub reader_wakeups: AtomicU64,
+    pub reader_wakeups: Counter,
 }
 
 /// A point-in-time copy of [`UdpStats`].
@@ -116,13 +120,55 @@ impl UdpStats {
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> UdpStatsSnapshot {
         UdpStatsSnapshot {
-            delivered: self.delivered.load(Ordering::Relaxed),
-            dropped_oversized: self.dropped_oversized.load(Ordering::Relaxed),
-            dropped_malformed: self.dropped_malformed.load(Ordering::Relaxed),
-            dropped_misaddressed: self.dropped_misaddressed.load(Ordering::Relaxed),
-            send_unencodable: self.send_unencodable.load(Ordering::Relaxed),
-            reader_wakeups: self.reader_wakeups.load(Ordering::Relaxed),
+            delivered: self.delivered.get(),
+            dropped_oversized: self.dropped_oversized.get(),
+            dropped_malformed: self.dropped_malformed.get(),
+            dropped_misaddressed: self.dropped_misaddressed.get(),
+            send_unencodable: self.send_unencodable.get(),
+            reader_wakeups: self.reader_wakeups.get(),
         }
+    }
+
+    /// Binds the live counters into `registry` under `<prefix>.<counter>`
+    /// (e.g. `node.3.udp.delivered`), making this struct a view over the
+    /// exported metrics.
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}.delivered"), &self.delivered);
+        registry.bind_counter(
+            &format!("{prefix}.dropped_oversized"),
+            &self.dropped_oversized,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.dropped_malformed"),
+            &self.dropped_malformed,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.dropped_misaddressed"),
+            &self.dropped_misaddressed,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.send_unencodable"),
+            &self.send_unencodable,
+        );
+        registry.bind_counter(&format!("{prefix}.reader_wakeups"), &self.reader_wakeups);
+    }
+}
+
+/// Where a hardened endpoint reports refused datagrams: a trace ring plus
+/// the clock stamping the [`DatagramDropped`](ProtoEvent::DatagramDropped)
+/// events. Installed with [`UdpEndpoint::set_trace`].
+struct UdpTrace {
+    ring: TraceRing,
+    clock: SharedClock,
+}
+
+impl UdpTrace {
+    fn dropped(&self, node: NodeId, reason: DropReason) {
+        self.ring.push(
+            node,
+            self.clock.now(),
+            ProtoEvent::DatagramDropped { reason },
+        );
     }
 }
 
@@ -146,6 +192,7 @@ pub struct UdpEndpoint<M> {
     stop: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
     stats: Arc<UdpStats>,
+    trace: Arc<Mutex<Option<UdpTrace>>>,
 }
 
 impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
@@ -161,6 +208,7 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
         let peers = Arc::new(peers);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(UdpStats::default());
+        let trace: Arc<Mutex<Option<UdpTrace>>> = Arc::new(Mutex::new(None));
         let (tx, rx) = channel();
         let delivery = Arc::new(Mutex::new(UdpDelivery::Channel(tx)));
 
@@ -176,7 +224,18 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
                 let delivery = Arc::clone(&delivery);
-                move || reader_loop(node, reader_socket, &peers, &stop, &stats, &delivery)
+                let trace = Arc::clone(&trace);
+                move || {
+                    reader_loop(
+                        node,
+                        reader_socket,
+                        &peers,
+                        &stop,
+                        &stats,
+                        &delivery,
+                        &trace,
+                    )
+                }
             })?;
 
         Ok(UdpEndpoint {
@@ -188,6 +247,7 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
             stop,
             reader: Some(reader),
             stats,
+            trace,
         })
     }
 
@@ -216,6 +276,14 @@ impl<M: WireFormat + Send + 'static> UdpEndpoint<M> {
     pub fn stats_handle(&self) -> Arc<UdpStats> {
         Arc::clone(&self.stats)
     }
+
+    /// Reports every refused datagram into `ring` as a
+    /// [`ProtoEvent::DatagramDropped`] event, stamped by `clock`. The drop
+    /// paths are cold (a healthy endpoint refuses nothing), so the trace
+    /// costs nothing on the delivery fast path.
+    pub fn set_trace(&self, ring: TraceRing, clock: SharedClock) {
+        *self.trace.lock().expect("udp trace poisoned") = Some(UdpTrace { ring, clock });
+    }
 }
 
 fn reader_loop<M: WireFormat>(
@@ -225,12 +293,18 @@ fn reader_loop<M: WireFormat>(
     stop: &AtomicBool,
     stats: &UdpStats,
     delivery: &Mutex<UdpDelivery<M>>,
+    trace: &Mutex<Option<UdpTrace>>,
 ) {
+    let trace_dropped = |reason: DropReason| {
+        if let Some(trace) = &*trace.lock().expect("udp trace poisoned") {
+            trace.dropped(node, reason);
+        }
+    };
     // One byte over the limit so an in-limit read is provably untruncated.
     let mut buf = vec![0u8; MAX_DATAGRAM + 1];
     while !stop.load(Ordering::Relaxed) {
         let received = socket.recv_from(&mut buf);
-        stats.reader_wakeups.fetch_add(1, Ordering::Relaxed);
+        stats.reader_wakeups.inc();
         let (len, src) = match received {
             Ok(received) => received,
             Err(e)
@@ -249,23 +323,26 @@ fn reader_loop<M: WireFormat>(
             continue;
         }
         if len > MAX_DATAGRAM {
-            stats.dropped_oversized.fetch_add(1, Ordering::Relaxed);
+            stats.dropped_oversized.inc();
+            trace_dropped(DropReason::Oversized);
             continue;
         }
         let (from, msg) = match decode_frame::<M>(&buf[..len]) {
             Ok(decoded) => decoded,
             Err(_) => {
-                stats.dropped_malformed.fetch_add(1, Ordering::Relaxed);
+                stats.dropped_malformed.inc();
+                trace_dropped(DropReason::Malformed);
                 continue;
             }
         };
         // The claimed sender must be in the address book *and* the datagram
         // must actually come from that peer's socket.
         if peers.get(from.index()) != Some(&src) {
-            stats.dropped_misaddressed.fetch_add(1, Ordering::Relaxed);
+            stats.dropped_misaddressed.inc();
+            trace_dropped(DropReason::Misaddressed);
             continue;
         }
-        stats.delivered.fetch_add(1, Ordering::Relaxed);
+        stats.delivered.inc();
         let incoming = Incoming { from, msg };
         match &*delivery.lock().expect("udp delivery poisoned") {
             UdpDelivery::Channel(tx) => {
@@ -294,7 +371,10 @@ impl<M: WireFormat + Send + 'static> MessageEndpoint<M> for UdpEndpoint<M> {
             .get(to.index())
             .ok_or(TransportError::UnknownDestination(to))?;
         let frame = encode_frame(self.node, &msg).map_err(|e| {
-            self.stats.send_unencodable.fetch_add(1, Ordering::Relaxed);
+            self.stats.send_unencodable.inc();
+            if let Some(trace) = &*self.trace.lock().expect("udp trace poisoned") {
+                trace.dropped(self.node, DropReason::Unencodable);
+            }
             TransportError::Unencodable(e.to_string())
         })?;
         let _ = self.socket.send_to(&frame, addr);
@@ -445,6 +525,32 @@ mod tests {
         assert_eq!(stats.dropped_malformed, 1);
         assert_eq!(stats.dropped_oversized, 1);
         assert_eq!(stats.dropped_misaddressed, 1);
+    }
+
+    #[test]
+    fn refused_datagrams_are_traced_with_their_reason() {
+        use sle_obs::ManualClock;
+
+        let endpoints = bind_loopback_mesh::<u64>(1).unwrap();
+        let ring = TraceRing::new(16);
+        endpoints[0].set_trace(ring.clone(), Arc::new(ManualClock::new()));
+        let target = endpoints[0].local_addr().unwrap();
+        let attacker = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        attacker.send_to(b"definitely not a frame", target).unwrap();
+        assert!(endpoints[0]
+            .recv_timeout(Duration::from_millis(300))
+            .is_none());
+
+        let drain = ring.drain();
+        assert_eq!(drain.dropped, 0);
+        assert_eq!(drain.events.len(), 1);
+        assert!(matches!(
+            drain.events[0].event,
+            ProtoEvent::DatagramDropped {
+                reason: DropReason::Malformed
+            }
+        ));
     }
 
     #[test]

@@ -14,19 +14,29 @@
 //! elected leader n0.p0 after 312.408ms
 //! crashing the leader's workstation (n0)...
 //! new leader after the crash: n1.p0 (re-elected in 1.287s)
+//! metrics on exit:
+//!   detections: 4 (p99 812.3 ms), mistakes: 0
+//!   elections:  5 (p50 310.1 ms, p99 2044.5 ms)
+//!   ALIVE datagrams sent: 163
 //! done.
 //! ```
 
 use std::time::{Duration, Instant};
 
-use sle_core::{Cluster, GroupId, JoinConfig};
+use sle_core::{Cluster, ClusterConfig, GroupId, JoinConfig};
 use sle_election::ElectorKind;
+use sle_obs::Registry;
 use sle_sim::time::SimDuration;
 use sle_sim::NodeId;
 
 fn main() {
-    // Five workstations running the S2 (Omega_lc) version of the service.
-    let cluster = Cluster::start(5, ElectorKind::OmegaLc);
+    // Five workstations running the S2 (Omega_lc) version of the service,
+    // with live observability attached (docs/OBSERVABILITY.md).
+    let registry = Registry::default();
+    let cluster = Cluster::start_with_config(
+        5,
+        ClusterConfig::new(ElectorKind::OmegaLc).with_observability(registry.clone()),
+    );
     let group = GroupId(1);
 
     println!("joining 5 candidate processes to group {group}...");
@@ -62,5 +72,27 @@ fn main() {
     assert_ne!(new_leader.node, leader.node);
 
     cluster.shutdown();
+
+    // The QoS evidence of the run, read from the live metrics registry:
+    // the same histograms a deployment would export to Prometheus.
+    let snapshot = registry.snapshot();
+    let detections = snapshot.merged_histogram("node.", ".fd.detection_ns");
+    let elections = snapshot.merged_histogram("node.", ".elect.election_ns");
+    let mistakes = snapshot.sum_counters("node.", ".fd.mistakes");
+    let datagrams = snapshot.sum_counters("node.", ".net.alive_datagrams_sent");
+    println!("metrics on exit:");
+    println!(
+        "  detections: {} (p99 {:.1} ms), mistakes: {}",
+        detections.count,
+        detections.percentile_ms(0.99),
+        mistakes
+    );
+    println!(
+        "  elections:  {} (p50 {:.1} ms, p99 {:.1} ms)",
+        elections.count,
+        elections.percentile_ms(0.50),
+        elections.percentile_ms(0.99)
+    );
+    println!("  ALIVE datagrams sent: {datagrams}");
     println!("done.");
 }
