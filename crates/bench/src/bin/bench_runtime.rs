@@ -3,30 +3,35 @@
 //! wakeup-discipline assertions.
 //!
 //! ```text
-//! cargo run --release -p sle-bench --bin bench_runtime            # full (1000-node mesh + 64-node UDP)
+//! cargo run --release -p sle-bench --bin bench_runtime            # full (1000-node mesh + UDP cells)
 //! cargo run --release -p sle-bench --bin bench_runtime -- --smoke # CI-sized
 //! ```
 //!
 //! Where `bench_scale` proves the protocol scales in *virtual* time, this
 //! binary proves the deployment scales in *real* time: the sharded runtime
-//! of `sle-core` must run a 1000-node in-memory-mesh cluster (and a
-//! 64-node real-UDP loopback cell) on 8 workers, elect a leader in every
-//! group, and do it with
+//! of `sle-core` must run a 1000-node in-memory-mesh cluster, a 64-node
+//! legacy one-socket-per-node UDP cell, and a **1000-node shared-socket UDP
+//! plane cell** (all nodes demultiplexed behind `workers` sockets) on a
+//! fixed worker pool, elect a leader in every group, and do it with
 //!
 //! * **O(workers) threads** — the runtime may spawn at most 16 threads
 //!   beyond the transport's own reader threads, however many nodes run
-//!   (a thread-per-node runtime fails this immediately at 1000 nodes), and
+//!   (a thread-per-node runtime fails this immediately at 1000 nodes); the
+//!   shared-plane cell is gated harder still: its *total* spawn — runtime
+//!   plus transport — must stay within `workers + sockets`, and
 //! * **no polling** — workers sleep exactly to their timer wheel's next
 //!   deadline or a mailbox wakeup, so wakeups that find nothing to do must
 //!   stay below 100/s across the whole pool.
 //!
-//! Results are written to `BENCH_runtime.json` (schema documented in
-//! `docs/BENCH.md`); CI runs `--smoke` and uploads the file as the
-//! `runtime-bench` artifact. Exit status: `0` when every assertion holds,
-//! `1` otherwise.
+//! Results are written to `BENCH_runtime.json` (schema
+//! `sle-bench-runtime/3`, documented in `docs/BENCH.md`); CI runs
+//! `--smoke` and uploads the file as the `runtime-bench` artifact. Exit
+//! status: `0` when every assertion holds, `1` otherwise.
 //!
 //! Options: `--smoke` (CI sizes), `--out PATH` (default
-//! `BENCH_runtime.json`).
+//! `BENCH_runtime.json`), `--snapshot-prom PATH` / `--snapshot-json PATH`
+//! (mesh telemetry registry exports), `--snapshot-plane-prom PATH` (the
+//! shared plane's demux + buffer-pool counters, Prometheus format).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -40,7 +45,7 @@ use sle_net::transport::{InMemoryMesh, MessageEndpoint};
 use sle_obs::{Registry, Snapshot};
 use sle_sim::time::SimDuration;
 use sle_sim::NodeId;
-use sle_udp::bind_loopback_mesh;
+use sle_udp::{bind_loopback_mesh, SharedUdpPlane};
 
 /// The hard ceiling on runtime threads (shard workers plus bookkeeping),
 /// excluding the transport's own reader threads.
@@ -61,6 +66,7 @@ struct Args {
     out: String,
     snapshot_prom: Option<String>,
     snapshot_json: Option<String>,
+    snapshot_plane_prom: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_runtime.json".to_string(),
         snapshot_prom: None,
         snapshot_json: None,
+        snapshot_plane_prom: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -91,10 +98,17 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--snapshot-json requires a path".to_string())?,
                 );
             }
+            "--snapshot-plane-prom" => {
+                args.snapshot_plane_prom = Some(
+                    iter.next()
+                        .ok_or_else(|| "--snapshot-plane-prom requires a path".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_runtime [--smoke] [--out PATH] \
-                     [--snapshot-prom PATH] [--snapshot-json PATH]"
+                     [--snapshot-prom PATH] [--snapshot-json PATH] \
+                     [--snapshot-plane-prom PATH]"
                 );
                 std::process::exit(0);
             }
@@ -139,11 +153,26 @@ struct Cell {
     wall_ms: u128,
     /// Whether the cell ran with the full observability stack attached.
     telemetry: bool,
-    /// Election-latency percentiles from the live histograms (telemetry
-    /// cells only): per-node time from group creation to the first stable
-    /// leader announcement.
+    /// Election-latency percentiles over the always-on per-group election
+    /// timestamps (cluster start → the group's members agreed), so every
+    /// cell reports them whether or not telemetry ran. `None` only when no
+    /// group elected at all.
     election_p50_ms: Option<f64>,
     election_p99_ms: Option<f64>,
+    /// Wire datagrams per second over the idle measurement window, for
+    /// transports that count them (the shared UDP plane); `None` for
+    /// transports without a datagram counter.
+    datagrams_per_sec: Option<f64>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample, in milliseconds.
+fn percentile_ms(sorted: &[Duration], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    let idx = rank.clamp(1, sorted.len()) - 1;
+    Some(sorted[idx].as_secs_f64() * 1e3)
 }
 
 /// Per-node service configs for a strided deployment: each workstation
@@ -169,7 +198,9 @@ fn service_configs(nodes: usize, groups: &[Vec<NodeId>]) -> Vec<ServiceConfig> {
 }
 
 /// Runs one deployment: build endpoints, start the sharded cluster, wait
-/// for every group to elect, then measure the pool's wakeup discipline
+/// for every group to elect (timestamping each group's agreement for the
+/// always-on election percentiles), then measure the pool's wakeup
+/// discipline — and the transport's datagram rate, when it counts one —
 /// over an idle window.
 #[allow(clippy::too_many_arguments)]
 fn run_cell<E>(
@@ -182,6 +213,7 @@ fn run_cell<E>(
     transport_reader_threads: usize,
     idle_window: Duration,
     telemetry: bool,
+    datagram_counter: Option<&dyn Fn() -> u64>,
     failures: &mut Vec<String>,
 ) -> (Cell, Option<Snapshot>)
 where
@@ -217,14 +249,22 @@ where
         }
     }
 
-    // Wait for every group's members to agree on a leader.
+    // Wait for every group's members to agree on a leader, timestamping
+    // each group's agreement: these always-on timestamps — not the
+    // optional telemetry histograms — feed the election percentiles, so
+    // telemetry-off cells stay comparable.
     let deadline = started + ELECTION_DEADLINE;
     let mut pending: Vec<usize> = (0..groups.len()).collect();
+    let mut elected_at: Vec<Duration> = Vec::with_capacity(groups.len());
     while !pending.is_empty() && Instant::now() < deadline {
         pending.retain(|&g| {
-            cluster
+            let agreed = cluster
                 .agreed_leader_among(GroupId(g as u32 + 1), &groups[g])
-                .is_none()
+                .is_some();
+            if agreed {
+                elected_at.push(started.elapsed());
+            }
+            !agreed
         });
         if !pending.is_empty() {
             std::thread::sleep(Duration::from_millis(25));
@@ -244,9 +284,13 @@ where
     // (HELLO/ALIVE timers, arriving gossip) continue; *idle* wakeups —
     // a worker waking to find nothing to do — must be a rarity.
     let before = cluster.runtime_stats();
+    let datagrams_before = datagram_counter.map(|count| count());
     std::thread::sleep(idle_window);
     let after = cluster.runtime_stats();
     let secs = idle_window.as_secs_f64();
+    let datagrams_per_sec = datagram_counter
+        .zip(datagrams_before)
+        .map(|(count, before)| (count().saturating_sub(before)) as f64 / secs);
     let wakeups_per_sec = (after.wakeups - before.wakeups) as f64 / secs;
     let idle_wakeups_per_sec = (after.idle_wakeups - before.idle_wakeups) as f64 / secs;
     if idle_wakeups_per_sec > MAX_IDLE_WAKEUPS_PER_SEC {
@@ -257,16 +301,11 @@ where
     }
 
     let snapshot = telemetry.then(|| registry.snapshot());
-    let (election_p50_ms, election_p99_ms) = match &snapshot {
-        Some(snapshot) => {
-            let elections = snapshot.merged_histogram("node.", ".elect.election_ns");
-            (
-                Some(elections.percentile_ms(0.50)),
-                Some(elections.percentile_ms(0.99)),
-            )
-        }
-        None => (None, None),
-    };
+    // elected_at is already in agreement order, which is ascending by
+    // construction (each poll pass appends the newly-agreed groups).
+    elected_at.sort();
+    let election_p50_ms = percentile_ms(&elected_at, 0.50);
+    let election_p99_ms = percentile_ms(&elected_at, 0.99);
     cluster.shutdown();
     let cell = Cell {
         name,
@@ -284,6 +323,7 @@ where
         telemetry,
         election_p50_ms,
         election_p99_ms,
+        datagrams_per_sec,
     };
     (cell, snapshot)
 }
@@ -300,7 +340,7 @@ struct Overhead {
 fn render_json(cells: &[Cell], overhead: &Overhead, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"sle-bench-runtime/2\",");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-runtime/3\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
@@ -318,7 +358,8 @@ fn render_json(cells: &[Cell], overhead: &Overhead, smoke: bool) -> String {
              \"members_per_group\": {}, \"workers\": {}, \"threads_spawned\": {}, \
              \"transport_reader_threads\": {}, \"elected_ms\": {}, \
              \"wakeups_per_sec\": {:.1}, \"idle_wakeups_per_sec\": {:.1}, \"wall_ms\": {}, \
-             \"telemetry\": {}, \"election_p50_ms\": {}, \"election_p99_ms\": {}}}",
+             \"telemetry\": {}, \"election_p50_ms\": {}, \"election_p99_ms\": {}, \
+             \"datagrams_per_sec\": {}}}",
             cell.name,
             cell.transport,
             cell.nodes,
@@ -334,6 +375,7 @@ fn render_json(cells: &[Cell], overhead: &Overhead, smoke: bool) -> String {
             cell.telemetry,
             opt(cell.election_p50_ms),
             opt(cell.election_p99_ms),
+            opt(cell.datagrams_per_sec),
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -422,6 +464,7 @@ fn main() {
         0,
         idle_window,
         false,
+        None,
         &mut failures,
     );
     print_cell(&off_cell);
@@ -435,6 +478,7 @@ fn main() {
         0,
         idle_window,
         true,
+        None,
         &mut failures,
     );
     print_cell(&on_cell);
@@ -475,10 +519,83 @@ fn main() {
             udp_nodes, // one reader thread per socket
             idle_window,
             false,
+            None,
             &mut failures,
         );
         print_cell(&cell);
         cells.push(cell);
+    }
+
+    // Cell 4: the shared-socket UDP plane at mesh scale — every node's
+    // datagrams demultiplexed behind `plane_sockets` sockets, so the whole
+    // deployment (runtime + transport) fits in `workers + sockets` threads.
+    {
+        let (plane_nodes, plane_groups, plane_members, plane_workers, plane_sockets) = if args.smoke
+        {
+            (200, 25, 8, 4, 4)
+        } else {
+            (1000, 125, 8, 8, 8)
+        };
+        // The plane is created inside `make_endpoints` so its reader
+        // threads land inside `run_cell`'s thread accounting; the handle is
+        // smuggled out for the datagram counter and the metrics snapshot.
+        let plane_slot: std::cell::RefCell<Option<SharedUdpPlane<ServiceMessage>>> =
+            std::cell::RefCell::new(None);
+        let datagram_counter = || {
+            plane_slot
+                .borrow()
+                .as_ref()
+                .map(|plane| plane.stats().datagrams_received)
+                .unwrap_or(0)
+        };
+        let (cell, _) = run_cell(
+            format!("udp-shared-{plane_nodes}x{plane_groups}x{plane_members}"),
+            "udp-shared",
+            || {
+                let plane =
+                    SharedUdpPlane::<ServiceMessage>::bind_loopback(plane_nodes, plane_sockets)
+                        .expect("bind shared UDP plane");
+                let endpoints = plane.endpoints();
+                *plane_slot.borrow_mut() = Some(plane);
+                endpoints
+            },
+            plane_nodes,
+            strided_groups(plane_nodes, plane_groups, plane_members),
+            plane_workers,
+            plane_sockets, // one reader thread per *socket*, not per node
+            idle_window,
+            false,
+            Some(&datagram_counter),
+            &mut failures,
+        );
+        // The plane cell's whole deployment — runtime and transport — must
+        // fit in workers + sockets threads; this is the tentpole's O(n) →
+        // O(workers) claim, gated.
+        if let Some(spawned) = cell.threads_spawned {
+            if spawned > plane_workers + plane_sockets {
+                failures.push(format!(
+                    "{}: {spawned} total threads for {plane_nodes} nodes \
+                     (max {} = {plane_workers} workers + {plane_sockets} sockets) — \
+                     the shared plane is not O(workers)",
+                    cell.name,
+                    plane_workers + plane_sockets
+                ));
+            }
+        }
+        print_cell(&cell);
+        cells.push(cell);
+        if let Some(path) = &args.snapshot_plane_prom {
+            let registry = Registry::default();
+            if let Some(plane) = plane_slot.borrow().as_ref() {
+                plane.bind(&registry, "udp.plane");
+            }
+            let snapshot = registry.snapshot();
+            if let Err(e) = std::fs::write(path, sle_obs::render_prometheus(&snapshot)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote plane Prometheus snapshot to {path}");
+        }
     }
 
     if let Some(snapshot) = &mesh_snapshot {

@@ -560,12 +560,26 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
         did_work
     }
 
+    /// Flushes transports that coalesce sends
+    /// ([`MessageEndpoint::flush_sends`]): the end of a productive
+    /// processing round is the natural batch boundary, so everything the
+    /// shard's residents said this round — to any one destination — can
+    /// share datagrams without adding latency beyond the round itself.
+    /// Write-through transports make this a no-op per resident.
+    fn flush_endpoints(&self) {
+        for resident in &self.residents {
+            resident.endpoint.flush_sends();
+        }
+    }
+
     fn run(mut self) {
         for idx in 0..self.residents.len() {
             self.start_node(idx);
         }
         let mut mail: Vec<(NodeId, Incoming<ServiceMessage>)> = Vec::new();
         self.process_all(&mut mail);
+        // The start-up round always talks (HELLOs, joins).
+        self.flush_endpoints();
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
@@ -583,7 +597,9 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
             let woken = self.inbox.mail.wait_until(deadline, &mut mail);
             self.stats.wakeups.inc();
             let did_work = self.process_all(&mut mail);
-            if !woken && !did_work {
+            if did_work {
+                self.flush_endpoints();
+            } else if !woken {
                 self.stats.idle_wakeups.inc();
             }
         }

@@ -102,6 +102,19 @@ pub trait MessageEndpoint<M> {
         let _ = sink;
         false
     }
+
+    /// Flushes any sends the transport has buffered for coalescing.
+    ///
+    /// Transports that pack several small messages into one wire datagram
+    /// (the shared-socket UDP plane of `sle-udp`) hold outgoing records in a
+    /// pending buffer until either the datagram budget fills or the runtime
+    /// signals a natural batch boundary by calling this. A sharded runtime
+    /// calls it after every productive processing round, so co-sharded
+    /// senders to the same destination share datagrams without adding
+    /// latency beyond the round itself. Transports that write through on
+    /// every `send` (the in-memory mesh, the legacy one-socket-per-node UDP
+    /// endpoint) keep this default no-op.
+    fn flush_sends(&self) {}
 }
 
 /// A message in flight, tagged with its sender.

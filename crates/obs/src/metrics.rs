@@ -81,6 +81,13 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` if `v` is larger than the current value — a
+    /// lock-free high-water mark (e.g. peak buffer-pool occupancy).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Returns the current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

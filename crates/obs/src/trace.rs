@@ -36,6 +36,12 @@ pub enum DropReason {
     Misaddressed,
     /// The outgoing message could not be encoded.
     Unencodable,
+    /// A multi-record datagram ended mid-record (shared-socket demux
+    /// framing; see `sle-udp`'s `SharedUdpPlane`).
+    Truncated,
+    /// The record's destination node is not resident behind the receiving
+    /// socket (stale address book, or a peer that has since left).
+    Misrouted,
 }
 
 impl fmt::Display for DropReason {
@@ -45,6 +51,8 @@ impl fmt::Display for DropReason {
             DropReason::Malformed => "malformed",
             DropReason::Misaddressed => "misaddressed",
             DropReason::Unencodable => "unencodable",
+            DropReason::Truncated => "truncated",
+            DropReason::Misrouted => "misrouted",
         };
         f.write_str(s)
     }

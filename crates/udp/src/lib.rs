@@ -45,6 +45,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod plane;
+pub mod pool;
+
+pub use plane::{
+    PlaneStats, PlaneStatsSnapshot, SharedUdpEndpoint, SharedUdpPlane, COALESCE_BUDGET,
+    MAX_PLANE_DATAGRAM, RECORD_HEADER,
+};
+pub use pool::{BufferPool, PoolStats, PoolStatsSnapshot, PooledBuf};
+
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};

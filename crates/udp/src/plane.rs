@@ -1,0 +1,963 @@
+//! # The shared-socket UDP data plane
+//!
+//! The legacy [`UdpEndpoint`](crate::UdpEndpoint) spawns one socket and one
+//! reader thread per node — faithful to the paper's one-daemon-per-
+//! workstation deployment, but O(n) threads when one process hosts a whole
+//! cell. This module collapses the plane to **O(sockets)**: a
+//! [`SharedUdpPlane`] binds a small, fixed number of `UdpSocket`s, assigns
+//! every node to one of them (node `i` → socket `i % sockets`), and runs one
+//! demultiplexing reader thread per socket. Arriving datagrams are decoded
+//! into per-node records and routed to the resident destination's delivery
+//! sink — the same pull channel / [`ShardDelivery`] seam the legacy
+//! endpoint uses, so `sle-core`'s `Cluster` drives a
+//! [`SharedUdpEndpoint`] unchanged.
+//!
+//! ## Datagram format
+//!
+//! A shared socket serves many destinations, so the sle-wire frame (which
+//! names only the *sender*) is wrapped in a plane **record** carrying the
+//! destination:
+//!
+//! ```text
+//! datagram := record+
+//! record   := dest_node u32 BE | frame_len u16 BE | frame   (sle-wire)
+//! ```
+//!
+//! Senders coalesce: records bound for the same destination socket accrue
+//! in a pending buffer until the [`COALESCE_BUDGET`] would overflow or the
+//! runtime flushes at a batch boundary
+//! ([`MessageEndpoint::flush_sends`]), so co-sharded senders to the same
+//! destination share datagrams. The budget mirrors the protocol's
+//! `MAX_ALIVE_BATCH_BYTES` (1200 bytes): the wire keeps the same
+//! conservative no-fragmentation envelope the ALIVE batcher already
+//! guarantees. A single record may exceed the budget (up to
+//! [`MAX_PLANE_DATAGRAM`]); it is then sent alone, exactly like an
+//! unbatched legacy datagram.
+//!
+//! ## Hardening
+//!
+//! The demux refuses, counts, and (optionally) traces every byte it cannot
+//! attribute, per reason — see [`PlaneStats`]. Record framing is untrusted:
+//! a datagram that ends mid-record is abandoned from the truncation point
+//! (`dropped_truncated`), while a record that parses but fails frame
+//! decoding, sender validation, or destination residency is skipped and the
+//! demux continues with the next record. One deliberate trust boundary is
+//! documented here: nodes sharing a source socket are indistinguishable at
+//! the address level, so a resident node *can* claim a co-socketed
+//! sibling's identity. In-process siblings are inside the trust domain (the
+//! legacy plane's per-node sockets draw the same boundary around the
+//! process); cross-socket spoofing is still refused.
+//!
+//! Receive buffers come from a fixed [`BufferPool`] — the hot path stops
+//! allocating per datagram after warm-up, and pool occupancy is exact in
+//! the exported metrics.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sle_net::transport::{Incoming, MessageEndpoint, ShardDelivery, TransportError};
+use sle_obs::{Counter, DropReason, ProtoEvent, Registry, SharedClock, TraceRing};
+use sle_sim::actor::NodeId;
+use sle_wire::{decode_frame, encode_frame, WireFormat, MAX_DATAGRAM};
+
+use crate::pool::{BufferPool, PoolStatsSnapshot};
+
+/// Bytes of plane framing preceding each record's sle-wire frame:
+/// `dest_node: u32 BE | frame_len: u16 BE`.
+pub const RECORD_HEADER: usize = 6;
+
+/// The coalescing budget: a pending buffer is flushed before appending a
+/// record that would push it past this many bytes. Mirrors the protocol's
+/// `MAX_ALIVE_BATCH_BYTES` so the plane keeps the same conservative
+/// no-fragmentation envelope as the ALIVE batcher.
+pub const COALESCE_BUDGET: usize = 1200;
+
+/// The largest datagram the plane ever sends or accepts: one maximal
+/// record (a full [`MAX_DATAGRAM`] sle-wire frame plus plane framing).
+/// Coalesced datagrams stay under [`COALESCE_BUDGET`], which is smaller.
+pub const MAX_PLANE_DATAGRAM: usize = RECORD_HEADER + MAX_DATAGRAM;
+
+/// Fallback read timeout installed at shutdown, in case the zero-byte wake
+/// datagram is lost (see [`UdpEndpoint`](crate::UdpEndpoint) for the same
+/// pattern). In steady state the readers block indefinitely.
+const SHUTDOWN_FALLBACK_POLL: Duration = Duration::from_millis(25);
+
+/// Datagram- and record-level counters of one [`SharedUdpPlane`], all
+/// monotonically increasing and shared by every socket reader.
+///
+/// The `dropped_*` counters are the demux's hardening made visible; the
+/// `datagrams_*`/`records_sent` trio measures coalescing
+/// (`records_sent / datagrams_sent` is the packing ratio). The fields are
+/// [`sle_obs::Counter`] handles, so [`PlaneStats::bind`] exposes the same
+/// cells through a metrics [`Registry`].
+#[derive(Debug, Default)]
+pub struct PlaneStats {
+    /// Records decoded, validated, and handed to a resident node.
+    pub delivered: Counter,
+    /// Datagrams larger than [`MAX_PLANE_DATAGRAM`], dropped unparsed.
+    pub dropped_oversized: Counter,
+    /// Datagrams that ended mid-record (framing truncation). The remainder
+    /// of the datagram is abandoned; records before the truncation point
+    /// were already processed.
+    pub dropped_truncated: Counter,
+    /// Records whose sle-wire frame the codec rejected.
+    pub dropped_malformed: Counter,
+    /// Records whose claimed sender is unknown or whose UDP source address
+    /// is not the claimed sender's plane socket (a cross-socket spoof).
+    pub dropped_misaddressed: Counter,
+    /// Records addressed to a node that is not resident behind the
+    /// receiving socket: out-of-range, assigned to a different socket, or
+    /// currently without an endpoint (departed mid-stream).
+    pub dropped_misrouted: Counter,
+    /// Outbound messages that could not be encoded into one frame
+    /// (send-side, deterministic; see
+    /// [`UdpStats::send_unencodable`](crate::UdpStats)).
+    pub send_unencodable: Counter,
+    /// Times any plane reader woke from `recv_from`, for any reason. Flat
+    /// on an idle plane — the regression guard for "no periodic wakeups".
+    pub reader_wakeups: Counter,
+    /// Datagrams received by the plane's sockets (before any validation).
+    pub datagrams_received: Counter,
+    /// Datagrams the plane put on the wire.
+    pub datagrams_sent: Counter,
+    /// Records the plane put on the wire (several per datagram when
+    /// coalescing is effective).
+    pub records_sent: Counter,
+}
+
+/// A point-in-time copy of [`PlaneStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlaneStatsSnapshot {
+    /// Records handed to a resident node.
+    pub delivered: u64,
+    /// Datagrams larger than [`MAX_PLANE_DATAGRAM`].
+    pub dropped_oversized: u64,
+    /// Datagrams that ended mid-record.
+    pub dropped_truncated: u64,
+    /// Records whose frame the codec rejected.
+    pub dropped_malformed: u64,
+    /// Records with an unknown or cross-socket-spoofed sender.
+    pub dropped_misaddressed: u64,
+    /// Records for a non-resident destination.
+    pub dropped_misrouted: u64,
+    /// Outbound messages too large to encode.
+    pub send_unencodable: u64,
+    /// Reader wakeups, any reason.
+    pub reader_wakeups: u64,
+    /// Datagrams received (before validation).
+    pub datagrams_received: u64,
+    /// Datagrams sent.
+    pub datagrams_sent: u64,
+    /// Records sent.
+    pub records_sent: u64,
+}
+
+impl PlaneStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PlaneStatsSnapshot {
+        PlaneStatsSnapshot {
+            delivered: self.delivered.get(),
+            dropped_oversized: self.dropped_oversized.get(),
+            dropped_truncated: self.dropped_truncated.get(),
+            dropped_malformed: self.dropped_malformed.get(),
+            dropped_misaddressed: self.dropped_misaddressed.get(),
+            dropped_misrouted: self.dropped_misrouted.get(),
+            send_unencodable: self.send_unencodable.get(),
+            reader_wakeups: self.reader_wakeups.get(),
+            datagrams_received: self.datagrams_received.get(),
+            datagrams_sent: self.datagrams_sent.get(),
+            records_sent: self.records_sent.get(),
+        }
+    }
+
+    /// Binds the live counters into `registry` under `<prefix>.<counter>`
+    /// (e.g. `udp.plane.delivered`).
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}.delivered"), &self.delivered);
+        registry.bind_counter(
+            &format!("{prefix}.dropped_oversized"),
+            &self.dropped_oversized,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.dropped_truncated"),
+            &self.dropped_truncated,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.dropped_malformed"),
+            &self.dropped_malformed,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.dropped_misaddressed"),
+            &self.dropped_misaddressed,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.dropped_misrouted"),
+            &self.dropped_misrouted,
+        );
+        registry.bind_counter(
+            &format!("{prefix}.send_unencodable"),
+            &self.send_unencodable,
+        );
+        registry.bind_counter(&format!("{prefix}.reader_wakeups"), &self.reader_wakeups);
+        registry.bind_counter(
+            &format!("{prefix}.datagrams_received"),
+            &self.datagrams_received,
+        );
+        registry.bind_counter(&format!("{prefix}.datagrams_sent"), &self.datagrams_sent);
+        registry.bind_counter(&format!("{prefix}.records_sent"), &self.records_sent);
+    }
+}
+
+/// Where the demux reports refused traffic: a trace ring plus the clock
+/// stamping the [`ProtoEvent::DatagramDropped`] events. Drops are
+/// attributed to the record's destination node; drops with no parseable
+/// destination (oversized datagrams, header-level truncation) are counted
+/// in [`PlaneStats`] but not traced.
+struct PlaneTrace {
+    ring: TraceRing,
+    clock: SharedClock,
+}
+
+impl PlaneTrace {
+    fn dropped(&self, node: NodeId, reason: DropReason) {
+        self.ring.push(
+            node,
+            self.clock.now(),
+            ProtoEvent::DatagramDropped { reason },
+        );
+    }
+}
+
+/// Where records for one resident node currently go: the node's endpoint
+/// pull channel (the default) or a sharded runtime's mailbox. `None` when
+/// the node has no live endpoint (never created, or departed).
+type ResidentSlot<M> = Mutex<Option<PlaneDelivery<M>>>;
+
+enum PlaneDelivery<M> {
+    Channel(Sender<Incoming<M>>),
+    Shard(ShardDelivery<M>),
+}
+
+/// State shared by the plane handle, every endpoint, and (piecewise) the
+/// reader threads. Dropping the last handle shuts the readers down.
+struct PlaneShared<M> {
+    sockets: Vec<UdpSocket>,
+    /// node → index into `sockets` of the socket it lives behind.
+    node_sockets: Arc<Vec<usize>>,
+    /// node → the plane address of its socket (the address book used for
+    /// sender validation and destination addressing).
+    node_addrs: Arc<Vec<SocketAddr>>,
+    residents: Arc<Vec<ResidentSlot<M>>>,
+    /// Per-source-socket pending coalescing buffers, keyed by destination
+    /// socket address.
+    pending: Vec<Mutex<HashMap<SocketAddr, Vec<u8>>>>,
+    stats: Arc<PlaneStats>,
+    pool: BufferPool,
+    stop: Arc<AtomicBool>,
+    trace: Arc<Mutex<Option<PlaneTrace>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<M> Drop for PlaneShared<M> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut woken_all = true;
+        for socket in &self.sockets {
+            // Same edge-triggered shutdown as the legacy endpoint: a
+            // fallback timeout for readers not yet parked, a zero-byte
+            // self-send for readers already inside `recv_from`.
+            let _ = socket.set_read_timeout(Some(SHUTDOWN_FALLBACK_POLL));
+            let woken = socket
+                .local_addr()
+                .and_then(|mut addr| {
+                    if addr.ip().is_unspecified() {
+                        match addr {
+                            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+                        }
+                    }
+                    socket.send_to(&[], addr)
+                })
+                .is_ok();
+            woken_all &= woken;
+        }
+        if woken_all {
+            for reader in self
+                .readers
+                .lock()
+                .expect("plane readers poisoned")
+                .drain(..)
+            {
+                let _ = reader.join();
+            }
+        }
+        // If a wake could not be sent, a reader may be parked indefinitely;
+        // leaking it (it exits on the next datagram or timeout tick) beats
+        // hanging the dropping thread.
+    }
+}
+
+/// A shared-socket UDP plane hosting `nodes` endpoints behind
+/// `sockets` sockets, with one demultiplexing reader thread per socket —
+/// the O(workers) replacement for the legacy one-thread-per-node
+/// [`UdpEndpoint`](crate::UdpEndpoint) when one process hosts many nodes.
+///
+/// The handle is cheap to clone; the readers shut down when the last
+/// handle **and** the last [`SharedUdpEndpoint`] drop.
+///
+/// ```
+/// use sle_net::transport::MessageEndpoint;
+/// use sle_sim::actor::NodeId;
+/// use sle_udp::SharedUdpPlane;
+/// use std::time::Duration;
+///
+/// // Four nodes behind two sockets: two reader threads total.
+/// let plane = SharedUdpPlane::<u64>::bind_loopback(4, 2).unwrap();
+/// let endpoints = plane.endpoints();
+/// endpoints[0].send(NodeId(3), 42).unwrap();
+/// let incoming = endpoints[3].recv_timeout(Duration::from_secs(5)).unwrap();
+/// assert_eq!(incoming.from, NodeId(0));
+/// assert_eq!(incoming.msg, 42);
+/// ```
+pub struct SharedUdpPlane<M> {
+    shared: Arc<PlaneShared<M>>,
+}
+
+impl<M> Clone for SharedUdpPlane<M> {
+    fn clone(&self) -> Self {
+        SharedUdpPlane {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for SharedUdpPlane<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedUdpPlane")
+            .field("nodes", &self.shared.node_sockets.len())
+            .field("sockets", &self.shared.sockets.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: WireFormat + Send + 'static> SharedUdpPlane<M> {
+    /// Binds `sockets` sockets to ephemeral ports on `127.0.0.1` and
+    /// assigns `nodes` node identities to them round-robin (node `i` →
+    /// socket `i % sockets`) — the shared-socket equivalent of
+    /// [`bind_loopback_mesh`](crate::bind_loopback_mesh). One reader
+    /// thread is spawned per socket.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any socket cannot be bound or cloned, or any reader thread
+    /// cannot start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `sockets` is zero, or `nodes` exceeds `u32`
+    /// range (node identities are `u32`).
+    pub fn bind_loopback(nodes: usize, sockets: usize) -> io::Result<Self> {
+        assert!(nodes > 0, "a plane needs at least one node");
+        assert!(sockets > 0, "a plane needs at least one socket");
+        assert!(u32::try_from(nodes).is_ok(), "node identities are u32");
+        let sockets: Vec<UdpSocket> = (0..sockets.min(nodes))
+            .map(|_| UdpSocket::bind("127.0.0.1:0"))
+            .collect::<io::Result<_>>()?;
+        let socket_addrs: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<io::Result<_>>()?;
+        let node_sockets: Arc<Vec<usize>> =
+            Arc::new((0..nodes).map(|i| i % sockets.len()).collect());
+        let node_addrs: Arc<Vec<SocketAddr>> =
+            Arc::new(node_sockets.iter().map(|&s| socket_addrs[s]).collect());
+        let residents: Arc<Vec<ResidentSlot<M>>> =
+            Arc::new((0..nodes).map(|_| Mutex::new(None)).collect());
+        let stats = Arc::new(PlaneStats::default());
+        // One buffer per reader covers the steady state exactly; a second
+        // per reader absorbs restore/checkout races without falling back.
+        let pool = BufferPool::new(sockets.len() * 2, MAX_PLANE_DATAGRAM + 1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let trace: Arc<Mutex<Option<PlaneTrace>>> = Arc::new(Mutex::new(None));
+
+        let mut readers = Vec::with_capacity(sockets.len());
+        for (socket_idx, socket) in sockets.iter().enumerate() {
+            let reader_socket = socket.try_clone()?;
+            reader_socket.set_read_timeout(None)?;
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("sle-udp-plane-{socket_idx}"))
+                    .spawn({
+                        let stop = Arc::clone(&stop);
+                        let stats = Arc::clone(&stats);
+                        let pool = pool.clone();
+                        let residents = Arc::clone(&residents);
+                        let node_sockets = Arc::clone(&node_sockets);
+                        let node_addrs = Arc::clone(&node_addrs);
+                        let trace = Arc::clone(&trace);
+                        move || {
+                            demux_loop(
+                                socket_idx,
+                                reader_socket,
+                                &stop,
+                                &stats,
+                                &pool,
+                                &residents,
+                                &node_sockets,
+                                &node_addrs,
+                                &trace,
+                            )
+                        }
+                    })?,
+            );
+        }
+
+        let pending = sockets.iter().map(|_| Mutex::new(HashMap::new())).collect();
+        Ok(SharedUdpPlane {
+            shared: Arc::new(PlaneShared {
+                sockets,
+                node_sockets,
+                node_addrs,
+                residents,
+                pending,
+                stats,
+                pool,
+                stop,
+                trace,
+                readers: Mutex::new(readers),
+            }),
+        })
+    }
+
+    /// Creates the endpoint of `node`, making it resident: the demux
+    /// routes records addressed to it from now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the plane or already has a live
+    /// endpoint. A node whose endpoint has been dropped can be re-created
+    /// (mid-stream churn): records that arrived while it was away were
+    /// counted as misrouted and dropped, exactly as a restarted daemon
+    /// misses datagrams sent while it was down.
+    pub fn endpoint(&self, node: NodeId) -> SharedUdpEndpoint<M> {
+        let slot = self
+            .shared
+            .residents
+            .get(node.index())
+            .unwrap_or_else(|| panic!("node {node} is outside this plane"));
+        let (tx, rx) = channel();
+        {
+            let mut slot = slot.lock().expect("plane resident poisoned");
+            assert!(
+                slot.is_none(),
+                "node {node} already has a live endpoint on this plane"
+            );
+            *slot = Some(PlaneDelivery::Channel(tx));
+        }
+        SharedUdpEndpoint {
+            node,
+            plane: self.clone(),
+            rx,
+            coalesce: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates the endpoints of every node in the plane, in node order —
+    /// ready for `Cluster::start_with_endpoints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node already has a live endpoint.
+    pub fn endpoints(&self) -> Vec<SharedUdpEndpoint<M>> {
+        (0..self.shared.node_sockets.len())
+            .map(|i| self.endpoint(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// The number of nodes the plane hosts.
+    pub fn node_count(&self) -> usize {
+        self.shared.node_sockets.len()
+    }
+
+    /// The number of shared sockets (= demux reader threads).
+    pub fn socket_count(&self) -> usize {
+        self.shared.sockets.len()
+    }
+
+    /// The plane address of `node` — the local address of the shared
+    /// socket it lives behind — if `node` is in the plane.
+    pub fn node_addr(&self, node: NodeId) -> Option<SocketAddr> {
+        self.shared.node_addrs.get(node.index()).copied()
+    }
+
+    /// A copy of the plane's datagram and record counters.
+    pub fn stats(&self) -> PlaneStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// A copy of the receive-buffer pool's occupancy counters.
+    pub fn pool_stats(&self) -> PoolStatsSnapshot {
+        self.shared.pool.stats()
+    }
+
+    /// Binds the plane's live counters into `registry`: [`PlaneStats`]
+    /// under `<prefix>.<counter>` and the receive-buffer pool under
+    /// `<prefix>.pool.<counter>`.
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        self.shared.stats.bind(registry, prefix);
+        self.shared.pool.bind(registry, &format!("{prefix}.pool"));
+    }
+
+    /// Reports refused records into `ring` as
+    /// [`ProtoEvent::DatagramDropped`] events stamped by `clock`,
+    /// attributed to the record's destination node. Drops with no
+    /// parseable destination (oversized datagrams, header-level
+    /// truncation) are counted but not traced.
+    pub fn set_trace(&self, ring: TraceRing, clock: SharedClock) {
+        *self.shared.trace.lock().expect("plane trace poisoned") = Some(PlaneTrace { ring, clock });
+    }
+
+    /// Flushes every pending coalescing buffer on every source socket.
+    /// Endpoints flush their own socket's buffers via
+    /// [`MessageEndpoint::flush_sends`]; this is the whole-plane variant
+    /// for tests and shutdown paths.
+    pub fn flush_all(&self) {
+        for socket_idx in 0..self.shared.sockets.len() {
+            self.shared.flush_socket(socket_idx);
+        }
+    }
+}
+
+impl<M> PlaneShared<M> {
+    /// Sends and clears every pending buffer of source socket
+    /// `socket_idx`.
+    fn flush_socket(&self, socket_idx: usize) {
+        let mut pending = self.pending[socket_idx]
+            .lock()
+            .expect("plane pending poisoned");
+        if pending.is_empty() {
+            return;
+        }
+        let socket = &self.sockets[socket_idx];
+        for (dest, buf) in pending.drain() {
+            // A taken-but-not-removed entry leaves an empty buffer behind;
+            // there is nothing to send for it.
+            if buf.is_empty() {
+                continue;
+            }
+            // OS-level send failures are swallowed, like the legacy
+            // endpoint: to the protocol they are network loss.
+            let _ = socket.send_to(&buf, dest);
+            self.stats.datagrams_sent.inc();
+        }
+    }
+}
+
+/// One node's endpoint on a [`SharedUdpPlane`]: the same
+/// [`MessageEndpoint`] contract as [`UdpEndpoint`](crate::UdpEndpoint),
+/// minus the dedicated socket and reader thread.
+///
+/// In pull mode every `send` writes through immediately. Installing a
+/// delivery sink ([`MessageEndpoint::set_delivery_sink`]) switches the
+/// endpoint to coalescing sends: records accrue in the plane's pending
+/// buffers until the [`COALESCE_BUDGET`] would overflow or the owning
+/// runtime calls [`MessageEndpoint::flush_sends`] at a batch boundary.
+///
+/// Dropping the endpoint makes the node non-resident: the demux counts
+/// subsequent records for it as misrouted, as for a departed daemon.
+pub struct SharedUdpEndpoint<M> {
+    node: NodeId,
+    plane: SharedUdpPlane<M>,
+    rx: Receiver<Incoming<M>>,
+    /// Whether sends accrue in the pending buffers (push mode, a runtime
+    /// flushes at batch boundaries) or write through per send (pull mode).
+    coalesce: AtomicBool,
+}
+
+impl<M> std::fmt::Debug for SharedUdpEndpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedUdpEndpoint")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: WireFormat + Send + 'static> SharedUdpEndpoint<M> {
+    /// The plane this endpoint lives on.
+    pub fn plane(&self) -> &SharedUdpPlane<M> {
+        &self.plane
+    }
+}
+
+impl<M: WireFormat + Send + 'static> MessageEndpoint<M> for SharedUdpEndpoint<M> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Encodes `msg` into a plane record bound for `to`'s shared socket,
+    /// best effort (OS-level send failures are network loss to the
+    /// protocol). In pull mode the record is put on the wire immediately;
+    /// in push mode it coalesces with other pending records for the same
+    /// destination socket until the budget fills or the runtime flushes.
+    fn send(&self, to: NodeId, msg: M) -> Result<(), TransportError> {
+        let shared = &self.plane.shared;
+        let dest_addr = *shared
+            .node_addrs
+            .get(to.index())
+            .ok_or(TransportError::UnknownDestination(to))?;
+        let frame = encode_frame(self.node, &msg).map_err(|e| {
+            shared.stats.send_unencodable.inc();
+            if let Some(trace) = &*shared.trace.lock().expect("plane trace poisoned") {
+                trace.dropped(self.node, DropReason::Unencodable);
+            }
+            TransportError::Unencodable(e.to_string())
+        })?;
+        let socket_idx = shared.node_sockets[self.node.index()];
+        let record_len = RECORD_HEADER + frame.len();
+        let flush_now = {
+            let mut pending = shared.pending[socket_idx]
+                .lock()
+                .expect("plane pending poisoned");
+            let buf = pending.entry(dest_addr).or_default();
+            if !buf.is_empty() && buf.len() + record_len > COALESCE_BUDGET {
+                // The record would not fit: flush what accrued so far and
+                // start a fresh datagram with this record.
+                let full = std::mem::take(buf);
+                let _ = shared.sockets[socket_idx].send_to(&full, dest_addr);
+                shared.stats.datagrams_sent.inc();
+            }
+            buf.extend_from_slice(&to.0.to_be_bytes());
+            buf.extend_from_slice(&(frame.len() as u16).to_be_bytes());
+            buf.extend_from_slice(&frame);
+            shared.stats.records_sent.inc();
+            if !self.coalesce.load(Ordering::Relaxed) || buf.len() >= COALESCE_BUDGET {
+                // Taking (rather than removing) the buffer keeps its
+                // allocation in the map for the next send to this socket.
+                Some(std::mem::take(buf))
+            } else {
+                None
+            }
+        };
+        if let Some(full) = flush_now {
+            let _ = shared.sockets[socket_idx].send_to(&full, dest_addr);
+            shared.stats.datagrams_sent.inc();
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Incoming<M>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(incoming) => Some(incoming),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    fn try_recv(&self) -> Option<Incoming<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    fn set_delivery_sink(&self, sink: ShardDelivery<M>) -> bool {
+        {
+            let slot = &self.plane.shared.residents[self.node.index()];
+            let mut slot = slot.lock().expect("plane resident poisoned");
+            *slot = Some(PlaneDelivery::Shard(sink.clone()));
+        }
+        // Records decoded before the switch must not be stranded in the
+        // pull channel.
+        while let Ok(incoming) = self.rx.try_recv() {
+            sink.push((self.node, incoming));
+        }
+        // The owning runtime flushes at batch boundaries from now on, so
+        // sends may coalesce.
+        self.coalesce.store(true, Ordering::Relaxed);
+        true
+    }
+
+    fn flush_sends(&self) {
+        let socket_idx = self.plane.shared.node_sockets[self.node.index()];
+        self.plane.shared.flush_socket(socket_idx);
+    }
+}
+
+impl<M> Drop for SharedUdpEndpoint<M> {
+    fn drop(&mut self) {
+        // Departing must not strand coalesced sends of co-socketed
+        // residents (or our own final messages).
+        let socket_idx = self.plane.shared.node_sockets[self.node.index()];
+        self.plane.shared.flush_socket(socket_idx);
+        let slot = &self.plane.shared.residents[self.node.index()];
+        *slot.lock().expect("plane resident poisoned") = None;
+    }
+}
+
+/// The per-socket demultiplexer: receives datagrams into pooled buffers,
+/// walks the records, validates each, and routes to the resident
+/// destination. See the module docs for the refusal rules.
+#[allow(clippy::too_many_arguments)]
+fn demux_loop<M: WireFormat>(
+    socket_idx: usize,
+    socket: UdpSocket,
+    stop: &AtomicBool,
+    stats: &PlaneStats,
+    pool: &BufferPool,
+    residents: &[ResidentSlot<M>],
+    node_sockets: &[usize],
+    node_addrs: &[SocketAddr],
+    trace: &Mutex<Option<PlaneTrace>>,
+) {
+    let trace_dropped = |node: NodeId, reason: DropReason| {
+        if let Some(trace) = &*trace.lock().expect("plane trace poisoned") {
+            trace.dropped(node, reason);
+        }
+    };
+    while !stop.load(Ordering::Relaxed) {
+        // Checked out per datagram and restored on scope exit: the pool's
+        // occupancy gauge is an exact count of in-flight receives.
+        let mut buf = pool.checkout();
+        let received = socket.recv_from(&mut buf);
+        stats.reader_wakeups.inc();
+        let (len, src) = match received {
+            Ok(received) => received,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            // Transient errors (e.g. ECONNREFUSED bounced back by a dead
+            // peer's ICMP on Linux) must not kill the demux.
+            Err(_) => continue,
+        };
+        if len == 0 {
+            // The shutdown wake-up (or noise): re-check the stop flag.
+            continue;
+        }
+        stats.datagrams_received.inc();
+        if len > MAX_PLANE_DATAGRAM {
+            // The buffer is one byte larger than the maximum, so an
+            // over-limit read is detectable even when the OS truncates.
+            stats.dropped_oversized.inc();
+            continue;
+        }
+        let datagram = &buf[..len];
+        let mut off = 0;
+        while off < len {
+            if len - off < RECORD_HEADER {
+                // Not even a record header left: framing truncation with
+                // no destination to attribute it to.
+                stats.dropped_truncated.inc();
+                break;
+            }
+            let dest = NodeId(u32::from_be_bytes(
+                datagram[off..off + 4].try_into().expect("4-byte slice"),
+            ));
+            let frame_len = u16::from_be_bytes(
+                datagram[off + 4..off + RECORD_HEADER]
+                    .try_into()
+                    .expect("2-byte slice"),
+            ) as usize;
+            let start = off + RECORD_HEADER;
+            if frame_len > len - start {
+                // The record claims more bytes than the datagram holds.
+                // Nothing after this point can be trusted: abandon the
+                // rest of the datagram.
+                stats.dropped_truncated.inc();
+                trace_dropped(dest, DropReason::Truncated);
+                break;
+            }
+            let frame = &datagram[start..start + frame_len];
+            off = start + frame_len;
+            // Framing is intact from here on: an invalid record is
+            // skipped and the walk continues with the next one.
+            let (from, msg) = match decode_frame::<M>(frame) {
+                Ok(decoded) => decoded,
+                Err(_) => {
+                    stats.dropped_malformed.inc();
+                    trace_dropped(dest, DropReason::Malformed);
+                    continue;
+                }
+            };
+            // The claimed sender must be in the plane *and* the datagram
+            // must come from the sender's own shared socket. Co-socketed
+            // residents are indistinguishable here — see the module docs
+            // for this trust boundary.
+            if node_addrs.get(from.index()) != Some(&src) {
+                stats.dropped_misaddressed.inc();
+                trace_dropped(dest, DropReason::Misaddressed);
+                continue;
+            }
+            // The destination must live behind *this* socket and have a
+            // live endpoint.
+            if node_sockets.get(dest.index()) != Some(&socket_idx) {
+                stats.dropped_misrouted.inc();
+                trace_dropped(dest, DropReason::Misrouted);
+                continue;
+            }
+            let incoming = Incoming { from, msg };
+            let slot = residents[dest.index()]
+                .lock()
+                .expect("plane resident poisoned");
+            match &*slot {
+                Some(PlaneDelivery::Channel(tx)) => {
+                    if tx.send(incoming).is_ok() {
+                        stats.delivered.inc();
+                    } else {
+                        // The endpoint is mid-drop (receiver already gone,
+                        // slot not yet cleared): the node is departing.
+                        stats.dropped_misrouted.inc();
+                        trace_dropped(dest, DropReason::Misrouted);
+                    }
+                }
+                Some(PlaneDelivery::Shard(sink)) => {
+                    sink.push((dest, incoming));
+                    stats.delivered.inc();
+                }
+                None => {
+                    stats.dropped_misrouted.inc();
+                    trace_dropped(dest, DropReason::Misrouted);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_across_shared_sockets() {
+        let plane = SharedUdpPlane::<u64>::bind_loopback(5, 2).unwrap();
+        assert_eq!(plane.node_count(), 5);
+        assert_eq!(plane.socket_count(), 2);
+        let endpoints = plane.endpoints();
+        // 0 and 2 share socket 0; 1 and 3 share socket 1; 4 is on 0.
+        assert_eq!(plane.node_addr(NodeId(0)), plane.node_addr(NodeId(2)));
+        assert_ne!(plane.node_addr(NodeId(0)), plane.node_addr(NodeId(1)));
+        endpoints[0].send(NodeId(3), 30).unwrap();
+        endpoints[1].send(NodeId(3), 31).unwrap();
+        endpoints[3].send(NodeId(0), 3).unwrap();
+        endpoints[4].send(NodeId(4), 44).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let incoming = endpoints[3].recv_timeout(Duration::from_secs(5)).unwrap();
+            got.push((incoming.from, incoming.msg));
+        }
+        got.sort();
+        assert_eq!(got, vec![(NodeId(0), 30), (NodeId(1), 31)]);
+        let incoming = endpoints[0].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((incoming.from, incoming.msg), (NodeId(3), 3));
+        let incoming = endpoints[4].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((incoming.from, incoming.msg), (NodeId(4), 44));
+        // The reader counts a delivery just *after* handing it to the
+        // channel, so the counter can trail a successful recv briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while plane.stats().delivered != 4 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(plane.stats().delivered, 4);
+    }
+
+    #[test]
+    fn sockets_never_exceed_the_requested_count() {
+        let plane = SharedUdpPlane::<u64>::bind_loopback(3, 8).unwrap();
+        // More sockets than nodes would leave readers with no residents.
+        assert_eq!(plane.socket_count(), 3);
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let plane = SharedUdpPlane::<u64>::bind_loopback(1, 1).unwrap();
+        let endpoint = plane.endpoint(NodeId(0));
+        assert_eq!(
+            endpoint.send(NodeId(9), 1),
+            Err(TransportError::UnknownDestination(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn push_mode_coalesces_until_flushed() {
+        use sle_net::mailbox::Mailbox;
+        use std::time::Instant;
+
+        let plane = SharedUdpPlane::<u64>::bind_loopback(4, 2).unwrap();
+        let endpoints = plane.endpoints();
+        // Receiver 1 in push mode so we can observe sink delivery; senders
+        // 0 and 2 (co-socketed) in push mode so their sends coalesce.
+        let mailbox: Mailbox<(NodeId, Incoming<u64>)> = Mailbox::new();
+        assert!(endpoints[1].set_delivery_sink(mailbox.sender()));
+        let sender_box: Mailbox<(NodeId, Incoming<u64>)> = Mailbox::new();
+        assert!(endpoints[0].set_delivery_sink(sender_box.sender()));
+        assert!(endpoints[2].set_delivery_sink(sender_box.sender()));
+
+        endpoints[0].send(NodeId(1), 10).unwrap();
+        endpoints[2].send(NodeId(1), 20).unwrap();
+        assert_eq!(plane.stats().datagrams_sent, 0, "coalescing, not sending");
+        assert_eq!(plane.stats().records_sent, 2);
+        endpoints[0].flush_sends();
+        assert_eq!(plane.stats().datagrams_sent, 1, "both records share one");
+
+        let mut buf = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while buf.len() < 2 && Instant::now() < deadline {
+            mailbox.wait_until(Some(Instant::now() + Duration::from_millis(50)), &mut buf);
+        }
+        let mut got: Vec<_> = buf
+            .into_iter()
+            .map(|(node, incoming)| (node, incoming.from, incoming.msg))
+            .collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(NodeId(1), NodeId(0), 10), (NodeId(1), NodeId(2), 20)]
+        );
+    }
+
+    #[test]
+    fn departed_nodes_records_are_misrouted() {
+        let plane = SharedUdpPlane::<u64>::bind_loopback(2, 1).unwrap();
+        let a = plane.endpoint(NodeId(0));
+        let b = plane.endpoint(NodeId(1));
+        a.send(NodeId(1), 1).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(5)).is_some());
+        drop(b);
+        a.send(NodeId(1), 2).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while plane.stats().dropped_misrouted == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(plane.stats().dropped_misrouted, 1);
+        // Churn: the node can come back and receive again.
+        let b = plane.endpoint(NodeId(1));
+        a.send(NodeId(1), 3).unwrap();
+        let incoming = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(incoming.msg, 3);
+    }
+
+    #[test]
+    fn drop_joins_the_readers_promptly() {
+        let plane = SharedUdpPlane::<u64>::bind_loopback(8, 4).unwrap();
+        let endpoints = plane.endpoints();
+        let start = std::time::Instant::now();
+        drop(endpoints);
+        drop(plane);
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "plane shutdown took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn idle_plane_does_not_wake() {
+        let plane = SharedUdpPlane::<u64>::bind_loopback(4, 2).unwrap();
+        let _endpoints = plane.endpoints();
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(plane.stats().reader_wakeups, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! A reusable receive-buffer pool for the hot datagram path.
+//!
+//! The shared-socket UDP plane ([`SharedUdpPlane`](crate::SharedUdpPlane))
+//! receives thousands of datagrams per second per socket; allocating a fresh
+//! buffer per datagram would put the allocator on the hottest path in the
+//! daemon. A [`BufferPool`] keeps a fixed set of fixed-size buffers on a
+//! free list: the reader **checks out** a buffer, fills it from
+//! `recv_from`, decodes, and the buffer **restores** itself to the pool on
+//! drop. After a short warm-up the steady state allocates nothing.
+//!
+//! The pool never blocks: when every pooled buffer is checked out, checkout
+//! falls back to a fresh one-shot allocation (dropped on restore, not
+//! retained), and the fallback is counted — exhaustion shows up in metrics,
+//! not as latency. Occupancy accounting is exact: the `in_use` gauge and
+//! `peak_in_use` high-water mark are updated under the free-list lock, so a
+//! registry snapshot can never observe more pooled buffers outstanding than
+//! the pool's capacity.
+
+use std::sync::{Arc, Mutex};
+
+use sle_obs::{Counter, Gauge, Registry};
+
+/// Occupancy and allocation counters of one [`BufferPool`], all live
+/// [`sle_obs`] handles so they can be bound into a metrics [`Registry`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Buffers handed out, pooled or fallback.
+    pub checkouts: Counter,
+    /// Buffers returned to the free list (fallback buffers are dropped on
+    /// restore and do not count here).
+    pub restores: Counter,
+    /// Fresh heap allocations: lazy warm-up of the pooled set plus every
+    /// exhaustion fallback. Flat after warm-up in a healthy steady state.
+    pub allocations: Counter,
+    /// Checkouts that found the pool empty with all `capacity` buffers
+    /// outstanding and fell back to a one-shot allocation.
+    pub exhausted: Counter,
+    /// Pooled buffers currently checked out (exact; never exceeds the
+    /// pool's capacity).
+    pub in_use: Gauge,
+    /// High-water mark of `in_use` since the pool was created.
+    pub peak_in_use: Gauge,
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStatsSnapshot {
+    /// Buffers handed out, pooled or fallback.
+    pub checkouts: u64,
+    /// Buffers returned to the free list.
+    pub restores: u64,
+    /// Fresh heap allocations (warm-up + fallbacks).
+    pub allocations: u64,
+    /// Exhaustion fallbacks.
+    pub exhausted: u64,
+    /// Pooled buffers currently checked out.
+    pub in_use: i64,
+    /// High-water mark of `in_use`.
+    pub peak_in_use: i64,
+}
+
+impl PoolStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            checkouts: self.checkouts.get(),
+            restores: self.restores.get(),
+            allocations: self.allocations.get(),
+            exhausted: self.exhausted.get(),
+            in_use: self.in_use.get(),
+            peak_in_use: self.peak_in_use.get(),
+        }
+    }
+
+    /// Binds the live counters into `registry` under `<prefix>.<name>`
+    /// (e.g. `udp.plane.pool.in_use`).
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}.checkouts"), &self.checkouts);
+        registry.bind_counter(&format!("{prefix}.restores"), &self.restores);
+        registry.bind_counter(&format!("{prefix}.allocations"), &self.allocations);
+        registry.bind_counter(&format!("{prefix}.exhausted"), &self.exhausted);
+        registry.bind_gauge(&format!("{prefix}.in_use"), &self.in_use);
+        registry.bind_gauge(&format!("{prefix}.peak_in_use"), &self.peak_in_use);
+    }
+}
+
+struct PoolShared {
+    free: Mutex<FreeList>,
+    capacity: usize,
+    buf_len: usize,
+    stats: PoolStats,
+}
+
+struct FreeList {
+    bufs: Vec<Vec<u8>>,
+    /// Pooled buffers created so far (free + checked out), ≤ capacity.
+    created: usize,
+}
+
+/// A fixed-capacity pool of fixed-size byte buffers with checkout/restore
+/// semantics (see the module docs for the exhaustion and accounting rules).
+///
+/// ```
+/// use sle_udp::BufferPool;
+///
+/// let pool = BufferPool::new(2, 1024);
+/// let a = pool.checkout();
+/// assert_eq!(a.len(), 1024);
+/// assert_eq!(pool.stats().in_use, 1);
+/// drop(a);
+/// assert_eq!(pool.stats().in_use, 0);
+/// // The buffer is reused, not reallocated.
+/// let _b = pool.checkout();
+/// assert_eq!(pool.stats().allocations, 1);
+/// ```
+#[derive(Clone)]
+pub struct BufferPool {
+    shared: Arc<PoolShared>,
+}
+
+impl BufferPool {
+    /// Creates a pool that retains at most `capacity` buffers of `buf_len`
+    /// bytes each. Buffers are created lazily, so an idle pool costs only
+    /// its bookkeeping.
+    pub fn new(capacity: usize, buf_len: usize) -> Self {
+        BufferPool {
+            shared: Arc::new(PoolShared {
+                free: Mutex::new(FreeList {
+                    bufs: Vec::with_capacity(capacity),
+                    created: 0,
+                }),
+                capacity,
+                buf_len,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The maximum number of buffers the pool retains.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The length, in bytes, of every buffer the pool hands out.
+    pub fn buf_len(&self) -> usize {
+        self.shared.buf_len
+    }
+
+    /// Checks a buffer out, zero-length-extended to the pool's `buf_len`.
+    /// Never blocks: if all `capacity` pooled buffers are outstanding, a
+    /// one-shot fallback buffer is allocated (and counted as `exhausted`).
+    pub fn checkout(&self) -> PooledBuf {
+        let stats = &self.shared.stats;
+        stats.checkouts.inc();
+        let pooled = {
+            let mut free = self.shared.free.lock().expect("buffer pool poisoned");
+            let buf = if let Some(buf) = free.bufs.pop() {
+                Some(buf)
+            } else if free.created < self.shared.capacity {
+                free.created += 1;
+                stats.allocations.inc();
+                Some(vec![0u8; self.shared.buf_len])
+            } else {
+                None
+            };
+            // Occupancy moves under the lock, so no observer can see the
+            // gauge exceed the pool's capacity even transiently.
+            if buf.is_some() {
+                stats.in_use.add(1);
+                stats.peak_in_use.set_max(stats.in_use.get());
+            }
+            buf
+        };
+        match pooled {
+            Some(buf) => PooledBuf {
+                buf,
+                pool: Some(Arc::clone(&self.shared)),
+            },
+            None => {
+                stats.exhausted.inc();
+                stats.allocations.inc();
+                PooledBuf {
+                    buf: vec![0u8; self.shared.buf_len],
+                    pool: None,
+                }
+            }
+        }
+    }
+
+    /// A point-in-time copy of the pool's counters.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Binds the pool's live counters into `registry` under
+    /// `<prefix>.<name>`.
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        self.shared.stats.bind(registry, prefix);
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.shared.capacity)
+            .field("buf_len", &self.shared.buf_len)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A buffer checked out of a [`BufferPool`]; restores itself (or, for an
+/// exhaustion fallback, frees itself) on drop.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    /// `Some` for a pooled buffer, `None` for an exhaustion fallback.
+    pool: Option<Arc<PoolShared>>,
+}
+
+impl PooledBuf {
+    /// Whether this buffer came from the pooled set (as opposed to an
+    /// exhaustion fallback that will be freed on restore).
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let buf = std::mem::take(&mut self.buf);
+            let mut free = pool.free.lock().expect("buffer pool poisoned");
+            free.bufs.push(buf);
+            pool.stats.in_use.add(-1);
+            pool.stats.restores.inc();
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.buf.len())
+            .field("pooled", &self.is_pooled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_restore_reuses_buffers() {
+        let pool = BufferPool::new(2, 64);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.buf_len(), 64);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert!(a.is_pooled() && b.is_pooled());
+        assert_eq!(pool.stats().in_use, 2);
+        drop(a);
+        drop(b);
+        let stats = pool.stats();
+        assert_eq!(stats.in_use, 0);
+        assert_eq!(stats.allocations, 2);
+        assert_eq!(stats.restores, 2);
+        // Reuse allocates nothing further.
+        let _c = pool.checkout();
+        assert_eq!(pool.stats().allocations, 2);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_and_is_counted() {
+        let pool = BufferPool::new(1, 16);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert!(a.is_pooled());
+        assert!(!b.is_pooled());
+        assert_eq!(b.len(), 16);
+        let stats = pool.stats();
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.in_use, 1, "fallbacks are not pooled occupancy");
+        drop(b);
+        drop(a);
+        let stats = pool.stats();
+        assert_eq!(stats.in_use, 0);
+        assert_eq!(stats.restores, 1, "fallbacks are freed, not restored");
+        assert_eq!(stats.peak_in_use, 1);
+    }
+
+    #[test]
+    fn stats_bind_into_a_registry() {
+        let pool = BufferPool::new(1, 8);
+        let registry = Registry::default();
+        pool.bind(&registry, "udp.plane.pool");
+        let _a = pool.checkout();
+        let snap = registry.snapshot();
+        assert_eq!(snap.sum_counters("udp.plane.pool.", "checkouts"), 1);
+        assert!(format!("{pool:?}").contains("BufferPool"));
+        assert!(format!("{:?}", pool.checkout()).contains("PooledBuf"));
+    }
+}

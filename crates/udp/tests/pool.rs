@@ -1,0 +1,119 @@
+//! SimRng-driven property tests for the receive-buffer pool: exact
+//! occupancy under concurrent schedules, zero steady-state allocation
+//! after warm-up, and counted (never blocking) exhaustion fallback.
+
+use std::time::{Duration, Instant};
+
+use sle_sim::rng::SimRng;
+use sle_udp::{BufferPool, PooledBuf};
+
+#[test]
+fn concurrent_checkout_restore_never_exceeds_capacity() {
+    const CAPACITY: usize = 6;
+    const THREADS: usize = 4;
+    const STEPS: usize = 2_000;
+
+    let pool = BufferPool::new(CAPACITY, 256);
+    let mut rng = SimRng::seed_from(0x9001);
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = pool.clone();
+            let mut rng = rng.fork(t as u64);
+            std::thread::spawn(move || {
+                let mut held: Vec<PooledBuf> = Vec::new();
+                for _ in 0..STEPS {
+                    // A random schedule of holds and releases, biased so
+                    // the threads together regularly saturate the pool.
+                    if held.is_empty() || rng.bernoulli(0.55) {
+                        held.push(pool.checkout());
+                    } else {
+                        held.swap_remove(rng.uniform_usize(held.len()));
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("pool worker panicked");
+    }
+
+    let stats = pool.stats();
+    // Exact occupancy: pooled buffers outstanding never exceeded the
+    // capacity, whatever the interleaving, and all are back.
+    assert!(
+        stats.peak_in_use as usize <= CAPACITY,
+        "peak occupancy {} exceeded capacity {CAPACITY}",
+        stats.peak_in_use
+    );
+    assert_eq!(stats.in_use, 0);
+    // Conservation: every checkout either restored to the free list
+    // (pooled) or was a counted fallback.
+    assert_eq!(stats.checkouts, stats.restores + stats.exhausted);
+    // The pooled set itself was allocated at most once per slot.
+    assert_eq!(stats.allocations, CAPACITY as u64 + stats.exhausted);
+}
+
+#[test]
+fn steady_state_allocates_nothing_after_warmup() {
+    const CAPACITY: usize = 8;
+    let pool = BufferPool::new(CAPACITY, 128);
+    let mut rng = SimRng::seed_from(0x5EED);
+
+    // Warm up: touch every slot once.
+    let warm: Vec<PooledBuf> = (0..CAPACITY).map(|_| pool.checkout()).collect();
+    drop(warm);
+    assert_eq!(pool.stats().allocations, CAPACITY as u64);
+
+    // Steady state: any schedule holding at most `capacity` buffers.
+    let mut held: Vec<PooledBuf> = Vec::new();
+    for _ in 0..5_000 {
+        if held.len() < CAPACITY && (held.is_empty() || rng.bernoulli(0.5)) {
+            held.push(pool.checkout());
+        } else {
+            held.swap_remove(rng.uniform_usize(held.len()));
+        }
+    }
+    drop(held);
+
+    let stats = pool.stats();
+    assert_eq!(
+        stats.allocations,
+        CAPACITY as u64,
+        "steady state allocated {} fresh buffers",
+        stats.allocations - CAPACITY as u64
+    );
+    assert_eq!(stats.exhausted, 0);
+    assert_eq!(stats.in_use, 0);
+}
+
+#[test]
+fn exhaustion_falls_back_counted_instead_of_blocking() {
+    const CAPACITY: usize = 4;
+    const OVERDRAW: usize = 3;
+    let pool = BufferPool::new(CAPACITY, 64);
+
+    // Overdraw the pool on one thread: if exhaustion blocked, this test
+    // would deadlock; the elapsed bound catches a hidden wait, too.
+    let start = Instant::now();
+    let held: Vec<PooledBuf> = (0..CAPACITY + OVERDRAW).map(|_| pool.checkout()).collect();
+    assert!(
+        start.elapsed() < Duration::from_millis(200),
+        "overdrawn checkout took {:?}",
+        start.elapsed()
+    );
+
+    assert_eq!(held.iter().filter(|b| b.is_pooled()).count(), CAPACITY);
+    let stats = pool.stats();
+    assert_eq!(stats.exhausted, OVERDRAW as u64);
+    assert_eq!(stats.in_use, CAPACITY as i64, "fallbacks are not occupancy");
+    assert_eq!(stats.peak_in_use, CAPACITY as i64);
+
+    // Fallback buffers are freed on restore, not retained: the pool ends
+    // balanced and the next checkout reuses a pooled slot.
+    drop(held);
+    let stats = pool.stats();
+    assert_eq!(stats.in_use, 0);
+    assert_eq!(stats.restores, CAPACITY as u64);
+    assert!(pool.checkout().is_pooled());
+    assert_eq!(pool.stats().allocations, (CAPACITY + OVERDRAW) as u64);
+}

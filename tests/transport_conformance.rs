@@ -1,21 +1,23 @@
-//! Cross-transport and cross-driver conformance: the in-process mesh and
-//! real UDP loopback — under both the legacy one-worker-per-node driver and
-//! the sharded fixed-pool driver — must execute the identical protocol
-//! state machine.
+//! Cross-transport and cross-driver conformance: the full
+//! {mesh, udp-legacy, udp-shared} × {legacy, sharded} matrix must execute
+//! the identical protocol state machine.
 //!
 //! The same deterministic 5-node scenario — staggered joins so the rank
 //! order is unambiguous, a stable election, a leader crash, a re-election —
-//! runs over `sle-net`'s in-memory mesh and over `sle-udp` sockets on
-//! 127.0.0.1, each both in the legacy shape (`workers = n`) and on a
-//! 2-worker shard pool. Every run must produce **identical elected
-//! leaders** at every checkpoint, and its leader-view trace must earn an
-//! **equivalent verdict from the chaos invariant checker** (all clean:
-//! eventual agreement, stability, mistake budget, single leadership).
+//! runs over `sle-net`'s in-memory mesh, over `sle-udp`'s legacy
+//! one-socket-per-node endpoints, and over the shared-socket demultiplexing
+//! plane (`SharedUdpPlane`, 5 nodes behind 2 sockets), each both in the
+//! legacy shape (`workers = n`) and on a 2-worker shard pool. Every one of
+//! the six cells must produce **identical elected leaders** at every
+//! checkpoint, and its leader-view trace must earn an **equivalent verdict
+//! from the chaos invariant checker** (all clean: eventual agreement,
+//! stability, mistake budget, single leadership).
 //!
 //! This is the regression net under the scale-out refactors: a timer-wheel,
-//! mailbox, fan-out-batching or shared-monitor change that altered election
-//! behaviour on either transport or driver would break the leader
-//! equalities or hand one of the traces a violation the others do not have.
+//! mailbox, fan-out-batching, shared-monitor, demux or send-coalescing
+//! change that altered election behaviour on any transport or driver would
+//! break the leader equalities or hand one of the traces a violation the
+//! others do not have.
 
 use std::time::{Duration, Instant};
 
@@ -28,7 +30,7 @@ use sle_net::link::LinkSpec;
 use sle_net::transport::{InMemoryMesh, MessageEndpoint};
 use sle_sim::time::{SimDuration, SimInstant};
 use sle_sim::NodeId;
-use sle_udp::bind_loopback_mesh;
+use sle_udp::{bind_loopback_mesh, SharedUdpPlane};
 
 const NODES: usize = 5;
 const GROUP: GroupId = GroupId(1);
@@ -167,6 +169,15 @@ fn mesh_endpoints() -> Vec<sle_net::transport::Endpoint<ServiceMessage>> {
         .collect()
 }
 
+/// The shared-socket plane cell: 5 nodes demultiplexed behind 2 sockets.
+/// The endpoints keep the plane (and its reader threads) alive; it shuts
+/// down when the cluster drops them.
+fn udp_shared_endpoints() -> Vec<sle_udp::SharedUdpEndpoint<ServiceMessage>> {
+    SharedUdpPlane::bind_loopback(NODES, 2)
+        .expect("bind shared plane")
+        .endpoints()
+}
+
 /// Asserts the scenario's pinned outcome: the staggered construction makes
 /// node 0 win the initial election, and after its crash the earliest
 /// surviving rank — node 1 — takes over, with a clean invariant verdict.
@@ -197,41 +208,60 @@ fn assert_identical(a: &Outcome, b: &Outcome) {
     assert_eq!(a.violations, b.violations);
 }
 
-#[test]
-fn mesh_and_udp_execute_the_identical_state_machine() {
-    // Transport 1: the in-process mesh (perfect links), legacy driver.
-    let mesh_run = run_scenario(mesh_endpoints(), "mesh".into(), Driver::Legacy);
-
-    // Transport 2: real UDP datagrams on loopback, legacy driver.
-    let udp_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
-    let udp_run = run_scenario(udp_endpoints, "udp".into(), Driver::Legacy);
-
-    assert_expected_outcome(&mesh_run);
-    assert_expected_outcome(&udp_run);
-
-    // Identical elected leaders across transports, and equivalent
-    // invariant-checker verdicts (both clean).
-    assert_identical(&mesh_run, &udp_run);
+/// Asserts one driver's row of the matrix: every cell has the pinned
+/// outcome, and all pairs are identical (leaders *and* invariant-checker
+/// verdicts). The pinned outcome also equalizes the rows against each
+/// other: a cell in the other row that diverged would fail its own pinned
+/// assertion, so passing both tests proves all six cells identical.
+fn assert_matrix_row(runs: &[Outcome]) {
+    for run in runs {
+        assert_expected_outcome(run);
+    }
+    for (i, a) in runs.iter().enumerate() {
+        for b in &runs[i + 1..] {
+            assert_identical(a, b);
+        }
+    }
 }
 
 #[test]
-fn sharded_driver_matches_legacy_on_mesh() {
-    // The same scenario on a 2-worker shard pool: the fixed-pool runtime
-    // must elect the identical leaders with an equally clean verdict.
-    let legacy = run_scenario(mesh_endpoints(), "mesh/legacy".into(), Driver::Legacy);
-    let sharded = run_scenario(mesh_endpoints(), "mesh/sharded".into(), Driver::Sharded(2));
-    assert_expected_outcome(&legacy);
-    assert_expected_outcome(&sharded);
-    assert_identical(&legacy, &sharded);
+fn legacy_driver_matrix_executes_the_identical_state_machine() {
+    // The legacy one-worker-per-node row: in-process mesh, one-socket-per-
+    // node UDP, and the shared-socket plane (which auto-flushes per send in
+    // pull mode — no runtime is around to signal batch boundaries).
+    let runs = [
+        run_scenario(mesh_endpoints(), "mesh/legacy".into(), Driver::Legacy),
+        run_scenario(
+            bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback"),
+            "udp-legacy/legacy".into(),
+            Driver::Legacy,
+        ),
+        run_scenario(
+            udp_shared_endpoints(),
+            "udp-shared/legacy".into(),
+            Driver::Legacy,
+        ),
+    ];
+    assert_matrix_row(&runs);
 }
 
 #[test]
-fn sharded_driver_matches_legacy_on_udp() {
-    let legacy_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
-    let legacy = run_scenario(legacy_endpoints, "udp/legacy".into(), Driver::Legacy);
-    let sharded_endpoints = bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback");
-    let sharded = run_scenario(sharded_endpoints, "udp/sharded".into(), Driver::Sharded(2));
-    assert_expected_outcome(&legacy);
-    assert_expected_outcome(&sharded);
-    assert_identical(&legacy, &sharded);
+fn sharded_driver_matrix_executes_the_identical_state_machine() {
+    // The 2-worker shard-pool row. On the shared plane this is the full
+    // production shape: push-mode delivery into shard mailboxes plus
+    // coalesced sends flushed at the runtime's batch boundaries.
+    let runs = [
+        run_scenario(mesh_endpoints(), "mesh/sharded".into(), Driver::Sharded(2)),
+        run_scenario(
+            bind_loopback_mesh::<ServiceMessage>(NODES).expect("bind loopback"),
+            "udp-legacy/sharded".into(),
+            Driver::Sharded(2),
+        ),
+        run_scenario(
+            udp_shared_endpoints(),
+            "udp-shared/sharded".into(),
+            Driver::Sharded(2),
+        ),
+    ];
+    assert_matrix_row(&runs);
 }
