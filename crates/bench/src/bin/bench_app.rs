@@ -1,0 +1,357 @@
+//! The client-tier macro-benchmark: a million requests through repeated
+//! forced leader crashes, with fencing audited end to end.
+//!
+//! ```text
+//! cargo run --release -p sle-bench --bin bench_app            # full (100k sessions, 1M requests)
+//! cargo run --release -p sle-bench --bin bench_app -- --smoke # CI-sized
+//! ```
+//!
+//! Five service nodes run `Omega_l` with fenced-counter replicas installed
+//! (`sle-app`); a [`ClientHub`] multiplexes 100 000 sessions over one extra
+//! transport endpoint and pushes one million `add 1` requests through the
+//! cluster in four quarters. Between quarters the bench **crashes the
+//! serving leader** — three forced leadership changes mid-workload — and the
+//! hub must rediscover, retry and finish every session. Gated assertions:
+//!
+//! * **completion** — every request of every session is eventually applied
+//!   (at-least-once; duplicates allowed, losses not),
+//! * **fencing safety** — the shared [`FencingAudit`] across all replicas
+//!   records **zero violations**: no accepted write's token ever regressed
+//!   below an earlier accepted one, across all three leadership changes,
+//! * **availability** — total client-observed stall time stays within the
+//!   QoS budget: `crashes x (4 x T_D + 1s slack)` for the configured
+//!   detection bound `T_D`.
+//!
+//! Results are written to `BENCH_app.json` (schema `sle-bench-app/1`,
+//! documented in `docs/BENCH.md`); CI runs `--smoke` and uploads the file
+//! as the `app-bench` artifact. Exit status: `0` when every assertion
+//! holds, `1` otherwise, `2` on usage errors.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sle_app::{ClientConfig, ClientHub, FencedCounter, FencingAudit, HubReport};
+use sle_core::messages::ServiceMessage;
+use sle_core::{Cluster, ClusterConfig, GroupId, JoinConfig};
+use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_net::link::LinkSpec;
+use sle_net::transport::InMemoryMesh;
+use sle_sim::time::SimDuration;
+use sle_sim::NodeId;
+
+const SERVERS: usize = 5;
+const GROUP: GroupId = GroupId(1);
+/// The workload runs in quarters with a forced leader crash between them.
+const QUARTERS: u64 = 4;
+const CRASHES: u64 = QUARTERS - 1;
+/// The failure-detection bound the deployment is tuned to.
+const DETECTION_MS: u64 = 250;
+/// Per-crash slack on top of `4 x T_D` in the unavailability budget:
+/// covers scheduler noise and the hub's own retry backoff.
+const SLACK_MS: u64 = 1000;
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_app.json".to_string(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = iter
+                    .next()
+                    .ok_or_else(|| "--out requires a path".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_app [--smoke] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Polls until the surviving members agree on a leader; used instead of
+/// `await_agreement` because earlier-crashed nodes keep answering with
+/// their parked, stale views.
+fn await_leader_among(cluster: &Cluster, alive: &[NodeId], timeout: Duration) -> Option<NodeId> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        // Survivors briefly keep voting for the node that just crashed
+        // (their detectors have not fired yet), so a bare agreement is not
+        // enough: the agreed leader must itself be a survivor.
+        if let Some(leader) = cluster.agreed_leader_among(GROUP, alive) {
+            if alive.contains(&leader.node) {
+                return Some(leader.node);
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Accumulated hub-side totals across the quarters.
+#[derive(Default)]
+struct Totals {
+    completed: u64,
+    rejected_replies: u64,
+    redirects: u64,
+    timeouts: u64,
+    duplicate_replies: u64,
+    attempts: u64,
+    stalled: Duration,
+    longest_stall: Duration,
+    latencies_ns: Vec<u64>,
+}
+
+impl Totals {
+    fn absorb(&mut self, report: HubReport) {
+        self.completed += report.completed;
+        self.rejected_replies += report.rejected_replies;
+        self.redirects += report.redirects;
+        self.timeouts += report.timeouts;
+        self.duplicate_replies += report.duplicate_replies;
+        self.attempts += report.attempts;
+        self.stalled += report.stalled;
+        self.longest_stall = self.longest_stall.max(report.longest_stall);
+        self.latencies_ns.extend(report.latencies_ns);
+    }
+
+    fn percentile_ms(&mut self, p: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.sort_unstable();
+        let rank = ((p / 100.0) * self.latencies_ns.len() as f64).ceil() as usize;
+        self.latencies_ns[rank.clamp(1, self.latencies_ns.len()) - 1] as f64 / 1e6
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    sessions: u64,
+    per_session: u64,
+    totals: &mut Totals,
+    crashes: u64,
+    budget: Duration,
+    audit: &sle_app::AuditSnapshot,
+    elapsed: Duration,
+) -> String {
+    let requests = sessions * per_session;
+    let p50 = totals.percentile_ms(50.0);
+    let p99 = totals.percentile_ms(99.0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-app/1\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"deployment\": {{\"servers\": {SERVERS}, \"algorithm\": \"omega-l\", \
+         \"detection_ms\": {DETECTION_MS}, \"transport\": \"mesh\"}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"sessions\": {sessions}, \"per_session\": {per_session}, \
+         \"requests\": {requests}, \"quarters\": {QUARTERS}, \"leader_crashes\": {crashes}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"client\": {{\"completed\": {}, \"attempts\": {}, \"timeouts\": {}, \
+         \"redirects\": {}, \"rejected_replies\": {}, \"duplicate_replies\": {}, \
+         \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \"stalled_ms\": {}, \
+         \"longest_stall_ms\": {}}},",
+        totals.completed,
+        totals.attempts,
+        totals.timeouts,
+        totals.redirects,
+        totals.rejected_replies,
+        totals.duplicate_replies,
+        p50,
+        p99,
+        totals.stalled.as_millis(),
+        totals.longest_stall.as_millis(),
+    );
+    let _ = writeln!(
+        out,
+        "  \"fencing\": {{\"accepts\": {}, \"rejections\": {}, \"violations\": {}}},",
+        audit.accepts, audit.rejections, audit.violations,
+    );
+    let _ = writeln!(
+        out,
+        "  \"assertions\": {{\"unavailability_budget_ms\": {}, \
+         \"slack_ms_per_crash\": {SLACK_MS}, \"max_violations\": 0}},",
+        budget.as_millis(),
+    );
+    let _ = writeln!(out, "  \"elapsed_ms\": {}", elapsed.as_millis());
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    // Full: 100k sessions x 10 requests = 1M requests. Smoke: CI-sized.
+    let (sessions, per_session) = if args.smoke {
+        (2_000, 5)
+    } else {
+        (100_000, 10)
+    };
+    let sessions_per_quarter = sessions / QUARTERS;
+    let total = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    let mut mesh: InMemoryMesh<ServiceMessage> =
+        InMemoryMesh::with_links(SERVERS + 1, LinkSpec::perfect(), 42);
+    let endpoints = (0..SERVERS)
+        .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
+        .collect();
+    let client_endpoint = mesh.endpoint(NodeId(SERVERS as u32)).expect("endpoint");
+
+    let cluster =
+        Cluster::start_endpoints_with_config(endpoints, ClusterConfig::new(ElectorKind::OmegaL));
+    let audit = FencingAudit::shared();
+    let qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(DETECTION_MS));
+    for i in 0..SERVERS as u32 {
+        let handle = cluster.handle(NodeId(i)).expect("handle");
+        assert!(handle.install_app(Box::new(FencedCounter::with_audit(Arc::clone(&audit)))));
+        handle
+            .join(GROUP, JoinConfig::candidate().with_qos(qos))
+            .expect("join");
+    }
+    let mut alive: Vec<NodeId> = (0..SERVERS as u32).map(NodeId).collect();
+    let Some(mut leader) = await_leader_among(&cluster, &alive, Duration::from_secs(30)) else {
+        eprintln!("FAIL: no initial leader within 30s");
+        std::process::exit(1);
+    };
+    println!(
+        "{} servers up, leader {leader}; driving {sessions} sessions x {per_session} requests \
+         in {QUARTERS} quarters with {CRASHES} leader crashes",
+        SERVERS
+    );
+
+    let mut config = ClientConfig::new(GROUP, alive.clone());
+    config.deadline = Some(Duration::from_secs(if args.smoke { 120 } else { 900 }));
+    let mut hub = ClientHub::new(client_endpoint, config);
+    let mut totals = Totals::default();
+    let mut crashes = 0u64;
+
+    for quarter in 0..QUARTERS {
+        if quarter > 0 {
+            // Force a leadership change: kill the serving leader for good.
+            cluster.crash(leader);
+            alive.retain(|&n| n != leader);
+            crashes += 1;
+            println!("quarter {quarter}: crashed leader {leader}");
+            let Some(next) = await_leader_among(&cluster, &alive, Duration::from_secs(30)) else {
+                failures.push(format!(
+                    "quarter {quarter}: survivors never re-elected after crashing {leader}"
+                ));
+                break;
+            };
+            leader = next;
+        }
+        let report = hub.run_workload(sessions_per_quarter, per_session, 1);
+        if report.gave_up {
+            failures.push(format!(
+                "quarter {quarter}: workload gave up with {} of {} requests applied",
+                report.completed,
+                sessions_per_quarter * per_session
+            ));
+            totals.absorb(report);
+            break;
+        }
+        println!(
+            "quarter {quarter}: {} applied, {} timeouts, {} redirects, stalled {:?}",
+            report.completed, report.timeouts, report.redirects, report.stalled
+        );
+        totals.absorb(report);
+    }
+    let elapsed = total.elapsed();
+    cluster.shutdown();
+    let snapshot = audit.snapshot();
+
+    // The gates.
+    let expected = sessions_per_quarter * per_session * QUARTERS;
+    if totals.completed != expected {
+        failures.push(format!(
+            "completion: {} of {expected} requests applied",
+            totals.completed
+        ));
+    }
+    if crashes != CRASHES {
+        failures.push(format!("only {crashes} of {CRASHES} leader crashes forced"));
+    }
+    if snapshot.violations != 0 {
+        failures.push(format!(
+            "fencing: {} violations recorded by the audit",
+            snapshot.violations
+        ));
+    }
+    if snapshot.accepts < totals.completed {
+        failures.push(format!(
+            "audit saw {} accepts but clients saw {} completions",
+            snapshot.accepts, totals.completed
+        ));
+    }
+    let budget = Duration::from_millis(CRASHES * (4 * DETECTION_MS + SLACK_MS));
+    if totals.stalled > budget {
+        failures.push(format!(
+            "availability: stalled {:?} across {crashes} crashes (budget {budget:?})",
+            totals.stalled
+        ));
+    }
+
+    let json = render_json(
+        args.smoke,
+        sessions_per_quarter * QUARTERS,
+        per_session,
+        &mut totals,
+        crashes,
+        budget,
+        &snapshot,
+        elapsed,
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} ({} requests, {} accepts, {} violations, stalled {:?}) in {:.1}s wall-clock",
+        args.out,
+        totals.completed,
+        snapshot.accepts,
+        snapshot.violations,
+        totals.stalled,
+        elapsed.as_secs_f64()
+    );
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {} requests applied through {crashes} forced leader crashes, \
+         0 fencing violations, stalled {:?} within the {budget:?} budget",
+        totals.completed, totals.stalled
+    );
+}

@@ -10,6 +10,7 @@ use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
 
 use crate::config::{JoinConfig, NotificationMode};
+use crate::lease::LeaderLease;
 use crate::process::{GroupId, ProcessId};
 
 /// What a service instance knows about the group membership contributed by
@@ -77,6 +78,17 @@ pub struct GroupState {
     /// The election grace period recommended by the tuner, if any; overrides
     /// the static `2 × T_D^U` once adaptive tuning has converged.
     pub tuned_grace: Option<SimDuration>,
+    /// The lease this node holds as the group's current leader, if any
+    /// (minted/renewed by `ServiceNode`, dropped on losing the leadership).
+    pub lease: Option<LeaderLease>,
+    /// The most recent lease heard from a *remote* leader's `LeaseGrant`
+    /// broadcast (`renewed_at` is the local receipt time).
+    pub remote_lease: Option<LeaderLease>,
+    /// When the local elector's output last *became* this node (cleared the
+    /// moment it stops leading). A lease is only minted after leading
+    /// continuously for `T_D`, so a deposed leader's lease lapses before a
+    /// successor starts serving — closing the double-leadership window.
+    pub led_since: Option<SimInstant>,
 }
 
 impl GroupState {
@@ -106,6 +118,9 @@ impl GroupState {
             joined_at: now,
             tuner: AnyTuner::new(config.tuning),
             tuned_grace: None,
+            lease: None,
+            remote_lease: None,
+            led_since: None,
         }
     }
 

@@ -80,6 +80,7 @@ pub mod config;
 pub mod error;
 pub mod events;
 pub mod group;
+pub mod lease;
 pub mod messages;
 pub mod node;
 pub mod obs;
@@ -91,6 +92,7 @@ pub mod prelude {
     pub use crate::config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
     pub use crate::error::{AgreementTimeout, ServiceError};
     pub use crate::events::ServiceEvent;
+    pub use crate::lease::{FencedApp, FencingToken, LeaderLease, StaleToken};
     pub use crate::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
     pub use crate::node::{ServiceContext, ServiceNode};
     pub use crate::process::{GroupId, ProcessId};
@@ -102,6 +104,7 @@ pub use config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
 pub use error::{AgreementTimeout, ServiceError};
 pub use events::ServiceEvent;
 pub use group::{GroupState, RemoteMember};
+pub use lease::{FencedApp, FencingToken, LeaderLease, StaleToken};
 pub use messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 pub use node::{ServiceContext, ServiceNode};
 pub use obs::NodeInstruments;

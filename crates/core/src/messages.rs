@@ -11,6 +11,7 @@ use sle_election::AlivePayload;
 use sle_sim::actor::WireSize;
 use sle_sim::time::{SimDuration, SimInstant};
 
+use crate::lease::FencingToken;
 use crate::process::{GroupId, ProcessId};
 
 /// Heartbeat/bookkeeping fields shared by ALIVE messages.
@@ -127,6 +128,62 @@ pub enum ServiceMessage {
         /// The leaving process.
         process: ProcessId,
     },
+    /// The current leader's lease broadcast: the fencing token of its
+    /// leadership term and how long the lease is valid from receipt.
+    /// Followers feed the token to their installed [`crate::lease::FencedApp`]
+    /// so a deposed leader's delayed writes are fenced out even before the
+    /// new leader's first write arrives.
+    LeaseGrant {
+        /// The group the lease is for.
+        group: GroupId,
+        /// The fencing token of the granting leader's current term.
+        token: FencingToken,
+        /// Validity window from receipt (the group's T_D bound).
+        valid_for: SimDuration,
+    },
+    /// A client-tier request: apply `payload` to the group's fenced state
+    /// machine. Sent by `sle-app` client sessions to the node they believe
+    /// leads the group.
+    ClientRequest {
+        /// The group whose state machine is addressed.
+        group: GroupId,
+        /// The client session the request belongs to.
+        session: u64,
+        /// The request's sequence number within its session.
+        seq: u64,
+        /// The operation operand (for the fenced counter: the increment).
+        payload: u64,
+    },
+    /// The leader's answer to a [`ServiceMessage::ClientRequest`] it was
+    /// able to serve under a valid lease.
+    ClientReply {
+        /// The group the request addressed.
+        group: GroupId,
+        /// Echo of the request's session.
+        session: u64,
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Whether the state machine applied the write (false: the fencing
+        /// check rejected it).
+        applied: bool,
+        /// The state machine's value after (or at rejection of) the request.
+        value: u64,
+        /// The fencing token the request was applied under.
+        token: FencingToken,
+    },
+    /// "Not the leader": the polite answer of a node that cannot serve a
+    /// [`ServiceMessage::ClientRequest`], carrying its current leader view
+    /// so the client can re-route.
+    Redirect {
+        /// The group the request addressed.
+        group: GroupId,
+        /// Echo of the request's session.
+        session: u64,
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// The responding node's current view of the group's leader.
+        leader: Option<ProcessId>,
+    },
 }
 
 impl ServiceMessage {
@@ -136,7 +193,11 @@ impl ServiceMessage {
             ServiceMessage::Hello { .. } | ServiceMessage::AliveBatch { .. } => None,
             ServiceMessage::Alive { group, .. }
             | ServiceMessage::Accuse { group, .. }
-            | ServiceMessage::Leave { group, .. } => Some(*group),
+            | ServiceMessage::Leave { group, .. }
+            | ServiceMessage::LeaseGrant { group, .. }
+            | ServiceMessage::ClientRequest { group, .. }
+            | ServiceMessage::ClientReply { group, .. }
+            | ServiceMessage::Redirect { group, .. } => Some(*group),
         }
     }
 
@@ -184,6 +245,22 @@ impl WireSize for ServiceMessage {
             }
             ServiceMessage::Accuse { .. } => 1 + 4 + 8,
             ServiceMessage::Leave { .. } => 1 + 4 + 8,
+            ServiceMessage::LeaseGrant { .. } => {
+                // tag + group + token + valid_for
+                1 + 4 + FencingToken::WIRE_SIZE + 8
+            }
+            ServiceMessage::ClientRequest { .. } => {
+                // tag + group + session + seq + payload
+                1 + 4 + 8 + 8 + 8
+            }
+            ServiceMessage::ClientReply { .. } => {
+                // tag + group + session + seq + applied + value + token
+                1 + 4 + 8 + 8 + 1 + 8 + FencingToken::WIRE_SIZE
+            }
+            ServiceMessage::Redirect { leader, .. } => {
+                // tag + group + session + seq + option tag (+ process)
+                1 + 4 + 8 + 8 + 1 + if leader.is_some() { 8 } else { 0 }
+            }
         }
     }
 }
@@ -269,6 +346,56 @@ mod tests {
         assert_eq!(batch(2).group(), None);
         assert_eq!(batch(2).alive_payloads(), 2);
         assert_eq!(sample_alive().alive_payloads(), 1);
+    }
+
+    #[test]
+    fn client_tier_wire_sizes_are_stable() {
+        let token = FencingToken {
+            accusation_time: SimInstant::ZERO,
+            node: NodeId(1),
+            epoch: 3,
+            incarnation: 1,
+        };
+        let grant = ServiceMessage::LeaseGrant {
+            group: GroupId(2),
+            token,
+            valid_for: SimDuration::from_millis(250),
+        };
+        assert_eq!(grant.wire_size(), 1 + 4 + 28 + 8);
+        assert_eq!(grant.group(), Some(GroupId(2)));
+        let request = ServiceMessage::ClientRequest {
+            group: GroupId(2),
+            session: 7,
+            seq: 1,
+            payload: 1,
+        };
+        assert_eq!(request.wire_size(), 29);
+        assert_eq!(request.alive_payloads(), 0);
+        assert!(!request.is_alive());
+        let reply = ServiceMessage::ClientReply {
+            group: GroupId(2),
+            session: 7,
+            seq: 1,
+            applied: true,
+            value: 41,
+            token,
+        };
+        assert_eq!(reply.wire_size(), 58);
+        let redirect_none = ServiceMessage::Redirect {
+            group: GroupId(2),
+            session: 7,
+            seq: 1,
+            leader: None,
+        };
+        let redirect_some = ServiceMessage::Redirect {
+            group: GroupId(2),
+            session: 7,
+            seq: 1,
+            leader: Some(ProcessId::new(NodeId(3), 0)),
+        };
+        assert_eq!(redirect_none.wire_size(), 22);
+        assert_eq!(redirect_some.wire_size(), 30);
+        assert_eq!(redirect_some.group(), Some(GroupId(2)));
     }
 
     #[test]

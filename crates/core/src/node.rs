@@ -21,6 +21,7 @@ use crate::config::{JoinConfig, ServiceConfig};
 use crate::error::ServiceError;
 use crate::events::ServiceEvent;
 use crate::group::{GroupState, RemoteMember};
+use crate::lease::{FencedApp, FencingToken, LeaderLease};
 use crate::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use crate::obs::NodeInstruments;
 use crate::process::{GroupId, ProcessId};
@@ -102,6 +103,26 @@ pub struct ServiceNode {
     /// driving runtime ([`ServiceNode::set_instruments`]). `None` — the
     /// default — costs one branch per instrumentation point.
     obs: Option<NodeInstruments>,
+    /// The fenced state machine served while this node leads a group with a
+    /// valid lease ([`ServiceNode::install_app`]).
+    app: Option<Box<dyn FencedApp>>,
+    /// Whether the ALIVE tick broadcasts `LeaseGrant`s for held leases.
+    /// Enabled by [`ServiceNode::install_app`], so deployments without an
+    /// application tier pay no extra traffic.
+    lease_broadcast: bool,
+    /// ACCUSE messages dropped because their epoch predates the elector's
+    /// current one (a duplicated or delayed replay).
+    stale_accusations_ignored: sle_obs::Counter,
+    /// Leader leases minted (a new token taking effect).
+    leases_minted: sle_obs::Counter,
+    /// Lease renewals performed on the ALIVE tick.
+    lease_renewals: sle_obs::Counter,
+    /// Client requests applied by the installed app.
+    requests_applied: sle_obs::Counter,
+    /// Client requests the installed app rejected as stale-fenced.
+    requests_rejected: sle_obs::Counter,
+    /// Client requests answered with a redirect instead of being served.
+    requests_redirected: sle_obs::Counter,
 }
 
 impl ServiceNode {
@@ -120,6 +141,14 @@ impl ServiceNode {
             alive_payloads_sent: sle_obs::Counter::new(),
             alive_datagrams_sent: sle_obs::Counter::new(),
             obs: None,
+            app: None,
+            lease_broadcast: false,
+            stale_accusations_ignored: sle_obs::Counter::new(),
+            leases_minted: sle_obs::Counter::new(),
+            lease_renewals: sle_obs::Counter::new(),
+            requests_applied: sle_obs::Counter::new(),
+            requests_rejected: sle_obs::Counter::new(),
+            requests_redirected: sle_obs::Counter::new(),
         }
     }
 
@@ -131,12 +160,80 @@ impl ServiceNode {
     pub fn set_instruments(&mut self, instruments: NodeInstruments) {
         instruments.bind_node_counter("net.alive_payloads_sent", &self.alive_payloads_sent);
         instruments.bind_node_counter("net.alive_datagrams_sent", &self.alive_datagrams_sent);
+        instruments.bind_node_counter(
+            "elect.stale_accusations_ignored",
+            &self.stale_accusations_ignored,
+        );
+        instruments.bind_node_counter("app.leases_minted", &self.leases_minted);
+        instruments.bind_node_counter("app.lease_renewals", &self.lease_renewals);
+        instruments.bind_node_counter("app.requests_applied", &self.requests_applied);
+        instruments.bind_node_counter("app.requests_rejected", &self.requests_rejected);
+        instruments.bind_node_counter("app.requests_redirected", &self.requests_redirected);
         self.obs = Some(instruments);
     }
 
     /// The attached instruments, if any.
     pub fn instruments(&self) -> Option<&NodeInstruments> {
         self.obs.as_ref()
+    }
+
+    /// Installs the fenced state machine this node serves while leading.
+    ///
+    /// Installing an app also enables `LeaseGrant` broadcasts on the ALIVE
+    /// tick, so the other members' apps learn new fencing tokens promptly.
+    pub fn install_app(&mut self, app: Box<dyn FencedApp>) {
+        self.app = Some(app);
+        self.lease_broadcast = true;
+    }
+
+    /// Whether a fenced state machine is installed.
+    pub fn has_app(&self) -> bool {
+        self.app.is_some()
+    }
+
+    /// The lease this node currently holds as the leader of `group`.
+    pub fn lease_of(&self, group: GroupId) -> Option<LeaderLease> {
+        self.groups.get(&group)?.lease
+    }
+
+    /// The fencing token of this node's current leadership of `group`.
+    pub fn fencing_token(&self, group: GroupId) -> Option<FencingToken> {
+        Some(self.lease_of(group)?.token)
+    }
+
+    /// The most recent lease heard from a remote leader of `group` (its
+    /// `renewed_at` is the local receipt time).
+    pub fn remote_lease_of(&self, group: GroupId) -> Option<LeaderLease> {
+        self.groups.get(&group)?.remote_lease
+    }
+
+    /// ACCUSE messages dropped because their epoch predated the elector's
+    /// current one — each is a duplicated or delayed replay that would have
+    /// destabilised a settled leader before the stale-epoch guard existed.
+    pub fn stale_accusations_ignored(&self) -> u64 {
+        self.stale_accusations_ignored.get()
+    }
+
+    /// Client requests served by the installed app under a valid lease.
+    pub fn client_requests_applied(&self) -> u64 {
+        self.requests_applied.get()
+    }
+
+    /// Client requests the installed app rejected for a stale fencing token.
+    pub fn client_requests_rejected(&self) -> u64 {
+        self.requests_rejected.get()
+    }
+
+    /// Client requests answered with a redirect (not leading, no valid
+    /// lease, or no app installed).
+    pub fn client_requests_redirected(&self) -> u64 {
+        self.requests_redirected.get()
+    }
+
+    /// Leader leases minted (leaderships taken, or token changes while
+    /// leading).
+    pub fn leases_minted(&self) -> u64 {
+        self.leases_minted.get()
     }
 
     /// This workstation's identity.
@@ -234,8 +331,18 @@ impl ServiceNode {
         state.notification = join.notification;
         // Upgrading to candidate after having joined as a listener requires a
         // fresh elector (the accusation time starts now — a newcomer rank).
+        // The accusation epoch must NOT restart: epochs already advertised on
+        // the wire would become current again, letting a replayed old ACCUSE
+        // demote this node after it re-won — and breaking fencing-token
+        // monotonicity. Start one above the old elector's epoch instead.
         if join.candidate && !state.elector.is_candidate() {
-            state.elector = sle_election::AnyElector::new(algorithm, me, true, now);
+            state.elector = sle_election::AnyElector::new_with_epoch(
+                algorithm,
+                me,
+                true,
+                now,
+                state.elector.epoch() + 1,
+            );
         }
         state.next_alive_at = now + SimDuration::from_millis(5);
         let grace_ends = state.joined_at + state.self_election_grace();
@@ -289,8 +396,16 @@ impl ServiceNode {
             ctx.cancel_timer(tune_tag(group));
             self.arm_alive_timer(ctx);
         } else if !state.locally_candidate() && state.elector.is_candidate() {
-            // The last local candidate left: stop competing.
-            state.elector = sle_election::AnyElector::new(algorithm, me, false, ctx.now());
+            // The last local candidate left: stop competing. As on the
+            // listener→candidate upgrade, preserve the accusation epoch so
+            // replayed accusations from the candidate life stay stale.
+            state.elector = sle_election::AnyElector::new_with_epoch(
+                algorithm,
+                me,
+                false,
+                ctx.now(),
+                state.elector.epoch() + 1,
+            );
             self.check_leader(group, ctx);
         }
         if let Some(obs) = &mut self.obs {
@@ -345,10 +460,12 @@ impl ServiceNode {
         // then group order (the maps are BTreeMaps, so this is
         // deterministic).
         let mut per_dest: BTreeMap<NodeId, Vec<GroupAlive>> = BTreeMap::new();
+        let mut due: Vec<GroupId> = Vec::new();
         for (&group, state) in self.groups.iter_mut() {
             if state.next_alive_at > now {
                 continue;
             }
+            due.push(group);
             let interval = state.send_interval();
             // Always advance the due time so a node that re-enters the
             // competition resumes sending within one interval — and snap it
@@ -363,6 +480,24 @@ impl ServiceNode {
             state.next_alive_at = SimInstant::from_nanos((now.as_nanos() / step + 1) * step);
             if !state.should_send_alives() {
                 continue;
+            }
+            // Holding a lease and still sending ALIVEs is the leader's
+            // liveness evidence: renew for another T_D. A crashed leader
+            // stops ticking, so its last lease dies within T_D — before any
+            // survivor's detector can complete and elect a successor.
+            if let Some(lease) = &mut state.lease {
+                lease.renewed_at = now;
+                self.lease_renewals.inc();
+                if self.lease_broadcast {
+                    let grant = ServiceMessage::LeaseGrant {
+                        group,
+                        token: lease.token,
+                        valid_for: lease.ttl,
+                    };
+                    for &dest in state.members.keys() {
+                        ctx.send(dest, grant.clone());
+                    }
+                }
             }
             let payload = state.elector.alive_payload();
             let representative = state
@@ -434,6 +569,13 @@ impl ServiceNode {
             }
             flush(self, &mut chunk, ctx);
         }
+        // The settle-delayed mint is time-triggered, not event-triggered:
+        // without this sweep a leader whose elector went quiet after the
+        // last leadership change would hold the output but never re-check,
+        // and the delayed mint would starve until the next elector event.
+        for group in due {
+            self.check_leader(group, ctx);
+        }
         self.arm_alive_timer(ctx);
     }
 
@@ -483,6 +625,65 @@ impl ServiceNode {
             if claimed.node == me && now < state.joined_at + state.self_election_grace() {
                 leader = None;
             }
+        }
+        // Lease upkeep: mint on taking the leadership (and whenever the
+        // elector's rank or epoch moved, which changes the token), drop on
+        // losing it. Renewals ride the ALIVE tick.
+        let leads = leader.is_some_and(|l| l.node == me);
+        if leads {
+            // Settle delay: only a node that has led *continuously* for one
+            // lease term (`T_D`) mints. A transient claimant yields before
+            // the delay elapses and never serves, and by the time a genuine
+            // successor starts serving, the deposed leader's lease (TTL
+            // `T_D`, no longer renewed) has already lapsed — so two leases
+            // are never simultaneously valid.
+            let led_since = *state.led_since.get_or_insert(now);
+            if now >= led_since + state.qos.detection_time() {
+                let natural = FencingToken {
+                    accusation_time: state.elector.accusation_time(),
+                    node: me,
+                    epoch: state.elector.epoch(),
+                    incarnation: self.incarnation,
+                };
+                // The issued token must strictly dominate every token this node
+                // has granted or observed for the group. A transiently
+                // self-elected claimant broadcasts a token that orders *above*
+                // ours (its later accusation time is a worse rank but a higher
+                // token); unless the rightful leader out-mints it after the
+                // claimant yields, every app that observed the claimant's grant
+                // would fence-reject the rightful leader's writes forever.
+                let observed = state.remote_lease.as_ref().map(|l| l.token);
+                let needs_mint = match &state.lease {
+                    None => true,
+                    Some(lease) => {
+                        natural > lease.token
+                            || (natural.epoch, natural.incarnation)
+                                != (lease.token.epoch, lease.token.incarnation)
+                            || observed.is_some_and(|o| o >= lease.token)
+                    }
+                };
+                if needs_mint {
+                    let mut token = natural;
+                    for floor in [state.lease.as_ref().map(|l| l.token), observed]
+                        .into_iter()
+                        .flatten()
+                    {
+                        if token <= floor {
+                            token.accusation_time =
+                                floor.accusation_time + SimDuration::from_nanos(1);
+                        }
+                    }
+                    state.lease = Some(LeaderLease {
+                        token,
+                        renewed_at: now,
+                        ttl: state.qos.detection_time(),
+                    });
+                    self.leases_minted.inc();
+                }
+            }
+        } else {
+            state.lease = None;
+            state.led_since = None;
         }
         if leader != state.announced_leader {
             state.announced_leader = leader;
@@ -694,8 +895,112 @@ impl ServiceNode {
     fn handle_accusation(&mut self, group: GroupId, epoch: u64, ctx: &mut ServiceContext) {
         let now = ctx.now();
         if let Some(state) = self.groups.get_mut(&group) {
+            // An ACCUSE below the elector's current epoch was minted against
+            // a previous suspicion episode — or a previous elector life (the
+            // chaos duplication machinery can replay one long after the
+            // leader yielded and re-won). Honouring it would re-rank a
+            // settled leader and forge a fencing-token regression. The
+            // electors additionally require exact epoch equality; dropping
+            // stale ones here makes replays observable as a counter.
+            if epoch < state.elector.epoch() {
+                self.stale_accusations_ignored.inc();
+                return;
+            }
             state.elector.on_accusation(epoch, now);
         }
+        self.check_leader(group, ctx);
+    }
+
+    /// Serves one client-tier request: applied by the installed app while
+    /// this node leads `group` under a valid lease, otherwise answered with
+    /// a redirect carrying the current leader view.
+    fn handle_client_request(
+        &mut self,
+        from: NodeId,
+        group: GroupId,
+        session: u64,
+        seq: u64,
+        payload: u64,
+        ctx: &mut ServiceContext,
+    ) {
+        let now = ctx.now();
+        let Some(state) = self.groups.get_mut(&group) else {
+            self.requests_redirected.inc();
+            ctx.send(
+                from,
+                ServiceMessage::Redirect {
+                    group,
+                    session,
+                    seq,
+                    leader: None,
+                },
+            );
+            return;
+        };
+        let lease = state.lease.filter(|lease| lease.valid_at(now));
+        if let (Some(lease), Some(app)) = (lease, self.app.as_mut()) {
+            let (applied, value) = match app.apply(group, lease.token, payload) {
+                Ok(value) => {
+                    self.requests_applied.inc();
+                    (true, value)
+                }
+                Err(_stale) => {
+                    self.requests_rejected.inc();
+                    (false, 0)
+                }
+            };
+            ctx.send(
+                from,
+                ServiceMessage::ClientReply {
+                    group,
+                    session,
+                    seq,
+                    applied,
+                    value,
+                    token: lease.token,
+                },
+            );
+        } else {
+            self.requests_redirected.inc();
+            ctx.send(
+                from,
+                ServiceMessage::Redirect {
+                    group,
+                    session,
+                    seq,
+                    leader: state.announced_leader,
+                },
+            );
+        }
+    }
+
+    /// Records a remote leader's lease broadcast and forwards the fencing
+    /// token to the installed app, advancing its high-water mark ahead of
+    /// the new leader's first write.
+    fn handle_lease_grant(
+        &mut self,
+        group: GroupId,
+        token: FencingToken,
+        valid_for: SimDuration,
+        ctx: &mut ServiceContext,
+    ) {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        // Track the *highest* grant seen: it answers client redirects and
+        // floors this node's own future mints (see `check_leader`).
+        if state.remote_lease.as_ref().is_none_or(|l| token >= l.token) {
+            state.remote_lease = Some(LeaderLease {
+                token,
+                renewed_at: ctx.now(),
+                ttl: valid_for,
+            });
+        }
+        if let Some(app) = self.app.as_mut() {
+            app.observe_token(group, token);
+        }
+        // A leading node that just observed a claimant's higher token must
+        // immediately out-mint it to stay serviceable.
         self.check_leader(group, ctx);
     }
 
@@ -877,6 +1182,20 @@ impl Actor for ServiceNode {
             ServiceMessage::Leave { group, process } => {
                 self.handle_leave(from, group, process, ctx)
             }
+            ServiceMessage::LeaseGrant {
+                group,
+                token,
+                valid_for,
+            } => self.handle_lease_grant(group, token, valid_for, ctx),
+            ServiceMessage::ClientRequest {
+                group,
+                session,
+                seq,
+                payload,
+            } => self.handle_client_request(from, group, session, seq, payload, ctx),
+            // Client-bound answers: a service instance can receive these
+            // only through misrouting (or a hostile sender); ignore them.
+            ServiceMessage::ClientReply { .. } | ServiceMessage::Redirect { .. } => {}
         }
     }
 
@@ -1312,5 +1631,169 @@ mod tests {
         assert!(leader1.node.0 < 2);
         assert!(leader2.node.0 >= 2);
         assert_eq!(world.actor(NodeId(0)).unwrap().leader_of(GroupId(2)), None);
+    }
+
+    /// A minimal fenced state machine for the lease/client-tier tests: a
+    /// counter with the canonical high-water fencing check.
+    #[derive(Debug, Default)]
+    struct TestApp {
+        high_water: Option<crate::lease::FencingToken>,
+        value: u64,
+    }
+
+    impl crate::lease::FencedApp for TestApp {
+        fn apply(
+            &mut self,
+            _group: GroupId,
+            token: crate::lease::FencingToken,
+            payload: u64,
+        ) -> Result<u64, crate::lease::StaleToken> {
+            if let Some(high) = self.high_water {
+                if token < high {
+                    return Err(crate::lease::StaleToken {
+                        presented: token,
+                        high_water: high,
+                    });
+                }
+            }
+            self.high_water = Some(token);
+            self.value += payload;
+            Ok(self.value)
+        }
+
+        fn observe_token(&mut self, _group: GroupId, token: crate::lease::FencingToken) {
+            if self.high_water.is_none_or(|high| token > high) {
+                self.high_water = Some(token);
+            }
+        }
+    }
+
+    #[test]
+    fn leader_serves_fenced_requests_and_followers_redirect() {
+        let mut world = build_world(2, ElectorKind::OmegaLc, 61);
+        let mut obs = NullObserver;
+        for i in 0..2u32 {
+            world.with_actor(NodeId(i), &mut obs, |actor, _ctx| {
+                actor.install_app(Box::new(TestApp::default()));
+                assert!(actor.has_app());
+            });
+        }
+        world.run_for(SimDuration::from_secs(5), &mut obs);
+        let leader = agreed_leader(&world, GROUP).expect("agreed leader").node;
+        let follower = NodeId(1 - leader.0);
+
+        world.with_actor(leader, &mut obs, |actor, ctx| {
+            let lease = actor.lease_of(GROUP).expect("the leader holds a lease");
+            assert_eq!(lease.token.node, leader);
+            assert!(lease.valid_at(ctx.now()), "lease expired while leading");
+            assert_eq!(actor.fencing_token(GROUP), Some(lease.token));
+            assert!(actor.leases_minted() >= 1);
+            // A client request lands on the leader: served.
+            actor.on_message(
+                follower,
+                ServiceMessage::ClientRequest {
+                    group: GROUP,
+                    session: 1,
+                    seq: 0,
+                    payload: 7,
+                },
+                ctx,
+            );
+            assert_eq!(actor.client_requests_applied(), 1);
+            assert_eq!(actor.client_requests_redirected(), 0);
+        });
+
+        world.with_actor(follower, &mut obs, |actor, ctx| {
+            // The follower holds no lease of its own…
+            assert_eq!(actor.lease_of(GROUP), None);
+            // …but has heard the leader's LeaseGrant broadcasts.
+            let remote = actor
+                .remote_lease_of(GROUP)
+                .expect("LeaseGrant broadcasts reached the follower");
+            assert_eq!(remote.token.node, leader);
+            // A client request landing on the follower is redirected to the
+            // leader it knows about.
+            actor.on_message(
+                leader,
+                ServiceMessage::ClientRequest {
+                    group: GROUP,
+                    session: 2,
+                    seq: 0,
+                    payload: 7,
+                },
+                ctx,
+            );
+            assert_eq!(actor.client_requests_applied(), 0);
+            assert_eq!(actor.client_requests_redirected(), 1);
+            // Unknown group: redirected with no hint (leader unknown).
+            actor.on_message(
+                leader,
+                ServiceMessage::ClientRequest {
+                    group: GroupId(99),
+                    session: 2,
+                    seq: 1,
+                    payload: 7,
+                },
+                ctx,
+            );
+            assert_eq!(actor.client_requests_redirected(), 2);
+        });
+    }
+
+    #[test]
+    fn replayed_stale_accusation_is_ignored_after_elector_recreation() {
+        // Node 2 joins as a listener; its elector life later restarts when
+        // it upgrades to candidate (the join_group recreation site). An
+        // ACCUSE minted against the pre-upgrade elector life must not be
+        // honoured by the recreated one.
+        let n = 3;
+        let mut world: World<ServiceNode, PerfectMedium> = World::new(
+            n,
+            Box::new(move |node, _inc| {
+                let join = if node == NodeId(2) {
+                    JoinConfig::listener()
+                } else {
+                    JoinConfig::candidate()
+                };
+                let config = ServiceConfig::full_mesh(node, n, ElectorKind::OmegaL)
+                    .with_auto_join(GROUP, join);
+                ServiceNode::new(config)
+            }),
+            PerfectMedium,
+            67,
+        );
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(5), &mut obs);
+        let before = agreed_leader(&world, GROUP).expect("settled leader");
+        assert_ne!(before.node, NodeId(2));
+
+        // Upgrade node 2 to candidate: the elector is recreated with an
+        // epoch floor above everything its previous life advertised.
+        world.with_actor(NodeId(2), &mut obs, |actor, ctx| {
+            let process = actor.register_process();
+            actor
+                .join_group(process, GROUP, JoinConfig::candidate(), ctx)
+                .expect("upgrade to candidate");
+            // Replay a duplicated stale ACCUSE from the pre-upgrade life
+            // (epoch 0 was current before the recreation). Both copies must
+            // be dropped by the stale-epoch guard.
+            for _ in 0..2 {
+                actor.on_message(
+                    NodeId(0),
+                    ServiceMessage::Accuse {
+                        group: GROUP,
+                        epoch: 0,
+                    },
+                    ctx,
+                );
+            }
+            assert_eq!(actor.stale_accusations_ignored(), 2);
+        });
+
+        // The replays must not have perturbed the election: the settled
+        // leader is still in office after another settling period.
+        world.run_for(SimDuration::from_secs(5), &mut obs);
+        let after = agreed_leader(&world, GROUP).expect("leader after replay");
+        assert_eq!(after, before, "a replayed stale ACCUSE changed leadership");
     }
 }

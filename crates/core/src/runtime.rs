@@ -53,6 +53,7 @@ use sle_sim::wheel::TimerWheel;
 use crate::config::{JoinConfig, ServiceConfig};
 use crate::error::AgreementTimeout;
 use crate::events::ServiceEvent;
+use crate::lease::{FencedApp, LeaderLease};
 use crate::messages::ServiceMessage;
 use crate::node::{ServiceContext, ServiceNode};
 use crate::obs::NodeInstruments;
@@ -201,6 +202,14 @@ enum Command {
         group: GroupId,
         reply: Sender<Option<ProcessId>>,
     },
+    InstallApp {
+        app: Box<dyn FencedApp>,
+        reply: Sender<()>,
+    },
+    QueryLease {
+        group: GroupId,
+        reply: Sender<Option<LeaderLease>>,
+    },
 }
 
 /// One shard's inbound side: the command queue [`ClusterHandle`]s feed and
@@ -335,6 +344,31 @@ impl ClusterHandle {
     pub fn leader_of(&self, group: GroupId) -> Option<ProcessId> {
         let (tx, rx) = channel();
         let command = Command::QueryLeader { group, reply: tx };
+        if !self.inbox.submit(&self.shutdown, self.node, command) {
+            return None;
+        }
+        rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+    }
+
+    /// Installs a fenced application on this node, enabling the client tier:
+    /// the node serves `ClientRequest`s while it leads under a valid lease
+    /// and broadcasts `LeaseGrant`s alongside its ALIVEs (see `docs/APP.md`).
+    ///
+    /// Returns whether the installation was applied (false if the node has
+    /// shut down).
+    pub fn install_app(&self, app: Box<dyn FencedApp>) -> bool {
+        let (tx, rx) = channel();
+        let command = Command::InstallApp { app, reply: tx };
+        if !self.inbox.submit(&self.shutdown, self.node, command) {
+            return false;
+        }
+        rx.recv_timeout(Duration::from_secs(5)).is_ok()
+    }
+
+    /// The lease this node currently holds as leader of `group`, if any.
+    pub fn lease_of(&self, group: GroupId) -> Option<LeaderLease> {
+        let (tx, rx) = channel();
+        let command = Command::QueryLease { group, reply: tx };
         if !self.inbox.submit(&self.shutdown, self.node, command) {
             return None;
         }
@@ -487,6 +521,13 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
             Command::QueryLeader { group, reply } => {
                 let _ = reply.send(self.residents[idx].service.leader_of(group));
             }
+            Command::InstallApp { app, reply } => {
+                self.residents[idx].service.install_app(app);
+                let _ = reply.send(());
+            }
+            Command::QueryLease { group, reply } => {
+                let _ = reply.send(self.residents[idx].service.lease_of(group));
+            }
         }
     }
 
@@ -582,6 +623,11 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
         self.flush_endpoints();
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
+                // Coalescing transports may still hold sends batched during
+                // the last productive round (or handed to them by a resident
+                // that observed the shutdown flag mid-round): flush so no
+                // datagram is stranded in a pending buffer on exit.
+                self.flush_endpoints();
                 return;
             }
             // Sleep exactly until the wheel's next deadline (or forever, if
@@ -950,8 +996,31 @@ impl Cluster {
         exclude: Option<NodeId>,
         timeout: Duration,
     ) -> Result<ProcessId, AgreementTimeout> {
-        let deadline = Instant::now() + timeout;
+        let started = Instant::now();
+        let deadline = started + timeout;
         loop {
+            // A group whose every polled member is crashed can never reach a
+            // *fresh* agreement — crashed nodes still answer `QueryLeader`
+            // from their parked (stale) state, which would otherwise fake an
+            // agreement here. Check this before consulting the views, and
+            // fail promptly rather than waiting out the full timeout.
+            let all_crashed = self
+                .handles
+                .iter()
+                .filter(|handle| Some(handle.node()) != exclude)
+                .all(|handle| self.crashed.get(handle.node()));
+            if all_crashed {
+                let votes = self
+                    .handles
+                    .iter()
+                    .map(|handle| (handle.node(), handle.leader_of(group)))
+                    .collect();
+                return Err(AgreementTimeout {
+                    group,
+                    waited: started.elapsed(),
+                    votes,
+                });
+            }
             if let Some(leader) = self.agreed_leader(group, exclude) {
                 return Ok(leader);
             }
@@ -963,7 +1032,7 @@ impl Cluster {
                     .collect();
                 return Err(AgreementTimeout {
                     group,
-                    waited: timeout,
+                    waited: started.elapsed(),
                     votes,
                 });
             }

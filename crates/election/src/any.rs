@@ -28,10 +28,32 @@ pub enum AnyElector {
 impl AnyElector {
     /// Builds an elector of the requested kind for node `me`.
     pub fn new(kind: ElectorKind, me: NodeId, candidate: bool, now: SimInstant) -> Self {
+        Self::new_with_epoch(kind, me, candidate, now, 0)
+    }
+
+    /// Builds an elector of the requested kind whose accusation epoch starts
+    /// at `epoch` instead of 0.
+    ///
+    /// This is the constructor for *recreating* an elector mid-life (a
+    /// listener upgrading to candidate, the last local candidate leaving):
+    /// passing an epoch above every value the previous elector advertised
+    /// keeps replayed accusations from its earlier life stale. Ωid has no
+    /// epoch mechanism, so the floor is ignored there.
+    pub fn new_with_epoch(
+        kind: ElectorKind,
+        me: NodeId,
+        candidate: bool,
+        now: SimInstant,
+        epoch: u64,
+    ) -> Self {
         match kind {
             ElectorKind::OmegaId => AnyElector::OmegaId(OmegaId::new(me, candidate, now)),
-            ElectorKind::OmegaLc => AnyElector::OmegaLc(OmegaLc::new(me, candidate, now)),
-            ElectorKind::OmegaL => AnyElector::OmegaL(OmegaL::new(me, candidate, now)),
+            ElectorKind::OmegaLc => {
+                AnyElector::OmegaLc(OmegaLc::new_with_epoch(me, candidate, now, epoch))
+            }
+            ElectorKind::OmegaL => {
+                AnyElector::OmegaL(OmegaL::new_with_epoch(me, candidate, now, epoch))
+            }
         }
     }
 
@@ -118,6 +140,30 @@ mod tests {
             assert_eq!(elector.id(), NodeId(4));
             assert!(elector.is_candidate());
         }
+    }
+
+    #[test]
+    fn epoch_floor_keeps_replayed_accusations_stale() {
+        for kind in [ElectorKind::OmegaLc, ElectorKind::OmegaL] {
+            let mut elector =
+                AnyElector::new_with_epoch(kind, NodeId(1), true, SimInstant::ZERO, 7);
+            assert_eq!(elector.epoch(), 7);
+            let acc_before = elector.accusation_time();
+            // An accusation minted against a previous life (epoch < 7) must
+            // not demote the recreated elector.
+            for stale in 0..7 {
+                elector.on_accusation(stale, SimInstant::ZERO);
+            }
+            assert_eq!(elector.epoch(), 7);
+            assert_eq!(elector.accusation_time(), acc_before);
+            // The current epoch is still honoured.
+            elector.on_accusation(7, SimInstant::ZERO);
+            assert!(elector.epoch() > 7);
+        }
+        // Ωid has no epochs; the floor is ignored.
+        let elector =
+            AnyElector::new_with_epoch(ElectorKind::OmegaId, NodeId(1), true, SimInstant::ZERO, 7);
+        assert_eq!(elector.epoch(), 0);
     }
 
     #[test]

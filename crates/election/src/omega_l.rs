@@ -49,11 +49,25 @@ impl OmegaL {
     /// A candidate starts active (competing); it will withdraw as soon as it
     /// observes a better-ranked competitor.
     pub fn new(me: NodeId, candidate: bool, now: SimInstant) -> Self {
+        Self::new_with_epoch(me, candidate, now, 0)
+    }
+
+    /// Like [`OmegaL::new`], but starting the accusation epoch at `epoch`
+    /// instead of 0.
+    ///
+    /// A service recreating the elector for a group it never left (a
+    /// listener upgrading to candidate, the last local candidate leaving)
+    /// must pass an epoch above every value the previous elector ever
+    /// advertised: accusations are honoured by exact epoch match, so
+    /// resetting to 0 would make epochs from the previous life *current*
+    /// again and let a delayed or duplicated old ACCUSE demote the node long
+    /// after the suspicion episode that minted it.
+    pub fn new_with_epoch(me: NodeId, candidate: bool, now: SimInstant, epoch: u64) -> Self {
         OmegaL {
             me,
             candidate,
             accusation_time: now,
-            epoch: 0,
+            epoch,
             active: candidate,
             peers: PeerTable::new(),
         }

@@ -45,11 +45,25 @@ impl OmegaLc {
     /// The initial accusation time is the join time, so processes that have
     /// been members the longest (without being accused) rank best.
     pub fn new(me: NodeId, candidate: bool, now: SimInstant) -> Self {
+        Self::new_with_epoch(me, candidate, now, 0)
+    }
+
+    /// Like [`OmegaLc::new`], but starting the accusation epoch at `epoch`
+    /// instead of 0.
+    ///
+    /// A service recreating the elector for a group it never left (a
+    /// listener upgrading to candidate, the last local candidate leaving)
+    /// must pass an epoch above every value the previous elector ever
+    /// advertised: accusations are honoured by exact epoch match, so
+    /// resetting to 0 would make epochs from the previous life *current*
+    /// again and let a delayed or duplicated old ACCUSE demote the node long
+    /// after the suspicion episode that minted it.
+    pub fn new_with_epoch(me: NodeId, candidate: bool, now: SimInstant, epoch: u64) -> Self {
         OmegaLc {
             me,
             candidate,
             accusation_time: now,
-            epoch: 0,
+            epoch,
             peers: PeerTable::new(),
         }
     }

@@ -266,6 +266,13 @@ struct PlaneShared<M> {
 
 impl<M> Drop for PlaneShared<M> {
     fn drop(&mut self) {
+        // Every endpoint flushes its socket on drop, so the buffers are
+        // normally empty by now — but if an endpoint leaked (mem::forget, a
+        // panicking thread), its coalesced sends must still not be
+        // stranded: the sockets are alive until the end of this drop.
+        for socket_idx in 0..self.sockets.len() {
+            self.flush_socket(socket_idx);
+        }
         self.stop.store(true, Ordering::Relaxed);
         let mut woken_all = true;
         for socket in &self.sockets {
@@ -531,6 +538,29 @@ impl<M: WireFormat + Send + 'static> SharedUdpPlane<M> {
         for socket_idx in 0..self.shared.sockets.len() {
             self.shared.flush_socket(socket_idx);
         }
+    }
+
+    /// Total bytes currently sitting in pending coalescing buffers across
+    /// every source socket — records accepted by a push-mode `send` but not
+    /// yet written to any socket.
+    ///
+    /// A correctly driven plane returns to zero at every batch boundary
+    /// (the runtime's `flush_sends`/[`SharedUdpPlane::flush_all`]); a
+    /// non-zero value after the owning runtime has shut down means sends
+    /// were stranded (asserted by `tests/transport_conformance.rs`).
+    pub fn pending_backlog(&self) -> usize {
+        self.shared
+            .pending
+            .iter()
+            .map(|buffers| {
+                buffers
+                    .lock()
+                    .expect("plane pending poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 

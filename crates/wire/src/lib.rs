@@ -58,7 +58,10 @@ pub mod message;
 
 pub use codec::{Reader, WireFormat, Writer};
 pub use error::WireError;
-pub use message::{TAG_ACCUSE, TAG_ALIVE, TAG_ALIVE_BATCH, TAG_HELLO, TAG_LEAVE};
+pub use message::{
+    TAG_ACCUSE, TAG_ALIVE, TAG_ALIVE_BATCH, TAG_CLIENT_REPLY, TAG_CLIENT_REQUEST, TAG_HELLO,
+    TAG_LEASE_GRANT, TAG_LEAVE, TAG_REDIRECT,
+};
 
 use sle_sim::actor::NodeId;
 
@@ -71,8 +74,10 @@ pub const MAGIC: [u8; 4] = *b"SLEP";
 /// Bumped on any incompatible layout change; see `docs/WIRE.md` for the
 /// compatibility rules. History: v1 = the original HELLO/ALIVE/ACCUSE/LEAVE
 /// vocabulary; v2 added the ALIVE-BATCH message (tag `05`) and redefined
-/// the ALIVE `seq` as a node-level per-destination stream.
-pub const VERSION: u8 = 2;
+/// the ALIVE `seq` as a node-level per-destination stream; v3 added the
+/// client tier (`sle-app`): LEASE-GRANT (tag `06`), CLIENT-REQUEST (`07`),
+/// CLIENT-REPLY (`08`) and REDIRECT (`09`).
+pub const VERSION: u8 = 3;
 
 /// Bytes of envelope preceding the message body: magic (4), version (1),
 /// sender node id (4).

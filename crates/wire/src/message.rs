@@ -8,6 +8,7 @@
 //! simulator's bandwidth accounting (asserted by `body_len_matches_wire_size`
 //! in this module's tests and by the property suite in `tests/properties.rs`).
 
+use sle_core::lease::FencingToken;
 use sle_core::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use sle_core::process::{GroupId, ProcessId};
 use sle_election::{AlivePayload, LeaderClaim};
@@ -28,6 +29,14 @@ pub const TAG_LEAVE: u8 = 4;
 /// Message-tag byte for ALIVE-BATCH (heartbeats for several groups in one
 /// datagram).
 pub const TAG_ALIVE_BATCH: u8 = 5;
+/// Message-tag byte for LEASE-GRANT (the leader's fencing-token broadcast).
+pub const TAG_LEASE_GRANT: u8 = 6;
+/// Message-tag byte for CLIENT-REQUEST (client tier, `sle-app`).
+pub const TAG_CLIENT_REQUEST: u8 = 7;
+/// Message-tag byte for CLIENT-REPLY (a served or fencing-rejected request).
+pub const TAG_CLIENT_REPLY: u8 = 8;
+/// Message-tag byte for REDIRECT ("not the leader; try there").
+pub const TAG_REDIRECT: u8 = 9;
 
 impl WireFormat for NodeId {
     fn encode_into(&self, w: &mut Writer) {
@@ -126,6 +135,24 @@ impl WireFormat for AlivePayload {
             accusation_time,
             epoch,
             local_leader,
+        })
+    }
+}
+
+/// A fencing token: 28 bytes (see [`FencingToken::WIRE_SIZE`]).
+impl WireFormat for FencingToken {
+    fn encode_into(&self, w: &mut Writer) {
+        self.accusation_time.encode_into(w);
+        self.node.encode_into(w);
+        w.put_u64(self.epoch);
+        w.put_u64(self.incarnation);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FencingToken {
+            accusation_time: SimInstant::decode(r)?,
+            node: NodeId::decode(r)?,
+            epoch: r.take_u64()?,
+            incarnation: r.take_u64()?,
         })
     }
 }
@@ -279,6 +306,62 @@ impl WireFormat for ServiceMessage {
                 group.encode_into(w);
                 process.encode_into(w);
             }
+            ServiceMessage::LeaseGrant {
+                group,
+                token,
+                valid_for,
+            } => {
+                w.put_u8(TAG_LEASE_GRANT);
+                group.encode_into(w);
+                token.encode_into(w);
+                valid_for.encode_into(w);
+            }
+            ServiceMessage::ClientRequest {
+                group,
+                session,
+                seq,
+                payload,
+            } => {
+                w.put_u8(TAG_CLIENT_REQUEST);
+                group.encode_into(w);
+                w.put_u64(*session);
+                w.put_u64(*seq);
+                w.put_u64(*payload);
+            }
+            ServiceMessage::ClientReply {
+                group,
+                session,
+                seq,
+                applied,
+                value,
+                token,
+            } => {
+                w.put_u8(TAG_CLIENT_REPLY);
+                group.encode_into(w);
+                w.put_u64(*session);
+                w.put_u64(*seq);
+                encode_bool(*applied, w);
+                w.put_u64(*value);
+                token.encode_into(w);
+            }
+            ServiceMessage::Redirect {
+                group,
+                session,
+                seq,
+                leader,
+            } => {
+                w.put_u8(TAG_REDIRECT);
+                group.encode_into(w);
+                w.put_u64(*session);
+                w.put_u64(*seq);
+                match leader {
+                    None => w.put_u8(0),
+                    Some(process) => {
+                        w.put_u8(1);
+                        process.encode_into(w);
+                    }
+                }
+            }
         }
     }
 
@@ -331,6 +414,60 @@ impl WireFormat for ServiceMessage {
                 let group = GroupId::decode(r)?;
                 let process = ProcessId::decode(r)?;
                 Ok(ServiceMessage::Leave { group, process })
+            }
+            TAG_LEASE_GRANT => {
+                let group = GroupId::decode(r)?;
+                let token = FencingToken::decode(r)?;
+                let valid_for = SimDuration::decode(r)?;
+                Ok(ServiceMessage::LeaseGrant {
+                    group,
+                    token,
+                    valid_for,
+                })
+            }
+            TAG_CLIENT_REQUEST => {
+                let group = GroupId::decode(r)?;
+                let session = r.take_u64()?;
+                let seq = r.take_u64()?;
+                let payload = r.take_u64()?;
+                Ok(ServiceMessage::ClientRequest {
+                    group,
+                    session,
+                    seq,
+                    payload,
+                })
+            }
+            TAG_CLIENT_REPLY => {
+                let group = GroupId::decode(r)?;
+                let session = r.take_u64()?;
+                let seq = r.take_u64()?;
+                let applied = decode_bool(r)?;
+                let value = r.take_u64()?;
+                let token = FencingToken::decode(r)?;
+                Ok(ServiceMessage::ClientReply {
+                    group,
+                    session,
+                    seq,
+                    applied,
+                    value,
+                    token,
+                })
+            }
+            TAG_REDIRECT => {
+                let group = GroupId::decode(r)?;
+                let session = r.take_u64()?;
+                let seq = r.take_u64()?;
+                let leader = match r.take_u8()? {
+                    0 => None,
+                    1 => Some(ProcessId::decode(r)?),
+                    other => return Err(WireError::BadOptionTag(other)),
+                };
+                Ok(ServiceMessage::Redirect {
+                    group,
+                    session,
+                    seq,
+                    leader,
+                })
             }
             other => Err(WireError::UnknownTag(other)),
         }
@@ -419,6 +556,47 @@ mod tests {
             ServiceMessage::Leave {
                 group: GroupId(2),
                 process: ProcessId::new(NodeId(1), 0),
+            },
+            ServiceMessage::LeaseGrant {
+                group: GroupId(3),
+                token: FencingToken {
+                    accusation_time: SimInstant::from_nanos(1_000),
+                    node: NodeId(2),
+                    epoch: 4,
+                    incarnation: 1,
+                },
+                valid_for: SimDuration::from_millis(1_000),
+            },
+            ServiceMessage::ClientRequest {
+                group: GroupId(3),
+                session: 77,
+                seq: 5,
+                payload: 12,
+            },
+            ServiceMessage::ClientReply {
+                group: GroupId(3),
+                session: 77,
+                seq: 5,
+                applied: true,
+                value: 42,
+                token: FencingToken {
+                    accusation_time: SimInstant::from_nanos(1_000),
+                    node: NodeId(2),
+                    epoch: 4,
+                    incarnation: 1,
+                },
+            },
+            ServiceMessage::Redirect {
+                group: GroupId(3),
+                session: 77,
+                seq: 6,
+                leader: Some(ProcessId::new(NodeId(0), 1)),
+            },
+            ServiceMessage::Redirect {
+                group: GroupId(3),
+                session: 78,
+                seq: 0,
+                leader: None,
             },
         ]
     }

@@ -13,6 +13,7 @@
 //! `sle_wire::VERSION`, regenerate the vector from the test's failure
 //! output, and document the new layout in `docs/WIRE.md`.
 
+use sle_core::lease::FencingToken;
 use sle_core::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use sle_core::process::{GroupId, ProcessId};
 use sle_election::{AlivePayload, LeaderClaim};
@@ -172,6 +173,92 @@ fn leave_golden_vector() {
     check("LEAVE", &msg, "04000000020000000100000000");
 }
 
+/// The canonical token used by the client-tier vectors: minted at t=1µs by
+/// node 2 in epoch 4, incarnation 1.
+fn golden_token() -> FencingToken {
+    FencingToken {
+        accusation_time: SimInstant::from_nanos(1_000),
+        node: NodeId(2),
+        epoch: 4,
+        incarnation: 1,
+    }
+}
+
+#[test]
+fn lease_grant_golden_vector() {
+    let msg = ServiceMessage::LeaseGrant {
+        group: GroupId(3),
+        token: golden_token(),
+        valid_for: SimDuration::from_millis(1_000),
+    };
+    check(
+        "LEASE-GRANT",
+        &msg,
+        "060000000300000000000003e80000000200000000000000040000000000000001000000003b9aca00",
+    );
+}
+
+#[test]
+fn client_request_golden_vector() {
+    let msg = ServiceMessage::ClientRequest {
+        group: GroupId(3),
+        session: 77,
+        seq: 5,
+        payload: 12,
+    };
+    check(
+        "CLIENT-REQUEST",
+        &msg,
+        "0700000003000000000000004d0000000000000005000000000000000c",
+    );
+}
+
+#[test]
+fn client_reply_golden_vector() {
+    let msg = ServiceMessage::ClientReply {
+        group: GroupId(3),
+        session: 77,
+        seq: 5,
+        applied: true,
+        value: 42,
+        token: golden_token(),
+    };
+    check(
+        "CLIENT-REPLY",
+        &msg,
+        "0800000003000000000000004d000000000000000501000000000000002a00000000000003e8\
+         0000000200000000000000040000000000000001",
+    );
+}
+
+#[test]
+fn redirect_golden_vectors() {
+    // With a leader hint…
+    let msg = ServiceMessage::Redirect {
+        group: GroupId(3),
+        session: 77,
+        seq: 6,
+        leader: Some(ProcessId::new(NodeId(0), 1)),
+    };
+    check(
+        "REDIRECT(Some)",
+        &msg,
+        "0900000003000000000000004d0000000000000006010000000000000001",
+    );
+    // …and without one (the "I don't know either" form).
+    let msg = ServiceMessage::Redirect {
+        group: GroupId(3),
+        session: 78,
+        seq: 0,
+        leader: None,
+    };
+    check(
+        "REDIRECT(None)",
+        &msg,
+        "0900000003000000000000004e000000000000000000",
+    );
+}
+
 #[test]
 fn corpus_covers_every_variant() {
     // A new ServiceMessage variant must come with a golden vector: this
@@ -184,6 +271,10 @@ fn corpus_covers_every_variant() {
             ServiceMessage::AliveBatch { .. } => "alive_batch_golden_vector",
             ServiceMessage::Accuse { .. } => "accuse_golden_vector",
             ServiceMessage::Leave { .. } => "leave_golden_vector",
+            ServiceMessage::LeaseGrant { .. } => "lease_grant_golden_vector",
+            ServiceMessage::ClientRequest { .. } => "client_request_golden_vector",
+            ServiceMessage::ClientReply { .. } => "client_reply_golden_vector",
+            ServiceMessage::Redirect { .. } => "redirect_golden_vectors",
         }
     }
     assert_eq!(

@@ -4,6 +4,7 @@
 //! or garbage input may ever panic the decoder or slip through as a
 //! different *kind* of failure than a `WireError`.
 
+use sle_core::lease::FencingToken;
 use sle_core::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use sle_core::process::{GroupId, ProcessId};
 use sle_election::{AlivePayload, LeaderClaim};
@@ -34,8 +35,17 @@ fn random_payload(rng: &mut SimRng) -> AlivePayload {
     }
 }
 
+fn random_token(rng: &mut SimRng) -> FencingToken {
+    FencingToken {
+        accusation_time: SimInstant::from_nanos(rng.next_u64() % (1 << 40)),
+        node: NodeId(rng.uniform_usize(16) as u32),
+        epoch: rng.next_u64() % 1000,
+        incarnation: rng.next_u64() % 16,
+    }
+}
+
 fn random_message(rng: &mut SimRng) -> ServiceMessage {
-    match rng.uniform_usize(5) {
+    match rng.uniform_usize(9) {
         0 => {
             let groups = rng.uniform_usize(4);
             let announcements = (0..groups)
@@ -88,6 +98,35 @@ fn random_message(rng: &mut SimRng) -> ServiceMessage {
                     .collect(),
             }
         }
+        5 => ServiceMessage::LeaseGrant {
+            group: GroupId(rng.uniform_usize(100) as u32),
+            token: random_token(rng),
+            valid_for: SimDuration::from_nanos(rng.next_u64() % (1 << 32)),
+        },
+        6 => ServiceMessage::ClientRequest {
+            group: GroupId(rng.uniform_usize(100) as u32),
+            session: rng.next_u64() % 1_000_000,
+            seq: rng.next_u64() % 100_000,
+            payload: rng.next_u64(),
+        },
+        7 => ServiceMessage::ClientReply {
+            group: GroupId(rng.uniform_usize(100) as u32),
+            session: rng.next_u64() % 1_000_000,
+            seq: rng.next_u64() % 100_000,
+            applied: rng.bernoulli(0.5),
+            value: rng.next_u64(),
+            token: random_token(rng),
+        },
+        8 => ServiceMessage::Redirect {
+            group: GroupId(rng.uniform_usize(100) as u32),
+            session: rng.next_u64() % 1_000_000,
+            seq: rng.next_u64() % 100_000,
+            leader: if rng.bernoulli(0.5) {
+                Some(random_process(rng))
+            } else {
+                None
+            },
+        },
         _ => ServiceMessage::Leave {
             group: GroupId(rng.uniform_usize(100) as u32),
             process: random_process(rng),

@@ -1,104 +1,138 @@
-//! A leader-based application on top of the service: a replicated counter
-//! in which only the current leader accepts increments (the classic
-//! coordinator pattern the paper's introduction motivates — the leader
-//! serialises updates so the replicas stay consistent).
+//! A leader-based application on top of the service, built on the `sle-app`
+//! client tier: a fenced replicated counter in which only the current
+//! leader's replica accepts increments, each write is checked against the
+//! leader's fencing token, and a deposed leader's delayed writes are
+//! rejected (the classic coordinator pattern the paper's introduction
+//! motivates, hardened against the leader *changing* mid-stream).
 //!
 //! Run with: `cargo run --example replicated_counter`
 //!
-//! Expected output (the elected node and the timing vary run to run;
-//! durations are printed in human units via `SimDuration`'s `Display`):
+//! Expected output (the elected node and the timing vary run to run):
 //!
 //! ```text
-//! leader is n0.p0 (elected in 287.551ms); routing all increments through it
-//! accepted 100 increments through the leader
-//!   replica n0 has value 100
-//!   replica n1 has value 100
-//!   replica n2 has value 100
-//!   replica n3 has value 100
-//! replicas are consistent; done.
+//! leader is n0.p0 (elected in 287.551ms); routing increments through it
+//! workload 1: 200 increments applied, 0 retries
+//! crashing the leader n0 mid-service...
+//! workload 2: 200 increments applied through the re-elected leader n1 (103 retries)
+//! deposed leader's delayed write: rejected (presented token below high-water)
+//! audit: 400 accepts, 0 fencing violations
+//! replicas stayed fenced; done.
 //! ```
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sle_core::{Cluster, GroupId, JoinConfig, ProcessId};
+use sle_app::{ClientConfig, ClientHub, FencedCounter, FencingAudit};
+use sle_core::lease::FencedApp;
+use sle_core::messages::ServiceMessage;
+use sle_core::{Cluster, ClusterConfig, GroupId, JoinConfig};
 use sle_election::ElectorKind;
+use sle_fd::QosSpec;
+use sle_net::link::LinkSpec;
+use sle_net::transport::InMemoryMesh;
 use sle_sim::time::SimDuration;
 use sle_sim::NodeId;
 
-/// One replica of the counter application.
-struct Replica {
-    node: NodeId,
-    process: ProcessId,
-    value: u64,
+/// Polls until `node` reports a lease for `group` (the mint can trail the
+/// agreement by one protocol event) and returns its fencing token.
+fn await_lease(cluster: &Cluster, node: NodeId, group: GroupId) -> sle_core::FencingToken {
+    let handle = cluster.handle(node).expect("handle");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Some(lease) = handle.lease_of(group) {
+            return lease.token;
+        }
+        assert!(Instant::now() < deadline, "{node} never minted a lease");
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 fn main() {
-    let n = 4u32;
-    let cluster = Cluster::start(n as usize, ElectorKind::OmegaL);
+    let servers = 3usize;
     let group = GroupId(9);
 
-    let mut replicas: BTreeMap<NodeId, Replica> = BTreeMap::new();
-    for i in 0..n {
-        let node = NodeId(i);
-        let process = cluster
-            .handle(node)
-            .unwrap()
-            .join(group, JoinConfig::candidate())
+    // One endpoint per service node plus one for the client hub: the hub is
+    // just another identity on the transport, outside the cluster.
+    let mut mesh: InMemoryMesh<ServiceMessage> =
+        InMemoryMesh::with_links(servers + 1, LinkSpec::perfect(), 42);
+    let endpoints = (0..servers)
+        .map(|i| mesh.endpoint(NodeId(i as u32)).expect("endpoint"))
+        .collect();
+    let client_endpoint = mesh.endpoint(NodeId(servers as u32)).expect("endpoint");
+
+    let cluster =
+        Cluster::start_endpoints_with_config(endpoints, ClusterConfig::new(ElectorKind::OmegaL));
+
+    // Install one fenced counter replica per node; they share an audit
+    // ledger so the token order of every accepted write can be checked.
+    let audit = FencingAudit::shared();
+    let qos = QosSpec::paper_default_with_detection(SimDuration::from_millis(250));
+    for i in 0..servers as u32 {
+        let handle = cluster.handle(NodeId(i)).expect("handle");
+        handle.install_app(Box::new(FencedCounter::with_audit(Arc::clone(&audit))));
+        handle
+            .join(group, JoinConfig::candidate().with_qos(qos))
             .expect("join");
-        replicas.insert(
-            node,
-            Replica {
-                node,
-                process,
-                value: 0,
-            },
-        );
     }
 
-    // Wait for a leader.
     let started = Instant::now();
     let leader = cluster
         .await_agreement(group, None, Duration::from_secs(10))
         .expect("no leader elected");
     println!(
-        "leader is {leader} (elected in {}); routing all increments through it",
+        "leader is {leader} (elected in {}); routing increments through it",
         SimDuration::from(started.elapsed())
     );
+    let old_token = await_lease(&cluster, leader.node, group);
 
-    // The "clients" submit 100 increments. Each increment is accepted only
-    // by the replica that currently considers itself the leader, then
-    // (trivially, in-process) replicated to the others.
-    let mut accepted = 0u64;
-    for _ in 0..100 {
-        let current = cluster.agreed_leader(group, None);
-        if let Some(current) = current {
-            // Only the leader's replica accepts the write.
-            for replica in replicas.values_mut() {
-                if replica.process == current {
-                    replica.value += 1;
-                    accepted += 1;
-                }
-            }
-            // Replicate to the others.
-            let new_value = replicas
-                .values()
-                .find(|r| r.process == current)
-                .map(|r| r.value)
-                .unwrap_or(0);
-            for replica in replicas.values_mut() {
-                replica.value = replica.value.max(new_value);
-            }
+    // The client tier: sessions discover the leader, route to it, and retry
+    // transparently across redirects, rejections and crashes.
+    let mut config = ClientConfig::new(group, (0..servers as u32).map(NodeId).collect());
+    config.deadline = Some(Duration::from_secs(30));
+    let mut hub = ClientHub::new(client_endpoint, config);
+
+    let first = hub.run_workload(50, 4, 1);
+    println!(
+        "workload 1: {} increments applied, {} retries",
+        first.completed,
+        first.timeouts + first.redirects + first.rejected_replies
+    );
+
+    println!("crashing the leader {} mid-service...", leader.node);
+    cluster.crash(leader.node);
+
+    let second = hub.run_workload(50, 4, 1);
+    let new_leader = cluster
+        .await_agreement(group, Some(leader.node), Duration::from_secs(10))
+        .expect("no re-election");
+    println!(
+        "workload 2: {} increments applied through the re-elected leader {} ({} retries)",
+        second.completed,
+        new_leader.node,
+        second.timeouts + second.redirects + second.rejected_replies
+    );
+
+    // The point of the fencing tokens: replay the *deposed* leader's write
+    // against a replica that has observed the new leadership. The stale
+    // token sits below the replica's high-water mark and the write bounces.
+    let new_token = await_lease(&cluster, new_leader.node, group);
+    let mut replica = FencedCounter::new();
+    replica.observe_token(group, new_token);
+    match replica.apply(group, old_token, 1_000_000) {
+        Err(_) => {
+            println!("deposed leader's delayed write: rejected (presented token below high-water)")
         }
+        Ok(_) => unreachable!("a stale token must never apply"),
     }
-
-    println!("accepted {accepted} increments through the leader");
-    for replica in replicas.values() {
-        println!("  replica {} has value {}", replica.node, replica.value);
-    }
-    let values: Vec<u64> = replicas.values().map(|r| r.value).collect();
-    assert!(values.windows(2).all(|w| w[0] == w[1]), "replicas diverged");
 
     cluster.shutdown();
-    println!("replicas are consistent; done.");
+
+    let snapshot = audit.snapshot();
+    println!(
+        "audit: {} accepts, {} fencing violations",
+        snapshot.accepts, snapshot.violations
+    );
+    assert_eq!(snapshot.violations, 0, "fencing violated");
+    assert!(snapshot.accepts >= first.completed + second.completed);
+    println!("replicas stayed fenced; done.");
 }

@@ -225,3 +225,88 @@ fn crash_plan_installs_into_a_running_world() {
 fn experiment_group_constant_matches_harness() {
     assert_eq!(EXPERIMENT_GROUP, GroupId(1));
 }
+
+#[test]
+fn duplicated_stale_accusation_causes_no_extra_mistake() {
+    // Regression for the stale-epoch accusation hole: over a duplicating
+    // network, one ACCUSE against the healthy leader arrives twice. The
+    // first copy is current and is honoured — one justified-by-protocol
+    // demotion. The duplicate carries the now-stale epoch and must be
+    // dropped; before the epoch guard it was honoured again, re-ranking the
+    // deposed leader a second time and forging a fencing-token regression.
+    let link = LinkSpec::lossy(SimDuration::from_millis(2), 0.0).with_duplication(1.0);
+    let mut world = build_world(3, ElectorKind::OmegaLc, link, 71);
+    let mut collector = MetricsCollector::new(GROUP, 3, SimInstant::ZERO);
+    world.run_for(SimDuration::from_secs(10), &mut collector);
+    let old_leader = agreed_leader(&world).expect("settled leader");
+    let accuser = NodeId((old_leader.node.0 + 1) % 3);
+
+    // One ACCUSE sent over the network: the medium duplicates it.
+    world.with_actor(accuser, &mut collector, |_, ctx| {
+        ctx.send(
+            old_leader.node,
+            sle_core::ServiceMessage::Accuse {
+                group: GROUP,
+                epoch: 0,
+            },
+        );
+    });
+    world.run_for(SimDuration::from_secs(5), &mut collector);
+
+    // Exactly one of the two copies was honoured; the replay was dropped.
+    let stale = world
+        .actor(old_leader.node)
+        .expect("accused node alive")
+        .stale_accusations_ignored();
+    assert_eq!(stale, 1, "the duplicated stale ACCUSE was not dropped");
+
+    // The honoured copy demoted the leader once; the duplicate must not
+    // move leadership again. The group has re-settled on a new leader…
+    let new_leader = agreed_leader(&world).expect("re-settled leader");
+    assert_ne!(new_leader, old_leader, "the honoured ACCUSE should demote");
+    // …and stays there: no further mistakes accrue.
+    world.run_for(SimDuration::from_secs(5), &mut collector);
+    assert_eq!(agreed_leader(&world), Some(new_leader));
+    let metrics = collector.finish(world.now());
+    assert_eq!(
+        metrics.unjustified_demotions, 1,
+        "only the first ACCUSE copy may demote the healthy leader"
+    );
+}
+
+#[test]
+fn await_agreement_fails_fast_when_every_member_crashed() {
+    use sle_core::Cluster;
+    use std::time::{Duration, Instant};
+
+    let cluster = Cluster::start(3, ElectorKind::OmegaLc);
+    let group = GroupId(9);
+    for i in 0..3u32 {
+        cluster
+            .handle(NodeId(i))
+            .unwrap()
+            .join(group, JoinConfig::candidate())
+            .unwrap();
+    }
+    cluster
+        .await_agreement(group, None, Duration::from_secs(10))
+        .expect("initial agreement");
+    for i in 0..3u32 {
+        cluster.crash(NodeId(i));
+    }
+    // With every member crashed there is nobody left to agree: the call
+    // must give up promptly (not burn its whole timeout polling parked
+    // nodes) and still carry the last votes for diagnosis.
+    let started = Instant::now();
+    let err = cluster
+        .await_agreement(group, None, Duration::from_secs(10))
+        .expect_err("agreement over an all-crashed group");
+    let waited = started.elapsed();
+    assert!(
+        waited < Duration::from_secs(2),
+        "all-crashed await_agreement took {waited:?}"
+    );
+    assert_eq!(err.group, group);
+    assert_eq!(err.votes.len(), 3, "votes: {err}");
+    cluster.shutdown();
+}

@@ -171,11 +171,27 @@ fn mesh_endpoints() -> Vec<sle_net::transport::Endpoint<ServiceMessage>> {
 
 /// The shared-socket plane cell: 5 nodes demultiplexed behind 2 sockets.
 /// The endpoints keep the plane (and its reader threads) alive; it shuts
-/// down when the cluster drops them.
-fn udp_shared_endpoints() -> Vec<sle_udp::SharedUdpEndpoint<ServiceMessage>> {
-    SharedUdpPlane::bind_loopback(NODES, 2)
-        .expect("bind shared plane")
-        .endpoints()
+/// down when the cluster drops them. A handle to the plane is returned
+/// alongside so the caller can audit it after the run.
+fn udp_shared_endpoints() -> (
+    SharedUdpPlane<ServiceMessage>,
+    Vec<sle_udp::SharedUdpEndpoint<ServiceMessage>>,
+) {
+    let plane = SharedUdpPlane::bind_loopback(NODES, 2).expect("bind shared plane");
+    let endpoints = plane.endpoints();
+    (plane, endpoints)
+}
+
+/// After the cluster has shut down (dropping its endpoints), no coalescing
+/// cell may still hold buffered bytes: every send path — runtime batch
+/// boundaries, endpoint drop, plane drop — must have flushed. A non-zero
+/// backlog means a datagram was composed but never handed to the socket.
+fn assert_no_stranded_sends(plane: &SharedUdpPlane<ServiceMessage>, transport: &str) {
+    assert_eq!(
+        plane.pending_backlog(),
+        0,
+        "{transport}: coalesced sends stranded in the plane after shutdown"
+    );
 }
 
 /// Asserts the scenario's pinned outcome: the staggered construction makes
@@ -229,6 +245,7 @@ fn legacy_driver_matrix_executes_the_identical_state_machine() {
     // The legacy one-worker-per-node row: in-process mesh, one-socket-per-
     // node UDP, and the shared-socket plane (which auto-flushes per send in
     // pull mode — no runtime is around to signal batch boundaries).
+    let (plane, shared) = udp_shared_endpoints();
     let runs = [
         run_scenario(mesh_endpoints(), "mesh/legacy".into(), Driver::Legacy),
         run_scenario(
@@ -236,12 +253,9 @@ fn legacy_driver_matrix_executes_the_identical_state_machine() {
             "udp-legacy/legacy".into(),
             Driver::Legacy,
         ),
-        run_scenario(
-            udp_shared_endpoints(),
-            "udp-shared/legacy".into(),
-            Driver::Legacy,
-        ),
+        run_scenario(shared, "udp-shared/legacy".into(), Driver::Legacy),
     ];
+    assert_no_stranded_sends(&plane, "udp-shared/legacy");
     assert_matrix_row(&runs);
 }
 
@@ -250,6 +264,7 @@ fn sharded_driver_matrix_executes_the_identical_state_machine() {
     // The 2-worker shard-pool row. On the shared plane this is the full
     // production shape: push-mode delivery into shard mailboxes plus
     // coalesced sends flushed at the runtime's batch boundaries.
+    let (plane, shared) = udp_shared_endpoints();
     let runs = [
         run_scenario(mesh_endpoints(), "mesh/sharded".into(), Driver::Sharded(2)),
         run_scenario(
@@ -257,11 +272,8 @@ fn sharded_driver_matrix_executes_the_identical_state_machine() {
             "udp-legacy/sharded".into(),
             Driver::Sharded(2),
         ),
-        run_scenario(
-            udp_shared_endpoints(),
-            "udp-shared/sharded".into(),
-            Driver::Sharded(2),
-        ),
+        run_scenario(shared, "udp-shared/sharded".into(), Driver::Sharded(2)),
     ];
+    assert_no_stranded_sends(&plane, "udp-shared/sharded");
     assert_matrix_row(&runs);
 }
