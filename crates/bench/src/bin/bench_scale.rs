@@ -2,7 +2,7 @@
 //! with steady-state message-count assertions.
 //!
 //! ```text
-//! cargo run --release -p sle-bench --bin bench_scale            # full sweep (10k procs / 1k groups)
+//! cargo run --release -p sle-bench --bin bench_scale            # full sweep (1M procs / 100k groups)
 //! cargo run --release -p sle-bench --bin bench_scale -- --smoke # CI-sized mini-sweep
 //! ```
 //!
@@ -14,18 +14,27 @@
 //!    O(n²) for S2 and O(n) for S3 — the communication-efficiency claim
 //!    the paper makes for Ω_l, held as an executable assertion (the
 //!    process exits 1 if the fitted log-log slopes disagree).
-//! 2. **Scale-out** — a many-group S3 deployment (up to 1 000 workstations
-//!    × 1 000 groups × 10 members each = 10 000 processes) that must
-//!    settle, elect a leader in every group, and complete in seconds of
-//!    wall-clock time. This is the cell that exercises the timer wheel,
-//!    the per-node ALIVE tick with batched fan-out and the shared monitor
-//!    arena together.
+//! 2. **Scale-out** — many-group S3 deployments up to the frontier cell:
+//!    10 000 workstations × 100 000 groups × 10 members each = 1 000 000
+//!    group-member processes, which must settle, elect a leader in every
+//!    group, and complete in tens of seconds of wall-clock time. This is
+//!    the cell that exercises the timer wheel, the dense per-peer /
+//!    per-group arenas, the per-node ALIVE tick with batched fan-out and
+//!    the shared monitor arena together.
 //!
-//! Results are written to `BENCH_scale.json` (schema documented in
-//! `docs/BENCH.md`) so successive PRs leave a perf trajectory; CI uploads
-//! the file as the `bench-scale` artifact.
+//! The smoke cells are a strict subset of the full cells (same names, same
+//! shapes), so a smoke run can be regression-gated against a checked-in
+//! full-sweep baseline with `--gate-against PATH`: for every cell name the
+//! two runs share, the simulator event-processing throughput
+//! (`events_per_sec`) must not drop more than 15 % below the baseline.
 //!
-//! Options: `--smoke` (CI sizes), `--out PATH` (default `BENCH_scale.json`).
+//! Results are written to `BENCH_scale.json` (schema `sle-bench-scale/3`,
+//! documented in `docs/BENCH.md`) so successive PRs leave a perf
+//! trajectory; CI uploads the file as the `bench-scale` artifact.
+//!
+//! Options: `--smoke` (CI sizes), `--out PATH` (default `BENCH_scale.json`),
+//! `--gate-against PATH` (compare against a baseline JSON, exit 1 on a
+//! >15 % `events_per_sec` regression in any shared cell).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,24 +42,35 @@ use std::time::Instant;
 use sle_core::{GroupId, NodeInstruments, ProcessId};
 use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
 use sle_election::ElectorKind;
+use sle_fd::QosSpec;
 use sle_harness::deploy;
 use sle_obs::{Registry, TraceRing};
 use sle_sim::prelude::*;
 
-/// Virtual time the deployment gets to elect before measuring.
+/// Default virtual time a deployment gets to elect before measuring.
 const SETTLE: SimDuration = SimDuration::from_secs(12);
-/// Virtual measurement window for steady-state counts.
+/// Default virtual measurement window for steady-state counts.
 const WINDOW: SimDuration = SimDuration::from_secs(10);
+/// Default failure-detection bound `T_D^U` (the paper's §6.1 value).
+const DETECTION: SimDuration = SimDuration::from_secs(1);
+/// Maximum tolerated `events_per_sec` drop vs a `--gate-against` baseline.
+const GATE_TOLERANCE: f64 = 0.15;
 
 struct Args {
     smoke: bool,
     out: String,
+    gate_against: Option<String>,
+    /// Ad-hoc single scale cell `nodes,groups,members,window_s,detection_ms`
+    /// (replaces the built-in shape lists; for tuning new cells).
+    cell: Option<(usize, usize, usize, u64, u64)>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         out: "BENCH_scale.json".to_string(),
+        gate_against: None,
+        cell: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -61,8 +81,28 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| "--out requires a path".to_string())?;
             }
+            "--gate-against" => {
+                args.gate_against = Some(
+                    iter.next()
+                        .ok_or_else(|| "--gate-against requires a path".to_string())?,
+                );
+            }
+            "--cell" => {
+                let spec = iter.next().ok_or_else(|| {
+                    "--cell requires nodes,groups,members,window_s,detection_ms".to_string()
+                })?;
+                let parts: Vec<u64> = spec
+                    .split(',')
+                    .map(|p| p.trim().parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad --cell spec {spec}: {e}"))?;
+                let [n, g, m, w, d] = parts[..] else {
+                    return Err(format!("--cell wants 5 comma-separated fields, got {spec}"));
+                };
+                args.cell = Some((n as usize, g as usize, m as usize, w, d));
+            }
             "--help" | "-h" => {
-                println!("usage: bench_scale [--smoke] [--out PATH]");
+                println!("usage: bench_scale [--smoke] [--out PATH] [--gate-against PATH]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -79,6 +119,12 @@ struct Cell {
     groups: usize,
     processes: usize,
     members_per_group: usize,
+    settle: SimDuration,
+    window: SimDuration,
+    /// The failure-detection bound `T_D^U` each member joined with. The
+    /// ALIVE rate scales inversely with it, so big cells relax it to keep
+    /// wall-clock bounded; it is recorded per cell to keep runs comparable.
+    detection: SimDuration,
     /// Per-group ALIVE payloads sent during the window (batch entries
     /// count individually).
     alive_payloads: u64,
@@ -90,6 +136,10 @@ struct Cell {
     bytes_total: u64,
     /// Simulator events processed over the whole run.
     events_processed: u64,
+    /// Simulator event-processing throughput: `events_processed` over the
+    /// cell's wall-clock time (build + settle + window). The quantity the
+    /// `--gate-against` regression gate compares.
+    events_per_sec: f64,
     /// Groups whose members all agreed on a live leader at the end.
     groups_agreed: usize,
     wall_ms: u128,
@@ -140,7 +190,15 @@ fn algorithm_label(algorithm: ElectorKind) -> &'static str {
 }
 
 /// Builds the world for a deployment, runs settle + window, and measures.
-fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u64) -> Cell {
+fn run_cell(
+    name: &str,
+    deployment: &Deployment,
+    algorithm: ElectorKind,
+    seed: u64,
+    settle: SimDuration,
+    window: SimDuration,
+    detection: SimDuration,
+) -> Cell {
     let wall = Instant::now();
     let n = deployment.nodes;
 
@@ -165,8 +223,10 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
             move |node, _inc| {
                 let mut config =
                     ServiceConfig::new(node, peers_of[node.index()].clone(), algorithm);
+                let join = JoinConfig::candidate()
+                    .with_qos(QosSpec::paper_default_with_detection(detection));
                 for &group in &groups_of[node.index()] {
-                    config = config.with_auto_join(group, JoinConfig::candidate());
+                    config = config.with_auto_join(group, join);
                 }
                 let mut service = ServiceNode::new(config);
                 service.set_instruments(NodeInstruments::new(&registry, ring.clone(), node));
@@ -178,7 +238,7 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
     );
 
     let mut observer = CountingObserver::new();
-    world.run_for(SETTLE, &mut observer);
+    world.run_for(settle, &mut observer);
     let node_counts = |world: &World<ServiceNode, PerfectMedium>| -> (u64, u64) {
         let mut payloads = 0;
         let mut datagrams = 0;
@@ -194,7 +254,7 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
     let messages_before = observer.sent;
     let bytes_before = observer.bytes_sent;
 
-    world.run_for(WINDOW, &mut observer);
+    world.run_for(window, &mut observer);
     let (payloads_after, datagrams_after) = node_counts(&world);
 
     // Every group must have converged on a common leader among its members.
@@ -225,6 +285,8 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
     }
 
     let elections = registry.merged_histogram("node.", ".elect.election_ns");
+    let wall_ms = wall.elapsed().as_millis();
+    let events_processed = world.events_processed();
     Cell {
         name: name.to_string(),
         algorithm: algorithm_label(algorithm),
@@ -232,13 +294,17 @@ fn run_cell(name: &str, deployment: &Deployment, algorithm: ElectorKind, seed: u
         groups: deployment.groups.len(),
         processes: deployment.processes(),
         members_per_group: deployment.groups.first().map(Vec::len).unwrap_or(0),
+        settle,
+        window,
+        detection,
         alive_payloads: payloads_after - payloads_before,
         alive_datagrams: datagrams_after - datagrams_before,
         messages_total: observer.sent - messages_before,
         bytes_total: observer.bytes_sent - bytes_before,
-        events_processed: world.events_processed(),
+        events_processed,
+        events_per_sec: events_processed as f64 / (wall_ms.max(1) as f64 / 1000.0),
         groups_agreed,
-        wall_ms: wall.elapsed().as_millis(),
+        wall_ms,
         election_p50_ms: elections.percentile_ms(0.50),
         election_p99_ms: elections.percentile_ms(0.99),
     }
@@ -261,7 +327,7 @@ fn json_escape_free(name: &str) -> &str {
 fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/2\",");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/3\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(
         out,
@@ -274,21 +340,26 @@ fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> Str
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"algorithm\": \"{}\", \"nodes\": {}, \"groups\": {}, \
-             \"processes\": {}, \"members_per_group\": {}, \"alive_payloads\": {}, \
+             \"processes\": {}, \"members_per_group\": {}, \"settle_secs\": {}, \
+             \"window_secs\": {}, \"detection_ms\": {}, \"alive_payloads\": {}, \
              \"alive_datagrams\": {}, \"messages_total\": {}, \"bytes_total\": {}, \
-             \"events_processed\": {}, \"groups_agreed\": {}, \"wall_ms\": {}, \
-             \"election_p50_ms\": {:.1}, \"election_p99_ms\": {:.1}}}",
+             \"events_processed\": {}, \"events_per_sec\": {:.0}, \"groups_agreed\": {}, \
+             \"wall_ms\": {}, \"election_p50_ms\": {:.1}, \"election_p99_ms\": {:.1}}}",
             json_escape_free(&cell.name),
             cell.algorithm,
             cell.nodes,
             cell.groups,
             cell.processes,
             cell.members_per_group,
+            cell.settle.as_secs_f64(),
+            cell.window.as_secs_f64(),
+            cell.detection.as_millis_f64() as u64,
             cell.alive_payloads,
             cell.alive_datagrams,
             cell.messages_total,
             cell.bytes_total,
             cell.events_processed,
+            cell.events_per_sec,
             cell.groups_agreed,
             cell.wall_ms,
             cell.election_p50_ms,
@@ -306,6 +377,89 @@ fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> Str
     out
 }
 
+/// Extracts `(name, events_per_sec)` pairs from a baseline JSON produced by
+/// an earlier run of this binary. Hand-rolled scan (the workspace is
+/// std-only): relies on each cell object carrying a `"name"` key before its
+/// `"events_per_sec"` key, which `render_json` guarantees. Cells without an
+/// `events_per_sec` key (schema < 3 baselines) are skipped.
+fn parse_baseline_cells(json: &str) -> Vec<(String, f64)> {
+    let mut cells = Vec::new();
+    let mut rest = json;
+    while let Some(start) = rest.find("\"name\": \"") {
+        let after = &rest[start + "\"name\": \"".len()..];
+        let Some(name_end) = after.find('"') else {
+            break;
+        };
+        let name = &after[..name_end];
+        let body = &after[name_end..];
+        // The cell object ends at the next '}'; events_per_sec must appear
+        // before it (and before the next cell's name).
+        let object_end = body.find('}').unwrap_or(body.len());
+        if let Some(pos) = body[..object_end].find("\"events_per_sec\": ") {
+            let value = &body[pos + "\"events_per_sec\": ".len()..object_end];
+            let end = value
+                .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-' && c != 'e')
+                .unwrap_or(value.len());
+            if let Ok(eps) = value[..end].parse::<f64>() {
+                cells.push((name.to_string(), eps));
+            }
+        }
+        rest = &body[object_end..];
+    }
+    cells
+}
+
+/// Compares this run's cells against a baseline file: every cell name both
+/// runs share must be within [`GATE_TOLERANCE`] of the baseline
+/// `events_per_sec`. Returns `false` (and prints FAIL lines) on regression.
+fn gate_against(cells: &[Cell], path: &str) -> bool {
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read gate baseline {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline_cells = parse_baseline_cells(&baseline);
+    if baseline_cells.is_empty() {
+        println!(
+            "gate: baseline {path} carries no events_per_sec cells (pre-/3 schema?) — skipping"
+        );
+        return true;
+    }
+    let mut ok = true;
+    let mut compared = 0;
+    for cell in cells {
+        let Some((_, base)) = baseline_cells.iter().find(|(n, _)| n == &cell.name) else {
+            continue;
+        };
+        compared += 1;
+        let floor = base * (1.0 - GATE_TOLERANCE);
+        let ratio = cell.events_per_sec / base;
+        if cell.events_per_sec < floor {
+            eprintln!(
+                "GATE FAIL: {} events_per_sec {:.0} < {:.0} ({}% of baseline {:.0})",
+                cell.name,
+                cell.events_per_sec,
+                floor,
+                (ratio * 100.0) as i64,
+                base
+            );
+            ok = false;
+        } else {
+            println!(
+                "gate: {} events_per_sec {:.0} vs baseline {:.0} ({}%) — ok",
+                cell.name,
+                cell.events_per_sec,
+                base,
+                (ratio * 100.0) as i64
+            );
+        }
+    }
+    println!("gate: compared {compared} shared cell(s) against {path}");
+    ok
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -317,11 +471,40 @@ fn main() {
     let total = Instant::now();
     let mut cells: Vec<Cell> = Vec::new();
 
+    // Ad-hoc tuning mode: run one scale cell and report, no JSON, no gates.
+    if let Some((nodes, groups, members, window_secs, detection_ms)) = args.cell {
+        let deployment = Deployment::strided(nodes, groups, members);
+        let cell = run_cell(
+            &format!("scale-s3-{nodes}x{groups}x{members}"),
+            &deployment,
+            ElectorKind::OmegaL,
+            0x5CA1E,
+            SETTLE,
+            SimDuration::from_secs(window_secs),
+            SimDuration::from_millis(detection_ms),
+        );
+        println!(
+            "{}: procs {} agreed {}/{} events {} ({:.0}/s) wall {} ms p50 {:.1} ms p99 {:.1} ms",
+            cell.name,
+            cell.processes,
+            cell.groups_agreed,
+            cell.groups,
+            cell.events_processed,
+            cell.events_per_sec,
+            cell.wall_ms,
+            cell.election_p50_ms,
+            cell.election_p99_ms
+        );
+        return;
+    }
+
     // Family 1: the growth law, S2 vs S3 over one group of n candidates.
+    // The smoke sizes are a prefix of the full sizes so smoke cells share
+    // names (and shapes) with the checked-in full baseline.
     let sizes: &[usize] = if args.smoke {
         &[4, 8, 16]
     } else {
-        &[6, 12, 24]
+        &[4, 8, 16, 24]
     };
     println!(
         "growth law: 1 group x n candidates, window {} s",
@@ -338,6 +521,9 @@ fn main() {
                 &Deployment::single_group(n),
                 algorithm,
                 0xBE1C_u64 + n as u64,
+                SETTLE,
+                WINDOW,
+                DETECTION,
             );
             println!(
                 "{:<12} {:>5} {:>16} {:>16} {:>10} {:>8}",
@@ -365,18 +551,40 @@ fn main() {
         "\nfitted growth slopes: S2 {s2_slope:.2} (want ≥ 1.7), S3 {s3_slope:.2} (want ≤ 1.4)"
     );
 
-    // Family 2: the S3 scale-out cell (the 10k-process / 1k-group sweep).
-    let scale_shapes: &[(usize, usize, usize)] = if args.smoke {
-        &[(200, 200, 5)]
+    // Family 2: the S3 scale-out cells, up to the million-process frontier
+    // (10k workstations × 100k groups × 10 members each). Tuple:
+    // (nodes, groups, members, window secs, detection T_D^U ms). The
+    // frontier cell relaxes the detection bound — the ALIVE/FD event rate
+    // scales inversely with T_D, and at 1M group-member processes the
+    // paper-default 1 s bound would put the cell hundreds of millions of
+    // events past a tens-of-seconds wall-clock envelope — and measures
+    // over a shorter window for the same reason; both overrides are
+    // recorded in the cell's JSON. The smoke shape list is a prefix of
+    // the full list.
+    let scale_shapes: &[(usize, usize, usize, u64, u64)] = if args.smoke {
+        &[(200, 200, 5, 10, 1000)]
     } else {
-        &[(400, 400, 5), (1000, 1000, 10)]
+        &[
+            (200, 200, 5, 10, 1000),
+            (400, 400, 5, 10, 1000),
+            (1000, 1000, 10, 10, 1000),
+            (10000, 100000, 10, 5, 8000),
+        ]
     };
     println!("\nscale-out: S3 over strided multi-group deployments");
     println!(
-        "{:<28} {:>6} {:>6} {:>7} {:>14} {:>14} {:>9} {:>8}",
-        "cell", "nodes", "groups", "procs", "alive-payloads", "datagrams", "agreed", "wall-ms"
+        "{:<28} {:>6} {:>6} {:>8} {:>14} {:>14} {:>13} {:>9} {:>8}",
+        "cell",
+        "nodes",
+        "groups",
+        "procs",
+        "alive-payloads",
+        "datagrams",
+        "events/s",
+        "agreed",
+        "wall-ms"
     );
-    for &(nodes, groups, members) in scale_shapes {
+    for &(nodes, groups, members, window_secs, detection_ms) in scale_shapes {
         let deployment = Deployment::strided(nodes, groups, members);
         let processes = deployment.processes();
         let cell = run_cell(
@@ -384,15 +592,19 @@ fn main() {
             &deployment,
             ElectorKind::OmegaL,
             0x5CA1E,
+            SETTLE,
+            SimDuration::from_secs(window_secs),
+            SimDuration::from_millis(detection_ms),
         );
         println!(
-            "{:<28} {:>6} {:>6} {:>7} {:>14} {:>14} {:>9} {:>8}",
+            "{:<28} {:>6} {:>6} {:>8} {:>14} {:>14} {:>13.0} {:>9} {:>8}",
             cell.name,
             cell.nodes,
             cell.groups,
             processes,
             cell.alive_payloads,
             cell.alive_datagrams,
+            cell.events_per_sec,
             format!("{}/{}", cell.groups_agreed, cell.groups),
             cell.wall_ms
         );
@@ -428,6 +640,11 @@ fn main() {
     if s3_slope > 1.4 {
         eprintln!("FAIL: S3 growth slope {s3_slope:.2} > 1.4 — expected O(n) ALIVE traffic");
         failed = true;
+    }
+    if let Some(path) = &args.gate_against {
+        if !gate_against(&cells, path) {
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

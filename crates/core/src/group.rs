@@ -1,7 +1,11 @@
 //! Per-group state kept by a service instance (the Group Maintenance module
 //! of the paper's architecture, Figure 2).
-
-use std::collections::BTreeMap;
+//!
+//! Membership is stored densely: one [`MemberTable`] per group holds, per
+//! remote workstation, everything the three former side tables (`members`,
+//! `representatives`, `requested_by_peers`) kept separately — so applying
+//! one ALIVE payload touches a single sorted-vector entry instead of three
+//! tree maps.
 
 use sle_adaptive::AnyTuner;
 use sle_election::{AnyElector, LeaderElector};
@@ -13,32 +17,137 @@ use crate::config::{JoinConfig, NotificationMode};
 use crate::lease::LeaderLease;
 use crate::process::{GroupId, ProcessId};
 
-/// What a service instance knows about the group membership contributed by
-/// one remote workstation.
+/// What a service instance knows about one remote member workstation of a
+/// group: its processes, when we last heard from it, the representative it
+/// advertises and the ALIVE interval it asked us for.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RemoteMember {
+pub struct MemberEntry {
+    /// The remote workstation.
+    pub peer: NodeId,
     /// The remote workstation's incarnation when this information was learnt.
     pub incarnation: u64,
     /// When we last heard a HELLO or ALIVE from it for this group.
     pub last_heard: SimInstant,
     /// The remote processes in the group and whether each is a candidate.
     pub processes: Vec<(ProcessId, bool)>,
+    /// The representative candidate process the member advertises in its
+    /// ALIVEs, if any.
+    pub representative: Option<ProcessId>,
+    /// The ALIVE interval the member asked us to use towards it.
+    pub requested_interval: Option<SimDuration>,
 }
 
-impl RemoteMember {
+impl MemberEntry {
+    fn new(peer: NodeId, incarnation: u64, last_heard: SimInstant) -> Self {
+        MemberEntry {
+            peer,
+            incarnation,
+            last_heard,
+            processes: Vec::new(),
+            representative: None,
+            requested_interval: None,
+        }
+    }
+
     /// True if any of the remote processes is a candidate.
     pub fn has_candidate(&self) -> bool {
         self.processes.iter().any(|(_, candidate)| *candidate)
     }
 
-    /// The remote node's representative candidate (its first candidate
-    /// process), used to translate an elected node into an elected process.
-    pub fn representative(&self) -> Option<ProcessId> {
-        self.processes
-            .iter()
-            .filter(|(_, candidate)| *candidate)
-            .map(|(process, _)| *process)
-            .min()
+    /// The member's representative candidate: the one it advertises, else
+    /// its first candidate process.
+    pub fn representative_process(&self) -> Option<ProcessId> {
+        self.representative.or_else(|| {
+            self.processes
+                .iter()
+                .filter(|(_, candidate)| *candidate)
+                .map(|(process, _)| *process)
+                .min()
+        })
+    }
+}
+
+/// The remote membership of one group, sorted by peer id.
+///
+/// Lookups are binary searches over contiguous entries; iteration is in
+/// deterministic peer order. Sizes are bounded by group fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct MemberTable {
+    entries: Vec<MemberEntry>,
+}
+
+impl MemberTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn find(&self, peer: NodeId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&peer, |e| e.peer)
+    }
+
+    /// The entry for `peer`, if known.
+    pub fn get(&self, peer: NodeId) -> Option<&MemberEntry> {
+        self.find(peer).ok().map(|i| &self.entries[i])
+    }
+
+    /// Mutable access to the entry for `peer`, if known.
+    pub fn get_mut(&mut self, peer: NodeId) -> Option<&mut MemberEntry> {
+        match self.find(peer) {
+            Ok(i) => Some(&mut self.entries[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// The entry for `peer`, created with `incarnation` stamped `now` on
+    /// first sight. An existing entry just gets `last_heard` refreshed.
+    pub fn ensure(&mut self, peer: NodeId, incarnation: u64, now: SimInstant) -> &mut MemberEntry {
+        let i = match self.find(peer) {
+            Ok(i) => {
+                self.entries[i].last_heard = now;
+                i
+            }
+            Err(i) => {
+                self.entries
+                    .insert(i, MemberEntry::new(peer, incarnation, now));
+                i
+            }
+        };
+        &mut self.entries[i]
+    }
+
+    /// Forgets everything about `peer`, returning its entry if it existed.
+    pub fn remove(&mut self, peer: NodeId) -> Option<MemberEntry> {
+        match self.find(peer) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates over all entries in ascending peer order.
+    pub fn iter(&self) -> impl Iterator<Item = &MemberEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Iterates over the member node ids in ascending order.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.peer)
+    }
+
+    /// Keeps only the entries for which `keep` returns true.
+    pub fn retain(&mut self, keep: impl FnMut(&MemberEntry) -> bool) {
+        self.entries.retain(keep);
+    }
+
+    /// Number of member workstations known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if no members are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -51,22 +160,19 @@ pub struct GroupState {
     pub qos: QosSpec,
     /// The notification mode requested by the most recent local join.
     pub notification: NotificationMode,
-    /// Local processes that joined the group, with their candidate flags.
-    pub local_processes: BTreeMap<u32, bool>,
+    /// Local processes that joined the group, with their candidate flags,
+    /// sorted by local slot.
+    pub local_processes: Vec<(u32, bool)>,
     /// The election algorithm instance for this group.
     pub elector: AnyElector,
     /// The per-group failure detector monitoring the other members.
     pub fd: FailureDetector,
     /// Remote membership learnt from HELLO/ALIVE messages.
-    pub members: BTreeMap<NodeId, RemoteMember>,
+    pub members: MemberTable,
     /// When this group is next due to fan out ALIVEs. The per-node ALIVE
     /// tick (see `ServiceNode`) fires at the minimum of these across all
     /// groups and sends for every group that is due.
     pub next_alive_at: SimInstant,
-    /// The ALIVE interval each peer asked us to use towards it.
-    pub requested_by_peers: BTreeMap<NodeId, SimDuration>,
-    /// The representative candidate process advertised by each member node.
-    pub representatives: BTreeMap<NodeId, ProcessId>,
     /// The leader last announced to local applications (to detect changes).
     pub announced_leader: Option<ProcessId>,
     /// When this node joined the group (start of the self-election grace
@@ -89,6 +195,12 @@ pub struct GroupState {
     /// continuously for `T_D`, so a deposed leader's lease lapses before a
     /// successor starts serving — closing the double-leadership window.
     pub led_since: Option<SimInstant>,
+    /// The deadline the group's FD wheel timer is currently armed at, if
+    /// any. Heartbeats *extend* freshness horizons, so re-arming on every
+    /// arrival would flood the timer wheel with superseded entries; the
+    /// service only re-arms when the next deadline moved *earlier*, and
+    /// lets an already-armed timer fire early as a cheap no-op poll.
+    pub armed_fd_deadline: Option<SimInstant>,
 }
 
 impl GroupState {
@@ -107,13 +219,11 @@ impl GroupState {
             group,
             qos: config.qos,
             notification: config.notification,
-            local_processes: BTreeMap::new(),
+            local_processes: Vec::new(),
             elector: AnyElector::new(algorithm, me, config.candidate, now),
             fd: FailureDetector::with_arena(config.qos, FdConfigurator::default(), arena.clone()),
-            members: BTreeMap::new(),
+            members: MemberTable::new(),
             next_alive_at: now,
-            requested_by_peers: BTreeMap::new(),
-            representatives: BTreeMap::new(),
             announced_leader: None,
             joined_at: now,
             tuner: AnyTuner::new(config.tuning),
@@ -121,6 +231,32 @@ impl GroupState {
             lease: None,
             remote_lease: None,
             led_since: None,
+            armed_fd_deadline: None,
+        }
+    }
+
+    /// Adds or updates a local process in the group.
+    pub fn upsert_local_process(&mut self, local: u32, candidate: bool) {
+        match self
+            .local_processes
+            .binary_search_by_key(&local, |&(l, _)| l)
+        {
+            Ok(i) => self.local_processes[i].1 = candidate,
+            Err(i) => self.local_processes.insert(i, (local, candidate)),
+        }
+    }
+
+    /// Removes a local process; returns true if it was in the group.
+    pub fn remove_local_process(&mut self, local: u32) -> bool {
+        match self
+            .local_processes
+            .binary_search_by_key(&local, |&(l, _)| l)
+        {
+            Ok(i) => {
+                self.local_processes.remove(i);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -135,15 +271,15 @@ impl GroupState {
 
     /// True if any local process joined this group as a candidate.
     pub fn locally_candidate(&self) -> bool {
-        self.local_processes.values().any(|&candidate| candidate)
+        self.local_processes.iter().any(|&(_, candidate)| candidate)
     }
 
     /// The local representative candidate process, if any.
     pub fn local_representative(&self, me: NodeId) -> Option<ProcessId> {
         self.local_processes
             .iter()
-            .filter(|(_, &candidate)| candidate)
-            .map(|(&local, _)| ProcessId::new(me, local))
+            .filter(|&&(_, candidate)| candidate)
+            .map(|&(local, _)| ProcessId::new(me, local))
             .min()
     }
 
@@ -156,9 +292,9 @@ impl GroupState {
             .detection_time()
             .mul_f64(0.25)
             .max(SimDuration::from_millis(5));
-        self.requested_by_peers
-            .values()
-            .copied()
+        self.members
+            .iter()
+            .filter_map(|e| e.requested_interval)
             .fold(default, SimDuration::min)
     }
 
@@ -167,10 +303,8 @@ impl GroupState {
         let node = leader_node?;
         if node == me {
             self.local_representative(me)
-        } else if let Some(repr) = self.representatives.get(&node) {
-            Some(*repr)
-        } else if let Some(member) = self.members.get(&node) {
-            member.representative()
+        } else if let Some(entry) = self.members.get(node) {
+            entry.representative_process()
         } else {
             // We elected a node we have no process information about yet;
             // announce its service instance's first process slot.
@@ -206,13 +340,19 @@ mod tests {
         let mut group = state();
         assert!(!group.locally_candidate());
         assert_eq!(group.local_representative(NodeId(0)), None);
-        group.local_processes.insert(3, false);
-        group.local_processes.insert(1, true);
-        group.local_processes.insert(2, true);
+        group.upsert_local_process(3, false);
+        group.upsert_local_process(1, true);
+        group.upsert_local_process(2, true);
         assert!(group.locally_candidate());
         assert_eq!(
             group.local_representative(NodeId(0)),
             Some(ProcessId::new(NodeId(0), 1))
+        );
+        assert!(group.remove_local_process(1));
+        assert!(!group.remove_local_process(1));
+        assert_eq!(
+            group.local_representative(NodeId(0)),
+            Some(ProcessId::new(NodeId(0), 2))
         );
     }
 
@@ -222,18 +362,20 @@ mod tests {
         // Default: a quarter of the 1 s detection bound.
         assert_eq!(group.send_interval(), SimDuration::from_millis(250));
         group
-            .requested_by_peers
-            .insert(NodeId(1), SimDuration::from_millis(100));
+            .members
+            .ensure(NodeId(1), 0, SimInstant::ZERO)
+            .requested_interval = Some(SimDuration::from_millis(100));
         group
-            .requested_by_peers
-            .insert(NodeId(2), SimDuration::from_millis(400));
+            .members
+            .ensure(NodeId(2), 0, SimInstant::ZERO)
+            .requested_interval = Some(SimDuration::from_millis(400));
         assert_eq!(group.send_interval(), SimDuration::from_millis(100));
     }
 
     #[test]
     fn leader_process_resolution() {
         let mut group = state();
-        group.local_processes.insert(0, true);
+        group.upsert_local_process(0, true);
         assert_eq!(
             group.leader_process(NodeId(0), Some(NodeId(0))),
             Some(ProcessId::new(NodeId(0), 0))
@@ -245,22 +387,17 @@ mod tests {
             Some(ProcessId::new(NodeId(7), 0))
         );
         // Known via membership.
-        group.members.insert(
-            NodeId(2),
-            RemoteMember {
-                incarnation: 0,
-                last_heard: SimInstant::ZERO,
-                processes: vec![(ProcessId::new(NodeId(2), 4), true)],
-            },
-        );
+        group
+            .members
+            .ensure(NodeId(2), 0, SimInstant::ZERO)
+            .processes = vec![(ProcessId::new(NodeId(2), 4), true)];
         assert_eq!(
             group.leader_process(NodeId(0), Some(NodeId(2))),
             Some(ProcessId::new(NodeId(2), 4))
         );
         // An explicit representative advertised in ALIVEs takes precedence.
-        group
-            .representatives
-            .insert(NodeId(2), ProcessId::new(NodeId(2), 9));
+        group.members.get_mut(NodeId(2)).unwrap().representative =
+            Some(ProcessId::new(NodeId(2), 9));
         assert_eq!(
             group.leader_process(NodeId(0), Some(NodeId(2))),
             Some(ProcessId::new(NodeId(2), 9))
@@ -268,31 +405,39 @@ mod tests {
     }
 
     #[test]
-    fn remote_member_helpers() {
-        let member = RemoteMember {
-            incarnation: 1,
-            last_heard: SimInstant::ZERO,
-            processes: vec![
-                (ProcessId::new(NodeId(3), 2), false),
-                (ProcessId::new(NodeId(3), 1), true),
-            ],
-        };
-        assert!(member.has_candidate());
-        assert_eq!(member.representative(), Some(ProcessId::new(NodeId(3), 1)));
-        let passive = RemoteMember {
-            incarnation: 1,
-            last_heard: SimInstant::ZERO,
-            processes: vec![(ProcessId::new(NodeId(3), 2), false)],
-        };
+    fn member_entry_helpers() {
+        let mut table = MemberTable::new();
+        let entry = table.ensure(NodeId(3), 1, SimInstant::ZERO);
+        entry.processes = vec![
+            (ProcessId::new(NodeId(3), 2), false),
+            (ProcessId::new(NodeId(3), 1), true),
+        ];
+        let entry = table.get(NodeId(3)).unwrap();
+        assert!(entry.has_candidate());
+        assert_eq!(
+            entry.representative_process(),
+            Some(ProcessId::new(NodeId(3), 1))
+        );
+        let passive = table.ensure(NodeId(4), 1, SimInstant::ZERO);
+        passive.processes = vec![(ProcessId::new(NodeId(4), 2), false)];
+        let passive = table.get(NodeId(4)).unwrap();
         assert!(!passive.has_candidate());
-        assert_eq!(passive.representative(), None);
+        assert_eq!(passive.representative_process(), None);
+        // Table iterates in sorted peer order and removals work.
+        assert_eq!(
+            table.peers().collect::<Vec<_>>(),
+            vec![NodeId(3), NodeId(4)]
+        );
+        assert!(table.remove(NodeId(3)).is_some());
+        assert!(table.remove(NodeId(3)).is_none());
+        assert_eq!(table.len(), 1);
     }
 
     #[test]
     fn should_send_alives_requires_local_candidate() {
         let mut group = state();
         assert!(!group.should_send_alives());
-        group.local_processes.insert(0, true);
+        group.upsert_local_process(0, true);
         assert!(group.should_send_alives());
     }
 }

@@ -103,7 +103,7 @@ pub mod prelude {
 pub use config::{AutoJoin, JoinConfig, NotificationMode, ServiceConfig};
 pub use error::{AgreementTimeout, ServiceError};
 pub use events::ServiceEvent;
-pub use group::{GroupState, RemoteMember};
+pub use group::{GroupState, MemberEntry, MemberTable};
 pub use lease::{FencedApp, FencingToken, LeaderLease, StaleToken};
 pub use messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 pub use node::{ServiceContext, ServiceNode};

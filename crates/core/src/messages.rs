@@ -7,6 +7,8 @@
 //! Ωl/Ωlc algorithms. Every message reports its encoded size so the
 //! simulator can account network bandwidth exactly (Figure 6).
 
+use std::sync::Arc;
+
 use sle_election::AlivePayload;
 use sle_sim::actor::WireSize;
 use sle_sim::time::{SimDuration, SimInstant};
@@ -83,8 +85,11 @@ pub enum ServiceMessage {
         incarnation: u64,
         /// When the message was sent.
         sent_at: SimInstant,
-        /// One announcement per group the sender participates in.
-        announcements: Vec<GroupAnnouncement>,
+        /// One announcement per group the sender participates in. Shared:
+        /// the same HELLO body fans out to every peer, so cloning the
+        /// message per destination bumps a refcount instead of deep-copying
+        /// one announcement (plus process list) per group.
+        announcements: Arc<[GroupAnnouncement]>,
     },
     /// Failure-detector heartbeat plus election payload for one group.
     Alive {
@@ -302,15 +307,15 @@ mod tests {
         let empty = ServiceMessage::Hello {
             incarnation: 0,
             sent_at: SimInstant::ZERO,
-            announcements: Vec::new(),
+            announcements: Arc::from([]),
         };
         let with_group = ServiceMessage::Hello {
             incarnation: 0,
             sent_at: SimInstant::ZERO,
-            announcements: vec![GroupAnnouncement {
+            announcements: Arc::from([GroupAnnouncement {
                 group: GroupId(1),
                 processes: vec![(ProcessId::new(NodeId(0), 0), true)],
-            }],
+            }]),
         };
         assert_eq!(empty.wire_size(), 19);
         assert_eq!(with_group.wire_size(), 19 + 4 + 2 + 9);

@@ -11,7 +11,7 @@
 
 use sle_adaptive::Tuner;
 use sle_election::{ElectorKind, ElectorOutput, LeaderElector};
-use sle_fd::{FdParams, MonitorArena, Transition};
+use sle_fd::{FdParams, LivenessHandle, MonitorArena, Transition};
 use sle_sim::actor::{Actor, Context, NodeId, TimerTag};
 use sle_sim::time::{SimDuration, SimInstant};
 
@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use crate::config::{JoinConfig, ServiceConfig};
 use crate::error::ServiceError;
 use crate::events::ServiceEvent;
-use crate::group::{GroupState, RemoteMember};
+use crate::group::GroupState;
 use crate::lease::{FencedApp, FencingToken, LeaderLease};
 use crate::messages::{AliveHeader, GroupAlive, GroupAnnouncement, ServiceMessage};
 use crate::obs::NodeInstruments;
@@ -61,6 +61,163 @@ fn tune_tag(group: GroupId) -> TimerTag {
     TimerTag(TUNE_KIND << 32 | group.0 as u64)
 }
 
+/// Dense per-group storage: group ids are interned into `u32` slots on
+/// first join, a sorted `(id, slot)` index maps ids to slots, and the
+/// states live in a contiguous slot vector. Lookups are binary searches
+/// over the index, iteration follows the index (ascending group id, so the
+/// ALIVE fan-out and membership sweeps stay deterministic), and slots
+/// vacated by `remove` are recycled through a free list.
+#[derive(Debug, Default)]
+struct GroupTable {
+    index: Vec<(u32, u32)>,
+    slots: Vec<Option<GroupState>>,
+    free: Vec<u32>,
+}
+
+impl GroupTable {
+    #[inline]
+    fn find(&self, group: GroupId) -> Result<usize, usize> {
+        self.index.binary_search_by_key(&group.0, |&(id, _)| id)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn get(&self, group: GroupId) -> Option<&GroupState> {
+        let i = self.find(group).ok()?;
+        self.slots[self.index[i].1 as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, group: GroupId) -> Option<&mut GroupState> {
+        match self.find(group) {
+            Ok(i) => {
+                let slot = self.index[i].1 as usize;
+                self.slots[slot].as_mut()
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn get_or_insert_with(
+        &mut self,
+        group: GroupId,
+        make: impl FnOnce() -> GroupState,
+    ) -> &mut GroupState {
+        let slot = match self.find(group) {
+            Ok(i) => self.index[i].1 as usize,
+            Err(i) => {
+                let state = make();
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(state);
+                        s as usize
+                    }
+                    None => {
+                        self.slots.push(Some(state));
+                        self.slots.len() - 1
+                    }
+                };
+                self.index.insert(i, (group.0, slot as u32));
+                slot
+            }
+        };
+        self.slots[slot].as_mut().expect("indexed slot is live")
+    }
+
+    fn remove(&mut self, group: GroupId) -> Option<GroupState> {
+        match self.find(group) {
+            Ok(i) => {
+                let (_, slot) = self.index.remove(i);
+                self.free.push(slot);
+                self.slots[slot as usize].take()
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Group ids in ascending order.
+    fn ids(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.index.iter().map(|&(id, _)| GroupId(id))
+    }
+
+    /// Group states in ascending group-id order.
+    fn iter(&self) -> impl Iterator<Item = &GroupState> + '_ {
+        self.index.iter().map(move |&(_, slot)| {
+            self.slots[slot as usize]
+                .as_ref()
+                .expect("indexed slot is live")
+        })
+    }
+
+    /// The `(id, slot)` pair at position `i` of the sorted index.
+    fn pair(&self, i: usize) -> (GroupId, u32) {
+        let (id, slot) = self.index[i];
+        (GroupId(id), slot)
+    }
+
+    /// The state living in `slot` (which must be indexed).
+    fn slot_mut(&mut self, slot: u32) -> &mut GroupState {
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("indexed slot is live")
+    }
+}
+
+/// Node-level per-peer state, interned into dense `u32` slots on first
+/// contact.
+///
+/// Entries are deliberately never removed. The sequence counter must
+/// survive group churn (see the field comment on the counter below), and
+/// the cached [`LivenessHandle`] turns the per-datagram arena lock of the
+/// hot receive path into one binary search over this slab. Retention is
+/// bounded by the workstation universe — destinations are configured
+/// peers — not by churn.
+#[derive(Debug)]
+struct PeerEntry {
+    /// Highest incarnation observed from the peer; `None` until the first
+    /// incarnation-carrying message arrives.
+    incarnation: Option<u64>,
+    /// Next node-level ALIVE sequence number towards the peer: one
+    /// heartbeat stream per peer link, whichever groups ride on it.
+    ///
+    /// Never reset: a receiver — even a freshly restarted one — may have
+    /// already recorded a few of our high pre-reset sequence numbers, and
+    /// a stream restarting at 0 then reads as catastrophic loss on its
+    /// link estimator, cranking the requested heartbeat rate to the floor.
+    node_seq: u64,
+    /// Cached handle to the peer's shared liveness record in the
+    /// workstation arena; keeps the hot path off the arena mutex.
+    liveness: LivenessHandle,
+}
+
+#[derive(Debug, Default)]
+struct PeerSlab {
+    /// Sorted `(peer id, slot)` index into `entries`.
+    index: Vec<(u32, u32)>,
+    entries: Vec<PeerEntry>,
+}
+
+impl PeerSlab {
+    /// The slot for `peer`, creating its entry (and its arena record) on
+    /// first contact.
+    fn intern(&mut self, peer: NodeId, arena: &MonitorArena) -> usize {
+        match self.index.binary_search_by_key(&peer.0, |&(id, _)| id) {
+            Ok(i) => self.index[i].1 as usize,
+            Err(i) => {
+                let slot = self.entries.len();
+                self.entries.push(PeerEntry {
+                    incarnation: None,
+                    node_seq: 0,
+                    liveness: arena.slot(peer),
+                });
+                self.index.insert(i, (peer.0, slot as u32));
+                slot
+            }
+        }
+    }
+}
+
 /// The context type used by the service.
 pub type ServiceContext = Context<ServiceMessage, ServiceEvent>;
 
@@ -71,24 +228,25 @@ pub struct ServiceNode {
     incarnation: u64,
     next_local_process: u32,
     registered: BTreeMap<u32, ProcessId>,
-    groups: BTreeMap<GroupId, GroupState>,
-    peer_incarnations: BTreeMap<NodeId, u64>,
+    /// Per-group state in dense slots, indexed by interned group id.
+    groups: GroupTable,
+    /// Node-level per-peer state (incarnation, heartbeat sequence, cached
+    /// liveness handle) in dense slots, indexed by interned peer id.
+    peers: PeerSlab,
     /// The workstation-wide liveness arena: one link estimate per peer,
     /// shared by every group's failure detector (paper Figure 2's single
     /// Failure Detector module per workstation).
     arena: MonitorArena,
-    /// Node-level per-destination ALIVE sequence numbers: one heartbeat
-    /// stream per peer link, whichever groups ride on it.
-    ///
-    /// Counters are deliberately never reset or pruned. A reset is unsafe:
-    /// a receiver — even a freshly restarted one — may have already
-    /// recorded a few of our high pre-reset sequence numbers, and a stream
-    /// restarting at 0 then reads as catastrophic loss on its link
-    /// estimator, cranking the requested heartbeat rate to the floor. The
-    /// map's size is bounded by the workstation universe (destinations are
-    /// group members, i.e. configured peers), not by churn, so retention
-    /// costs one entry per distinct peer ever heartbeated.
-    node_seqs: BTreeMap<NodeId, u64>,
+    /// Reusable per-peer-slot ALIVE assembly buffers (parallel to the
+    /// `peers` slots); drained by every tick, so steady-state fan-out
+    /// allocates nothing beyond the outgoing messages themselves.
+    alive_scratch: Vec<Vec<GroupAlive>>,
+    /// `(peer id, peer slot)` pairs touched by the current ALIVE tick;
+    /// sorted by id before flushing so datagrams leave in deterministic
+    /// destination order.
+    scratch_touched: Vec<(u32, u32)>,
+    /// Groups found due on the current ALIVE tick (reused across ticks).
+    due_scratch: Vec<GroupId>,
     /// How many current groups run an adaptive tuner; when zero (the
     /// default, paper-faithful configuration) the per-datagram tuner
     /// fan-out in `note_alive_datagram` is skipped entirely.
@@ -133,10 +291,12 @@ impl ServiceNode {
             incarnation: 0,
             next_local_process: 0,
             registered: BTreeMap::new(),
-            groups: BTreeMap::new(),
-            peer_incarnations: BTreeMap::new(),
+            groups: GroupTable::default(),
+            peers: PeerSlab::default(),
             arena: MonitorArena::new(),
-            node_seqs: BTreeMap::new(),
+            alive_scratch: Vec::new(),
+            scratch_touched: Vec::new(),
+            due_scratch: Vec::new(),
             adaptive_groups: 0,
             alive_payloads_sent: sle_obs::Counter::new(),
             alive_datagrams_sent: sle_obs::Counter::new(),
@@ -193,7 +353,7 @@ impl ServiceNode {
 
     /// The lease this node currently holds as the leader of `group`.
     pub fn lease_of(&self, group: GroupId) -> Option<LeaderLease> {
-        self.groups.get(&group)?.lease
+        self.groups.get(group)?.lease
     }
 
     /// The fencing token of this node's current leadership of `group`.
@@ -204,7 +364,7 @@ impl ServiceNode {
     /// The most recent lease heard from a remote leader of `group` (its
     /// `renewed_at` is the local receipt time).
     pub fn remote_lease_of(&self, group: GroupId) -> Option<LeaderLease> {
-        self.groups.get(&group)?.remote_lease
+        self.groups.get(group)?.remote_lease
     }
 
     /// ACCUSE messages dropped because their epoch predated the elector's
@@ -248,20 +408,31 @@ impl ServiceNode {
 
     /// The groups this instance currently participates in.
     pub fn group_ids(&self) -> impl Iterator<Item = GroupId> + '_ {
-        self.groups.keys().copied()
+        self.groups.ids()
+    }
+
+    /// Number of peers with a live record in the workstation's shared
+    /// liveness arena (after pruning records no group monitors any more).
+    ///
+    /// The node itself caches one handle per peer it ever exchanged
+    /// heartbeats with, so the floor is the contacted-peer universe — group
+    /// churn on top of it must neither grow the count nor reclaim a record
+    /// a surviving group still uses.
+    pub fn monitored_peer_count(&self) -> usize {
+        self.arena.peer_count()
     }
 
     /// The current leader of `group` as seen by this instance (the "query"
     /// notification style of the paper).
     pub fn leader_of(&self, group: GroupId) -> Option<ProcessId> {
-        let state = self.groups.get(&group)?;
+        let state = self.groups.get(group)?;
         state.leader_process(self.config.node, state.elector.leader())
     }
 
     /// Whether this node is currently competing (sending ALIVEs) in `group`.
     pub fn is_competing(&self, group: GroupId) -> bool {
         self.groups
-            .get(&group)
+            .get(group)
             .map(|g| g.should_send_alives())
             .unwrap_or(false)
     }
@@ -274,12 +445,12 @@ impl ServiceNode {
     /// leave without keeping their own books.
     pub fn local_members_of(&self, group: GroupId) -> Vec<ProcessId> {
         self.groups
-            .get(&group)
+            .get(group)
             .map(|state| {
                 state
                     .local_processes
-                    .keys()
-                    .map(|&local| ProcessId::new(self.config.node, local))
+                    .iter()
+                    .map(|&(local, _)| ProcessId::new(self.config.node, local))
                     .collect()
             })
             .unwrap_or_default()
@@ -320,14 +491,14 @@ impl ServiceNode {
         let now = ctx.now();
         let arena = &self.arena;
         let adaptive_groups = &mut self.adaptive_groups;
-        let state = self.groups.entry(group).or_insert_with(|| {
+        let state = self.groups.get_or_insert_with(group, || {
             let state = GroupState::new(group, me, algorithm, &join, arena, now);
             if state.tuner.is_adaptive() {
                 *adaptive_groups += 1;
             }
             state
         });
-        state.local_processes.insert(process.local, join.candidate);
+        state.upsert_local_process(process.local, join.candidate);
         state.notification = join.notification;
         // Upgrading to candidate after having joined as a listener requires a
         // fresh elector (the accusation time starts now — a newcomer rank).
@@ -355,7 +526,7 @@ impl ServiceNode {
         }
         self.arm_alive_timer(ctx);
         self.arm_fd_timer(group, ctx);
-        self.send_hellos(ctx);
+        self.send_group_hello(group, ctx);
         self.check_leader(group, ctx);
         Ok(())
     }
@@ -376,18 +547,18 @@ impl ServiceNode {
         let algorithm = self.config.algorithm;
         let state = self
             .groups
-            .get_mut(&group)
+            .get_mut(group)
             .ok_or(ServiceError::NotJoined(process, group))?;
-        if state.local_processes.remove(&process.local).is_none() {
+        if !state.remove_local_process(process.local) {
             return Err(ServiceError::NotJoined(process, group));
         }
         // Tell the other members explicitly so they do not need to wait for
         // the membership timeout.
-        for peer in state.members.keys().copied().collect::<Vec<_>>() {
+        for peer in state.members.peers() {
             ctx.send(peer, ServiceMessage::Leave { group, process });
         }
         if state.local_processes.is_empty() {
-            if let Some(removed) = self.groups.remove(&group) {
+            if let Some(removed) = self.groups.remove(group) {
                 if removed.tuner.is_adaptive() {
                     self.adaptive_groups -= 1;
                 }
@@ -416,20 +587,47 @@ impl ServiceNode {
     }
 
     fn send_hellos(&mut self, ctx: &mut ServiceContext) {
-        let announcements: Vec<GroupAnnouncement> = self
+        let announcements: std::sync::Arc<[GroupAnnouncement]> = self
             .groups
-            .values()
+            .iter()
             .map(|state| GroupAnnouncement {
                 group: state.group,
                 processes: state
                     .local_processes
                     .iter()
-                    .map(|(&local, &candidate)| {
-                        (ProcessId::new(self.config.node, local), candidate)
-                    })
+                    .map(|&(local, candidate)| (ProcessId::new(self.config.node, local), candidate))
                     .collect(),
             })
             .collect();
+        self.fan_out_hello(announcements, ctx);
+    }
+
+    /// Sends a HELLO announcing only `group` — the prompt-discovery message
+    /// a fresh join emits. A node joining many groups in one burst would
+    /// otherwise fan out the *full* announcement list per join (quadratic in
+    /// the group count); the periodic full HELLO still re-announces
+    /// everything within one interval.
+    fn send_group_hello(&mut self, group: GroupId, ctx: &mut ServiceContext) {
+        let Some(state) = self.groups.get(group) else {
+            return;
+        };
+        let announcements: std::sync::Arc<[GroupAnnouncement]> =
+            std::sync::Arc::from([GroupAnnouncement {
+                group,
+                processes: state
+                    .local_processes
+                    .iter()
+                    .map(|&(local, candidate)| (ProcessId::new(self.config.node, local), candidate))
+                    .collect(),
+            }]);
+        self.fan_out_hello(announcements, ctx);
+    }
+
+    fn fan_out_hello(
+        &mut self,
+        announcements: std::sync::Arc<[GroupAnnouncement]>,
+        ctx: &mut ServiceContext,
+    ) {
         let msg = ServiceMessage::Hello {
             incarnation: self.incarnation,
             sent_at: ctx.now(),
@@ -443,7 +641,7 @@ impl ServiceNode {
     /// Re-arms the per-node ALIVE tick at the earliest `next_alive_at`
     /// across all groups (or cancels it when the node is in no group).
     fn arm_alive_timer(&self, ctx: &mut ServiceContext) {
-        match self.groups.values().map(|s| s.next_alive_at).min() {
+        match self.groups.iter().map(|s| s.next_alive_at).min() {
             Some(at) => ctx.set_timer_at(ALIVE_TIMER, at),
             None => ctx.cancel_timer(ALIVE_TIMER),
         }
@@ -456,12 +654,17 @@ impl ServiceNode {
         let me = self.config.node;
         let incarnation = self.incarnation;
         let now = ctx.now();
-        // Gather the due per-(destination, group) entries, in destination
-        // then group order (the maps are BTreeMaps, so this is
-        // deterministic).
-        let mut per_dest: BTreeMap<NodeId, Vec<GroupAlive>> = BTreeMap::new();
-        let mut due: Vec<GroupId> = Vec::new();
-        for (&group, state) in self.groups.iter_mut() {
+        // Gather the due per-(destination, group) entries into the per-peer
+        // scratch buffers. Groups are visited in ascending group id (the
+        // dense index is sorted) and destinations flushed in ascending peer
+        // id below, so the fan-out order stays deterministic; the buffers
+        // are reused across ticks, so the steady state allocates only the
+        // outgoing messages themselves.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        for gi in 0..self.groups.len() {
+            let (group, gslot) = self.groups.pair(gi);
+            let state = self.groups.slot_mut(gslot);
             if state.next_alive_at > now {
                 continue;
             }
@@ -494,7 +697,7 @@ impl ServiceNode {
                         token: lease.token,
                         valid_for: lease.ttl,
                     };
-                    for &dest in state.members.keys() {
+                    for dest in state.members.peers() {
                         ctx.send(dest, grant.clone());
                     }
                 }
@@ -503,12 +706,21 @@ impl ServiceNode {
             let representative = state
                 .local_representative(me)
                 .unwrap_or_else(|| ProcessId::new(me, 0));
-            for (&dest, _) in state.members.iter() {
+            for member in state.members.iter() {
+                let dest = member.peer;
                 let requested = state
                     .fd
                     .requested_interval(dest)
                     .unwrap_or_else(|| state.qos.detection_time().mul_f64(0.25));
-                per_dest.entry(dest).or_default().push(GroupAlive {
+                let pslot = self.peers.intern(dest, &self.arena);
+                if self.alive_scratch.len() <= pslot {
+                    self.alive_scratch.resize_with(pslot + 1, Vec::new);
+                }
+                let bucket = &mut self.alive_scratch[pslot];
+                if bucket.is_empty() {
+                    self.scratch_touched.push((dest.0, pslot as u32));
+                }
+                bucket.push(GroupAlive {
                     group,
                     sending_interval: interval,
                     requested_interval: requested,
@@ -517,74 +729,95 @@ impl ServiceNode {
                 });
             }
         }
-        for (dest, alives) in per_dest {
-            // Split at the datagram budget; each chunk is one datagram with
-            // its own node-level sequence number.
+        // Flush per destination, in ascending peer id. Each chunk is one
+        // datagram with its own node-level sequence number, split at the
+        // transport's size budget.
+        let mut touched = std::mem::take(&mut self.scratch_touched);
+        touched.sort_unstable_by_key(|&(id, _)| id);
+        for &(dest_id, pslot) in &touched {
+            let dest = NodeId(dest_id);
+            let pslot = pslot as usize;
+            let mut alives = std::mem::take(&mut self.alive_scratch[pslot]);
             let mut chunk: Vec<GroupAlive> = Vec::new();
             let mut chunk_bytes = 0usize;
-            let flush = |this: &mut Self, chunk: &mut Vec<GroupAlive>, ctx: &mut ServiceContext| {
-                if chunk.is_empty() {
-                    return;
-                }
-                let seq = this.next_node_seq(dest);
-                this.alive_datagrams_sent.inc();
-                this.alive_payloads_sent.add(chunk.len() as u64);
-                if chunk.len() == 1 {
-                    let entry = chunk.pop().expect("chunk has one entry");
-                    ctx.send(
-                        dest,
-                        ServiceMessage::Alive {
-                            group: entry.group,
-                            header: AliveHeader {
-                                incarnation,
-                                seq,
-                                sent_at: now,
-                                sending_interval: entry.sending_interval,
-                                requested_interval: entry.requested_interval,
-                            },
-                            payload: entry.payload,
-                            representative: entry.representative,
-                        },
-                    );
-                } else {
-                    ctx.send(
-                        dest,
-                        ServiceMessage::AliveBatch {
-                            incarnation,
-                            seq,
-                            sent_at: now,
-                            alives: std::mem::take(chunk),
-                        },
-                    );
-                }
-            };
-            for entry in alives {
+            for entry in alives.drain(..) {
                 let entry_bytes = entry.wire_size();
                 if chunk_bytes + entry_bytes > MAX_ALIVE_BATCH_BYTES && !chunk.is_empty() {
-                    flush(self, &mut chunk, ctx);
+                    self.flush_alive_chunk(dest, pslot, incarnation, now, &mut chunk, ctx);
                     chunk_bytes = 0;
                 }
                 chunk_bytes += entry_bytes;
                 chunk.push(entry);
             }
-            flush(self, &mut chunk, ctx);
+            self.flush_alive_chunk(dest, pslot, incarnation, now, &mut chunk, ctx);
+            // Hand the (now empty) buffer's capacity back to the scratch.
+            self.alive_scratch[pslot] = alives;
         }
+        touched.clear();
+        self.scratch_touched = touched;
         // The settle-delayed mint is time-triggered, not event-triggered:
         // without this sweep a leader whose elector went quiet after the
         // last leadership change would hold the output but never re-check,
         // and the delayed mint would starve until the next elector event.
-        for group in due {
+        for &group in &due {
             self.check_leader(group, ctx);
         }
+        due.clear();
+        self.due_scratch = due;
         self.arm_alive_timer(ctx);
     }
 
-    /// The next node-level ALIVE sequence number towards `dest`.
-    fn next_node_seq(&mut self, dest: NodeId) -> u64 {
-        let entry = self.node_seqs.entry(dest).or_insert(0);
-        let seq = *entry;
-        *entry += 1;
-        seq
+    /// Sends one assembled ALIVE chunk to `dest` (peer slot `pslot`),
+    /// consuming the chunk and stamping it with the next node-level
+    /// sequence number of the destination's heartbeat stream.
+    fn flush_alive_chunk(
+        &mut self,
+        dest: NodeId,
+        pslot: usize,
+        incarnation: u64,
+        now: SimInstant,
+        chunk: &mut Vec<GroupAlive>,
+        ctx: &mut ServiceContext,
+    ) {
+        if chunk.is_empty() {
+            return;
+        }
+        let seq = {
+            let entry = &mut self.peers.entries[pslot];
+            let seq = entry.node_seq;
+            entry.node_seq += 1;
+            seq
+        };
+        self.alive_datagrams_sent.inc();
+        self.alive_payloads_sent.add(chunk.len() as u64);
+        if chunk.len() == 1 {
+            let entry = chunk.pop().expect("chunk has one entry");
+            ctx.send(
+                dest,
+                ServiceMessage::Alive {
+                    group: entry.group,
+                    header: AliveHeader {
+                        incarnation,
+                        seq,
+                        sent_at: now,
+                        sending_interval: entry.sending_interval,
+                        requested_interval: entry.requested_interval,
+                    },
+                    payload: entry.payload,
+                    representative: entry.representative,
+                },
+            );
+        } else {
+            ctx.send(
+                dest,
+                ServiceMessage::AliveBatch {
+                    incarnation,
+                    seq,
+                    sent_at: now,
+                    alives: std::mem::take(chunk),
+                },
+            );
+        }
     }
 
     /// Per-group ALIVE payloads handed to the transport so far (batch
@@ -603,8 +836,17 @@ impl ServiceNode {
     }
 
     fn arm_fd_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
-        if let Some(state) = self.groups.get(&group) {
+        if let Some(state) = self.groups.get_mut(group) {
             if let Some(deadline) = state.fd.next_deadline() {
+                // Heartbeats *extend* freshness horizons, so re-arming on
+                // every arrival would supersede (but not remove — the wheel
+                // cancels lazily) the previous entry, flooding the event
+                // queue with stale pops. Keep the earlier timer and let it
+                // fire as a cheap no-op poll instead.
+                if state.armed_fd_deadline.is_some_and(|at| at <= deadline) {
+                    return;
+                }
+                state.armed_fd_deadline = Some(deadline);
                 ctx.set_timer_at(fd_tag(group), deadline);
             }
         }
@@ -613,7 +855,7 @@ impl ServiceNode {
     fn check_leader(&mut self, group: GroupId, ctx: &mut ServiceContext) {
         let me = self.config.node;
         let now = ctx.now();
-        let Some(state) = self.groups.get_mut(&group) else {
+        let Some(state) = self.groups.get_mut(group) else {
             return;
         };
         let mut leader = state.leader_process(me, state.elector.leader());
@@ -697,28 +939,27 @@ impl ServiceNode {
     /// Handles a possibly new incarnation of `peer`: if the peer restarted,
     /// all state learnt from its previous life is discarded.
     fn note_peer_incarnation(&mut self, peer: NodeId, incarnation: u64, ctx: &mut ServiceContext) {
-        let known = self.peer_incarnations.get(&peer).copied();
+        let slot = self.peers.intern(peer, &self.arena);
+        let known = self.peers.entries[slot].incarnation;
         match known {
             Some(k) if incarnation <= k => return,
             _ => {}
         }
-        self.peer_incarnations.insert(peer, incarnation);
+        self.peers.entries[slot].incarnation = Some(incarnation);
         if known.is_none() {
             // First contact with this peer: nothing to reset.
             return;
         }
         let now = ctx.now();
-        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        let groups: Vec<GroupId> = self.groups.ids().collect();
         for group in groups {
-            let Some(state) = self.groups.get_mut(&group) else {
+            let Some(state) = self.groups.get_mut(group) else {
                 continue;
             };
-            if state.members.remove(&peer).is_some() {
+            if state.members.remove(peer).is_some() {
                 state.elector.remove_peer(peer, now);
                 state.fd.reset_peer(peer, now);
                 state.tuner.forget_peer(peer);
-                state.representatives.remove(&peer);
-                state.requested_by_peers.remove(&peer);
                 self.check_leader(group, ctx);
             }
         }
@@ -728,30 +969,47 @@ impl ServiceNode {
         &mut self,
         from: NodeId,
         incarnation: u64,
-        announcements: Vec<GroupAnnouncement>,
+        announcements: std::sync::Arc<[GroupAnnouncement]>,
         ctx: &mut ServiceContext,
     ) {
         self.note_peer_incarnation(from, incarnation, ctx);
         let now = ctx.now();
-        for announcement in announcements {
+        for announcement in announcements.iter() {
             let group = announcement.group;
-            let Some(state) = self.groups.get_mut(&group) else {
+            let Some(state) = self.groups.get_mut(group) else {
                 continue;
             };
             let has_candidate = announcement.processes.iter().any(|(_, c)| *c);
-            let member = state.members.entry(from).or_insert(RemoteMember {
-                incarnation,
-                last_heard: now,
-                processes: Vec::new(),
-            });
-            member.incarnation = incarnation;
-            member.last_heard = now;
-            member.processes = announcement.processes;
-            if let Some(repr) = member.representative() {
-                state.representatives.insert(from, repr);
-            } else {
-                state.representatives.remove(&from);
+            let created = state.members.get(from).is_none();
+            let member = state.members.ensure(from, incarnation, now);
+            // Steady-state fast path: the sender re-announces the same
+            // incarnation and process list every HELLO interval. When
+            // nothing derived can change — the advertised representative
+            // (if any) already matches what this list would resolve to —
+            // the refreshed `last_heard` is the whole effect.
+            let fallback_representative = announcement
+                .processes
+                .iter()
+                .filter(|(_, candidate)| *candidate)
+                .map(|(process, _)| *process)
+                .min();
+            if !created
+                && member.incarnation == incarnation
+                && member.processes == announcement.processes
+                && (member.representative.is_none()
+                    || member.representative == fallback_representative)
+            {
+                if state.armed_fd_deadline.is_none() {
+                    self.arm_fd_timer(group, ctx);
+                }
+                continue;
             }
+            member.incarnation = incarnation;
+            member.processes = announcement.processes.clone();
+            // A HELLO's process list supersedes any representative a
+            // previous ALIVE advertised; consumers fall back to the first
+            // announced candidate (`MemberEntry::representative_process`).
+            member.representative = None;
             if has_candidate {
                 state.fd.ensure_peer(from, now);
             }
@@ -791,7 +1049,10 @@ impl ServiceNode {
         sent_at: SimInstant,
         now: SimInstant,
     ) {
-        self.arena.slot(from).record(seq, sent_at, now);
+        // The slab's cached handle keeps this off the arena mutex: one
+        // binary search per datagram instead of a lock plus a map walk.
+        let slot = self.peers.intern(from, &self.arena);
+        self.peers.entries[slot].liveness.record(seq, sent_at, now);
         if let Some(obs) = &mut self.obs {
             obs.on_alive_datagram(from, now);
         }
@@ -800,8 +1061,10 @@ impl ServiceNode {
             // default): skip the per-group fan-out on the hot path.
             return;
         }
-        for state in self.groups.values_mut() {
-            if state.members.contains_key(&from) {
+        for gi in 0..self.groups.len() {
+            let (_, gslot) = self.groups.pair(gi);
+            let state = self.groups.slot_mut(gslot);
+            if state.members.get(from).is_some() {
                 state.tuner.observe(from, seq, sent_at, now);
             }
         }
@@ -854,19 +1117,21 @@ impl ServiceNode {
         ctx: &mut ServiceContext,
     ) {
         let now = ctx.now();
-        let Some(state) = self.groups.get_mut(&group) else {
+        let Some(state) = self.groups.get_mut(group) else {
             return;
         };
-        let member = state.members.entry(from).or_insert(RemoteMember {
-            incarnation: header.incarnation,
-            last_heard: now,
-            processes: vec![(representative, true)],
-        });
-        member.last_heard = now;
-        state.representatives.insert(from, representative);
-        state
-            .requested_by_peers
-            .insert(from, header.requested_interval);
+        // A member first learnt of via ALIVE (no HELLO yet) is seeded with
+        // its advertised representative as the only known process; a HELLO
+        // will replace the list with the authoritative one.
+        let created = state.members.get(from).is_none();
+        let member = state.members.ensure(from, header.incarnation, now);
+        if created {
+            member.processes = vec![(representative, true)];
+        }
+        let representative_changed = member.representative != Some(representative);
+        member.representative = Some(representative);
+        member.requested_interval = Some(header.requested_interval);
+        let leader_before = state.elector.leader();
         // The measurement side of this heartbeat (link estimator, adaptive
         // tuner) was already fed at node level by `note_alive_datagram`;
         // the monitor's own recording dedups against it.
@@ -877,10 +1142,12 @@ impl ServiceNode {
             header.sending_interval,
             now,
         );
+        let mut revived = false;
         if let Some(t) = transition {
             if t.transition == Transition::BecameTrusted {
                 // A revival of a suspected peer: the suspicion was a
                 // detector mistake (the paper's T_MR numerator).
+                revived = true;
                 if let Some(obs) = &mut self.obs {
                     obs.on_mistake(group, now);
                 }
@@ -888,13 +1155,32 @@ impl ServiceNode {
             }
         }
         state.elector.on_alive(from, payload, now);
-        self.arm_fd_timer(group, ctx);
-        self.check_leader(group, ctx);
+        // A heartbeat only *extends* the sender's freshness horizon, so the
+        // earliest FD deadline cannot have moved earlier unless the peer's
+        // trust state transitioned; skip the re-arm scan on the steady-state
+        // path where a timer is already pending.
+        if revived || state.armed_fd_deadline.is_none() {
+            self.arm_fd_timer(group, ctx);
+        }
+        // `check_leader` per payload is the scale-cell hot path. In steady
+        // state nothing it derives has changed: same elector leader, same
+        // representative, no trust transition. Time-driven transitions (the
+        // self-election grace elapsing, the lease settle delay) are driven
+        // by the grace / FD / ALIVE timers, not by received heartbeats.
+        let leader_changed = {
+            let Some(state) = self.groups.get(group) else {
+                return;
+            };
+            state.elector.leader() != leader_before
+        };
+        if created || representative_changed || revived || leader_changed {
+            self.check_leader(group, ctx);
+        }
     }
 
     fn handle_accusation(&mut self, group: GroupId, epoch: u64, ctx: &mut ServiceContext) {
         let now = ctx.now();
-        if let Some(state) = self.groups.get_mut(&group) {
+        if let Some(state) = self.groups.get_mut(group) {
             // An ACCUSE below the elector's current epoch was minted against
             // a previous suspicion episode — or a previous elector life (the
             // chaos duplication machinery can replay one long after the
@@ -924,7 +1210,7 @@ impl ServiceNode {
         ctx: &mut ServiceContext,
     ) {
         let now = ctx.now();
-        let Some(state) = self.groups.get_mut(&group) else {
+        let Some(state) = self.groups.get_mut(group) else {
             self.requests_redirected.inc();
             ctx.send(
                 from,
@@ -984,7 +1270,7 @@ impl ServiceNode {
         valid_for: SimDuration,
         ctx: &mut ServiceContext,
     ) {
-        let Some(state) = self.groups.get_mut(&group) else {
+        let Some(state) = self.groups.get_mut(group) else {
             return;
         };
         // Track the *highest* grant seen: it answers client redirects and
@@ -1012,22 +1298,21 @@ impl ServiceNode {
         ctx: &mut ServiceContext,
     ) {
         let now = ctx.now();
-        let Some(state) = self.groups.get_mut(&group) else {
+        let Some(state) = self.groups.get_mut(group) else {
             return;
         };
         let mut gone = false;
-        if let Some(member) = state.members.get_mut(&from) {
+        if let Some(member) = state.members.get_mut(from) {
             member.processes.retain(|(p, _)| *p != process);
             if member.processes.is_empty() {
                 gone = true;
             }
         }
         if gone {
-            state.members.remove(&from);
+            state.members.remove(from);
             state.elector.remove_peer(from, now);
             state.fd.remove_peer(from);
             state.tuner.forget_peer(from);
-            state.representatives.remove(&from);
         }
         self.check_leader(group, ctx);
     }
@@ -1035,22 +1320,21 @@ impl ServiceNode {
     fn handle_hello_timer(&mut self, ctx: &mut ServiceContext) {
         let now = ctx.now();
         let timeout = self.config.membership_timeout;
-        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        let groups: Vec<GroupId> = self.groups.ids().collect();
         for group in groups {
             let mut expired = Vec::new();
-            if let Some(state) = self.groups.get_mut(&group) {
-                for (&peer, member) in &state.members {
+            if let Some(state) = self.groups.get_mut(group) {
+                for member in state.members.iter() {
                     let silent_for = now.saturating_since(member.last_heard);
-                    if silent_for > timeout && !state.fd.is_trusted(peer) {
-                        expired.push(peer);
+                    if silent_for > timeout && !state.fd.is_trusted(member.peer) {
+                        expired.push(member.peer);
                     }
                 }
-                for peer in &expired {
+                for &peer in &expired {
                     state.members.remove(peer);
-                    state.elector.remove_peer(*peer, now);
-                    state.fd.remove_peer(*peer);
-                    state.tuner.forget_peer(*peer);
-                    state.representatives.remove(peer);
+                    state.elector.remove_peer(peer, now);
+                    state.fd.remove_peer(peer);
+                    state.tuner.forget_peer(peer);
                 }
             }
             if !expired.is_empty() {
@@ -1064,7 +1348,9 @@ impl ServiceNode {
     fn handle_fd_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
         let now = ctx.now();
         let mut accusations: Vec<(NodeId, u64)> = Vec::new();
-        if let Some(state) = self.groups.get_mut(&group) {
+        if let Some(state) = self.groups.get_mut(group) {
+            // The armed timer was just consumed by firing.
+            state.armed_fd_deadline = None;
             for transition in state.fd.poll(now) {
                 if transition.transition == Transition::BecameSuspected {
                     if let Some(obs) = &mut self.obs {
@@ -1072,7 +1358,7 @@ impl ServiceNode {
                         // peer's last heartbeat or gossip.
                         let silent_for = state
                             .members
-                            .get(&transition.peer)
+                            .get(transition.peer)
                             .map(|m| now.saturating_since(m.last_heard))
                             .unwrap_or_default();
                         obs.on_detection(group, silent_for, now);
@@ -1102,7 +1388,7 @@ impl ServiceNode {
     /// failure detector and to the election grace period.
     fn handle_tune_timer(&mut self, group: GroupId, ctx: &mut ServiceContext) {
         let now = ctx.now();
-        let Some(state) = self.groups.get_mut(&group) else {
+        let Some(state) = self.groups.get_mut(group) else {
             return;
         };
         let Some(period) = state.tuner.period() else {
@@ -1139,7 +1425,7 @@ impl ServiceNode {
     /// `peer` in `group` (observability hook; also used by the experiment
     /// harness to verify adaptation).
     pub fn fd_params_of(&self, group: GroupId, peer: NodeId) -> Option<FdParams> {
-        self.groups.get(&group)?.fd.params(peer)
+        self.groups.get(group)?.fd.params(peer)
     }
 }
 
@@ -1795,5 +2081,119 @@ mod tests {
         world.run_for(SimDuration::from_secs(5), &mut obs);
         let after = agreed_leader(&world, GROUP).expect("leader after replay");
         assert_eq!(after, before, "a replayed stale ACCUSE changed leadership");
+    }
+
+    /// One leader-change announcement, as plain comparable data:
+    /// `(virtual ns, observing node, group, leader as (node, local))`.
+    type LeaderTraceEvent = (u64, u32, u32, Option<(u32, u32)>);
+
+    /// Records every leader-change announcement as plain data, for
+    /// comparing two runs event-for-event.
+    #[derive(Debug, Default)]
+    struct LeaderTrace {
+        events: Vec<LeaderTraceEvent>,
+    }
+
+    impl Observer<ServiceEvent> for LeaderTrace {
+        fn event_emitted(&mut self, now: SimInstant, node: NodeId, event: &ServiceEvent) {
+            let ServiceEvent::LeaderChanged { group, leader } = event;
+            self.events.push((
+                now.as_nanos(),
+                node.0,
+                group.0,
+                leader.map(|p| (p.node.0, p.local)),
+            ));
+        }
+    }
+
+    fn crash_recover_trace(seed: u64) -> Vec<LeaderTraceEvent> {
+        let n = 5;
+        let medium = sle_net::network::NetworkModel::new(
+            sle_net::link::LinkSpec::from_paper_tuple(10.0, 0.01),
+        )
+        .build(seed);
+        let mut world: World<ServiceNode, sle_net::network::SimulatedNetwork> = World::new(
+            n,
+            Box::new(move |node, _inc| {
+                let config = ServiceConfig::full_mesh(node, n, ElectorKind::OmegaL)
+                    .with_auto_join(GROUP, JoinConfig::candidate());
+                ServiceNode::new(config)
+            }),
+            medium,
+            seed,
+        );
+        let mut obs = LeaderTrace::default();
+        world.schedule_crash(NodeId(1), SimInstant::from_secs_f64(4.0));
+        world.schedule_recovery(NodeId(1), SimInstant::from_secs_f64(9.0));
+        world.schedule_crash(NodeId(3), SimInstant::from_secs_f64(12.0));
+        world.run_for(SimDuration::from_secs(20), &mut obs);
+        obs.events
+    }
+
+    #[test]
+    fn crash_recover_runs_are_seed_deterministic() {
+        // The dense tables iterate in interned-slot or sorted-id order, not
+        // tree order; a lossy medium plus crash/recover churn exercises all
+        // of them. Two runs from one seed must announce the identical
+        // leader-change sequence, timestamp for timestamp.
+        let first = crash_recover_trace(0xD5);
+        let second = crash_recover_trace(0xD5);
+        assert!(
+            !first.is_empty(),
+            "the scenario must produce leader changes"
+        );
+        assert_eq!(
+            first, second,
+            "same seed must replay the identical leader-change trace"
+        );
+    }
+
+    #[test]
+    fn group_churn_keeps_monitor_arena_at_baseline() {
+        // Two workstations share one long-lived group; a second group on
+        // the same pair is joined and left repeatedly. The shared liveness
+        // arena must keep exactly one record per contacted peer throughout:
+        // churn neither leaks records nor reclaims the estimate the
+        // long-lived group (and the node's own cached handle) still uses.
+        let n = 2u32;
+        let mut world = build_world(n as usize, ElectorKind::OmegaLc, 71);
+        let mut obs = NullObserver;
+        world.run_for(SimDuration::from_secs(2), &mut obs);
+        let baseline: Vec<usize> = (0..n)
+            .map(|i| world.actor(NodeId(i)).unwrap().monitored_peer_count())
+            .collect();
+        assert!(
+            baseline.iter().all(|&count| count == 1),
+            "each node tracks exactly its one peer: {baseline:?}"
+        );
+        let churn = GroupId(50);
+        for round in 0..10 {
+            for i in 0..n {
+                world.with_actor(NodeId(i), &mut obs, |actor, ctx| {
+                    let process = actor.register_process();
+                    actor
+                        .join_group(process, churn, JoinConfig::candidate(), ctx)
+                        .expect("join churn group");
+                });
+            }
+            world.run_for(SimDuration::from_millis(400), &mut obs);
+            for i in 0..n {
+                world.with_actor(NodeId(i), &mut obs, |actor, ctx| {
+                    for process in actor.local_members_of(churn) {
+                        actor
+                            .leave_group(process, churn, ctx)
+                            .expect("leave churn group");
+                    }
+                });
+            }
+            world.run_for(SimDuration::from_millis(100), &mut obs);
+            for i in 0..n {
+                let count = world.actor(NodeId(i)).unwrap().monitored_peer_count();
+                assert_eq!(
+                    count, baseline[i as usize],
+                    "round {round}: node {i} arena record count drifted"
+                );
+            }
+        }
     }
 }

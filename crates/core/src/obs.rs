@@ -28,8 +28,6 @@
 //! [`ServiceNode`]: crate::node::ServiceNode
 //! [`ServiceNode::set_instruments`]: crate::node::ServiceNode::set_instruments
 
-use std::collections::BTreeMap;
-
 use sle_obs::{Counter, Histogram, ProtoEvent, Registry, TraceRing};
 use sle_sim::time::SimInstant;
 use sle_sim::NodeId;
@@ -55,8 +53,11 @@ pub struct NodeInstruments {
     trace: TraceRing,
     node: NodeId,
     alive_interarrival: Histogram,
-    last_alive: BTreeMap<NodeId, SimInstant>,
-    groups: BTreeMap<GroupId, GroupInstruments>,
+    /// Last ALIVE arrival per peer, sorted by peer id (binary search: this
+    /// is touched once per incoming heartbeat datagram).
+    last_alive: Vec<(NodeId, SimInstant)>,
+    /// Per-group instrument handles, sorted by group id.
+    groups: Vec<(GroupId, GroupInstruments)>,
 }
 
 impl NodeInstruments {
@@ -70,8 +71,8 @@ impl NodeInstruments {
             trace,
             node,
             alive_interarrival,
-            last_alive: BTreeMap::new(),
-            groups: BTreeMap::new(),
+            last_alive: Vec::new(),
+            groups: Vec::new(),
         }
     }
 
@@ -93,17 +94,25 @@ impl NodeInstruments {
     }
 
     fn group(&mut self, group: GroupId, now: SimInstant) -> &mut GroupInstruments {
-        let registry = &self.registry;
-        let node = self.node;
-        self.groups.entry(group).or_insert_with(|| {
-            let prefix = format!("node.{}.group.{}", node.0, group.0);
-            GroupInstruments {
-                detection: registry.histogram(&format!("{prefix}.fd.detection_ns")),
-                election: registry.histogram(&format!("{prefix}.elect.election_ns")),
-                mistakes: registry.counter(&format!("{prefix}.fd.mistakes")),
-                election_started: Some(now),
+        let i = match self.groups.binary_search_by_key(&group, |&(g, _)| g) {
+            Ok(i) => i,
+            Err(i) => {
+                let prefix = format!("node.{}.group.{}", self.node.0, group.0);
+                let instruments = GroupInstruments {
+                    detection: self
+                        .registry
+                        .histogram(&format!("{prefix}.fd.detection_ns")),
+                    election: self
+                        .registry
+                        .histogram(&format!("{prefix}.elect.election_ns")),
+                    mistakes: self.registry.counter(&format!("{prefix}.fd.mistakes")),
+                    election_started: Some(now),
+                };
+                self.groups.insert(i, (group, instruments));
+                i
             }
-        })
+        };
+        &mut self.groups[i].1
     }
 
     /// A local process joined `group`.
@@ -121,9 +130,16 @@ impl NodeInstruments {
 
     /// An incoming ALIVE datagram from `from` (before per-group dispatch).
     pub(crate) fn on_alive_datagram(&mut self, from: NodeId, now: SimInstant) {
-        if let Some(prev) = self.last_alive.insert(from, now) {
-            self.alive_interarrival
-                .record_duration(now.saturating_since(prev));
+        match self
+            .last_alive
+            .binary_search_by_key(&from, |&(peer, _)| peer)
+        {
+            Ok(i) => {
+                let prev = std::mem::replace(&mut self.last_alive[i].1, now);
+                self.alive_interarrival
+                    .record_duration(now.saturating_since(prev));
+            }
+            Err(i) => self.last_alive.insert(i, (from, now)),
         }
     }
 

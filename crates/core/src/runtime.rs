@@ -33,7 +33,7 @@
 //! [`Cluster::start`] keeps the historical one-worker-per-node shape
 //! (`workers = n`); [`ClusterConfig::with_workers`] selects a smaller pool.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -397,7 +397,12 @@ struct Resident<E> {
 struct ShardRuntime<E> {
     start: Instant,
     residents: Vec<Resident<E>>,
-    index: HashMap<NodeId, usize>,
+    /// Dense resident lookup: `index[node.index()]` is the position of the
+    /// node's `Resident` in `residents`, or `u32::MAX` for nodes hosted on
+    /// other shards. Node ids are numbered densely by `Cluster::start`, so
+    /// a direct array load replaces the hash-and-probe this map used to
+    /// cost on every message, timer and command dispatch.
+    index: Vec<u32>,
     wheel: TimerWheel<(NodeId, TimerTag)>,
     inbox: Arc<ShardInbox>,
     events: Sender<ClusterEvent>,
@@ -410,6 +415,15 @@ struct ShardRuntime<E> {
 impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
     fn now(&self) -> SimInstant {
         SimInstant::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// The position of `node`'s resident on this shard, if it lives here.
+    #[inline]
+    fn resident_idx(&self, node: NodeId) -> Option<usize> {
+        match self.index.get(node.index()) {
+            Some(&idx) if idx != u32::MAX => Some(idx as usize),
+            _ => None,
+        }
     }
 
     fn apply_effects(&mut self, idx: usize, effects: Vec<Effect<ServiceMessage, ServiceEvent>>) {
@@ -447,7 +461,7 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
     }
 
     fn dispatch_message(&mut self, node: NodeId, incoming: Incoming<ServiceMessage>) {
-        let Some(&idx) = self.index.get(&node) else {
+        let Some(idx) = self.resident_idx(node) else {
             return;
         };
         // Dispatch consults the worker's own crash snapshot (`crashed_seen`,
@@ -468,7 +482,7 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
     }
 
     fn dispatch_timer(&mut self, node: NodeId, tag: TimerTag) {
-        let Some(&idx) = self.index.get(&node) else {
+        let Some(idx) = self.resident_idx(node) else {
             return;
         };
         // Same snapshot rule as `dispatch_message`.
@@ -486,7 +500,7 @@ impl<E: MessageEndpoint<ServiceMessage>> ShardRuntime<E> {
     }
 
     fn handle_command(&mut self, node: NodeId, command: Command) {
-        let Some(&idx) = self.index.get(&node) else {
+        let Some(idx) = self.resident_idx(node) else {
             return;
         };
         match command {
@@ -839,11 +853,17 @@ impl Cluster {
             .into_iter()
             .enumerate()
             .map(|(k, residents)| {
-                let index = residents
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, resident)| (resident.id, idx))
-                    .collect();
+                let mut index = vec![
+                    u32::MAX;
+                    residents
+                        .iter()
+                        .map(|r| r.id.index() + 1)
+                        .max()
+                        .unwrap_or(0)
+                ];
+                for (idx, resident) in residents.iter().enumerate() {
+                    index[resident.id.index()] = idx as u32;
+                }
                 let any_pull = residents.iter().any(|resident| !resident.push_mode);
                 let runtime = ShardRuntime {
                     start,

@@ -9,8 +9,6 @@
 //! sending ALIVE messages right now?* — and occasionally asks for an
 //! accusation message to be sent.
 
-use std::collections::BTreeMap;
-
 use sle_sim::actor::NodeId;
 use sle_sim::time::SimInstant;
 
@@ -85,9 +83,33 @@ impl PeerState {
 
 /// Shared bookkeeping of remote candidates: their latest payloads and
 /// whether the failure detector currently trusts them.
+///
+/// Stored as a vector sorted by peer id: the table is consulted on every
+/// ALIVE payload a group applies (`record_alive` + a `best_trusted_rank`
+/// scan), and group fan-out bounds its size, so binary search over
+/// contiguous `Copy` entries beats a node-per-entry tree both on lookups
+/// and on the scan.
 #[derive(Debug, Clone, Default)]
 pub struct PeerTable {
-    peers: BTreeMap<NodeId, PeerState>,
+    peers: Vec<(NodeId, PeerState)>,
+    /// Incrementally maintained minimum trusted rank. The electors consult
+    /// [`PeerTable::best_trusted_rank`] on every applied ALIVE payload
+    /// (often several times: re-evaluation plus leader queries), so the
+    /// steady-state path must not rescan the table. Mutations either fold
+    /// their change into the cached minimum or, when the current minimum
+    /// may have *worsened* (the best peer re-ranked, got suspected or
+    /// removed), mark it dirty for a lazy rescan.
+    best: std::cell::Cell<BestRank>,
+}
+
+/// Cache state for [`PeerTable`]'s minimum trusted rank.
+#[derive(Debug, Clone, Copy, Default)]
+enum BestRank {
+    /// Unknown: the next query rescans the table.
+    #[default]
+    Dirty,
+    /// Known minimum trusted rank (`None` = no trusted peers).
+    Known(Option<Rank>),
 }
 
 impl PeerTable {
@@ -96,22 +118,63 @@ impl PeerTable {
         Self::default()
     }
 
+    #[inline]
+    fn find(&self, peer: NodeId) -> Result<usize, usize> {
+        self.peers.binary_search_by_key(&peer, |&(p, _)| p)
+    }
+
+    /// Folds a newly trusted rank into the cached minimum (a new contender
+    /// can only improve or preserve the minimum, never worsen it).
+    #[inline]
+    fn cache_add(&self, rank: Rank) {
+        if let BestRank::Known(best) = self.best.get() {
+            let merged = best.map_or(rank, |b| b.min(rank));
+            self.best.set(BestRank::Known(Some(merged)));
+        }
+    }
+
+    /// Invalidates the cached minimum if `rank` might be it.
+    #[inline]
+    fn cache_drop(&self, rank: Rank) {
+        if let BestRank::Known(Some(best)) = self.best.get() {
+            if rank <= best {
+                self.best.set(BestRank::Dirty);
+            }
+        }
+    }
+
     /// Records an ALIVE payload from `peer` (implies the peer is trusted).
     pub fn record_alive(&mut self, peer: NodeId, payload: AlivePayload, now: SimInstant) {
-        let entry = self.peers.entry(peer).or_insert(PeerState {
+        let state = PeerState {
             payload,
             last_alive: now,
             trusted: true,
-        });
-        entry.payload = payload;
-        entry.last_alive = now;
-        entry.trusted = true;
+        };
+        let new_rank = state.rank(peer);
+        match self.find(peer) {
+            Ok(i) => {
+                let old = self.peers[i].1;
+                self.peers[i].1 = state;
+                let old_rank = old.rank(peer);
+                if old.trusted && new_rank != old_rank {
+                    // The peer re-ranked: if it held the minimum, the
+                    // minimum may have worsened.
+                    self.cache_drop(old_rank);
+                }
+                self.cache_add(new_rank);
+            }
+            Err(i) => {
+                self.peers.insert(i, (peer, state));
+                self.cache_add(new_rank);
+            }
+        }
     }
 
     /// Marks `peer` as trusted (without new payload information).
     pub fn mark_trusted(&mut self, peer: NodeId) {
-        if let Some(state) = self.peers.get_mut(&peer) {
-            state.trusted = true;
+        if let Ok(i) = self.find(peer) {
+            self.peers[i].1.trusted = true;
+            self.cache_add(self.peers[i].1.rank(peer));
         }
     }
 
@@ -119,10 +182,11 @@ impl PeerTable {
     /// peer if it was previously trusted (the epoch an accusation should
     /// reference), or `None` if the peer was unknown or already suspected.
     pub fn mark_suspected(&mut self, peer: NodeId) -> Option<u64> {
-        match self.peers.get_mut(&peer) {
-            Some(state) if state.trusted => {
-                state.trusted = false;
-                Some(state.payload.epoch)
+        match self.find(peer) {
+            Ok(i) if self.peers[i].1.trusted => {
+                self.peers[i].1.trusted = false;
+                self.cache_drop(self.peers[i].1.rank(peer));
+                Some(self.peers[i].1.payload.epoch)
             }
             _ => None,
         }
@@ -130,25 +194,41 @@ impl PeerTable {
 
     /// Forgets everything about `peer`.
     pub fn remove(&mut self, peer: NodeId) {
-        self.peers.remove(&peer);
+        if let Ok(i) = self.find(peer) {
+            let (_, state) = self.peers.remove(i);
+            if state.trusted {
+                self.cache_drop(state.rank(peer));
+            }
+        }
     }
 
     /// The state recorded for `peer`, if any.
     pub fn get(&self, peer: NodeId) -> Option<&PeerState> {
-        self.peers.get(&peer)
+        self.find(peer).ok().map(|i| &self.peers[i].1)
     }
 
-    /// Iterates over the peers currently trusted, with their states.
+    /// Iterates over the peers currently trusted, with their states, in
+    /// ascending peer-id order.
     pub fn trusted(&self) -> impl Iterator<Item = (NodeId, &PeerState)> + '_ {
         self.peers
             .iter()
             .filter(|(_, s)| s.trusted)
-            .map(|(&id, s)| (id, s))
+            .map(|(id, s)| (*id, s))
     }
 
     /// The best (minimum) rank among trusted peers, if any.
+    ///
+    /// O(1) while the incremental cache is clean; a mutation that may have
+    /// worsened the minimum triggers one O(peers) rescan here.
     pub fn best_trusted_rank(&self) -> Option<Rank> {
-        self.trusted().map(|(id, s)| s.rank(id)).min()
+        match self.best.get() {
+            BestRank::Known(best) => best,
+            BestRank::Dirty => {
+                let best = self.trusted().map(|(id, s)| s.rank(id)).min();
+                self.best.set(BestRank::Known(best));
+                best
+            }
+        }
     }
 
     /// Number of peers known (trusted or not).
@@ -240,5 +320,49 @@ mod tests {
         table.remove(NodeId(1));
         assert!(table.get(NodeId(1)).is_none());
         assert_eq!(table.trusted().count(), 0);
+    }
+
+    /// The incremental best-rank cache must agree with a full rescan after
+    /// every kind of mutation, including the ones that can only *worsen*
+    /// the minimum (re-rank, suspicion, removal of the best peer).
+    #[test]
+    fn best_rank_cache_matches_rescan_across_mutations() {
+        let mut table = PeerTable::new();
+        let rescan = |t: &PeerTable| t.trusted().map(|(id, s)| s.rank(id)).min();
+        let now = SimInstant::ZERO;
+
+        table.record_alive(NodeId(3), payload(5, 0), now);
+        table.record_alive(NodeId(1), payload(9, 0), now);
+        assert_eq!(table.best_trusted_rank(), rescan(&table));
+
+        // A better newcomer folds into the cached minimum.
+        table.record_alive(NodeId(2), payload(1, 0), now);
+        assert_eq!(table.best_trusted_rank(), rescan(&table));
+
+        // The best peer re-ranks itself worse: the minimum must move back
+        // to another peer, not stay pinned at the stale cached value.
+        table.record_alive(NodeId(2), payload(20, 1), now);
+        assert_eq!(table.best_trusted_rank(), rescan(&table));
+
+        // Suspecting the current best drops it from the minimum.
+        let best_id = table.best_trusted_rank().unwrap().id;
+        table.mark_suspected(best_id);
+        assert_eq!(table.best_trusted_rank(), rescan(&table));
+
+        // Re-trusting it restores it.
+        table.mark_trusted(best_id);
+        assert_eq!(table.best_trusted_rank(), rescan(&table));
+
+        // Removing the best peer recomputes from the survivors.
+        let best_id = table.best_trusted_rank().unwrap().id;
+        table.remove(best_id);
+        assert_eq!(table.best_trusted_rank(), rescan(&table));
+
+        // Steady state: repeated identical payloads keep cache and rescan
+        // in agreement without drift.
+        for _ in 0..3 {
+            table.record_alive(NodeId(3), payload(5, 0), now);
+            assert_eq!(table.best_trusted_rank(), rescan(&table));
+        }
     }
 }

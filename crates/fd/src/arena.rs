@@ -24,12 +24,14 @@
 //!
 //! [`PeerMonitor`]: crate::monitor::PeerMonitor
 
-use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use sle_sim::actor::NodeId;
-use sle_sim::time::SimInstant;
+use sle_sim::dense::SlotIndex;
+use sle_sim::time::{SimDuration, SimInstant};
 
+use crate::config::{FdConfigurator, FdParams};
+use crate::qos::QosSpec;
 use crate::quality::{LinkQuality, LinkQualityEstimator};
 
 /// How many delay samples each peer's shared estimator keeps.
@@ -43,6 +45,19 @@ pub struct PeerLiveness {
     /// The last `(seq, sent_at, received_at)` recorded, for deduplicating
     /// the per-group fan-out of one batched datagram.
     last_record: Option<(u64, SimInstant, SimInstant)>,
+    /// Memoized `(computed_at, estimate, version)` of the estimator scan.
+    /// Thousands of per-group monitors share one record; each wants a fresh
+    /// estimate only every few seconds, so the scan runs once per refresh
+    /// interval for the whole record instead of once per monitor. The
+    /// version only advances when the estimate actually changed, letting
+    /// monitors skip recomputing their (η, δ) operating point entirely.
+    cached_quality: Option<(SimInstant, LinkQuality, u64)>,
+    /// Memoized result of the (η, δ) configurator search, keyed by the
+    /// quality version it was derived from plus the QoS/configurator pair
+    /// that requested it. Monitors of different groups usually monitor the
+    /// same peer under the *same* QoS, so when the estimate does change,
+    /// one monitor runs the search and its siblings reuse the result.
+    cached_params: Option<(u64, QosSpec, FdConfigurator, FdParams)>,
 }
 
 impl PeerLiveness {
@@ -50,6 +65,8 @@ impl PeerLiveness {
         PeerLiveness {
             estimator: LinkQualityEstimator::new(ESTIMATOR_WINDOW),
             last_record: None,
+            cached_quality: None,
+            cached_params: None,
         }
     }
 }
@@ -96,6 +113,59 @@ impl LivenessHandle {
             .estimate()
     }
 
+    /// The link-quality estimate memoized per record: recomputed at most
+    /// once every `max_age`, shared by every monitor holding this handle.
+    ///
+    /// Returns the estimate and a version number that advances only when a
+    /// recomputation produced a *different* estimate — callers deriving
+    /// expensive state from the quality (the (η, δ) search) can compare
+    /// versions and skip the derivation when nothing changed.
+    pub fn quality_cached(&self, now: SimInstant, max_age: SimDuration) -> (LinkQuality, u64) {
+        let mut liveness = self.slot.lock().expect("liveness poisoned");
+        if let Some((at, quality, version)) = liveness.cached_quality {
+            if now.saturating_since(at) < max_age {
+                return (quality, version);
+            }
+            let fresh = liveness.estimator.estimate();
+            let version = if fresh == quality {
+                version
+            } else {
+                version + 1
+            };
+            liveness.cached_quality = Some((now, fresh, version));
+            (fresh, version)
+        } else {
+            let fresh = liveness.estimator.estimate();
+            liveness.cached_quality = Some((now, fresh, 1));
+            (fresh, 1)
+        }
+    }
+
+    /// The (η, δ) operating point for `quality` (at `version`) under the
+    /// given QoS and configurator, computed at most once per record: the
+    /// first monitor to ask after a quality change runs the configurator
+    /// search; every sibling monitor with the same QoS reuses the cached
+    /// result. A monitor with a *different* QoS simply recomputes (and
+    /// takes over the single cache entry) — correctness never depends on a
+    /// hit.
+    pub fn shared_params(
+        &self,
+        version: u64,
+        qos: &QosSpec,
+        configurator: &FdConfigurator,
+        quality: &LinkQuality,
+    ) -> FdParams {
+        let mut liveness = self.slot.lock().expect("liveness poisoned");
+        if let Some((v, q, c, params)) = liveness.cached_params {
+            if v == version && q == *qos && c == *configurator {
+                return params;
+            }
+        }
+        let params = configurator.compute(qos, quality);
+        liveness.cached_params = Some((version, *qos, *configurator, params));
+        params
+    }
+
     /// Heartbeats recorded (after deduplication) since creation or the last
     /// reset.
     pub fn heartbeats_recorded(&self) -> u64 {
@@ -118,13 +188,51 @@ impl LivenessHandle {
     }
 }
 
+/// Array-indexed storage behind a [`MonitorArena`].
+///
+/// Peers are interned into `u32` slots on first use: `index` maps the peer
+/// id to its slot, `slots` holds the records densely, and `free` recycles
+/// slots vacated by [`MonitorArena::prune`]. Lookups are a binary search
+/// over a contiguous `(id, slot)` vector instead of a pointer-chasing tree
+/// walk, and slot numbers are stable for as long as the record lives, so
+/// callers can cache the returned handle and skip the arena entirely on
+/// their hot paths.
+#[derive(Debug, Default)]
+struct ArenaInner {
+    index: SlotIndex,
+    slots: Vec<Option<LivenessHandle>>,
+    free: Vec<u32>,
+}
+
+impl ArenaInner {
+    fn prune(&mut self) {
+        let mut dead = Vec::new();
+        for (id, slot) in self.index.iter() {
+            let handle = self.slots[slot as usize]
+                .as_ref()
+                .expect("indexed slot must be live");
+            // One strong count is the arena's own; records held only by the
+            // arena belong to peers every group has stopped monitoring.
+            if !handle.is_shared_beyond(1) {
+                dead.push((id, slot));
+            }
+        }
+        for (id, slot) in dead {
+            self.index.remove(id);
+            self.slots[slot as usize] = None;
+            self.free.push(slot);
+        }
+    }
+}
+
 /// The per-workstation registry of shared [`PeerLiveness`] records.
 ///
 /// Cloning an arena shares it: a service instance creates one and hands a
-/// clone to every group's failure detector.
+/// clone to every group's failure detector. Records live in dense `u32`
+/// slots behind a sorted id → slot index; pruned slots are recycled.
 #[derive(Debug, Clone, Default)]
 pub struct MonitorArena {
-    peers: Arc<Mutex<BTreeMap<NodeId, LivenessHandle>>>,
+    inner: Arc<Mutex<ArenaInner>>,
 }
 
 impl MonitorArena {
@@ -135,33 +243,47 @@ impl MonitorArena {
 
     /// Returns the shared record for `peer`, creating it on first use.
     ///
-    /// This is on the heartbeat-receive hot path, so it is a plain map
-    /// lookup: records whose monitors are all gone are reclaimed lazily by
-    /// [`MonitorArena::prune`] / [`MonitorArena::peer_count`] instead of
-    /// being scanned for here. Unpruned leftovers are bounded by the
-    /// workstation universe (one small record per distinct peer), not by
-    /// churn.
+    /// The returned handle stays valid (and shared) independently of the
+    /// arena, so hot paths should intern once and cache the handle rather
+    /// than calling `slot` per message. Records whose monitors are all gone
+    /// are reclaimed lazily by [`MonitorArena::prune`] /
+    /// [`MonitorArena::peer_count`]; unpruned leftovers are bounded by the
+    /// workstation universe, not by churn.
     pub fn slot(&self, peer: NodeId) -> LivenessHandle {
-        let mut peers = self.peers.lock().expect("arena poisoned");
-        peers
-            .entry(peer)
-            .or_insert_with(LivenessHandle::detached)
-            .clone()
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        if let Some(slot) = inner.index.get(peer.0) {
+            return inner.slots[slot as usize]
+                .as_ref()
+                .expect("indexed slot must be live")
+                .clone();
+        }
+        let handle = LivenessHandle::detached();
+        let slot = match inner.free.pop() {
+            Some(s) => {
+                inner.slots[s as usize] = Some(handle.clone());
+                s
+            }
+            None => {
+                inner.slots.push(Some(handle.clone()));
+                (inner.slots.len() - 1) as u32
+            }
+        };
+        inner.index.insert(peer.0, slot);
+        handle
     }
 
     /// Drops every record no monitor references any more (a record whose
-    /// only holder is the map itself belongs to a peer every group has
-    /// stopped monitoring).
+    /// only holder is the arena itself belongs to a peer every group has
+    /// stopped monitoring). Vacated slots are recycled for future peers.
     pub fn prune(&self) {
-        let mut peers = self.peers.lock().expect("arena poisoned");
-        peers.retain(|_, handle| handle.is_shared_beyond(1));
+        self.inner.lock().expect("arena poisoned").prune();
     }
 
     /// Number of peers currently tracked (after pruning).
     pub fn peer_count(&self) -> usize {
-        let mut peers = self.peers.lock().expect("arena poisoned");
-        peers.retain(|_, handle| handle.is_shared_beyond(1));
-        peers.len()
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        inner.prune();
+        inner.index.len()
     }
 }
 
@@ -224,6 +346,62 @@ mod tests {
         assert_eq!(arena.peer_count(), 1);
         drop(kept);
         assert_eq!(arena.peer_count(), 0);
+    }
+
+    #[test]
+    fn pruned_slots_are_recycled() {
+        let arena = MonitorArena::new();
+        let a = arena.slot(NodeId(1));
+        let _b = arena.slot(NodeId(2));
+        drop(a);
+        arena.prune();
+        assert_eq!(arena.peer_count(), 1);
+        // A new peer reuses the vacated slot; the surviving record and the
+        // newcomer stay distinct.
+        let c = arena.slot(NodeId(3));
+        c.record(0, SimInstant::ZERO, SimInstant::ZERO);
+        assert_eq!(arena.slot(NodeId(2)).heartbeats_recorded(), 0);
+        assert_eq!(arena.slot(NodeId(3)).heartbeats_recorded(), 1);
+        assert_eq!(arena.peer_count(), 2);
+    }
+
+    #[test]
+    fn churn_returns_live_handle_count_to_baseline() {
+        // Group churn sharing one peer: every join takes a handle, every
+        // leave drops it. The arena must neither leak records nor reclaim a
+        // record that another group still holds.
+        let arena = MonitorArena::new();
+        let baseline = arena.slot(NodeId(9)); // one long-lived group
+        baseline.record(0, SimInstant::ZERO, SimInstant::ZERO);
+        for _ in 0..100 {
+            let churned = arena.slot(NodeId(9));
+            // The churned group's handle shares the long-lived estimate.
+            assert_eq!(churned.heartbeats_recorded(), 1);
+            drop(churned);
+            arena.prune();
+            // The record survives: the baseline group still holds it.
+            assert_eq!(arena.peer_count(), 1);
+        }
+        drop(baseline);
+        assert_eq!(arena.peer_count(), 0);
+    }
+
+    #[test]
+    fn shared_params_are_keyed_by_qos_and_version() {
+        let handle = LivenessHandle::detached();
+        let cfg = FdConfigurator::default();
+        let quality = LinkQuality::perfect();
+        let fast = QosSpec::paper_default();
+        let slow = QosSpec::paper_default_with_detection(SimDuration::from_secs(8));
+        let p_fast = handle.shared_params(1, &fast, &cfg, &quality);
+        // A sibling monitor with the same key reuses the cached entry.
+        assert_eq!(handle.shared_params(1, &fast, &cfg, &quality), p_fast);
+        // A different QoS must never be served another QoS's params.
+        let p_slow = handle.shared_params(1, &slow, &cfg, &quality);
+        assert_eq!(p_slow.worst_case_detection(), SimDuration::from_secs(8));
+        assert_ne!(p_fast, p_slow);
+        // The evicted QoS recomputes to the same operating point.
+        assert_eq!(handle.shared_params(1, &fast, &cfg, &quality), p_fast);
     }
 
     #[test]

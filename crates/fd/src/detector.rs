@@ -8,8 +8,6 @@
 //! [`PeerMonitor`]s plus the bookkeeping needed to drive them from a single
 //! timer.
 
-use std::collections::BTreeMap;
-
 use sle_sim::actor::NodeId;
 use sle_sim::time::{SimDuration, SimInstant};
 
@@ -52,7 +50,10 @@ pub struct FailureDetector {
     qos: QosSpec,
     configurator: FdConfigurator,
     arena: MonitorArena,
-    monitors: BTreeMap<NodeId, PeerMonitor>,
+    /// Monitors sorted by peer id: lookups are binary searches over
+    /// contiguous memory, iteration is in deterministic id order. Peer sets
+    /// are bounded by group fan-out, so inserts/removals are cheap.
+    monitors: Vec<(NodeId, PeerMonitor)>,
 }
 
 impl FailureDetector {
@@ -77,8 +78,18 @@ impl FailureDetector {
             qos,
             configurator,
             arena,
-            monitors: BTreeMap::new(),
+            monitors: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn find(&self, peer: NodeId) -> Result<usize, usize> {
+        self.monitors.binary_search_by_key(&peer, |&(p, _)| p)
+    }
+
+    #[inline]
+    fn monitor(&self, peer: NodeId) -> Option<&PeerMonitor> {
+        self.find(peer).ok().map(|i| &self.monitors[i].1)
     }
 
     /// The QoS used for newly monitored peers.
@@ -88,17 +99,18 @@ impl FailureDetector {
 
     /// Starts monitoring `peer` if it is not already monitored.
     pub fn ensure_peer(&mut self, peer: NodeId, now: SimInstant) {
-        let qos = self.qos;
-        let configurator = self.configurator;
-        let arena = &self.arena;
-        self.monitors.entry(peer).or_insert_with(|| {
-            PeerMonitor::with_liveness(qos, configurator, arena.slot(peer), now)
-        });
+        if let Err(i) = self.find(peer) {
+            let monitor =
+                PeerMonitor::with_liveness(self.qos, self.configurator, self.arena.slot(peer), now);
+            self.monitors.insert(i, (peer, monitor));
+        }
     }
 
     /// Stops monitoring `peer` (e.g. because it left every shared group).
     pub fn remove_peer(&mut self, peer: NodeId) {
-        self.monitors.remove(&peer);
+        if let Ok(i) = self.find(peer) {
+            self.monitors.remove(i);
+        }
         // Reclaim shared records nobody monitors any more. This is the
         // rare membership-churn path, not the heartbeat hot path.
         self.arena.prune();
@@ -111,10 +123,11 @@ impl FailureDetector {
     pub fn reset_peer(&mut self, peer: NodeId, now: SimInstant) {
         let slot = self.arena.slot(peer);
         slot.reset();
-        self.monitors.insert(
-            peer,
-            PeerMonitor::with_liveness(self.qos, self.configurator, slot, now),
-        );
+        let monitor = PeerMonitor::with_liveness(self.qos, self.configurator, slot, now);
+        match self.find(peer) {
+            Ok(i) => self.monitors[i].1 = monitor,
+            Err(i) => self.monitors.insert(i, (peer, monitor)),
+        }
     }
 
     /// Number of peers currently monitored.
@@ -122,18 +135,15 @@ impl FailureDetector {
         self.monitors.len()
     }
 
-    /// Iterates over the monitored peers.
+    /// Iterates over the monitored peers (in ascending id order).
     pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.monitors.keys().copied()
+        self.monitors.iter().map(|&(p, _)| p)
     }
 
     /// Returns whether `peer` is currently trusted. Unmonitored peers are
     /// not trusted.
     pub fn is_trusted(&self, peer: NodeId) -> bool {
-        self.monitors
-            .get(&peer)
-            .map(|m| m.is_trusted())
-            .unwrap_or(false)
+        self.monitor(peer).map(|m| m.is_trusted()).unwrap_or(false)
     }
 
     /// Iterates over the peers currently trusted.
@@ -141,39 +151,39 @@ impl FailureDetector {
         self.monitors
             .iter()
             .filter(|(_, m)| m.is_trusted())
-            .map(|(&peer, _)| peer)
+            .map(|&(peer, _)| peer)
     }
 
     /// The trust state of `peer`, if monitored.
     pub fn state(&self, peer: NodeId) -> Option<TrustState> {
-        self.monitors.get(&peer).map(|m| m.state())
+        self.monitor(peer).map(|m| m.state())
     }
 
     /// The heartbeat interval this detector would like `peer` to use when
     /// sending to us (piggybacked on outgoing messages).
     pub fn requested_interval(&self, peer: NodeId) -> Option<SimDuration> {
-        self.monitors.get(&peer).map(|m| m.requested_interval())
+        self.monitor(peer).map(|m| m.requested_interval())
     }
 
     /// The link-quality estimate for `peer`, if monitored.
     pub fn quality(&self, peer: NodeId) -> Option<LinkQuality> {
-        self.monitors.get(&peer).map(|m| m.quality())
+        self.monitor(peer).map(|m| m.quality())
     }
 
     /// The operating parameters (η, δ) currently used for `peer`.
     pub fn params(&self, peer: NodeId) -> Option<crate::config::FdParams> {
-        self.monitors.get(&peer).map(|m| m.params())
+        self.monitor(peer).map(|m| m.params())
     }
 
     /// Applies externally derived parameters to `peer`'s monitor, live (see
     /// [`PeerMonitor::set_params`]). Returns false if the peer is unknown.
     pub fn set_peer_params(&mut self, peer: NodeId, params: crate::config::FdParams) -> bool {
-        match self.monitors.get_mut(&peer) {
-            Some(monitor) => {
-                monitor.set_params(params);
+        match self.find(peer) {
+            Ok(i) => {
+                self.monitors[i].1.set_params(params);
                 true
             }
-            None => false,
+            Err(_) => false,
         }
     }
 
@@ -191,11 +201,9 @@ impl FailureDetector {
         now: SimInstant,
     ) -> Option<PeerTransition> {
         self.ensure_peer(peer, now);
-        let monitor = self
-            .monitors
-            .get_mut(&peer)
-            .expect("peer was just inserted");
-        monitor
+        let i = self.find(peer).expect("peer was just inserted");
+        self.monitors[i]
+            .1
             .on_heartbeat(seq, sent_at, sender_interval, now)
             .map(|transition| PeerTransition { peer, transition })
     }
@@ -204,9 +212,12 @@ impl FailureDetector {
     /// practice, new suspicions whose freshness horizon has expired).
     pub fn poll(&mut self, now: SimInstant) -> Vec<PeerTransition> {
         let mut transitions = Vec::new();
-        for (&peer, monitor) in self.monitors.iter_mut() {
+        for (peer, monitor) in self.monitors.iter_mut() {
             if let Some(transition) = monitor.check(now) {
-                transitions.push(PeerTransition { peer, transition });
+                transitions.push(PeerTransition {
+                    peer: *peer,
+                    transition,
+                });
             }
         }
         transitions
@@ -217,8 +228,8 @@ impl FailureDetector {
     /// call [`FailureDetector::poll`] again.
     pub fn next_deadline(&self) -> Option<SimInstant> {
         self.monitors
-            .values()
-            .map(|m| m.deadline())
+            .iter()
+            .map(|(_, m)| m.deadline())
             .filter(|&d| d != SimInstant::FAR_FUTURE)
             .min()
     }

@@ -74,6 +74,9 @@ pub struct PeerMonitor {
     state: TrustState,
     fresh_until: SimInstant,
     last_reconfigure: SimInstant,
+    /// Version of the shared quality estimate the current params were
+    /// derived from; reconfiguration is skipped while it is unchanged.
+    last_quality_version: u64,
     heartbeats: u64,
     /// True once an external tuner took over the parameters; the monitor's
     /// own periodic reconfiguration then stands down.
@@ -117,6 +120,7 @@ impl PeerMonitor {
             state: TrustState::Trusted,
             fresh_until: now + qos.detection_time(),
             last_reconfigure: now,
+            last_quality_version: 0,
             heartbeats: 0,
             externally_tuned: false,
         }
@@ -248,12 +252,27 @@ impl PeerMonitor {
             return;
         }
         self.last_reconfigure = now;
-        let quality = if self.liveness.heartbeats_recorded() >= MIN_SAMPLES_FOR_ESTIMATE {
-            self.liveness.quality()
+        // The estimator scan is memoized in the shared record, and the
+        // version only moves when the estimate changed — so the (η, δ)
+        // search below runs once per actual link-quality change, not once
+        // per monitor per reconfigure period.
+        let (measured, version) = self.liveness.quality_cached(now, RECONFIGURE_EVERY);
+        if version == self.last_quality_version {
+            return;
+        }
+        self.last_quality_version = version;
+        let quality = if measured.samples as u64 >= MIN_SAMPLES_FOR_ESTIMATE {
+            measured
         } else {
             LinkQuality::conservative_prior()
         };
-        self.params = self.configurator.compute(&self.qos, &quality);
+        // The search result is shared through the liveness record too: the
+        // sibling monitors other groups keep for this peer almost always ask
+        // with the same QoS, so the search runs once per quality change per
+        // peer instead of once per (group, peer).
+        self.params = self
+            .liveness
+            .shared_params(version, &self.qos, &self.configurator, &quality);
     }
 }
 

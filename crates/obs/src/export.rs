@@ -48,6 +48,12 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
                         continue;
                     }
                     cumulative += h.buckets[i];
+                    // The top bucket's upper bound saturates at `u64::MAX`;
+                    // a literal `le="18446744073709551615"` label is useless
+                    // to queries, so its samples are folded into `+Inf`.
+                    if i + 1 == HISTOGRAM_BUCKETS {
+                        continue;
+                    }
                     let _ = writeln!(
                         out,
                         "{pname}_bucket{{le=\"{}\"}} {cumulative}",
@@ -212,6 +218,27 @@ mod tests {
             json.matches(']').count(),
             "{json}"
         );
+    }
+
+    #[test]
+    fn top_bucket_le_label_folds_into_inf() {
+        // A sample of `u64::MAX` lands in the top bucket, whose upper bound
+        // saturates at `u64::MAX` — the exposition must not render a finite
+        // `le="18446744073709551615"` line; those observations belong to
+        // `+Inf` alone.
+        let r = Registry::new();
+        let h = r.histogram("fd.detection_ns");
+        h.record(5);
+        h.record(u64::MAX);
+        let text = render_prometheus(&r.snapshot());
+        // `sum` wraps modulo 2^64: 5 + (2^64 - 1) = 4.
+        let expected = "# TYPE fd_detection_ns histogram\n\
+                        fd_detection_ns_bucket{le=\"7\"} 1\n\
+                        fd_detection_ns_bucket{le=\"+Inf\"} 2\n\
+                        fd_detection_ns_sum 4\n\
+                        fd_detection_ns_count 2\n";
+        assert_eq!(text, expected);
+        assert!(!text.contains("18446744073709551615"), "{text}");
     }
 
     #[test]

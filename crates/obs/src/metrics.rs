@@ -258,10 +258,16 @@ impl HistogramSnapshot {
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded samples.
     ///
-    /// The estimate interpolates linearly inside the bucket containing the
-    /// `ceil(q * count)`-th smallest sample, so it always lies within that
-    /// bucket's `[lower, upper]` bounds — off by at most a factor of two
-    /// from the true order statistic. Returns 0 for an empty histogram.
+    /// The estimate interpolates *log-linearly* inside the bucket containing
+    /// the `ceil(q * count)`-th smallest sample: the rank's midpoint position
+    /// within the bucket's population maps onto the bucket's one-octave span
+    /// on a log scale. The interior position is strictly between 0 and 1, so
+    /// the estimate lands strictly inside the bucket rather than pinning to
+    /// a power-of-two edge (with the old edge interpolation, a high quantile
+    /// whose rank closed out its bucket reported exactly `bucket_upper` —
+    /// which is how every election p99 in [1.07 s, 2.15 s) read 2147.5 ms).
+    /// Still off by at most a factor of two from the true order statistic.
+    /// Returns 0 for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -274,11 +280,16 @@ impl HistogramSnapshot {
                 continue;
             }
             if seen + n >= rank {
+                if i == 0 {
+                    // Bucket 0 holds only the exact value 0.
+                    return 0;
+                }
                 let lo = bucket_lower(i);
-                let hi = bucket_upper(i);
-                let frac = (rank - seen) as f64 / n as f64;
-                let est = lo as f64 + (hi - lo) as f64 * frac;
-                return (est as u64).clamp(lo, hi);
+                // The k-th of the bucket's n samples sits at position
+                // (k - 0.5) / n of the bucket's span — strictly interior.
+                let pos = ((rank - seen) as f64 - 0.5) / n as f64;
+                let est = lo as f64 * pos.exp2();
+                return (est as u64).clamp(lo, bucket_upper(i));
             }
             seen += n;
         }
@@ -350,6 +361,32 @@ mod tests {
         assert!((256..=511).contains(&p50), "p50 = {p50}");
         let p100 = snap.percentile(1.0);
         assert!((512..=1023).contains(&p100), "p100 = {p100}");
+    }
+
+    #[test]
+    fn percentiles_do_not_pin_to_bucket_boundaries() {
+        // Regression: election latencies of 1.3–1.9 s all land in the
+        // nanosecond bucket [2^30, 2^31 - 1]. The old edge interpolation
+        // reported p99 (and p100) of *any* such sample set as exactly
+        // 2^31 - 1 ns = 2147.48 ms; log-linear midpoint interpolation must
+        // return a value strictly inside the bucket instead.
+        let h = Histogram::new();
+        for i in 0..200u64 {
+            h.record(1_300_000_000 + i * 3_000_000);
+        }
+        let snap = h.snapshot();
+        for q in [0.50, 0.90, 0.99, 1.0] {
+            let p = snap.percentile(q);
+            assert!(
+                (1u64 << 30) < p && p < (1u64 << 31) - 1,
+                "percentile({q}) = {p} sits on a log2 bucket boundary"
+            );
+            assert!(
+                !p.is_power_of_two() && !(p + 1).is_power_of_two(),
+                "percentile({q}) = {p} is a power-of-two edge"
+            );
+        }
+        assert_ne!(snap.percentile(0.99), (1u64 << 31) - 1);
     }
 
     #[test]

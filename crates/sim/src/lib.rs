@@ -12,6 +12,7 @@
 //! * [`rng`] — deterministic, fork-able random number generation,
 //! * [`actor`] — the sans-io protocol-node abstraction (messages, timers,
 //!   application events) shared with the real-time runtime,
+//! * [`dense`] — allocation-light maps/indices for hot per-node state,
 //! * [`medium`] — the pluggable link-model interface,
 //! * [`wheel`] — the hierarchical timer wheel backing the event loop
 //!   (`O(1)` scheduling at any population of pending timers),
@@ -49,6 +50,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod actor;
+pub mod dense;
 pub mod medium;
 pub mod observer;
 pub mod rng;
@@ -72,6 +74,7 @@ pub mod prelude {
 }
 
 pub use actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
+pub use dense::{SlotIndex, TagMap};
 pub use medium::{Fate, FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
 pub use observer::{CountingObserver, NullObserver, Observer, PairObserver};
 pub use rng::SimRng;

@@ -11,9 +11,8 @@
 //! The engine is fully deterministic: two worlds constructed with the same
 //! actors, medium, schedule and seed produce identical executions.
 
-use std::collections::HashMap;
-
 use crate::actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
+use crate::dense::TagMap;
 use crate::medium::{Fate, Medium};
 use crate::observer::Observer;
 use crate::rng::SimRng;
@@ -59,8 +58,9 @@ struct NodeSlot<A> {
     /// Bumped on every crash so stale timer events are discarded.
     epoch: u64,
     /// Per-tag generation counters; a timer event only fires if its recorded
-    /// generation still matches.
-    timers: HashMap<TimerTag, u64>,
+    /// generation still matches. Keyed by the raw tag value in a dense
+    /// open-addressing map — this table is touched on every arm/cancel/fire.
+    timers: TagMap,
     timer_generation: u64,
 }
 
@@ -71,7 +71,7 @@ impl<A> NodeSlot<A> {
             up: true,
             incarnation: 0,
             epoch: 0,
-            timers: HashMap::new(),
+            timers: TagMap::new(),
             timer_generation: 0,
         }
     }
@@ -322,11 +322,11 @@ impl<A: Actor, M: Medium> World<A, M> {
         if !slot.up || slot.epoch != node_epoch {
             return;
         }
-        match slot.timers.get(&tag) {
-            Some(&g) if g == generation => {}
+        match slot.timers.get(tag.0) {
+            Some(g) if g == generation => {}
             _ => return, // re-armed or cancelled since this event was queued
         }
-        slot.timers.remove(&tag);
+        slot.timers.remove(tag.0);
         observer.timer_fired(self.now, node);
         let incarnation = slot.incarnation;
         let mut ctx = Context::new(self.now, node, incarnation);
@@ -424,7 +424,7 @@ impl<A: Actor, M: Medium> World<A, M> {
                     let slot = &mut self.nodes[node.index()];
                     slot.timer_generation += 1;
                     let generation = slot.timer_generation;
-                    slot.timers.insert(tag, generation);
+                    slot.timers.insert(tag.0, generation);
                     let node_epoch = slot.epoch;
                     let fire_at = at.max(self.now);
                     self.push(
@@ -438,7 +438,7 @@ impl<A: Actor, M: Medium> World<A, M> {
                     );
                 }
                 Effect::CancelTimer { tag } => {
-                    self.nodes[node.index()].timers.remove(&tag);
+                    self.nodes[node.index()].timers.remove(tag.0);
                 }
                 Effect::Emit(event) => {
                     observer.event_emitted(self.now, node, &event);

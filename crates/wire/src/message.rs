@@ -262,7 +262,7 @@ impl WireFormat for ServiceMessage {
                 w.put_u64(*incarnation);
                 sent_at.encode_into(w);
                 w.put_u16(announcements.len() as u16);
-                for a in announcements {
+                for a in announcements.iter() {
                     a.encode_into(w);
                 }
             }
@@ -372,11 +372,11 @@ impl WireFormat for ServiceMessage {
                 let sent_at = SimInstant::decode(r)?;
                 let count = r.take_u16()? as usize;
                 // An announcement is at least 6 bytes (group + empty list).
-                let announcements = decode_list(r, count, 6)?;
+                let announcements: Vec<GroupAnnouncement> = decode_list(r, count, 6)?;
                 Ok(ServiceMessage::Hello {
                     incarnation,
                     sent_at,
-                    announcements,
+                    announcements: announcements.into(),
                 })
             }
             TAG_ALIVE => {
@@ -496,7 +496,8 @@ mod tests {
                         group: GroupId(9),
                         processes: Vec::new(),
                     },
-                ],
+                ]
+                .into(),
             },
             ServiceMessage::Alive {
                 group: GroupId(7),

@@ -73,7 +73,8 @@ fn hello_golden_vector() {
                 group: GroupId(7),
                 processes: Vec::new(),
             },
-        ],
+        ]
+        .into(),
     };
     check(
         "HELLO",
