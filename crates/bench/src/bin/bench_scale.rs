@@ -22,19 +22,36 @@
 //!    per-group arenas, the per-node ALIVE tick with batched fan-out and
 //!    the shared monitor arena together.
 //!
+//! A third family runs the same S3 scale-out shapes on the **sharded
+//! parallel simulator** ([`ParWorld`]) at `--sim-workers N`: one `w1` and
+//! one `wN` cell per probe shape, asserted to process *identical* event
+//! counts and agree in every group (the parallel determinism claim), plus
+//! the frontier at `wN`. A ≥1.5× `wN`-over-`w1` speedup sanity check is
+//! enforced only when the machine actually has `N` cores and both cells ran
+//! longer than the wall floor — on fewer cores the numbers are still
+//! recorded, honestly, and the check reports itself skipped.
+//!
 //! The smoke cells are a strict subset of the full cells (same names, same
 //! shapes), so a smoke run can be regression-gated against a checked-in
 //! full-sweep baseline with `--gate-against PATH`: for every cell name the
 //! two runs share, the simulator event-processing throughput
 //! (`events_per_sec`) must not drop more than 15 % below the baseline.
+//! Cells whose wall time sits below [`WALL_FLOOR_NS`] publish
+//! `events_per_sec: null` and are never gate-compared — a sub-floor wall
+//! makes the division garbage.
 //!
-//! Results are written to `BENCH_scale.json` (schema `sle-bench-scale/3`,
+//! Results are written to `BENCH_scale.json` (schema `sle-bench-scale/4`,
 //! documented in `docs/BENCH.md`) so successive PRs leave a perf
-//! trajectory; CI uploads the file as the `bench-scale` artifact.
+//! trajectory; CI uploads the file as the `bench-scale` artifact. Each cell
+//! records its `sim_workers`, nanosecond wall clock and the process's peak
+//! RSS so the speedup and memory axes of the trajectory are
+//! machine-readable too.
 //!
 //! Options: `--smoke` (CI sizes), `--out PATH` (default `BENCH_scale.json`),
-//! `--gate-against PATH` (compare against a baseline JSON, exit 1 on a
-//! >15 % `events_per_sec` regression in any shared cell).
+//! `--gate-against PATH` (compare against a baseline JSON, exit 1 on an
+//! `events_per_sec` regression deeper than 15 % in any shared cell), and
+//! `--sim-workers N` (worker count for the parallel family, default
+//! `min(8, cores)`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -55,6 +72,18 @@ const WINDOW: SimDuration = SimDuration::from_secs(10);
 const DETECTION: SimDuration = SimDuration::from_secs(1);
 /// Maximum tolerated `events_per_sec` drop vs a `--gate-against` baseline.
 const GATE_TOLERANCE: f64 = 0.15;
+/// Below this wall time a cell's `events_per_sec` is published as null:
+/// dividing a few million events by a near-zero wall reading produced
+/// garbage throughput numbers for the tiny growth cells, which the CI gate
+/// then "compared".
+const WALL_FLOOR_NS: u128 = 50_000_000;
+/// Link delay of the parallel cells — the conservative lookahead. The
+/// sequential families keep [`PerfectMedium`] (zero delay) for baseline
+/// continuity; a parallel epoch needs a positive minimum link delay.
+const PAR_LOOKAHEAD: SimDuration = SimDuration::from_millis(1);
+/// Minimum `wN`-over-`w1` throughput ratio on the parallel probe when the
+/// host has at least `N` cores.
+const MIN_PAR_SPEEDUP: f64 = 1.5;
 
 struct Args {
     smoke: bool,
@@ -63,6 +92,8 @@ struct Args {
     /// Ad-hoc single scale cell `nodes,groups,members,window_s,detection_ms`
     /// (replaces the built-in shape lists; for tuning new cells).
     cell: Option<(usize, usize, usize, u64, u64)>,
+    /// Worker count for the parallel-simulator family (and for `--cell`).
+    sim_workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_scale.json".to_string(),
         gate_against: None,
         cell: None,
+        sim_workers: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -101,8 +133,23 @@ fn parse_args() -> Result<Args, String> {
                 };
                 args.cell = Some((n as usize, g as usize, m as usize, w, d));
             }
+            "--sim-workers" => {
+                let n = iter
+                    .next()
+                    .ok_or_else(|| "--sim-workers requires a count".to_string())?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|e| format!("bad --sim-workers {n}: {e}"))?;
+                if n == 0 {
+                    return Err("--sim-workers must be at least 1".to_string());
+                }
+                args.sim_workers = Some(n);
+            }
             "--help" | "-h" => {
-                println!("usage: bench_scale [--smoke] [--out PATH] [--gate-against PATH]");
+                println!(
+                    "usage: bench_scale [--smoke] [--out PATH] [--gate-against PATH] \
+                     [--sim-workers N] [--cell N,G,M,W,D]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -138,15 +185,93 @@ struct Cell {
     events_processed: u64,
     /// Simulator event-processing throughput: `events_processed` over the
     /// cell's wall-clock time (build + settle + window). The quantity the
-    /// `--gate-against` regression gate compares.
-    events_per_sec: f64,
+    /// `--gate-against` regression gate compares. `None` (JSON null) when
+    /// the wall time sat below [`WALL_FLOOR_NS`] — too short to divide by.
+    events_per_sec: Option<f64>,
     /// Groups whose members all agreed on a live leader at the end.
     groups_agreed: usize,
+    /// Monotonic wall clock of the cell, in nanoseconds.
+    wall_ns: u128,
+    /// `wall_ns` rounded to milliseconds, for human eyes and old tooling.
     wall_ms: u128,
+    /// Sim workers that drove the cell: 1 = the sequential `World`,
+    /// >1 = the sharded `ParWorld`.
+    sim_workers: usize,
+    /// Peak resident set of the whole process when the cell finished, in
+    /// MiB (Linux `VmHWM`; `None` where unavailable). Monotonic across the
+    /// sweep, so the largest cell owns the high-water mark.
+    peak_rss_mb: Option<f64>,
     /// Election-latency percentiles from the live histograms: per-node
     /// time from group creation to the first leader announcement.
     election_p50_ms: f64,
     election_p99_ms: f64,
+}
+
+/// Throughput, or `None` below the wall floor (see [`WALL_FLOOR_NS`]).
+fn throughput(events: u64, wall_ns: u128) -> Option<f64> {
+    if wall_ns < WALL_FLOOR_NS {
+        None
+    } else {
+        Some(events as f64 / (wall_ns as f64 / 1e9))
+    }
+}
+
+/// Peak resident set size of this process in MiB, read from
+/// `/proc/self/status` `VmHWM` (Linux-only; `None` elsewhere).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Sums each node's ALIVE payload/datagram counters.
+fn alive_counts<'a>(
+    nodes: usize,
+    actor_of: impl Fn(NodeId) -> Option<&'a ServiceNode>,
+) -> (u64, u64) {
+    let mut payloads = 0;
+    let mut datagrams = 0;
+    for i in 0..nodes {
+        if let Some(actor) = actor_of(NodeId(i as u32)) {
+            payloads += actor.alive_payloads_sent();
+            datagrams += actor.alive_datagrams_sent();
+        }
+    }
+    (payloads, datagrams)
+}
+
+/// Counts the groups whose members all agreed on a common live leader.
+fn count_groups_agreed<'a>(
+    deployment: &Deployment,
+    actor_of: impl Fn(NodeId) -> Option<&'a ServiceNode>,
+) -> usize {
+    let mut groups_agreed = 0;
+    for (g, members) in deployment.groups.iter().enumerate() {
+        let group = GroupId(g as u32 + 1);
+        let mut agreed: Option<ProcessId> = None;
+        let mut ok = true;
+        for &member in members {
+            match actor_of(member).and_then(|a| a.leader_of(group)) {
+                Some(view) => match agreed {
+                    None => agreed = Some(view),
+                    Some(leader) if leader == view => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                },
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && agreed.is_some() {
+            groups_agreed += 1;
+        }
+    }
+    groups_agreed
 }
 
 /// A deployment shape: which workstations are members of which groups.
@@ -239,53 +364,20 @@ fn run_cell(
 
     let mut observer = CountingObserver::new();
     world.run_for(settle, &mut observer);
-    let node_counts = |world: &World<ServiceNode, PerfectMedium>| -> (u64, u64) {
-        let mut payloads = 0;
-        let mut datagrams = 0;
-        for i in 0..world.num_nodes() {
-            if let Some(actor) = world.actor(NodeId(i as u32)) {
-                payloads += actor.alive_payloads_sent();
-                datagrams += actor.alive_datagrams_sent();
-            }
-        }
-        (payloads, datagrams)
-    };
-    let (payloads_before, datagrams_before) = node_counts(&world);
+    let (payloads_before, datagrams_before) =
+        alive_counts(world.num_nodes(), |node| world.actor(node));
     let messages_before = observer.sent;
     let bytes_before = observer.bytes_sent;
 
     world.run_for(window, &mut observer);
-    let (payloads_after, datagrams_after) = node_counts(&world);
+    let (payloads_after, datagrams_after) =
+        alive_counts(world.num_nodes(), |node| world.actor(node));
 
     // Every group must have converged on a common leader among its members.
-    let mut groups_agreed = 0;
-    for (g, members) in deployment.groups.iter().enumerate() {
-        let group = GroupId(g as u32 + 1);
-        let mut agreed: Option<ProcessId> = None;
-        let mut ok = true;
-        for &member in members {
-            match world.actor(member).and_then(|a| a.leader_of(group)) {
-                Some(view) => match agreed {
-                    None => agreed = Some(view),
-                    Some(leader) if leader == view => {}
-                    _ => {
-                        ok = false;
-                        break;
-                    }
-                },
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok && agreed.is_some() {
-            groups_agreed += 1;
-        }
-    }
+    let groups_agreed = count_groups_agreed(deployment, |node| world.actor(node));
 
     let elections = registry.merged_histogram("node.", ".elect.election_ns");
-    let wall_ms = wall.elapsed().as_millis();
+    let wall_ns = wall.elapsed().as_nanos();
     let events_processed = world.events_processed();
     Cell {
         name: name.to_string(),
@@ -302,9 +394,104 @@ fn run_cell(
         messages_total: observer.sent - messages_before,
         bytes_total: observer.bytes_sent - bytes_before,
         events_processed,
-        events_per_sec: events_processed as f64 / (wall_ms.max(1) as f64 / 1000.0),
+        events_per_sec: throughput(events_processed, wall_ns),
         groups_agreed,
-        wall_ms,
+        wall_ns,
+        wall_ms: wall_ns / 1_000_000,
+        sim_workers: 1,
+        peak_rss_mb: peak_rss_mb(),
+        election_p50_ms: elections.percentile_ms(0.50),
+        election_p99_ms: elections.percentile_ms(0.99),
+    }
+}
+
+/// [`run_cell`] on the sharded parallel simulator: same deployment, same
+/// measurements, driven by [`ParWorld`] across `sim_workers` workers over a
+/// [`FixedDelayMedium`] whose delay is the epochs' conservative lookahead.
+/// A given shape replays identically for every `sim_workers` value (same
+/// event count, same agreements) — the cheap end of the determinism claim
+/// the chaos suite checks exhaustively.
+#[allow(clippy::too_many_arguments)]
+fn run_cell_par(
+    name: &str,
+    deployment: &Deployment,
+    algorithm: ElectorKind,
+    seed: u64,
+    settle: SimDuration,
+    window: SimDuration,
+    detection: SimDuration,
+    sim_workers: usize,
+) -> Cell {
+    let wall = Instant::now();
+    let n = deployment.nodes;
+    let deploy::Membership {
+        groups_of,
+        peers_of,
+    } = deploy::membership(n, &deployment.groups);
+
+    let registry = Registry::default();
+    let ring = TraceRing::new(64);
+    let factory: SharedActorFactory<ServiceNode> = Box::new({
+        let registry = registry.clone();
+        move |node, _inc| {
+            let mut config = ServiceConfig::new(node, peers_of[node.index()].clone(), algorithm);
+            let join =
+                JoinConfig::candidate().with_qos(QosSpec::paper_default_with_detection(detection));
+            for &group in &groups_of[node.index()] {
+                config = config.with_auto_join(group, join);
+            }
+            let mut service = ServiceNode::new(config);
+            service.set_instruments(NodeInstruments::new(&registry, ring.clone(), node));
+            service
+        }
+    });
+    let mut world: ParWorld<ServiceNode, FixedDelayMedium> = ParWorld::new(
+        n,
+        sim_workers,
+        factory,
+        FixedDelayMedium::new(PAR_LOOKAHEAD),
+        seed,
+    );
+
+    let mut observers = vec![CountingObserver::new(); world.workers()];
+    world.run_for(settle, &mut observers);
+    let (payloads_before, datagrams_before) =
+        alive_counts(world.num_nodes(), |node| world.actor(node));
+    let messages_before: u64 = observers.iter().map(|o| o.sent).sum();
+    let bytes_before: u64 = observers.iter().map(|o| o.bytes_sent).sum();
+
+    world.run_for(window, &mut observers);
+    let (payloads_after, datagrams_after) =
+        alive_counts(world.num_nodes(), |node| world.actor(node));
+    let messages_after: u64 = observers.iter().map(|o| o.sent).sum();
+    let bytes_after: u64 = observers.iter().map(|o| o.bytes_sent).sum();
+
+    let groups_agreed = count_groups_agreed(deployment, |node| world.actor(node));
+
+    let elections = registry.merged_histogram("node.", ".elect.election_ns");
+    let wall_ns = wall.elapsed().as_nanos();
+    let events_processed = world.events_processed();
+    Cell {
+        name: name.to_string(),
+        algorithm: algorithm_label(algorithm),
+        nodes: n,
+        groups: deployment.groups.len(),
+        processes: deployment.processes(),
+        members_per_group: deployment.groups.first().map(Vec::len).unwrap_or(0),
+        settle,
+        window,
+        detection,
+        alive_payloads: payloads_after - payloads_before,
+        alive_datagrams: datagrams_after - datagrams_before,
+        messages_total: messages_after - messages_before,
+        bytes_total: bytes_after - bytes_before,
+        events_processed,
+        events_per_sec: throughput(events_processed, wall_ns),
+        groups_agreed,
+        wall_ns,
+        wall_ms: wall_ns / 1_000_000,
+        sim_workers: world.workers(),
+        peak_rss_mb: peak_rss_mb(),
         election_p50_ms: elections.percentile_ms(0.50),
         election_p99_ms: elections.percentile_ms(0.99),
     }
@@ -324,10 +511,26 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
+/// `events_per_sec` as a JSON value: a number, or null below the wall floor.
+fn eps_json(eps: Option<f64>) -> String {
+    match eps {
+        Some(v) => format!("{v:.0}"),
+        None => "null".to_string(),
+    }
+}
+
+/// `peak_rss_mb` as a JSON value: a number, or null off-Linux.
+fn rss_json(rss: Option<f64>) -> String {
+    match rss {
+        Some(v) => format!("{v:.1}"),
+        None => "null".to_string(),
+    }
+}
+
 fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/3\",");
+    let _ = writeln!(out, "  \"schema\": \"sle-bench-scale/4\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(
         out,
@@ -341,10 +544,11 @@ fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> Str
             out,
             "    {{\"name\": \"{}\", \"algorithm\": \"{}\", \"nodes\": {}, \"groups\": {}, \
              \"processes\": {}, \"members_per_group\": {}, \"settle_secs\": {}, \
-             \"window_secs\": {}, \"detection_ms\": {}, \"alive_payloads\": {}, \
-             \"alive_datagrams\": {}, \"messages_total\": {}, \"bytes_total\": {}, \
-             \"events_processed\": {}, \"events_per_sec\": {:.0}, \"groups_agreed\": {}, \
-             \"wall_ms\": {}, \"election_p50_ms\": {:.1}, \"election_p99_ms\": {:.1}}}",
+             \"window_secs\": {}, \"detection_ms\": {}, \"sim_workers\": {}, \
+             \"alive_payloads\": {}, \"alive_datagrams\": {}, \"messages_total\": {}, \
+             \"bytes_total\": {}, \"events_processed\": {}, \"events_per_sec\": {}, \
+             \"groups_agreed\": {}, \"wall_ms\": {}, \"wall_ns\": {}, \"peak_rss_mb\": {}, \
+             \"election_p50_ms\": {:.1}, \"election_p99_ms\": {:.1}}}",
             json_escape_free(&cell.name),
             cell.algorithm,
             cell.nodes,
@@ -354,14 +558,17 @@ fn render_json(cells: &[Cell], s2_slope: f64, s3_slope: f64, smoke: bool) -> Str
             cell.settle.as_secs_f64(),
             cell.window.as_secs_f64(),
             cell.detection.as_millis_f64() as u64,
+            cell.sim_workers,
             cell.alive_payloads,
             cell.alive_datagrams,
             cell.messages_total,
             cell.bytes_total,
             cell.events_processed,
-            cell.events_per_sec,
+            eps_json(cell.events_per_sec),
             cell.groups_agreed,
             cell.wall_ms,
+            cell.wall_ns,
+            rss_json(cell.peak_rss_mb),
             cell.election_p50_ms,
             cell.election_p99_ms,
         );
@@ -411,7 +618,10 @@ fn parse_baseline_cells(json: &str) -> Vec<(String, f64)> {
 
 /// Compares this run's cells against a baseline file: every cell name both
 /// runs share must be within [`GATE_TOLERANCE`] of the baseline
-/// `events_per_sec`. Returns `false` (and prints FAIL lines) on regression.
+/// `events_per_sec`. Cells that ran below the wall floor (no throughput
+/// reading) are never compared — the baseline parser likewise skips null
+/// entries, so neither side of the gate ever holds garbage. Returns `false`
+/// (and prints FAIL lines) on regression.
 fn gate_against(cells: &[Cell], path: &str) -> bool {
     let baseline = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -430,17 +640,25 @@ fn gate_against(cells: &[Cell], path: &str) -> bool {
     let mut ok = true;
     let mut compared = 0;
     for cell in cells {
+        let Some(eps) = cell.events_per_sec else {
+            println!(
+                "gate: {} ran below the {} ms wall floor — not compared",
+                cell.name,
+                WALL_FLOOR_NS / 1_000_000
+            );
+            continue;
+        };
         let Some((_, base)) = baseline_cells.iter().find(|(n, _)| n == &cell.name) else {
             continue;
         };
         compared += 1;
         let floor = base * (1.0 - GATE_TOLERANCE);
-        let ratio = cell.events_per_sec / base;
-        if cell.events_per_sec < floor {
+        let ratio = eps / base;
+        if eps < floor {
             eprintln!(
                 "GATE FAIL: {} events_per_sec {:.0} < {:.0} ({}% of baseline {:.0})",
                 cell.name,
-                cell.events_per_sec,
+                eps,
                 floor,
                 (ratio * 100.0) as i64,
                 base
@@ -450,7 +668,7 @@ fn gate_against(cells: &[Cell], path: &str) -> bool {
             println!(
                 "gate: {} events_per_sec {:.0} vs baseline {:.0} ({}%) — ok",
                 cell.name,
-                cell.events_per_sec,
+                eps,
                 base,
                 (ratio * 100.0) as i64
             );
@@ -472,26 +690,47 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
 
     // Ad-hoc tuning mode: run one scale cell and report, no JSON, no gates.
+    // An explicit `--sim-workers N` (any N, 1 included) runs the cell on
+    // the parallel simulator over its fixed-delay lookahead medium, so
+    // `--cell ... --sim-workers 8` vs `--sim-workers 1` measures the
+    // speedup curve of one shape like-for-like; without the flag the cell
+    // runs the sequential sweep configuration (PerfectMedium).
     if let Some((nodes, groups, members, window_secs, detection_ms)) = args.cell {
         let deployment = Deployment::strided(nodes, groups, members);
-        let cell = run_cell(
-            &format!("scale-s3-{nodes}x{groups}x{members}"),
-            &deployment,
-            ElectorKind::OmegaL,
-            0x5CA1E,
-            SETTLE,
-            SimDuration::from_secs(window_secs),
-            SimDuration::from_millis(detection_ms),
-        );
+        let window = SimDuration::from_secs(window_secs);
+        let detection = SimDuration::from_millis(detection_ms);
+        let cell = if let Some(workers) = args.sim_workers {
+            run_cell_par(
+                &format!("par-scale-s3-{nodes}x{groups}x{members}-w{workers}"),
+                &deployment,
+                ElectorKind::OmegaL,
+                0x5CA1E,
+                SETTLE,
+                window,
+                detection,
+                workers,
+            )
+        } else {
+            run_cell(
+                &format!("scale-s3-{nodes}x{groups}x{members}"),
+                &deployment,
+                ElectorKind::OmegaL,
+                0x5CA1E,
+                SETTLE,
+                window,
+                detection,
+            )
+        };
         println!(
-            "{}: procs {} agreed {}/{} events {} ({:.0}/s) wall {} ms p50 {:.1} ms p99 {:.1} ms",
+            "{}: procs {} agreed {}/{} events {} ({}/s) wall {} ms rss {} MiB p50 {:.1} ms p99 {:.1} ms",
             cell.name,
             cell.processes,
             cell.groups_agreed,
             cell.groups,
             cell.events_processed,
-            cell.events_per_sec,
+            eps_json(cell.events_per_sec),
             cell.wall_ms,
+            rss_json(cell.peak_rss_mb),
             cell.election_p50_ms,
             cell.election_p99_ms
         );
@@ -597,14 +836,137 @@ fn main() {
             SimDuration::from_millis(detection_ms),
         );
         println!(
-            "{:<28} {:>6} {:>6} {:>8} {:>14} {:>14} {:>13.0} {:>9} {:>8}",
+            "{:<28} {:>6} {:>6} {:>8} {:>14} {:>14} {:>13} {:>9} {:>8}",
             cell.name,
             cell.nodes,
             cell.groups,
             processes,
             cell.alive_payloads,
             cell.alive_datagrams,
-            cell.events_per_sec,
+            eps_json(cell.events_per_sec),
+            format!("{}/{}", cell.groups_agreed, cell.groups),
+            cell.wall_ms
+        );
+        assert_eq!(
+            cell.groups_agreed, cell.groups,
+            "{}: not every group elected",
+            cell.name
+        );
+        cells.push(cell);
+    }
+
+    // Family 3: the same S3 shapes on the sharded parallel simulator. Each
+    // probe shape runs at w1 and wN — identical event counts and agreement
+    // are asserted (determinism), and the w1→wN throughput ratio is the
+    // speedup the JSON trajectory tracks. The full sweep adds the frontier
+    // at wN. N defaults to min(8, host cores); the speedup sanity check
+    // only bites when the host can actually run N workers in parallel.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let par_workers = args.sim_workers.unwrap_or_else(|| cores.min(8)).max(1);
+    // (nodes, groups, members, window secs, detection ms) probe shapes; the
+    // smoke list is a prefix-by-name of the full list's smoke-sized probe.
+    let par_probe: (usize, usize, usize, u64, u64) = if args.smoke {
+        (200, 200, 5, 10, 1000)
+    } else {
+        (1000, 10000, 10, 5, 2000)
+    };
+    println!(
+        "\nparallel sim: S3 scale-out on ParWorld, {par_workers} sim worker(s), {cores} core(s)"
+    );
+    println!(
+        "{:<34} {:>8} {:>8} {:>13} {:>9} {:>8}",
+        "cell", "workers", "procs", "events/s", "agreed", "wall-ms"
+    );
+    let mut par_pair: Vec<usize> = vec![1];
+    if par_workers > 1 {
+        par_pair.push(par_workers);
+    }
+    let (p_nodes, p_groups, p_members, p_window, p_detection) = par_probe;
+    let mut probe_cells: Vec<Cell> = Vec::new();
+    for &workers in &par_pair {
+        let deployment = Deployment::strided(p_nodes, p_groups, p_members);
+        let cell = run_cell_par(
+            &format!("par-scale-s3-{p_nodes}x{p_groups}x{p_members}-w{workers}"),
+            &deployment,
+            ElectorKind::OmegaL,
+            0x5CA1E,
+            SETTLE,
+            SimDuration::from_secs(p_window),
+            SimDuration::from_millis(p_detection),
+            workers,
+        );
+        println!(
+            "{:<34} {:>8} {:>8} {:>13} {:>9} {:>8}",
+            cell.name,
+            cell.sim_workers,
+            cell.processes,
+            eps_json(cell.events_per_sec),
+            format!("{}/{}", cell.groups_agreed, cell.groups),
+            cell.wall_ms
+        );
+        assert_eq!(
+            cell.groups_agreed, cell.groups,
+            "{}: not every group elected",
+            cell.name
+        );
+        probe_cells.push(cell);
+    }
+    let mut failed = false;
+    if let [w1, wn] = &probe_cells[..] {
+        // The determinism claim, in cheap form: sharding must not change
+        // what the simulation computes, only how fast.
+        assert_eq!(
+            w1.events_processed, wn.events_processed,
+            "parallel probe diverged from the single-worker run"
+        );
+        assert_eq!(w1.groups_agreed, wn.groups_agreed);
+        match (w1.events_per_sec, wn.events_per_sec) {
+            (Some(a), Some(b)) if cores >= wn.sim_workers => {
+                let speedup = b / a;
+                println!(
+                    "parallel speedup: {speedup:.2}x at w{} (floor {MIN_PAR_SPEEDUP}x)",
+                    wn.sim_workers
+                );
+                if speedup < MIN_PAR_SPEEDUP {
+                    eprintln!(
+                        "FAIL: parallel probe speedup {speedup:.2}x < {MIN_PAR_SPEEDUP}x at w{} \
+                         on {cores} cores",
+                        wn.sim_workers
+                    );
+                    failed = true;
+                }
+            }
+            _ => println!(
+                "parallel speedup check skipped ({cores} core(s) < {} workers, or sub-floor wall)",
+                wn.sim_workers
+            ),
+        }
+    }
+    cells.append(&mut probe_cells);
+    if !args.smoke && par_workers > 1 {
+        // The frontier on the parallel driver: the headline cell of the
+        // speedup trajectory.
+        let (nodes, groups, members, window_secs, detection_ms) =
+            (10000, 100000, 10, 5u64, 8000u64);
+        let deployment = Deployment::strided(nodes, groups, members);
+        let cell = run_cell_par(
+            &format!("par-scale-s3-{nodes}x{groups}x{members}-w{par_workers}"),
+            &deployment,
+            ElectorKind::OmegaL,
+            0x5CA1E,
+            SETTLE,
+            SimDuration::from_secs(window_secs),
+            SimDuration::from_millis(detection_ms),
+            par_workers,
+        );
+        println!(
+            "{:<34} {:>8} {:>8} {:>13} {:>9} {:>8}",
+            cell.name,
+            cell.sim_workers,
+            cell.processes,
+            eps_json(cell.events_per_sec),
             format!("{}/{}", cell.groups_agreed, cell.groups),
             cell.wall_ms
         );
@@ -632,7 +994,6 @@ fn main() {
     // S2's O(n²). Generous tolerances keep the check insensitive to the
     // ±1 of "n" vs "n-1" and to settle jitter, while still cleanly
     // separating linear from quadratic growth.
-    let mut failed = false;
     if s2_slope < 1.7 {
         eprintln!("FAIL: S2 growth slope {s2_slope:.2} < 1.7 — expected O(n^2) ALIVE traffic");
         failed = true;
@@ -650,4 +1011,88 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: S3 ALIVE traffic grows O(n), S2 grows O(n^2)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the pinned-percentile bug: every cell used to report
+    /// election_p50_ms 5.9 and election_p99_ms 1518.5 regardless of its
+    /// detection parameter, because log-midpoint interpolation collapsed any
+    /// symmetric bucket population to `bucket_lower * sqrt(2)`. Cells whose
+    /// detection timeouts differ by 8x must report different election
+    /// percentiles.
+    #[test]
+    fn cells_with_different_detection_report_different_percentiles() {
+        let deployment = Deployment::single_group(8);
+        let fast = run_cell(
+            "pctl-fast",
+            &deployment,
+            ElectorKind::OmegaL,
+            7,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(1_000),
+        );
+        let slow = run_cell(
+            "pctl-slow",
+            &deployment,
+            ElectorKind::OmegaL,
+            7,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(8_000),
+        );
+        // The median startup election is a few ms for either detection
+        // bound; the *tail* elections are the ones that ride out a full
+        // grace period, so p99 must track the detection parameter.
+        assert!(
+            (fast.election_p99_ms - slow.election_p99_ms).abs() > 1e-6,
+            "p99 pinned: fast {} == slow {}",
+            fast.election_p99_ms,
+            slow.election_p99_ms
+        );
+        // And within one cell the histogram is not collapsed to a constant.
+        assert!(
+            fast.election_p99_ms > fast.election_p50_ms,
+            "fast cell degenerate: p50 {} p99 {}",
+            fast.election_p50_ms,
+            fast.election_p99_ms
+        );
+    }
+
+    /// The parallel runner agrees with the sequential one on the
+    /// partition-independent aggregates for the same shape.
+    #[test]
+    fn parallel_cell_matches_itself_across_worker_counts() {
+        let deployment = Deployment::strided(24, 6, 4);
+        let w1 = run_cell_par(
+            "par-w1",
+            &deployment,
+            ElectorKind::OmegaL,
+            11,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(1_000),
+            1,
+        );
+        let w4 = run_cell_par(
+            "par-w4",
+            &deployment,
+            ElectorKind::OmegaL,
+            11,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(1_000),
+            4,
+        );
+        assert_eq!(w1.events_processed, w4.events_processed);
+        assert_eq!(w1.groups_agreed, w4.groups_agreed);
+        assert_eq!(w1.groups_agreed, w1.groups, "every group elected");
+        assert_eq!(w1.alive_payloads, w4.alive_payloads);
+        assert_eq!(w1.messages_total, w4.messages_total);
+        assert_eq!(w1.election_p50_ms, w4.election_p50_ms);
+        assert_eq!(w1.election_p99_ms, w4.election_p99_ms);
+    }
 }

@@ -4,14 +4,17 @@
 
 use std::collections::HashMap;
 
-use sle_core::{GroupId, JoinConfig, NodeInstruments, ProcessId, ServiceConfig, ServiceNode};
+use sle_core::{
+    GroupId, JoinConfig, NodeInstruments, ProcessId, ServiceConfig, ServiceEvent, ServiceMessage,
+    ServiceNode,
+};
 use sle_election::ElectorKind;
 use sle_fd::QosSpec;
 use sle_harness::Scenario;
 use sle_net::link::LinkSpec;
 use sle_net::network::{NetworkModel, NetworkStats, SimulatedNetwork};
 use sle_obs::{Registry, Snapshot, TraceRecord, TraceRing};
-use sle_sim::actor::NodeId;
+use sle_sim::actor::{Context, NodeId};
 use sle_sim::time::{SimDuration, SimInstant};
 use sle_sim::world::World;
 
@@ -219,8 +222,76 @@ pub fn run_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     }
 }
 
-fn apply_action(
-    world: &mut World<ServiceNode, SimulatedNetwork>,
+/// A service-node API call routed through a world's effect-processing path.
+pub(crate) type ServiceCall<'a> =
+    Box<dyn FnOnce(&mut ServiceNode, &mut Context<ServiceMessage, ServiceEvent>) + 'a>;
+
+/// The world operations fault injection needs, implemented by the
+/// sequential [`World`] here and by the sharded
+/// [`ParWorld`](sle_sim::par::ParWorld) in [`crate::par`]. Keeping
+/// [`apply_action`] and the end-of-run helpers generic over this trait is
+/// what guarantees both drivers inject *exactly* the same faults under the
+/// same no-op discipline.
+pub(crate) trait EngineWorld {
+    fn now(&self) -> SimInstant;
+    fn num_nodes(&self) -> usize;
+    fn is_up(&self, node: NodeId) -> bool;
+    fn service(&self, node: NodeId) -> Option<&ServiceNode>;
+    fn schedule_crash(&mut self, node: NodeId, at: SimInstant);
+    fn schedule_recovery(&mut self, node: NodeId, at: SimInstant);
+    fn with_service(&mut self, node: NodeId, recorder: &mut TraceRecorder, f: ServiceCall<'_>);
+    fn partition_matches(&mut self, components: &[Vec<NodeId>]) -> bool;
+    fn set_partition(&mut self, components: &[Vec<NodeId>]);
+    fn is_partitioned(&mut self) -> bool;
+    fn heal_partition(&mut self);
+    fn default_link(&mut self) -> LinkSpec;
+    fn set_default_link(&mut self, spec: LinkSpec);
+}
+
+impl EngineWorld for World<ServiceNode, SimulatedNetwork> {
+    fn now(&self) -> SimInstant {
+        World::now(self)
+    }
+    fn num_nodes(&self) -> usize {
+        World::num_nodes(self)
+    }
+    fn is_up(&self, node: NodeId) -> bool {
+        World::is_up(self, node)
+    }
+    fn service(&self, node: NodeId) -> Option<&ServiceNode> {
+        self.actor(node)
+    }
+    fn schedule_crash(&mut self, node: NodeId, at: SimInstant) {
+        World::schedule_crash(self, node, at);
+    }
+    fn schedule_recovery(&mut self, node: NodeId, at: SimInstant) {
+        World::schedule_recovery(self, node, at);
+    }
+    fn with_service(&mut self, node: NodeId, recorder: &mut TraceRecorder, f: ServiceCall<'_>) {
+        self.with_actor(node, recorder, f);
+    }
+    fn partition_matches(&mut self, components: &[Vec<NodeId>]) -> bool {
+        self.medium_mut().partition_matches(components)
+    }
+    fn set_partition(&mut self, components: &[Vec<NodeId>]) {
+        self.medium_mut().set_partition(components);
+    }
+    fn is_partitioned(&mut self) -> bool {
+        self.medium_mut().is_partitioned()
+    }
+    fn heal_partition(&mut self) {
+        self.medium_mut().heal_partition();
+    }
+    fn default_link(&mut self) -> LinkSpec {
+        self.medium_mut().model().default_link()
+    }
+    fn set_default_link(&mut self, spec: LinkSpec) {
+        self.medium_mut().set_default_link(spec);
+    }
+}
+
+pub(crate) fn apply_action<W: EngineWorld>(
+    world: &mut W,
     recorder: &mut TraceRecorder,
     action: &FaultAction,
     qos: QosSpec,
@@ -249,25 +320,33 @@ fn apply_action(
             // window in which real violations would be excused.
             if is_member(world, *node) {
                 recorder.mark(now, TraceEventKind::Left { node: *node });
-                world.with_actor(*node, recorder, |actor, ctx| {
-                    for process in actor.local_members_of(CHAOS_GROUP) {
-                        let _ = actor.leave_group(process, CHAOS_GROUP, ctx);
-                    }
-                });
+                world.with_service(
+                    *node,
+                    recorder,
+                    Box::new(|actor, ctx| {
+                        for process in actor.local_members_of(CHAOS_GROUP) {
+                            let _ = actor.leave_group(process, CHAOS_GROUP, ctx);
+                        }
+                    }),
+                );
             }
         }
         FaultAction::Join(node) => {
             if node.index() < world.num_nodes() && world.is_up(*node) && !is_member(world, *node) {
                 recorder.mark(now, TraceEventKind::Joined { node: *node });
-                world.with_actor(*node, recorder, move |actor, ctx| {
-                    let process = actor.register_process();
-                    let _ = actor.join_group(
-                        process,
-                        CHAOS_GROUP,
-                        JoinConfig::candidate().with_qos(qos),
-                        ctx,
-                    );
-                });
+                world.with_service(
+                    *node,
+                    recorder,
+                    Box::new(move |actor, ctx| {
+                        let process = actor.register_process();
+                        let _ = actor.join_group(
+                            process,
+                            CHAOS_GROUP,
+                            JoinConfig::candidate().with_qos(qos),
+                            ctx,
+                        );
+                    }),
+                );
             }
         }
         FaultAction::SpawnProcess(node) => {
@@ -279,61 +358,65 @@ fn apply_action(
                 if !is_member(world, *node) {
                     recorder.mark(now, TraceEventKind::Joined { node: *node });
                 }
-                world.with_actor(*node, recorder, move |actor, ctx| {
-                    let process = actor.register_process();
-                    let _ = actor.join_group(
-                        process,
-                        CHAOS_GROUP,
-                        JoinConfig::candidate().with_qos(qos),
-                        ctx,
-                    );
-                });
+                world.with_service(
+                    *node,
+                    recorder,
+                    Box::new(move |actor, ctx| {
+                        let process = actor.register_process();
+                        let _ = actor.join_group(
+                            process,
+                            CHAOS_GROUP,
+                            JoinConfig::candidate().with_qos(qos),
+                            ctx,
+                        );
+                    }),
+                );
             }
         }
         FaultAction::Partition(components) => {
             // The same no-op rule as churn: re-applying the partition the
             // network is already in must not mark a disruption.
-            if !world.medium_mut().partition_matches(components) {
+            if !world.partition_matches(components) {
                 recorder.mark(
                     now,
                     TraceEventKind::Partitioned {
                         components: components.clone(),
                     },
                 );
-                world.medium_mut().set_partition(components);
+                world.set_partition(components);
             }
         }
         FaultAction::Heal => {
-            if world.medium_mut().is_partitioned() {
+            if world.is_partitioned() {
                 recorder.mark(now, TraceEventKind::Healed);
-                world.medium_mut().heal_partition();
+                world.heal_partition();
             }
         }
         FaultAction::SetLink(spec) => {
-            if world.medium_mut().model().default_link() != *spec {
+            if world.default_link() != *spec {
                 recorder.mark(now, TraceEventKind::LinkChanged);
-                world.medium_mut().set_default_link(*spec);
+                world.set_default_link(*spec);
             }
         }
     }
 }
 
 /// Whether `node` is up and currently has processes in the chaos group.
-fn is_member(world: &World<ServiceNode, SimulatedNetwork>, node: NodeId) -> bool {
+pub(crate) fn is_member<W: EngineWorld>(world: &W, node: NodeId) -> bool {
     node.index() < world.num_nodes()
         && world
-            .actor(node)
+            .service(node)
             .map(|actor| !actor.local_members_of(CHAOS_GROUP).is_empty())
             .unwrap_or(false)
 }
 
 /// The node most up instances currently consider the leader's host (ties
 /// broken towards the smallest id, so resolution is deterministic).
-fn majority_leader_node(world: &World<ServiceNode, SimulatedNetwork>) -> Option<NodeId> {
+pub(crate) fn majority_leader_node<W: EngineWorld>(world: &W) -> Option<NodeId> {
     let mut votes: HashMap<NodeId, usize> = HashMap::new();
     for index in 0..world.num_nodes() {
         let node = NodeId(index as u32);
-        if let Some(actor) = world.actor(node) {
+        if let Some(actor) = world.service(node) {
             if let Some(leader) = actor.leader_of(CHAOS_GROUP) {
                 if world.is_up(leader.node) {
                     *votes.entry(leader.node).or_insert(0) += 1;
@@ -348,12 +431,12 @@ fn majority_leader_node(world: &World<ServiceNode, SimulatedNetwork>) -> Option<
 }
 
 /// The leader all up nodes agree on at the end of a run, if any.
-fn agreed_final_leader(world: &World<ServiceNode, SimulatedNetwork>) -> Option<ProcessId> {
+pub(crate) fn agreed_final_leader<W: EngineWorld>(world: &W) -> Option<ProcessId> {
     let mut agreed: Option<ProcessId> = None;
     let mut seen = false;
     for index in 0..world.num_nodes() {
         let node = NodeId(index as u32);
-        let Some(actor) = world.actor(node) else {
+        let Some(actor) = world.service(node) else {
             continue;
         };
         if actor.local_members_of(CHAOS_GROUP).is_empty() {

@@ -51,6 +51,7 @@
 pub mod convert;
 pub mod engine;
 pub mod invariants;
+pub mod par;
 pub mod plan;
 pub mod shrink;
 pub mod sweep;
@@ -59,6 +60,7 @@ pub mod trace;
 pub use convert::{convert_record, convert_trace};
 pub use engine::{run_plan, ChaosConfig, ChaosReport, CHAOS_GROUP};
 pub use invariants::{check_trace, InvariantSpec, Violation, ViolationKind};
+pub use par::run_plan_parallel;
 pub use plan::{link_to_code, FaultAction, FaultPlan, PlanKind, TimedAction};
 pub use shrink::{shrink_plan, Shrunk};
 pub use sweep::{

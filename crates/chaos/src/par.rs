@@ -1,0 +1,328 @@
+//! The parallel chaos driver: [`run_plan`](crate::run_plan) semantics on the
+//! sharded [`ParWorld`] simulator.
+//!
+//! [`run_plan_parallel`] runs a fault plan across `workers` sim workers and
+//! produces a [`ChaosReport`] whose every field is **independent of the
+//! worker count**: the same `(config, plan)` pair yields identical traces,
+//! violations, network counters, metrics and protocol traces for
+//! `workers` ∈ {1, 2, 8, …}. Determinism rests on three pillars:
+//!
+//! * `ParWorld` executes events in a canonical, partition-independent order
+//!   (see [`sle_sim::par`]), so the per-node event histories match for any
+//!   sharding;
+//! * per-shard trace recorders are merged by a stable sort on
+//!   `(time, node)` — simultaneous events of one node stay in their
+//!   canonical order because one node always lives on exactly one shard;
+//! * the shared protocol-trace ring is drained and re-sequenced the same
+//!   way, so ring sequence numbers do not leak scheduling order.
+//!
+//! Lookahead comes from the link model's minimum delay
+//! ([`LinkSpec::with_min_delay`](sle_net::link::LinkSpec::with_min_delay)):
+//! with a zero floor (the paper's exponential delays) `ParWorld` falls back
+//! to sequential canonical-order execution, still deterministic, just
+//! without parallel speedup.
+
+use sle_core::{JoinConfig, ServiceConfig, ServiceNode};
+use sle_net::link::LinkSpec;
+use sle_net::network::{NetworkModel, NetworkStats, SimulatedNetwork};
+use sle_obs::{Registry, TraceDrain, TraceRing};
+use sle_sim::actor::NodeId;
+use sle_sim::par::{ParWorld, SharedActorFactory};
+use sle_sim::time::SimInstant;
+
+use crate::engine::{agreed_final_leader, apply_action, EngineWorld, ServiceCall, CHAOS_GROUP};
+use crate::engine::{ChaosConfig, ChaosReport};
+use crate::invariants::{check_trace, InvariantSpec};
+use crate::plan::FaultPlan;
+use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
+
+/// Protocol-trace ring capacity for parallel runs. Sized so a typical run
+/// never wraps: as long as fewer events than this are pushed, every slot is
+/// written at most once, drains lose nothing, and the re-sequenced trace is
+/// bit-identical for every worker count. An overflowing run drops its
+/// oldest events nondeterministically (the drain reports how many).
+const PAR_PROTO_TRACE_CAPACITY: usize = 1 << 16;
+
+impl EngineWorld for ParWorld<ServiceNode, SimulatedNetwork> {
+    fn now(&self) -> SimInstant {
+        ParWorld::now(self)
+    }
+    fn num_nodes(&self) -> usize {
+        ParWorld::num_nodes(self)
+    }
+    fn is_up(&self, node: NodeId) -> bool {
+        ParWorld::is_up(self, node)
+    }
+    fn service(&self, node: NodeId) -> Option<&ServiceNode> {
+        self.actor(node)
+    }
+    fn schedule_crash(&mut self, node: NodeId, at: SimInstant) {
+        ParWorld::schedule_crash(self, node, at);
+    }
+    fn schedule_recovery(&mut self, node: NodeId, at: SimInstant) {
+        ParWorld::schedule_recovery(self, node, at);
+    }
+    fn with_service(&mut self, node: NodeId, recorder: &mut TraceRecorder, f: ServiceCall<'_>) {
+        self.with_actor(node, recorder, f);
+    }
+    fn partition_matches(&mut self, components: &[Vec<NodeId>]) -> bool {
+        self.media()
+            .next()
+            .expect("a world has at least one shard")
+            .partition_matches(components)
+    }
+    fn set_partition(&mut self, components: &[Vec<NodeId>]) {
+        self.for_each_medium(|medium| medium.set_partition(components));
+    }
+    fn is_partitioned(&mut self) -> bool {
+        self.media()
+            .next()
+            .expect("a world has at least one shard")
+            .is_partitioned()
+    }
+    fn heal_partition(&mut self) {
+        self.for_each_medium(SimulatedNetwork::heal_partition);
+    }
+    fn default_link(&mut self) -> LinkSpec {
+        self.media()
+            .next()
+            .expect("a world has at least one shard")
+            .model()
+            .default_link()
+    }
+    fn set_default_link(&mut self, spec: LinkSpec) {
+        self.for_each_medium(|medium| medium.set_default_link(spec));
+    }
+}
+
+/// Runs `plan` under `config` on `workers` sim workers and checks the
+/// invariants over the merged trace.
+///
+/// Deterministic *across worker counts*: the same `(config, plan)` pair
+/// produces the same report for any `workers` value (clamped to the node
+/// count). Note the report is not expected to equal the sequential
+/// [`run_plan`](crate::run_plan)'s byte-for-byte — the parallel simulator
+/// orders simultaneous events canonically and draws per-node RNG streams —
+/// but it satisfies the same invariants against the same fault schedule.
+pub fn run_plan_parallel(config: &ChaosConfig, plan: &FaultPlan, workers: usize) -> ChaosReport {
+    let n = config.nodes;
+    let algorithm = config.algorithm;
+    let qos = config.qos;
+    let network = NetworkModel::new(config.link).build(config.seed.wrapping_add(1));
+    let registry = Registry::default();
+    let ring = TraceRing::new(PAR_PROTO_TRACE_CAPACITY);
+    let factory: SharedActorFactory<ServiceNode> = Box::new({
+        let registry = registry.clone();
+        let ring = ring.clone();
+        move |node, _incarnation| {
+            let config = ServiceConfig::full_mesh(node, n, algorithm)
+                .with_auto_join(CHAOS_GROUP, JoinConfig::candidate().with_qos(qos));
+            let mut service = ServiceNode::new(config);
+            service.set_instruments(sle_core::NodeInstruments::new(
+                &registry,
+                ring.clone(),
+                node,
+            ));
+            service
+        }
+    });
+    let mut world: ParWorld<ServiceNode, SimulatedNetwork> =
+        ParWorld::new(n, workers.max(1), factory, network, config.seed);
+    let workers = world.workers();
+    let mut recorders: Vec<TraceRecorder> = (0..workers)
+        .map(|_| TraceRecorder::new(CHAOS_GROUP).with_proto_mirror(ring.clone()))
+        .collect();
+    // Engine-level marks and API-call emissions get their own recorder,
+    // always appended *after* the shard recorders in the merge, so
+    // same-instant ties between simulated events and injections resolve
+    // identically for every worker count.
+    let mut engine = TraceRecorder::new(CHAOS_GROUP).with_proto_mirror(ring.clone());
+    for timed in plan.actions() {
+        world.run_until(timed.at, &mut recorders);
+        apply_action(&mut world, &mut engine, &timed.action, qos);
+    }
+    // Same run-extension rule as the sequential engine: late hand-written
+    // actions still get their full quiet tail.
+    let end = match plan.last_action_at() {
+        Some(last) => config.end().max(last + config.settle + config.settle),
+        None => config.end(),
+    };
+    world.run_until(end, &mut recorders);
+
+    let final_leader = agreed_final_leader(&world);
+    let mut network = NetworkStats::default();
+    for medium in world.media() {
+        network.merge(&medium.stats());
+    }
+    let events_processed = world.events_processed();
+    let trace = merge_traces(recorders, engine);
+    let spec = InvariantSpec {
+        algorithm,
+        nodes: n,
+        qos,
+        settle: config.settle,
+        end,
+    };
+    let violations = check_trace(&trace, &spec);
+    network.publish(&registry, "sim.net");
+    let proto = drain_canonical(&ring);
+    ChaosReport {
+        violations,
+        trace,
+        network,
+        final_leader,
+        events_processed,
+        metrics: registry.snapshot(),
+        proto_trace: proto.events,
+        proto_dropped: proto.dropped,
+    }
+}
+
+/// Merges per-shard recorders (plus the engine's) into one chronological
+/// trace. The sort is stable over the concatenation `shard 0, shard 1, …,
+/// engine`, and a node's events all come from its one home shard, so
+/// same-instant events of one node keep their canonical execution order no
+/// matter how nodes were sharded.
+fn merge_traces(recorders: Vec<TraceRecorder>, engine: TraceRecorder) -> Vec<TraceEvent> {
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    for recorder in recorders {
+        trace.extend(recorder.into_events());
+    }
+    trace.extend(engine.into_events());
+    trace.sort_by_key(|event| (event.at, trace_node_key(&event.kind)));
+    trace
+}
+
+/// The node a trace event concerns, as a sort key; network-wide events
+/// (which only the engine recorder emits) sort after per-node ties.
+fn trace_node_key(kind: &TraceEventKind) -> u32 {
+    match kind {
+        TraceEventKind::View { node, .. }
+        | TraceEventKind::Crashed { node }
+        | TraceEventKind::Recovered { node }
+        | TraceEventKind::Left { node }
+        | TraceEventKind::Joined { node } => node.0,
+        TraceEventKind::Partitioned { .. }
+        | TraceEventKind::Healed
+        | TraceEventKind::LinkChanged => u32::MAX,
+    }
+}
+
+/// Drains the shared protocol ring into canonical order: sorted by
+/// `(time, node, push order)` and re-sequenced from zero. Pushes from one
+/// node always happen on its home shard's thread in canonical execution
+/// order, so the per-`(time, node)` tie-break by original (monotonic per
+/// thread) sequence number is worker-count independent.
+fn drain_canonical(ring: &TraceRing) -> TraceDrain {
+    let mut drain = ring.drain();
+    drain
+        .events
+        .sort_by_key(|record| (record.at, record.node.0, record.seq));
+    for (seq, record) in drain.events.iter_mut().enumerate() {
+        record.seq = seq as u64;
+    }
+    drain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultAction, PlanKind};
+    use sle_election::ElectorKind;
+    use sle_sim::time::SimDuration;
+
+    /// A chaos link with a 1 ms delivery floor: positive lookahead, so the
+    /// epoch (truly parallel) driver engages.
+    fn floored_link() -> LinkSpec {
+        LinkSpec::from_paper_tuple(10.0, 0.01).with_min_delay(SimDuration::from_millis(1))
+    }
+
+    fn assert_reports_equal(a: &ChaosReport, b: &ChaosReport, what: &str) {
+        assert_eq!(
+            a.events_processed, b.events_processed,
+            "{what}: event counts"
+        );
+        assert_eq!(a.trace, b.trace, "{what}: traces");
+        assert_eq!(a.violations, b.violations, "{what}: verdicts");
+        assert_eq!(a.network, b.network, "{what}: network counters");
+        assert_eq!(a.final_leader, b.final_leader, "{what}: final leader");
+        assert_eq!(a.metrics, b.metrics, "{what}: metrics snapshots");
+        assert_eq!(a.proto_trace, b.proto_trace, "{what}: protocol traces");
+        assert_eq!(a.proto_dropped, b.proto_dropped, "{what}: proto drops");
+    }
+
+    #[test]
+    fn worker_counts_produce_identical_reports_under_churn() {
+        let config = ChaosConfig::new(ElectorKind::OmegaLc, 8)
+            .with_link(floored_link())
+            .with_duration(SimDuration::from_secs(12));
+        let plan = PlanKind::LeaderChurn.generate(8, config.duration, config.link, config.seed);
+        let base = run_plan_parallel(&config, &plan, 1);
+        assert_eq!(base.proto_dropped, 0, "ring overflowed; grow the capacity");
+        assert!(base.events_processed > 0);
+        // Identical agreed-leader histories: the View events are part of
+        // the trace compared below, and the final agreement matches too.
+        for workers in [2, 8] {
+            let run = run_plan_parallel(&config, &plan, workers);
+            assert_reports_equal(&base, &run, &format!("workers=1 vs {workers}"));
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_falls_back_and_matches_single_worker() {
+        // The paper's exponential link has no delivery floor: lookahead is
+        // zero and the parallel driver degrades to sequential canonical
+        // order — the reports must still match across worker counts.
+        let config =
+            ChaosConfig::new(ElectorKind::OmegaL, 4).with_duration(SimDuration::from_secs(12));
+        let plan = FaultPlan::new("crash-one").at(
+            6.0,
+            FaultAction::CrashLeader {
+                down_for: SimDuration::from_secs(3),
+            },
+        );
+        let a = run_plan_parallel(&config, &plan, 1);
+        let b = run_plan_parallel(&config, &plan, 4);
+        assert_reports_equal(&a, &b, "zero-lookahead workers=1 vs 4");
+        assert!(a.ok(), "{:?}", a.violations);
+    }
+
+    #[test]
+    fn a_quiet_parallel_run_upholds_every_invariant_for_every_service() {
+        for algorithm in ElectorKind::all() {
+            let config = ChaosConfig::new(algorithm, 4)
+                .with_link(floored_link())
+                .with_duration(SimDuration::from_secs(15));
+            let report = run_plan_parallel(&config, &FaultPlan::quiet(), 4);
+            assert!(report.ok(), "{algorithm}: {:?}", report.violations);
+            assert!(report.final_leader.is_some(), "{algorithm}: no leader");
+            assert!(report.events_processed > 0);
+        }
+    }
+
+    #[test]
+    fn partitions_reach_every_shard_clone() {
+        let config = ChaosConfig::new(ElectorKind::OmegaLc, 6)
+            .with_link(floored_link())
+            .with_duration(SimDuration::from_secs(18));
+        let plan = FaultPlan::new("split-then-heal")
+            .at(
+                6.0,
+                FaultAction::Partition(vec![
+                    vec![NodeId(0), NodeId(1), NodeId(2)],
+                    vec![NodeId(3), NodeId(4), NodeId(5)],
+                ]),
+            )
+            .at(12.0, FaultAction::Heal);
+        let report = run_plan_parallel(&config, &plan, 3);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(
+            report.network.partitioned > 0,
+            "the partition must drop traffic on every shard's medium clone"
+        );
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Healed)));
+    }
+}

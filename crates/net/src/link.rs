@@ -36,6 +36,11 @@ pub struct LinkSpec {
     /// added to every delivered copy, independently per copy — on links with
     /// small base delay this is what makes messages overtake each other.
     jitter: SimDuration,
+    /// Additive delay floor: every delivered copy takes at least this long
+    /// on top of its sampled delay. A positive floor is the *lookahead* a
+    /// conservative parallel simulation needs (see `sle_sim::par`); the
+    /// default is zero, which preserves the paper's pure-exponential model.
+    min_delay: SimDuration,
 }
 
 impl LinkSpec {
@@ -54,6 +59,7 @@ impl LinkSpec {
             loss_probability,
             duplicate_probability: 0.0,
             jitter: SimDuration::ZERO,
+            min_delay: SimDuration::ZERO,
         }
     }
 
@@ -91,6 +97,14 @@ impl LinkSpec {
         self
     }
 
+    /// Sets an additive delay floor: every delivered copy takes at least
+    /// `floor` plus its sampled exponential delay (and jitter). A positive
+    /// floor gives the parallel simulation driver a non-zero lookahead.
+    pub fn with_min_delay(mut self, floor: SimDuration) -> Self {
+        self.min_delay = floor;
+        self
+    }
+
     /// Convenience constructor from `(mean delay in ms, loss probability)`,
     /// matching the `(D, p_L)` tuples used throughout the paper's figures.
     pub fn from_paper_tuple(mean_delay_ms: f64, loss_probability: f64) -> Self {
@@ -120,8 +134,13 @@ impl LinkSpec {
         self.jitter
     }
 
+    /// The additive delay floor of every delivered copy.
+    pub fn min_delay(&self) -> SimDuration {
+        self.min_delay
+    }
+
     fn sample_delay(&self, rng: &mut SimRng) -> SimDuration {
-        let base = rng.exponential(self.mean_delay);
+        let base = self.min_delay + rng.exponential(self.mean_delay);
         if self.jitter.is_zero() {
             base
         } else {
@@ -361,6 +380,27 @@ mod tests {
         let spec = LinkSpec::from_paper_tuple(100.0, 0.1);
         assert_eq!(spec.duplicate_probability(), 0.0);
         assert_eq!(spec.jitter(), SimDuration::ZERO);
+        assert_eq!(spec.min_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_delay_floors_every_delivered_copy() {
+        let floor = SimDuration::from_millis(2);
+        let spec = LinkSpec::lossy(SimDuration::from_millis(5), 0.0)
+            .with_min_delay(floor)
+            .with_duplication(1.0)
+            .with_jitter(SimDuration::from_millis(1));
+        assert_eq!(spec.min_delay(), floor);
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            match spec.sample_fate(&mut rng) {
+                Fate::DeliverTwice { first, second } => {
+                    assert!(first >= floor, "first copy {first} under the floor");
+                    assert!(second >= floor, "second copy {second} under the floor");
+                }
+                other => panic!("expected duplication, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -99,6 +99,18 @@ impl NetworkModel {
         self.severed.get(&(from, to)).copied().unwrap_or(false)
     }
 
+    /// The minimum delay any delivered message can experience on any link:
+    /// the smallest [`LinkSpec::min_delay`] across the default link and all
+    /// per-link overrides. This is the conservative lookahead bound the
+    /// parallel simulation driver queries through
+    /// [`Medium::min_delay`].
+    pub fn min_delay(&self) -> sle_sim::time::SimDuration {
+        self.overrides
+            .values()
+            .map(LinkSpec::min_delay)
+            .fold(self.default_link.min_delay(), |acc, d| acc.min(d))
+    }
+
     /// Instantiates the runtime state for this model, ready to be handed to a
     /// [`World`](sle_sim::world::World). `seed` controls the per-link outage
     /// processes and is independent from the world's message-level seed.
@@ -106,7 +118,7 @@ impl NetworkModel {
         SimulatedNetwork {
             model: self,
             outages: HashMap::new(),
-            outage_rng: SimRng::seed_from(seed),
+            outage_seed: seed,
             stats: NetworkStats::default(),
             partition: None,
         }
@@ -171,6 +183,19 @@ impl NetworkStats {
         set("delivered_bytes", self.delivered_bytes);
     }
 
+    /// Adds another counter set into this one, field by field — how the
+    /// parallel simulation driver folds the per-shard network clones into
+    /// one whole-run snapshot.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.offered += other.offered;
+        self.lost += other.lost;
+        self.blocked += other.blocked;
+        self.partitioned += other.partitioned;
+        self.delivered += other.delivered;
+        self.duplicated += other.duplicated;
+        self.delivered_bytes += other.delivered_bytes;
+    }
+
     /// Accounts for a link-level fate: loss, delivery, or duplication of a
     /// `wire_bytes`-byte message (blocked/partitioned drops are counted at
     /// their own call sites, before a link fate is ever sampled).
@@ -197,7 +222,14 @@ impl NetworkStats {
 pub struct SimulatedNetwork {
     model: NetworkModel,
     outages: HashMap<(NodeId, NodeId), LinkOutageState>,
-    outage_rng: SimRng,
+    /// Base seed of the per-link outage streams. Each link's stream is
+    /// derived *purely* from `(outage_seed, from, to)` — never from a
+    /// shared, mutating RNG — so the streams are independent of the order
+    /// in which links are first queried. The parallel simulation driver
+    /// relies on this: every shard holds a clone of this network and must
+    /// see identical outage processes regardless of which links it happens
+    /// to query.
+    outage_seed: u64,
     stats: NetworkStats,
     /// Active partition: component id per node. `None` means the network is
     /// whole. Nodes absent from the map are isolated (every message to or
@@ -281,12 +313,16 @@ impl SimulatedNetwork {
         let Some(crash_spec) = self.model.crash_spec else {
             return true;
         };
-        let rng = &mut self.outage_rng;
+        let outage_seed = self.outage_seed;
         let state = self.outages.entry((from, to)).or_insert_with(|| {
-            // Label the fork with the link endpoints so the assignment of
-            // RNG streams to links does not depend on first-use order.
+            // Derive the link's stream purely from the seed and the link
+            // endpoints (splitmix64-style finalizer), so neither first-use
+            // order nor queries on other links perturb it.
             let label = ((from.0 as u64) << 32) | to.0 as u64;
-            LinkOutageState::new(crash_spec, rng.fork(label))
+            let mut z = outage_seed ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            LinkOutageState::new(crash_spec, SimRng::seed_from(z ^ (z >> 31)))
         });
         state.is_up_at(now)
     }
@@ -324,6 +360,10 @@ impl Medium for SimulatedNetwork {
         let fate = self.model.link(from, to).sample_fate(rng);
         self.stats.record_fate(fate, wire_bytes);
         fate
+    }
+
+    fn min_delay(&self) -> sle_sim::time::SimDuration {
+        self.model.min_delay()
     }
 }
 
@@ -530,6 +570,76 @@ mod tests {
             snapshot.get("sim.net.delivered"),
             Some(&sle_obs::MetricValue::Gauge(10))
         );
+    }
+
+    #[test]
+    fn model_min_delay_is_the_floor_over_all_links() {
+        let base =
+            LinkSpec::from_paper_tuple(10.0, 0.0).with_min_delay(SimDuration::from_millis(2));
+        let model = NetworkModel::new(base);
+        assert_eq!(model.min_delay(), SimDuration::from_millis(2));
+        // An override with a smaller floor drags the bound down.
+        let model = model.with_link(
+            NodeId(0),
+            NodeId(1),
+            LinkSpec::perfect().with_min_delay(SimDuration::from_millis(1)),
+        );
+        assert_eq!(model.min_delay(), SimDuration::from_millis(1));
+        // An override with *no* floor collapses it to zero.
+        let model = model.with_link(NodeId(1), NodeId(2), LinkSpec::perfect());
+        assert_eq!(model.min_delay(), SimDuration::ZERO);
+        // The Medium view agrees.
+        let net = model.build(1);
+        assert_eq!(Medium::min_delay(&net), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outage_streams_are_independent_of_query_order() {
+        let model = NetworkModel::perfect().with_link_crashes(LinkCrashSpec::new(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        ));
+        // One clone queries (0->1) first, the other (1->0) first; afterwards
+        // both must agree on every link at every instant.
+        let mut a = model.clone().build(42);
+        let mut b = model.build(42);
+        let t0 = SimInstant::ZERO;
+        a.link_up_at(t0, NodeId(0), NodeId(1));
+        b.link_up_at(t0, NodeId(1), NodeId(0));
+        for i in 0..10_000u64 {
+            let t = SimInstant::ZERO + SimDuration::from_millis(i * 10);
+            assert_eq!(
+                a.link_up_at(t, NodeId(0), NodeId(1)),
+                b.link_up_at(t, NodeId(0), NodeId(1)),
+                "link 0->1 diverged at {t}"
+            );
+            assert_eq!(
+                a.link_up_at(t, NodeId(1), NodeId(0)),
+                b.link_up_at(t, NodeId(1), NodeId(0)),
+                "link 1->0 diverged at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let mut a = NetworkStats {
+            offered: 1,
+            lost: 2,
+            blocked: 3,
+            partitioned: 4,
+            delivered: 5,
+            duplicated: 6,
+            delivered_bytes: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.offered, 2);
+        assert_eq!(a.lost, 4);
+        assert_eq!(a.blocked, 6);
+        assert_eq!(a.partitioned, 8);
+        assert_eq!(a.delivered, 10);
+        assert_eq!(a.duplicated, 12);
+        assert_eq!(a.delivered_bytes, 14);
     }
 
     #[test]

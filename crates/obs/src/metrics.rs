@@ -102,6 +102,7 @@ struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    bucket_sums: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 /// A fixed log2-bucket histogram of `u64` samples.
@@ -171,6 +172,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            bucket_sums: std::array::from_fn(|_| AtomicU64::new(0)),
         }))
     }
 
@@ -180,7 +182,9 @@ impl Histogram {
         let inner = &self.0;
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(value, Ordering::Relaxed);
-        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let i = bucket_index(value);
+        inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        inner.bucket_sums[i].fetch_add(value, Ordering::Relaxed);
     }
 
     /// Records a duration as whole nanoseconds.
@@ -201,6 +205,7 @@ impl Histogram {
             count: inner.count.load(Ordering::Relaxed),
             sum: inner.sum.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| inner.buckets[i].load(Ordering::Relaxed)),
+            bucket_sums: std::array::from_fn(|i| inner.bucket_sums[i].load(Ordering::Relaxed)),
         }
     }
 
@@ -219,6 +224,10 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Per-bucket sample counts; see [`bucket_lower`] / [`bucket_upper`].
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Per-bucket sums of the recorded samples (wrapping on overflow).
+    /// These anchor percentile interpolation to where the bucket's samples
+    /// actually sit, instead of assuming a fixed within-bucket distribution.
+    pub bucket_sums: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for HistogramSnapshot {
@@ -234,6 +243,7 @@ impl HistogramSnapshot {
             count: 0,
             sum: 0,
             buckets: [0; HISTOGRAM_BUCKETS],
+            bucket_sums: [0; HISTOGRAM_BUCKETS],
         }
     }
 
@@ -244,6 +254,9 @@ impl HistogramSnapshot {
         self.sum = self.sum.wrapping_add(other.sum);
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += *theirs;
+        }
+        for (mine, theirs) in self.bucket_sums.iter_mut().zip(other.bucket_sums.iter()) {
+            *mine = mine.wrapping_add(*theirs);
         }
     }
 
@@ -258,15 +271,19 @@ impl HistogramSnapshot {
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded samples.
     ///
-    /// The estimate interpolates *log-linearly* inside the bucket containing
-    /// the `ceil(q * count)`-th smallest sample: the rank's midpoint position
-    /// within the bucket's population maps onto the bucket's one-octave span
-    /// on a log scale. The interior position is strictly between 0 and 1, so
-    /// the estimate lands strictly inside the bucket rather than pinning to
-    /// a power-of-two edge (with the old edge interpolation, a high quantile
-    /// whose rank closed out its bucket reported exactly `bucket_upper` —
-    /// which is how every election p99 in [1.07 s, 2.15 s) read 2147.5 ms).
-    /// Still off by at most a factor of two from the true order statistic.
+    /// The estimate interpolates *piecewise-linearly* inside the bucket
+    /// containing the `ceil(q * count)`-th smallest sample, anchored at the
+    /// bucket's observed mean: ranks in the lower half of the bucket's
+    /// population map linearly onto `[bucket_lower, mean]` and ranks in the
+    /// upper half onto `[mean, bucket_upper]`. Because the anchor comes from
+    /// the samples themselves (via [`bucket_sums`](Self::bucket_sums)), two
+    /// histograms whose samples land in the same buckets at different
+    /// positions report different percentiles — the earlier log-midpoint
+    /// interpolation collapsed any symmetric bucket population onto
+    /// `bucket_lower * sqrt(2)`, which is how every scale cell's election
+    /// p50 read exactly 5.9 ms and every p99 exactly 1518.5 ms regardless
+    /// of detection parameters. Still bucket-bounded: off by at most a
+    /// factor of two from the true order statistic.
     /// Returns 0 for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -284,12 +301,19 @@ impl HistogramSnapshot {
                     // Bucket 0 holds only the exact value 0.
                     return 0;
                 }
-                let lo = bucket_lower(i);
+                let lo = bucket_lower(i) as f64;
+                let hi = bucket_upper(i) as f64;
+                let mean = (self.bucket_sums[i] as f64 / n as f64).clamp(lo, hi);
                 // The k-th of the bucket's n samples sits at position
-                // (k - 0.5) / n of the bucket's span — strictly interior.
-                let pos = ((rank - seen) as f64 - 0.5) / n as f64;
-                let est = lo as f64 * pos.exp2();
-                return (est as u64).clamp(lo, bucket_upper(i));
+                // (k - 0.5) / n of the bucket's population — strictly
+                // interior, so the estimate never pins to a bucket edge.
+                let f = ((rank - seen) as f64 - 0.5) / n as f64;
+                let est = if f < 0.5 {
+                    lo + (mean - lo) * (f / 0.5)
+                } else {
+                    mean + (hi - mean) * ((f - 0.5) / 0.5)
+                };
+                return (est as u64).clamp(bucket_lower(i), bucket_upper(i));
             }
             seen += n;
         }
@@ -368,8 +392,8 @@ mod tests {
         // Regression: election latencies of 1.3–1.9 s all land in the
         // nanosecond bucket [2^30, 2^31 - 1]. The old edge interpolation
         // reported p99 (and p100) of *any* such sample set as exactly
-        // 2^31 - 1 ns = 2147.48 ms; log-linear midpoint interpolation must
-        // return a value strictly inside the bucket instead.
+        // 2^31 - 1 ns = 2147.48 ms; mean-anchored interpolation must return
+        // a value strictly inside the bucket instead.
         let h = Histogram::new();
         for i in 0..200u64 {
             h.record(1_300_000_000 + i * 3_000_000);
@@ -387,6 +411,35 @@ mod tests {
             );
         }
         assert_ne!(snap.percentile(0.99), (1u64 << 31) - 1);
+    }
+
+    #[test]
+    fn same_buckets_different_positions_give_different_percentiles() {
+        // Regression: two latency populations that land in the *same* log2
+        // buckets but at different positions inside them must not report
+        // identical percentiles. The old log-midpoint interpolation mapped
+        // any symmetric bucket population onto bucket_lower * sqrt(2), so
+        // every scale cell's election p50 read exactly the same value no
+        // matter what the detection parameters were.
+        let fast = Histogram::new();
+        let slow = Histogram::new();
+        for i in 0..100u64 {
+            // Both populations live entirely in the [2^22, 2^23 - 1] ns
+            // bucket (4.19–8.39 ms), near opposite ends of it.
+            fast.record(4_300_000 + i * 1_000);
+            slow.record(8_200_000 + i * 1_000);
+        }
+        let (fast, slow) = (fast.snapshot(), slow.snapshot());
+        for q in [0.50, 0.90, 0.99] {
+            let (pf, ps) = (fast.percentile(q), slow.percentile(q));
+            assert!(
+                pf < ps,
+                "percentile({q}): fast {pf} should be below slow {ps}"
+            );
+        }
+        // The anchored estimates track the true medians to well under a
+        // bucket width apart from each other.
+        assert!(slow.percentile(0.50) - fast.percentile(0.50) > 3_000_000);
     }
 
     #[test]

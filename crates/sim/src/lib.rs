@@ -53,6 +53,7 @@ pub mod actor;
 pub mod dense;
 pub mod medium;
 pub mod observer;
+pub mod par;
 pub mod rng;
 pub mod time;
 pub mod timeline;
@@ -66,6 +67,7 @@ pub mod prelude {
         Fate, FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict,
     };
     pub use crate::observer::{CountingObserver, NullObserver, Observer, PairObserver};
+    pub use crate::par::{ParWorld, SharedActorFactory};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimInstant};
     pub use crate::timeline::Timeline;
@@ -77,6 +79,7 @@ pub use actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
 pub use dense::{SlotIndex, TagMap};
 pub use medium::{Fate, FixedDelayMedium, Medium, PerfectMedium, SteppedDelayMedium, Verdict};
 pub use observer::{CountingObserver, NullObserver, Observer, PairObserver};
+pub use par::{ParWorld, SharedActorFactory};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimInstant};
 pub use timeline::Timeline;

@@ -138,6 +138,21 @@ pub trait Medium {
     ) -> Fate {
         self.transmit(now, from, to, wire_bytes, rng).into()
     }
+
+    /// A lower bound on the delay of every delivered copy of every message,
+    /// over the whole run and every `(from, to)` pair.
+    ///
+    /// This is the *lookahead* of a conservative parallel simulation (see
+    /// [`par`](crate::par)): within a window of this width, no shard can
+    /// receive a message sent inside the same window, so shards may advance
+    /// through it independently. The bound must be conservative — returning
+    /// a value larger than some actual delay breaks causality in the
+    /// parallel driver; returning a smaller one only costs speed. The
+    /// default, [`SimDuration::ZERO`], is always safe and makes the parallel
+    /// driver fall back to sequential canonical-order execution.
+    fn min_delay(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// A medium that delivers every message instantly. Useful for unit tests of
@@ -187,6 +202,10 @@ impl Medium for FixedDelayMedium {
         _rng: &mut SimRng,
     ) -> Verdict {
         Verdict::Deliver { delay: self.delay }
+    }
+
+    fn min_delay(&self) -> SimDuration {
+        self.delay
     }
 }
 
@@ -250,6 +269,14 @@ impl Medium for SteppedDelayMedium {
             delay: self.delay_at(now),
         }
     }
+
+    fn min_delay(&self) -> SimDuration {
+        self.steps
+            .phases()
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(SimDuration::MAX, SimDuration::min)
+    }
 }
 
 impl<M: Medium + ?Sized> Medium for Box<M> {
@@ -273,6 +300,10 @@ impl<M: Medium + ?Sized> Medium for Box<M> {
         rng: &mut SimRng,
     ) -> Fate {
         (**self).transmit_fate(now, from, to, wire_bytes, rng)
+    }
+
+    fn min_delay(&self) -> SimDuration {
+        (**self).min_delay()
     }
 }
 
@@ -411,6 +442,23 @@ mod tests {
             medium.delay_at(SimInstant::from_secs_f64(3.0)),
             SimDuration::from_millis(80)
         );
+    }
+
+    #[test]
+    fn min_delay_is_the_conservative_lookahead_bound() {
+        assert_eq!(PerfectMedium.min_delay(), SimDuration::ZERO);
+        assert_eq!(
+            FixedDelayMedium::new(SimDuration::from_millis(3)).min_delay(),
+            SimDuration::from_millis(3)
+        );
+        let stepped = SteppedDelayMedium::new(SimDuration::from_millis(40))
+            .with_step(SimInstant::from_secs_f64(1.0), SimDuration::from_millis(10))
+            .with_step(SimInstant::from_secs_f64(2.0), SimDuration::from_millis(80));
+        assert_eq!(stepped.min_delay(), SimDuration::from_millis(10));
+        // Custom media inherit the always-safe zero bound; boxing forwards.
+        assert_eq!(AlwaysDuplicate.min_delay(), SimDuration::ZERO);
+        let boxed: Box<dyn Medium> = Box::new(FixedDelayMedium::new(SimDuration::from_millis(7)));
+        assert_eq!(boxed.min_delay(), SimDuration::from_millis(7));
     }
 
     #[test]

@@ -1,0 +1,996 @@
+//! Sharded parallel discrete-event simulation with conservative lookahead.
+//!
+//! [`ParWorld`] partitions the nodes of a simulation across `W` sim workers
+//! (round-robin by node id, the same dense interning idea as
+//! [`dense`](crate::dense): global node `g` lives in shard `g % W` at local
+//! slot `g / W`). Each shard owns its slice of node state, its own
+//! [`EventWheel`], and one RNG stream per node. Workers advance through
+//! *barrier-delimited epochs* whose width is the medium's
+//! [`min_delay`](crate::medium::Medium::min_delay) — the *lookahead* `L` of
+//! a conservative parallel simulation. Within the half-open window
+//! `[T, T + L)` no shard can receive a message sent inside the same window
+//! (every delivery takes at least `L`), so shards process their local
+//! events independently and exchange the buffered cross-shard sends at the
+//! epoch barrier. No null messages are needed: the barrier itself bounds
+//! the skew.
+//!
+//! # Determinism
+//!
+//! Unlike the sequential [`World`](crate::world::World), which orders
+//! simultaneous events by a global push counter and draws all randomness
+//! from one execution-ordered stream, `ParWorld` uses *partition-independent*
+//! coordinates so that every worker count replays the same execution:
+//!
+//! * every event carries a canonical key `(origin_node << 32) | per_node_seq`
+//!   — ties at equal virtual time resolve by origin node, then by the
+//!   origin's own event counter, an order no shard boundary can perturb;
+//! * message fates are drawn from the *sender's* per-node RNG stream
+//!   (seeded from `(world_seed, node_id)`), so a link's loss/delay sequence
+//!   depends only on the sender's canonical event order.
+//!
+//! A given `(seed, workload)` therefore produces identical observers,
+//! event counts and final actor states for **any** `workers` value,
+//! including `workers = 1`.
+//!
+//! # Zero lookahead
+//!
+//! When the medium cannot promise a positive minimum delay
+//! (`min_delay() == 0`, e.g. [`PerfectMedium`](crate::medium::PerfectMedium)),
+//! the epoch width collapses and `ParWorld` falls back to a sequential
+//! merged loop that pops the globally minimal `(time, key)` event across
+//! all shards — the exact canonical order the epochs would have produced,
+//! just without parallel speedup.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::actor::{Actor, Context, Effect, NodeId, TimerTag, WireSize};
+use crate::medium::{Fate, Medium};
+use crate::observer::Observer;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimInstant};
+use crate::wheel::EventWheel;
+use crate::world::{EventKind, NodeSlot};
+
+/// Builds (or rebuilds, after a recovery) the actor for a node.
+///
+/// The parallel driver's counterpart of
+/// [`ActorFactory`](crate::world::ActorFactory): recoveries execute on sim
+/// worker threads, so the factory must be callable from any of them.
+pub type SharedActorFactory<A> = Box<dyn Fn(NodeId, u64) -> A + Send + Sync>;
+
+/// An event en route to another shard: `(arrival, canonical key, payload)`.
+type OutEvent<M> = (SimInstant, u64, EventKind<M>);
+
+/// splitmix64-style finalizer mixing the world seed with a node id, so each
+/// node gets an independent, partition-independent RNG stream.
+fn mix_seed(seed: u64, node: u64) -> u64 {
+    let mut z = seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The canonical, partition-independent tie-break key of an event.
+fn canonical_key(origin: NodeId, seq: u32) -> u64 {
+    (u64::from(origin.0) << 32) | u64::from(seq)
+}
+
+/// One shard: a worker's slice of nodes, wheel, and per-node RNG streams.
+struct Shard<A: Actor, M> {
+    /// This shard's index; owns every node with `id % stride == index`.
+    index: usize,
+    /// Number of shards (the round-robin stride).
+    stride: usize,
+    /// Total node count of the world (for out-of-range send detection).
+    total_nodes: usize,
+    nodes: Vec<NodeSlot<A>>,
+    /// Per-node deterministic RNG streams, indexed like `nodes`.
+    rngs: Vec<SimRng>,
+    /// Per-node canonical event sequence counters, indexed like `nodes`.
+    seqs: Vec<u32>,
+    wheel: EventWheel<EventKind<A::Msg>>,
+    medium: M,
+    now: SimInstant,
+    events_processed: u64,
+    intra_sends: u64,
+    cross_sends: u64,
+}
+
+impl<A: Actor, M: Medium> Shard<A, M> {
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        debug_assert_eq!(node.index() % self.stride, self.index);
+        node.index() / self.stride
+    }
+
+    /// Allocates the next canonical key of `origin`.
+    fn alloc_key(&mut self, origin: NodeId) -> u64 {
+        let l = self.local(origin);
+        let s = self.seqs[l];
+        self.seqs[l] = s.wrapping_add(1);
+        canonical_key(origin, s)
+    }
+
+    /// Executes one event at `at`, routing cross-shard sends into `out`.
+    fn exec<O: Observer<A::Event>>(
+        &mut self,
+        at: SimInstant,
+        kind: EventKind<A::Msg>,
+        factory: &(dyn Fn(NodeId, u64) -> A + Send + Sync),
+        observer: &mut O,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        debug_assert!(at >= self.now, "time must not go backwards");
+        self.now = at;
+        self.events_processed += 1;
+        match kind {
+            EventKind::Start { node } => self.handle_start(node, observer, out),
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                bytes,
+            } => self.handle_deliver(from, to, msg, bytes, observer, out),
+            EventKind::Timer {
+                node,
+                tag,
+                node_epoch,
+                generation,
+            } => self.handle_timer(node, tag, node_epoch, generation, observer, out),
+            EventKind::Crash { node } => self.handle_crash(node, observer),
+            EventKind::Recover { node } => self.handle_recover(node, factory, observer, out),
+        }
+    }
+
+    fn handle_start<O: Observer<A::Event>>(
+        &mut self,
+        node: NodeId,
+        observer: &mut O,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        let l = self.local(node);
+        let slot = &mut self.nodes[l];
+        if !slot.up {
+            return;
+        }
+        let mut ctx = Context::new(self.now, node, slot.incarnation);
+        if let Some(actor) = slot.actor.as_mut() {
+            actor.on_start(&mut ctx);
+        }
+        let effects = ctx.into_effects();
+        self.apply_effects(node, effects, observer, out);
+    }
+
+    fn handle_deliver<O: Observer<A::Event>>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: A::Msg,
+        bytes: usize,
+        observer: &mut O,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        let l = self.local(to);
+        let slot = &mut self.nodes[l];
+        if !slot.up {
+            observer.message_dropped(self.now, from, to, bytes);
+            return;
+        }
+        observer.message_delivered(self.now, from, to, bytes);
+        let mut ctx = Context::new(self.now, to, slot.incarnation);
+        if let Some(actor) = slot.actor.as_mut() {
+            actor.on_message(from, msg, &mut ctx);
+        }
+        let effects = ctx.into_effects();
+        self.apply_effects(to, effects, observer, out);
+    }
+
+    fn handle_timer<O: Observer<A::Event>>(
+        &mut self,
+        node: NodeId,
+        tag: TimerTag,
+        node_epoch: u64,
+        generation: u64,
+        observer: &mut O,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        let l = self.local(node);
+        let slot = &mut self.nodes[l];
+        if !slot.up || slot.epoch != node_epoch {
+            return;
+        }
+        match slot.timers.get(tag.0) {
+            Some(g) if g == generation => {}
+            _ => return, // re-armed or cancelled since this event was queued
+        }
+        slot.timers.remove(tag.0);
+        observer.timer_fired(self.now, node);
+        let mut ctx = Context::new(self.now, node, slot.incarnation);
+        if let Some(actor) = slot.actor.as_mut() {
+            actor.on_timer(tag, &mut ctx);
+        }
+        let effects = ctx.into_effects();
+        self.apply_effects(node, effects, observer, out);
+    }
+
+    fn handle_crash<O: Observer<A::Event>>(&mut self, node: NodeId, observer: &mut O) {
+        let l = self.local(node);
+        let slot = &mut self.nodes[l];
+        if !slot.up {
+            return;
+        }
+        slot.up = false;
+        slot.actor = None;
+        slot.epoch += 1;
+        slot.timers.clear();
+        observer.node_crashed(self.now, node);
+    }
+
+    fn handle_recover<O: Observer<A::Event>>(
+        &mut self,
+        node: NodeId,
+        factory: &(dyn Fn(NodeId, u64) -> A + Send + Sync),
+        observer: &mut O,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        let l = self.local(node);
+        {
+            let slot = &mut self.nodes[l];
+            if slot.up {
+                return;
+            }
+            slot.up = true;
+            slot.incarnation += 1;
+        }
+        let incarnation = self.nodes[l].incarnation;
+        self.nodes[l].actor = Some(factory(node, incarnation));
+        observer.node_recovered(self.now, node, incarnation);
+        self.handle_start(node, observer, out);
+    }
+
+    fn apply_effects<O: Observer<A::Event>>(
+        &mut self,
+        node: NodeId,
+        effects: Vec<Effect<A::Msg, A::Event>>,
+        observer: &mut O,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    observer.message_sent(self.now, node, to, bytes);
+                    if to.index() >= self.total_nodes {
+                        // Destination unknown to this world: treated as lost.
+                        observer.message_dropped(self.now, node, to, bytes);
+                        continue;
+                    }
+                    let l = self.local(node);
+                    match self
+                        .medium
+                        .transmit_fate(self.now, node, to, bytes, &mut self.rngs[l])
+                    {
+                        Fate::Dropped => observer.message_dropped(self.now, node, to, bytes),
+                        Fate::Deliver { delay } => {
+                            self.route(node, to, msg, bytes, self.now + delay, out);
+                        }
+                        Fate::DeliverTwice { first, second } => {
+                            self.route(node, to, msg.clone(), bytes, self.now + first, out);
+                            self.route(node, to, msg, bytes, self.now + second, out);
+                        }
+                    }
+                }
+                Effect::SetTimer { tag, at } => {
+                    let l = self.local(node);
+                    let slot = &mut self.nodes[l];
+                    slot.timer_generation += 1;
+                    let generation = slot.timer_generation;
+                    slot.timers.insert(tag.0, generation);
+                    let node_epoch = slot.epoch;
+                    let fire_at = at.max(self.now);
+                    let key = self.alloc_key(node);
+                    self.wheel.push(
+                        fire_at,
+                        key,
+                        EventKind::Timer {
+                            node,
+                            tag,
+                            node_epoch,
+                            generation,
+                        },
+                    );
+                }
+                Effect::CancelTimer { tag } => {
+                    let l = self.local(node);
+                    self.nodes[l].timers.remove(tag.0);
+                }
+                Effect::Emit(event) => {
+                    observer.event_emitted(self.now, node, &event);
+                }
+            }
+        }
+    }
+
+    /// Routes one delivery: into the local wheel if the destination lives on
+    /// this shard, into the cross-shard outbox otherwise.
+    fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: A::Msg,
+        bytes: usize,
+        at: SimInstant,
+        out: &mut [Vec<OutEvent<A::Msg>>],
+    ) {
+        let key = self.alloc_key(from);
+        let kind = EventKind::Deliver {
+            from,
+            to,
+            msg,
+            bytes,
+        };
+        let dest = to.index() % self.stride;
+        if dest == self.index {
+            self.intra_sends += 1;
+            self.wheel.push(at, key, kind);
+        } else {
+            self.cross_sends += 1;
+            out[dest].push((at, key, kind));
+        }
+    }
+}
+
+/// The sharded parallel counterpart of [`World`](crate::world::World).
+///
+/// See the [module documentation](self) for the execution model. The public
+/// API mirrors `World`, with two deliberate differences:
+///
+/// * the factory is a [`SharedActorFactory`] (recoveries run on worker
+///   threads),
+/// * [`ParWorld::run_until`] takes one observer **per worker**; the caller
+///   merges them afterwards (counters sum, traces merge-sort by time).
+pub struct ParWorld<A: Actor, M: Medium> {
+    now: SimInstant,
+    workers: usize,
+    num_nodes: usize,
+    shards: Vec<Shard<A, M>>,
+    factory: SharedActorFactory<A>,
+}
+
+impl<A: Actor, M: Medium> ParWorld<A, M> {
+    /// Creates a world with `num_nodes` nodes sharded across `workers` sim
+    /// workers (clamped to the node count), all initially up.
+    ///
+    /// Each shard receives an independent clone of `medium`; the factory is
+    /// invoked in global node-id order, exactly like the sequential world.
+    pub fn new(
+        num_nodes: usize,
+        workers: usize,
+        factory: SharedActorFactory<A>,
+        medium: M,
+        seed: u64,
+    ) -> Self
+    where
+        M: Clone,
+    {
+        assert!(workers >= 1, "at least one sim worker is required");
+        let workers = workers.min(num_nodes.max(1));
+        let mut shards: Vec<Shard<A, M>> = (0..workers)
+            .map(|index| Shard {
+                index,
+                stride: workers,
+                total_nodes: num_nodes,
+                nodes: Vec::with_capacity(num_nodes.div_ceil(workers)),
+                rngs: Vec::with_capacity(num_nodes.div_ceil(workers)),
+                seqs: Vec::with_capacity(num_nodes.div_ceil(workers)),
+                wheel: EventWheel::new(),
+                medium: medium.clone(),
+                now: SimInstant::ZERO,
+                events_processed: 0,
+                intra_sends: 0,
+                cross_sends: 0,
+            })
+            .collect();
+        for g in 0..num_nodes {
+            let node = NodeId(g as u32);
+            let shard = &mut shards[g % workers];
+            shard.nodes.push(NodeSlot::new(factory(node, 0)));
+            shard.rngs.push(SimRng::seed_from(mix_seed(seed, g as u64)));
+            shard.seqs.push(0);
+        }
+        for g in 0..num_nodes {
+            let node = NodeId(g as u32);
+            let shard = &mut shards[g % workers];
+            let key = shard.alloc_key(node);
+            shard
+                .wheel
+                .push(SimInstant::ZERO, key, EventKind::Start { node });
+        }
+        ParWorld {
+            now: SimInstant::ZERO,
+            workers,
+            num_nodes,
+            shards,
+            factory,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Number of nodes in the world.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of sim workers (shards) driving this world.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total number of events processed so far, across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// `(intra_shard, cross_shard)` delivery routing counts so far: how much
+    /// traffic stayed shard-local versus crossed an epoch boundary.
+    pub fn routing_stats(&self) -> (u64, u64) {
+        self.shards
+            .iter()
+            .fold((0, 0), |(i, c), s| (i + s.intra_sends, c + s.cross_sends))
+    }
+
+    /// The lookahead currently in force: the minimum over all shard media of
+    /// [`Medium::min_delay`]. Zero means the next run falls back to
+    /// sequential canonical-order execution.
+    pub fn lookahead(&self) -> SimDuration {
+        self.shards
+            .iter()
+            .map(|s| s.medium.min_delay())
+            .fold(SimDuration::MAX, SimDuration::min)
+    }
+
+    #[inline]
+    fn shard_of(&self, node: NodeId) -> usize {
+        node.index() % self.workers
+    }
+
+    /// Returns whether `node` is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        let s = self.shard_of(node);
+        self.shards[s].nodes[node.index() / self.workers].up
+    }
+
+    /// Returns the current incarnation of `node`.
+    pub fn incarnation(&self, node: NodeId) -> u64 {
+        let s = self.shard_of(node);
+        self.shards[s].nodes[node.index() / self.workers].incarnation
+    }
+
+    /// Immutable access to the actor of `node`, if the node is up.
+    pub fn actor(&self, node: NodeId) -> Option<&A> {
+        let s = self.shard_of(node);
+        let slot = &self.shards[s].nodes[node.index() / self.workers];
+        if slot.up {
+            slot.actor.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the actor of `node`, if the node is up.
+    pub fn actor_mut(&mut self, node: NodeId) -> Option<&mut A> {
+        let s = self.shard_of(node);
+        let local = node.index() / self.workers;
+        let slot = &mut self.shards[s].nodes[local];
+        if slot.up {
+            slot.actor.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Applies `f` to every shard's medium clone, in shard order.
+    ///
+    /// Mid-run topology mutations (partitions, link overlays) must reach
+    /// every clone to stay consistent; this is the parallel counterpart of
+    /// [`World::medium_mut`](crate::world::World::medium_mut).
+    pub fn for_each_medium(&mut self, mut f: impl FnMut(&mut M)) {
+        for shard in &mut self.shards {
+            f(&mut shard.medium);
+        }
+    }
+
+    /// Iterates the per-shard medium clones, in shard order (e.g. to sum
+    /// per-shard traffic statistics).
+    pub fn media(&self) -> impl Iterator<Item = &M> + '_ {
+        self.shards.iter().map(|s| &s.medium)
+    }
+
+    /// Schedules a crash of `node` at absolute time `at`.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimInstant) {
+        let s = self.shard_of(node);
+        let shard = &mut self.shards[s];
+        let key = shard.alloc_key(node);
+        shard.wheel.push(at, key, EventKind::Crash { node });
+    }
+
+    /// Schedules a recovery of `node` at absolute time `at`.
+    pub fn schedule_recovery(&mut self, node: NodeId, at: SimInstant) {
+        let s = self.shard_of(node);
+        let shard = &mut self.shards[s];
+        let key = shard.alloc_key(node);
+        shard.wheel.push(at, key, EventKind::Recover { node });
+    }
+
+    /// Applies a closure to a live actor through the same effect-processing
+    /// path as message and timer callbacks (harness API commands).
+    pub fn with_actor<O, F>(&mut self, node: NodeId, observer: &mut O, f: F)
+    where
+        O: Observer<A::Event>,
+        F: FnOnce(&mut A, &mut Context<A::Msg, A::Event>),
+    {
+        let s = self.shard_of(node);
+        let now = self.now;
+        let mut out: Vec<Vec<OutEvent<A::Msg>>> = (0..self.workers).map(|_| Vec::new()).collect();
+        {
+            let shard = &mut self.shards[s];
+            shard.now = shard.now.max(now);
+            let l = shard.local(node);
+            let slot = &mut shard.nodes[l];
+            if !slot.up {
+                return;
+            }
+            let mut ctx = Context::new(shard.now, node, slot.incarnation);
+            if let Some(actor) = slot.actor.as_mut() {
+                f(actor, &mut ctx);
+            }
+            let effects = ctx.into_effects();
+            shard.apply_effects(node, effects, observer, &mut out);
+        }
+        self.flush_out(&mut out);
+    }
+
+    /// Pushes buffered cross-shard events straight into their destination
+    /// wheels (main-thread contexts: sequential fallback, `with_actor`).
+    fn flush_out(&mut self, out: &mut [Vec<OutEvent<A::Msg>>]) {
+        for (dest, buf) in out.iter_mut().enumerate() {
+            for (at, key, kind) in buf.drain(..) {
+                self.shards[dest].wheel.push(at, key, kind);
+            }
+        }
+    }
+
+    /// Runs the simulation until virtual time `deadline`, reporting shard
+    /// `w`'s activity to `observers[w]`. Events scheduled exactly at
+    /// `deadline` are processed, as in the sequential world.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `observers.len() == self.workers()`.
+    pub fn run_until<O>(&mut self, deadline: SimInstant, observers: &mut [O])
+    where
+        O: Observer<A::Event> + Send,
+        A: Send,
+        A::Msg: Send,
+        M: Send,
+    {
+        assert_eq!(
+            observers.len(),
+            self.workers,
+            "one observer per sim worker is required"
+        );
+        let lookahead = self.lookahead();
+        if self.workers == 1 || lookahead.is_zero() {
+            self.run_until_sequential(deadline, observers);
+        } else {
+            self.run_until_epochs(deadline, lookahead, observers);
+        }
+        self.now = self.now.max(deadline);
+        for shard in &mut self.shards {
+            shard.now = self.now;
+        }
+    }
+
+    /// Runs the simulation for `span` of virtual time from the current clock.
+    pub fn run_for<O>(&mut self, span: SimDuration, observers: &mut [O])
+    where
+        O: Observer<A::Event> + Send,
+        A: Send,
+        A::Msg: Send,
+        M: Send,
+    {
+        let deadline = self.now + span;
+        self.run_until(deadline, observers);
+    }
+
+    /// The zero-lookahead (or single-worker) driver: one thread pops the
+    /// globally minimal `(time, key)` event across all shards — the same
+    /// canonical total order the epoch driver realizes in parallel.
+    fn run_until_sequential<O: Observer<A::Event>>(
+        &mut self,
+        deadline: SimInstant,
+        observers: &mut [O],
+    ) {
+        let mut out: Vec<Vec<OutEvent<A::Msg>>> = (0..self.workers).map(|_| Vec::new()).collect();
+        loop {
+            let mut best: Option<(SimInstant, u64, usize)> = None;
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if let Some((at, key, _)) = shard.wheel.peek() {
+                    if best.is_none_or(|(bat, bkey, _)| (at, key) < (bat, bkey)) {
+                        best = Some((at, key, s));
+                    }
+                }
+            }
+            let Some((at, _, s)) = best else { break };
+            if at > deadline {
+                break;
+            }
+            let shard = &mut self.shards[s];
+            let (at, _, kind) = shard.wheel.pop().expect("peeked event must pop");
+            shard.exec(at, kind, &*self.factory, &mut observers[s], &mut out);
+            self.flush_out(&mut out);
+        }
+    }
+
+    /// The parallel driver: conservative barrier-delimited epochs of width
+    /// `lookahead` (see the [module documentation](self)).
+    fn run_until_epochs<O>(
+        &mut self,
+        deadline: SimInstant,
+        lookahead: SimDuration,
+        observers: &mut [O],
+    ) where
+        O: Observer<A::Event> + Send,
+        A: Send,
+        A::Msg: Send,
+        M: Send,
+    {
+        let workers = self.workers;
+        let lookahead_ns = lookahead.as_nanos();
+        let deadline_ns = deadline.as_nanos();
+        let barrier = Barrier::new(workers);
+        let global_next = AtomicU64::new(u64::MAX);
+        let epoch_upper = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let inboxes: Vec<Mutex<Vec<OutEvent<A::Msg>>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        let factory: &(dyn Fn(NodeId, u64) -> A + Send + Sync) = &*self.factory;
+
+        std::thread::scope(|scope| {
+            let mut pairs: Vec<(&mut Shard<A, M>, &mut O)> =
+                self.shards.iter_mut().zip(observers.iter_mut()).collect();
+            // Worker 0 (the coordinator) runs on the calling thread.
+            let (shard0, observer0) = pairs.remove(0);
+            for (shard, observer) in pairs {
+                let barrier = &barrier;
+                let global_next = &global_next;
+                let epoch_upper = &epoch_upper;
+                let done = &done;
+                let inboxes = &inboxes[..];
+                scope.spawn(move || {
+                    epoch_worker(
+                        shard,
+                        observer,
+                        factory,
+                        barrier,
+                        global_next,
+                        epoch_upper,
+                        done,
+                        inboxes,
+                        lookahead_ns,
+                        deadline_ns,
+                        false,
+                    );
+                });
+            }
+            epoch_worker(
+                shard0,
+                observer0,
+                factory,
+                &barrier,
+                &global_next,
+                &epoch_upper,
+                &done,
+                &inboxes,
+                lookahead_ns,
+                deadline_ns,
+                true,
+            );
+        });
+    }
+}
+
+/// One worker's epoch loop.
+///
+/// Three barriers per epoch: (A) drain the inbox and publish the local
+/// next-event time, (B) the coordinator picks the epoch window
+/// `[T, min(T + L, deadline + 1))` (or signals completion), (C) process
+/// local events inside the window and flush buffered cross-shard sends to
+/// the destination inboxes. The lookahead guarantees every cross-shard send
+/// from inside the window arrives at or after its upper bound, so next
+/// epoch's inbox drain can never deliver into the past.
+#[allow(clippy::too_many_arguments)]
+fn epoch_worker<A, M, O>(
+    shard: &mut Shard<A, M>,
+    observer: &mut O,
+    factory: &(dyn Fn(NodeId, u64) -> A + Send + Sync),
+    barrier: &Barrier,
+    global_next: &AtomicU64,
+    epoch_upper: &AtomicU64,
+    done: &AtomicBool,
+    inboxes: &[Mutex<Vec<OutEvent<A::Msg>>>],
+    lookahead_ns: u64,
+    deadline_ns: u64,
+    coordinator: bool,
+) where
+    A: Actor,
+    M: Medium,
+    O: Observer<A::Event>,
+{
+    let mut out: Vec<Vec<OutEvent<A::Msg>>> = (0..inboxes.len()).map(|_| Vec::new()).collect();
+    loop {
+        // Phase A: merge cross-shard arrivals, publish the local horizon.
+        {
+            let mut inbox = inboxes[shard.index].lock().expect("inbox poisoned");
+            for (at, key, kind) in inbox.drain(..) {
+                shard.wheel.push(at, key, kind);
+            }
+        }
+        let local_next = shard.wheel.peek_time().map_or(u64::MAX, |t| t.as_nanos());
+        global_next.fetch_min(local_next, Ordering::SeqCst);
+        barrier.wait();
+
+        // Phase B: the coordinator fixes this epoch's window.
+        if coordinator {
+            let t = global_next.swap(u64::MAX, Ordering::SeqCst);
+            if t == u64::MAX || t > deadline_ns {
+                done.store(true, Ordering::SeqCst);
+            } else {
+                let upper = t
+                    .saturating_add(lookahead_ns)
+                    .min(deadline_ns.saturating_add(1));
+                epoch_upper.store(upper, Ordering::SeqCst);
+            }
+        }
+        barrier.wait();
+        if done.load(Ordering::SeqCst) {
+            break;
+        }
+        let upper = epoch_upper.load(Ordering::SeqCst);
+
+        // Phase C: process everything strictly inside the window; newly
+        // produced intra-shard events join in, cross-shard sends buffer.
+        while let Some(t) = shard.wheel.peek_time() {
+            if t.as_nanos() >= upper {
+                break;
+            }
+            let (at, _, kind) = shard.wheel.pop().expect("peeked event must pop");
+            shard.exec(at, kind, factory, observer, &mut out);
+        }
+        for (dest, buf) in out.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                inboxes[dest].lock().expect("inbox poisoned").append(buf);
+            }
+        }
+        barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::{FixedDelayMedium, PerfectMedium};
+    use crate::observer::CountingObserver;
+    use crate::world::World;
+
+    /// The world.rs test actor: pings its successor every 100 ms.
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl WireSize for TestMsg {
+        fn wire_size(&self) -> usize {
+            9
+        }
+    }
+
+    struct PingActor {
+        id: NodeId,
+        n: u32,
+        pings_sent: u64,
+        pongs_received: u64,
+    }
+
+    const TICK: TimerTag = TimerTag(1);
+
+    impl Actor for PingActor {
+        type Msg = TestMsg;
+        type Event = String;
+
+        fn on_start(&mut self, ctx: &mut Context<TestMsg, String>) {
+            ctx.set_timer_after(TICK, SimDuration::from_millis(100));
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: TestMsg, ctx: &mut Context<TestMsg, String>) {
+            match msg {
+                TestMsg::Ping(n) => ctx.send(from, TestMsg::Pong(n)),
+                TestMsg::Pong(_) => self.pongs_received += 1,
+            }
+        }
+
+        fn on_timer(&mut self, _tag: TimerTag, ctx: &mut Context<TestMsg, String>) {
+            let next = NodeId((self.id.0 + 1) % self.n);
+            self.pings_sent += 1;
+            ctx.send(next, TestMsg::Ping(self.pings_sent));
+            ctx.set_timer_after(TICK, SimDuration::from_millis(100));
+        }
+    }
+
+    fn ping_factory(n: u32) -> SharedActorFactory<PingActor> {
+        Box::new(move |id, _inc| PingActor {
+            id,
+            n,
+            pings_sent: 0,
+            pongs_received: 0,
+        })
+    }
+
+    /// One run's comparable fingerprint: totals plus per-node actor state.
+    fn fingerprint<M: Medium + Send + Clone>(
+        n: u32,
+        workers: usize,
+        medium: M,
+        with_churn: bool,
+    ) -> (CountingObserver, u64, Vec<(u64, u64, u64)>) {
+        let mut world = ParWorld::new(n as usize, workers, ping_factory(n), medium, 42);
+        let mut obs = vec![CountingObserver::new(); world.workers()];
+        if with_churn {
+            world.schedule_crash(NodeId(1), SimInstant::from_secs_f64(0.45));
+            world.schedule_recovery(NodeId(1), SimInstant::from_secs_f64(0.75));
+        }
+        world.run_for(SimDuration::from_secs(2), &mut obs);
+        let mut total = CountingObserver::new();
+        for o in &obs {
+            total.sent += o.sent;
+            total.dropped += o.dropped;
+            total.delivered += o.delivered;
+            total.timers += o.timers;
+            total.crashes += o.crashes;
+            total.recoveries += o.recoveries;
+            total.events += o.events;
+            total.bytes_sent += o.bytes_sent;
+            total.bytes_delivered += o.bytes_delivered;
+        }
+        let actors = (0..n)
+            .map(|i| {
+                let node = NodeId(i);
+                match world.actor(node) {
+                    Some(a) => (a.pings_sent, a.pongs_received, world.incarnation(node)),
+                    None => (u64::MAX, u64::MAX, world.incarnation(node)),
+                }
+            })
+            .collect();
+        (total, world.events_processed(), actors)
+    }
+
+    #[test]
+    fn worker_counts_replay_identically_with_lookahead() {
+        let delay = FixedDelayMedium::new(SimDuration::from_millis(5));
+        let base = fingerprint(6, 1, delay, true);
+        for workers in [2, 3, 6] {
+            assert_eq!(
+                fingerprint(6, workers, delay, true),
+                base,
+                "workers={workers} diverged from workers=1"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_falls_back_and_still_replays_identically() {
+        let base = fingerprint(5, 1, PerfectMedium, false);
+        for workers in [2, 4] {
+            let run = fingerprint(5, workers, PerfectMedium, false);
+            assert_eq!(run, base, "workers={workers} diverged from workers=1");
+        }
+    }
+
+    #[test]
+    fn parallel_totals_match_the_sequential_world() {
+        // The RNG-free, fixed-delay workload has one causal outcome; the
+        // canonical order must agree with the legacy global-seq order on
+        // every aggregate even though tie-breaking differs.
+        let n = 4u32;
+        let mut seq_world: World<PingActor, FixedDelayMedium> = World::new(
+            n as usize,
+            Box::new(move |id, _| PingActor {
+                id,
+                n,
+                pings_sent: 0,
+                pongs_received: 0,
+            }),
+            FixedDelayMedium::new(SimDuration::from_millis(5)),
+            42,
+        );
+        let mut seq_obs = CountingObserver::new();
+        seq_world.run_for(SimDuration::from_secs(2), &mut seq_obs);
+
+        let (par_obs, par_events, _) = fingerprint(
+            n,
+            4,
+            FixedDelayMedium::new(SimDuration::from_millis(5)),
+            false,
+        );
+        assert_eq!(par_obs, seq_obs);
+        assert_eq!(par_events, seq_world.events_processed());
+    }
+
+    #[test]
+    fn crash_and_recovery_cross_worker_parity() {
+        let delay = FixedDelayMedium::new(SimDuration::from_millis(3));
+        let a = fingerprint(8, 2, delay, true);
+        let b = fingerprint(8, 8, delay, true);
+        assert_eq!(a, b);
+        // The churn actually happened.
+        assert_eq!(a.0.crashes, 1);
+        assert_eq!(a.0.recoveries, 1);
+    }
+
+    #[test]
+    fn with_actor_routes_cross_shard_sends() {
+        let mut world = ParWorld::new(
+            4,
+            2,
+            ping_factory(4),
+            FixedDelayMedium::new(SimDuration::from_millis(1)),
+            7,
+        );
+        let mut obs = vec![CountingObserver::new(); world.workers()];
+        world.run_for(SimDuration::from_millis(10), &mut obs);
+        // Node 0 (shard 0) pings node 1 (shard 1): a cross-shard send.
+        let mut extra = CountingObserver::new();
+        world.with_actor(NodeId(0), &mut extra, |_a, ctx| {
+            ctx.send(NodeId(1), TestMsg::Ping(99));
+        });
+        assert_eq!(extra.sent, 1);
+        world.run_for(SimDuration::from_millis(5), &mut obs);
+        let delivered: u64 = obs.iter().map(|o| o.delivered).sum();
+        assert!(delivered >= 1);
+        let (_intra, cross) = world.routing_stats();
+        assert!(cross >= 1, "ring traffic must cross the 2-shard cut");
+    }
+
+    #[test]
+    fn workers_clamp_to_node_count_and_observe_lookahead() {
+        let world: ParWorld<PingActor, FixedDelayMedium> = ParWorld::new(
+            2,
+            16,
+            ping_factory(2),
+            FixedDelayMedium::new(SimDuration::from_millis(2)),
+            1,
+        );
+        assert_eq!(world.workers(), 2);
+        assert_eq!(world.lookahead(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut world: ParWorld<PingActor, PerfectMedium> =
+            ParWorld::new(0, 4, ping_factory(1), PerfectMedium, 1);
+        let mut obs = vec![CountingObserver::new(); world.workers()];
+        world.run_until(SimInstant::from_secs_f64(3.0), &mut obs);
+        assert_eq!(world.now(), SimInstant::from_secs_f64(3.0));
+        assert_eq!(world.num_nodes(), 0);
+    }
+}

@@ -26,8 +26,11 @@ use crate::wheel::EventWheel;
 /// state from previous lives of the same workstation.
 pub type ActorFactory<A> = Box<dyn FnMut(NodeId, u64) -> A>;
 
+/// The event vocabulary shared by the sequential [`World`] and the sharded
+/// parallel driver in [`par`](crate::par): both queues hold the same kinds
+/// and dispatch them through the same per-node state transitions.
 #[derive(Debug)]
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Start {
         node: NodeId,
     },
@@ -51,21 +54,21 @@ enum EventKind<M> {
     },
 }
 
-struct NodeSlot<A> {
-    actor: Option<A>,
-    up: bool,
-    incarnation: u64,
+pub(crate) struct NodeSlot<A> {
+    pub(crate) actor: Option<A>,
+    pub(crate) up: bool,
+    pub(crate) incarnation: u64,
     /// Bumped on every crash so stale timer events are discarded.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Per-tag generation counters; a timer event only fires if its recorded
     /// generation still matches. Keyed by the raw tag value in a dense
     /// open-addressing map — this table is touched on every arm/cancel/fire.
-    timers: TagMap,
-    timer_generation: u64,
+    pub(crate) timers: TagMap,
+    pub(crate) timer_generation: u64,
 }
 
 impl<A> NodeSlot<A> {
-    fn new(actor: A) -> Self {
+    pub(crate) fn new(actor: A) -> Self {
         NodeSlot {
             actor: Some(actor),
             up: true,
